@@ -1,0 +1,87 @@
+// E10 -- the headline claim in one table: uniform sampling is space
+// optimal for itemset frequency sketching.
+//
+// For a sweep of hard Theorem 13 instances, compares three quantities:
+//   payload   = the information the instance provably forces any valid
+//               sketch to carry ((d/2) * 1/eps bits),
+//   subsample = the size of the SUBSAMPLE summary that actually answers
+//               the queries (the upper bound),
+//   envelope  = the best naive algorithm's size.
+// The subsample/payload ratio stays bounded by the O(log(C(d,k)/delta))
+// union-bound factor -- i.e. the upper and lower bounds track each other,
+// which is the paper's "sampling is optimal" conclusion. A verification
+// column confirms the payload really is decodable from the summary.
+
+#include <cmath>
+#include <cstdio>
+
+#include "lowerbound/thm13.h"
+#include "sketch/envelope.h"
+#include "sketch/subsample.h"
+#include "util/combinatorics.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ifsketch;
+
+void Headline() {
+  util::Rng rng(15);
+  util::Table table(
+      "sampling is space optimal: payload (forced bits) vs SUBSAMPLE size",
+      {"d", "k", "1/eps", "payload bits", "subsample bits",
+       "ratio / log-factor", "payload decodable"});
+  const std::size_t shapes[][3] = {{16, 2, 8},  {32, 2, 16}, {64, 2, 32},
+                                   {32, 3, 32}, {64, 3, 64}, {48, 4, 48}};
+  for (const auto& [d, k, inv_eps] : shapes) {
+    const lowerbound::Thm13Instance inst(d, k, inv_eps);
+    core::SketchParams p;
+    p.k = k;
+    p.eps = inst.SketchEps();
+    p.delta = 0.05;
+    p.scope = core::Scope::kForAll;
+    p.answer = core::Answer::kIndicator;
+    sketch::SubsampleSketch algo;
+    const std::size_t sketch_bits =
+        algo.PredictedSizeBits(inv_eps, d, p);
+    // The union-bound log factor in Lemma 9 (plus the Chernoff constant)
+    // is the entire gap between upper and lower bound.
+    const double log_factor =
+        16.0 / 0.75 * (std::log(2.0) + util::LogBinomial(d, k) -
+                       std::log(p.delta));
+    const double ratio = static_cast<double>(sketch_bits) /
+                         static_cast<double>(inst.PayloadBits());
+
+    // Verify decodability on one draw.
+    const util::BitVector payload = rng.RandomBits(inst.PayloadBits());
+    const core::Database db = inst.BuildDatabase(payload);
+    const auto summary = algo.Build(db, p, rng);
+    const auto ind = algo.LoadIndicator(summary, p, d, db.num_rows());
+    const util::BitVector rec = inst.ReconstructPayload(*ind);
+    const double recovered =
+        1.0 - static_cast<double>(rec.HammingDistance(payload)) /
+                  static_cast<double>(inst.PayloadBits());
+
+    char decode[32];
+    std::snprintf(decode, sizeof(decode), "%.1f%%", 100.0 * recovered);
+    table.AddRow({util::Table::Fmt(std::uint64_t{d}),
+                  util::Table::Fmt(std::uint64_t{k}),
+                  util::Table::Fmt(std::uint64_t{inv_eps}),
+                  util::Table::Fmt(std::uint64_t{inst.PayloadBits()}),
+                  util::Table::Fmt(std::uint64_t{sketch_bits}),
+                  util::Table::Fmt(ratio / (log_factor / 2.0)), decode});
+  }
+  table.Print();
+  std::printf(
+      "ratio/log-factor ~ constant across the sweep: the SUBSAMPLE upper\n"
+      "bound and the Theorem 13 lower bound differ only by the Lemma 9\n"
+      "union-bound logarithm, i.e. uniform sampling is space optimal.\n");
+}
+
+}  // namespace
+
+int main() {
+  Headline();
+  return 0;
+}

@@ -1,0 +1,179 @@
+// E11 -- ablations of the design choices called out in DESIGN.md.
+//
+//  (a) Importance vs uniform sampling (the §5 future-work direction):
+//      estimator error at equal summary size on skewed workloads.
+//  (b) Consistency-decoder budget: Lemma 19 recovery vs probes-per-bit
+//      in the large-v regime.
+//  (c) ECC operating point: decode success vs error rate for outer-code
+//      rates 1/3 (the default), 1/2 and 2/3 -- the radius/rate trade.
+
+#include <cmath>
+#include <cstdio>
+
+#include "data/generators.h"
+#include <bit>
+
+#include "ecc/block_code.h"
+#include "ecc/concatenated.h"
+#include "lowerbound/thm15.h"
+#include "sketch/importance_sample.h"
+#include "sketch/subsample.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ifsketch;
+
+void ImportanceVsUniform() {
+  util::Rng rng(16);
+  core::Database db = data::UniformRandom(8000, 16, 0.05, rng);
+  const std::vector<std::size_t> pattern = {2, 5, 8, 11, 14};
+  for (std::size_t i = 0; i < db.num_rows(); i += 100) {
+    for (std::size_t a : pattern) db.Set(i, a, true);
+  }
+
+  util::Table table(
+      "ablation (a): uniform vs importance sampling, equal size, "
+      "sparse db with a rare dense itemset",
+      {"query", "truth", "uniform mean |err|", "importance mean |err|"});
+  core::SketchParams p;
+  p.k = 5;
+  p.eps = 0.05;
+  p.delta = 0.05;
+  p.scope = core::Scope::kForEach;
+  p.answer = core::Answer::kEstimator;
+  sketch::SubsampleSketch uniform;
+  sketch::ImportanceSampleSketch weighted;
+  const std::vector<std::vector<std::size_t>> queries = {
+      {2, 5, 8, 11, 14}, {2, 5, 8}, {0}, {1, 3}};
+  for (const auto& attrs : queries) {
+    const core::Itemset t(16, attrs);
+    const double truth = db.Frequency(t);
+    util::RunningStat u_err, w_err;
+    for (int trial = 0; trial < 40; ++trial) {
+      {
+        const auto s = uniform.Build(db, p, rng);
+        const auto est = uniform.LoadEstimator(s, p, 16, db.num_rows());
+        u_err.Add(std::fabs(est->EstimateFrequency(t) - truth));
+      }
+      {
+        const auto s = weighted.Build(db, p, rng);
+        const auto est = weighted.LoadEstimator(s, p, 16, db.num_rows());
+        w_err.Add(std::fabs(est->EstimateFrequency(t) - truth));
+      }
+    }
+    table.AddRow({t.ToString(), util::Table::Fmt(truth),
+                  util::Table::Fmt(u_err.Mean()),
+                  util::Table::Fmt(w_err.Mean())});
+  }
+  table.Print();
+}
+
+void DecoderBudget() {
+  util::Rng rng(17);
+  const std::size_t v = 120;
+  util::Table table(
+      "ablation (b): Lemma 19 consistency decoder, recovery vs "
+      "probes-per-bit (v=120, exact threshold oracle)",
+      {"probes per bit", "oracle queries", "bit errors", "error frac",
+       "Lemma 19 budget v/25"});
+  const util::BitVector truth = rng.RandomBits(v);
+  auto answer = [&](const util::BitVector& s) {
+    std::size_t dot = 0;
+    for (std::size_t i = 0; i < v; ++i) {
+      if (s.Get(i) && truth.Get(i)) ++dot;
+    }
+    return static_cast<double>(dot) / static_cast<double>(v) >
+           lowerbound::Thm15Instance::kEps;
+  };
+  for (const std::size_t probes : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    lowerbound::ConsistencyDecoderOptions options;
+    options.random_probes = probes;
+    const util::BitVector decoded =
+        lowerbound::DecodeColumnByConsistency(v, answer, options, rng);
+    const std::size_t errors = decoded.HammingDistance(truth);
+    table.AddRow(
+        {util::Table::Fmt(std::uint64_t{probes}),
+         util::Table::Fmt(std::uint64_t{v * probes * 2}),
+         util::Table::Fmt(std::uint64_t{errors}),
+         util::Table::Fmt(static_cast<double>(errors) /
+                          static_cast<double>(v)),
+         util::Table::Fmt(std::uint64_t{v / 25})});
+  }
+  table.Print();
+}
+
+// Bit positions of a minimum-weight nonzero inner codeword (the cheapest
+// direction to push a symbol toward a different codeword).
+std::vector<std::size_t> MinWeightFlipBits() {
+  const ecc::InnerCode& inner = ecc::InnerCode::Instance();
+  unsigned best_m = 1;
+  int best_w = 25;
+  for (unsigned m = 1; m < 256; ++m) {
+    const int w = std::popcount(inner.Encode(static_cast<std::uint8_t>(m)));
+    if (w < best_w) {
+      best_w = w;
+      best_m = m;
+    }
+  }
+  std::vector<std::size_t> bits;
+  const std::uint32_t cw = inner.Encode(static_cast<std::uint8_t>(best_m));
+  for (std::size_t b = 0; b < 24; ++b) {
+    if ((cw >> b) & 1u) bits.push_back(b);
+  }
+  return bits;
+}
+
+void EccOperatingPoint() {
+  util::Rng rng(18);
+  util::Table table(
+      "ablation (c): concatenated-code operating points "
+      "(10 trials each; 'ok' = exact decode)",
+      {"outer code", "rate", "radius", "flips 2%", "flips 4%", "flips 6%"});
+  struct Config {
+    std::size_t n, k;
+  };
+  for (const Config cfg : {Config{60, 20}, Config{60, 30}, Config{60, 40}}) {
+    const ecc::ConcatenatedCode code(cfg.n, cfg.k);
+    const std::size_t bits = 2 * code.DataBitsPerBlock();
+    std::vector<std::string> row = {
+        "RS(" + std::to_string(cfg.n) + "," + std::to_string(cfg.k) + ")",
+        util::Table::Fmt(code.Rate()), util::Table::Fmt(code.DecodingRadius())};
+    for (const double rate : {0.02, 0.04, 0.06}) {
+      int ok = 0;
+      for (int trial = 0; trial < 10; ++trial) {
+        const util::BitVector msg = rng.RandomBits(bits);
+        util::BitVector cw = code.Encode(msg);
+        // Adversarial placement: push each ruined inner symbol 4 bits
+        // along a minimum-weight codeword direction, which lands it
+        // strictly closer to a *wrong* codeword (guaranteed mis-decode
+        // at 4 flips per ruined symbol).
+        const auto budget =
+            static_cast<std::size_t>(rate * static_cast<double>(cw.size()));
+        const std::size_t ruined = budget / 4;
+        const std::vector<std::size_t> flip_bits = MinWeightFlipBits();
+        for (std::size_t sym = 0; sym < ruined; ++sym) {
+          for (std::size_t b = 0; b < 4; ++b) {
+            cw.Flip(sym * 24 + flip_bits[b]);
+          }
+        }
+        const auto decoded = code.Decode(cw, bits);
+        if (decoded.has_value() && *decoded == msg) ++ok;
+      }
+      row.push_back(std::to_string(ok) + "/10");
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  ImportanceVsUniform();
+  DecoderBudget();
+  EccOperatingPoint();
+  return 0;
+}

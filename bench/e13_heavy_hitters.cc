@@ -1,0 +1,101 @@
+// E13 -- §1.2's contrast: frequent ITEMS are easy, frequent ITEMSETS are
+// not.
+//
+// For the heavy-hitters problem (k=1 indicator queries over a stream of
+// item occurrences), the deterministic Misra-Gries summary needs only
+// O(1/eps) counters -- far below the Omega(d/eps) itemset bound -- and
+// beats row sampling. The table makes the separation concrete: summary
+// sizes and answer quality of Misra-Gries vs SUBSAMPLE (k=1) vs the
+// Theorem 13 itemset floor, on the same data.
+
+#include <cmath>
+#include <cstdio>
+
+#include "data/generators.h"
+#include "sketch/subsample.h"
+#include "stream/misra_gries.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ifsketch;
+
+void Contrast() {
+  util::Rng rng(20);
+  const std::size_t d = 512;
+  const std::size_t n = 50000;
+  const core::Database db =
+      data::PowerLawBaskets(n, d, 1.1, 0.7, 0, 0, 0.0, rng);
+
+  util::Table table(
+      "items vs itemsets: summary size for eps-threshold answers "
+      "(d=512, n=50000)",
+      {"eps", "Misra-Gries bits (items)", "SUBSAMPLE bits (k=1)",
+       "Omega(d/eps) itemset floor", "MG correct HH",
+       "MG false positives"});
+  for (const double eps : {0.1, 0.05, 0.02, 0.01}) {
+    // --- Misra-Gries over the item stream.
+    const auto counters =
+        static_cast<std::size_t>(std::ceil(2.0 / eps));  // error eps*N/2
+    stream::MisraGries mg(counters);
+    std::uint64_t total_items = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      mg.ObserveRow(db.Row(i));
+      total_items += db.Row(i).Count();
+    }
+    // Item-level heavy hitters at threshold eps (fraction of rows).
+    const auto row_threshold =
+        static_cast<std::uint64_t>(eps * static_cast<double>(n));
+    std::size_t truth_count = 0;
+    for (std::size_t j = 0; j < d; ++j) {
+      if (db.SupportCount(core::Itemset(d, {j})) >= row_threshold) {
+        ++truth_count;
+      }
+    }
+    // MG candidates at threshold - MaxError (the standard two-sided use).
+    const std::uint64_t cut =
+        row_threshold > mg.MaxError() ? row_threshold - mg.MaxError() : 0;
+    std::size_t correct = 0, false_pos = 0;
+    for (std::size_t item : mg.HeavyHitters(cut)) {
+      if (item < d &&
+          db.SupportCount(core::Itemset(d, {item})) >= row_threshold) {
+        ++correct;
+      } else {
+        ++false_pos;
+      }
+    }
+
+    // --- SUBSAMPLE at k=1 (the sampling alternative for items).
+    core::SketchParams p;
+    p.k = 1;
+    p.eps = eps;
+    p.delta = 0.05;
+    p.scope = core::Scope::kForAll;
+    p.answer = core::Answer::kIndicator;
+    sketch::SubsampleSketch sub;
+    const std::size_t sub_bits = sub.PredictedSizeBits(n, d, p);
+
+    char hh[32];
+    std::snprintf(hh, sizeof(hh), "%zu/%zu", correct, truth_count);
+    table.AddRow({util::Table::Fmt(eps),
+                  util::Table::Fmt(std::uint64_t{mg.SizeBits()}),
+                  util::Table::Fmt(std::uint64_t{sub_bits}),
+                  util::Table::Fmt(static_cast<std::uint64_t>(
+                      static_cast<double>(d) / eps)),
+                  hh, util::Table::Fmt(std::uint64_t{false_pos})});
+  }
+  table.Print();
+  std::printf(
+      "Misra-Gries pays no factor of d: frequent ITEMS admit summaries far\n"
+      "below the Omega(d/eps) ITEMSET floor -- the separation the paper\n"
+      "draws between the two problems (its lower bounds show no analogous\n"
+      "trick exists for itemsets).\n");
+}
+
+}  // namespace
+
+int main() {
+  Contrast();
+  return 0;
+}

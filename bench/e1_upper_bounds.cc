@@ -1,0 +1,95 @@
+// E1 -- Theorem 12: the naive upper-bound envelope.
+//
+// Regenerates, as a table, the min{nd, C(d,k)[log 1/eps], eps^-a d log..}
+// envelope: predicted sizes of RELEASE-DB / RELEASE-ANSWERS / SUBSAMPLE
+// for a parameter sweep, the winner at each point, and (for buildable
+// shapes) the measured bit-size of an actual summary to confirm the
+// formulas are what the code emits.
+
+#include <cstdio>
+
+#include "data/generators.h"
+#include "sketch/envelope.h"
+#include "sketch/release_answers.h"
+#include "sketch/release_db.h"
+#include "sketch/subsample.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ifsketch;
+
+void SweepTable(core::Answer answer) {
+  util::Table table(
+      std::string("Theorem 12 envelope, For-All ") +
+          core::ToString(answer) + " sketches",
+      {"n", "d", "k", "eps", "RELEASE-DB", "RELEASE-ANSWERS", "SUBSAMPLE",
+       "winner"});
+  const std::size_t ns[] = {1000, 100000, 100000000};
+  const std::size_t ds[] = {16, 64, 256};
+  const std::size_t ks[] = {2, 3};
+  const double epss[] = {0.1, 0.01, 0.001};
+  for (std::size_t n : ns) {
+    for (std::size_t d : ds) {
+      for (std::size_t k : ks) {
+        for (double eps : epss) {
+          core::SketchParams p;
+          p.k = k;
+          p.eps = eps;
+          p.delta = 0.05;
+          p.scope = core::Scope::kForAll;
+          p.answer = answer;
+          const auto r = sketch::NaiveEnvelope(n, d, p);
+          table.AddRow({util::Table::Fmt(std::uint64_t{n}),
+                        util::Table::Fmt(std::uint64_t{d}),
+                        util::Table::Fmt(std::uint64_t{k}),
+                        util::Table::Fmt(eps),
+                        util::Table::Fmt(std::uint64_t{r.release_db_bits}),
+                        util::Table::Fmt(
+                            std::uint64_t{r.release_answers_bits}),
+                        util::Table::Fmt(std::uint64_t{r.subsample_bits}),
+                        r.winner});
+        }
+      }
+    }
+  }
+  table.Print();
+}
+
+void MeasuredVsPredicted() {
+  util::Rng rng(1);
+  const core::Database db = data::UniformRandom(2000, 20, 0.4, rng);
+  util::Table table("measured Build() size vs PredictedSizeBits",
+                    {"algorithm", "answer", "predicted", "measured"});
+  core::SketchParams p;
+  p.k = 2;
+  p.eps = 0.05;
+  p.delta = 0.05;
+  p.scope = core::Scope::kForAll;
+  const sketch::ReleaseDbSketch rdb;
+  const sketch::ReleaseAnswersSketch ra;
+  const sketch::SubsampleSketch ss;
+  const core::SketchAlgorithm* algos[] = {&rdb, &ra, &ss};
+  for (const auto* algo : algos) {
+    for (core::Answer answer :
+         {core::Answer::kIndicator, core::Answer::kEstimator}) {
+      p.answer = answer;
+      const std::size_t predicted = algo->PredictedSizeBits(2000, 20, p);
+      const std::size_t measured = algo->Build(db, p, rng).size();
+      table.AddRow({algo->name(), core::ToString(answer),
+                    util::Table::Fmt(std::uint64_t{predicted}),
+                    util::Table::Fmt(std::uint64_t{measured})});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  SweepTable(core::Answer::kIndicator);
+  SweepTable(core::Answer::kEstimator);
+  MeasuredVsPredicted();
+  return 0;
+}

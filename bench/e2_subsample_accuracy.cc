@@ -1,0 +1,124 @@
+// E2 -- Lemma 9: empirical accuracy of SUBSAMPLE under all four
+// semantics.
+//
+// For each (scope, answer) pair: builds many independent summaries of a
+// fixed database, measures the empirical failure rate of the guarantee,
+// and reports it against the target delta. A second table shows the
+// sample count scaling in 1/eps (indicator) vs 1/eps^2 (estimator).
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/validate.h"
+#include "data/generators.h"
+#include "sketch/subsample.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ifsketch;
+
+void FailureRates() {
+  util::Rng rng(2);
+  const std::size_t d = 12;
+  const core::Database db = data::PlantedItemsets(
+      5000, d, {{{1, 5}, 0.3}, {{2, 8}, 0.12}, {{0, 9}, 0.04}}, 0.08, rng);
+  util::Table table(
+      "Lemma 9: empirical failure rate vs delta (eps=0.05, delta=0.1)",
+      {"scope", "answer", "samples s", "trials", "failures", "rate",
+       "target delta"});
+  const double eps = 0.05, delta = 0.1;
+  sketch::SubsampleSketch algo;
+  for (core::Scope scope : {core::Scope::kForEach, core::Scope::kForAll}) {
+    for (core::Answer answer :
+         {core::Answer::kIndicator, core::Answer::kEstimator}) {
+      core::SketchParams p;
+      p.k = 2;
+      p.eps = eps;
+      p.delta = delta;
+      p.scope = scope;
+      p.answer = answer;
+      const std::size_t s = sketch::SubsampleSketch::SampleCount(p, d);
+      const int trials = scope == core::Scope::kForAll ? 40 : 300;
+      int failures = 0;
+      const core::Itemset fixed(d, {1, 5});
+      for (int t = 0; t < trials; ++t) {
+        const auto summary = algo.Build(db, p, rng);
+        if (answer == core::Answer::kEstimator) {
+          const auto est =
+              algo.LoadEstimator(summary, p, d, db.num_rows());
+          if (scope == core::Scope::kForAll) {
+            if (!core::ValidateEstimatorExhaustive(db, *est, 2, eps)
+                     .valid()) {
+              ++failures;
+            }
+          } else {
+            if (std::fabs(est->EstimateFrequency(fixed) -
+                          db.Frequency(fixed)) > eps) {
+              ++failures;
+            }
+          }
+        } else {
+          const auto ind =
+              algo.LoadIndicator(summary, p, d, db.num_rows());
+          if (scope == core::Scope::kForAll) {
+            if (!core::ValidateIndicatorExhaustive(db, *ind, 2, eps)
+                     .valid()) {
+              ++failures;
+            }
+          } else {
+            const double f = db.Frequency(fixed);
+            const bool out = ind->IsFrequent(fixed);
+            if ((f > eps && !out) || (f < eps / 2 && out)) ++failures;
+          }
+        }
+      }
+      table.AddRow({core::ToString(scope), core::ToString(answer),
+                    util::Table::Fmt(std::uint64_t{s}),
+                    util::Table::Fmt(std::int64_t{trials}),
+                    util::Table::Fmt(std::int64_t{failures}),
+                    util::Table::Fmt(static_cast<double>(failures) / trials),
+                    util::Table::Fmt(delta)});
+    }
+  }
+  table.Print();
+}
+
+void SampleScaling() {
+  util::Table table(
+      "sample count scaling: s(eps) and the eps^-1 vs eps^-2 separation",
+      {"eps", "for-each ind", "for-each est", "est/ind", "for-all ind (d=64,k=3)",
+       "for-all est (d=64,k=3)"});
+  for (double eps : {0.1, 0.05, 0.02, 0.01, 0.005, 0.002}) {
+    core::SketchParams pi, pe;
+    pi.eps = pe.eps = eps;
+    pi.delta = pe.delta = 0.05;
+    pi.k = pe.k = 3;
+    pi.scope = pe.scope = core::Scope::kForEach;
+    pi.answer = core::Answer::kIndicator;
+    pe.answer = core::Answer::kEstimator;
+    const std::size_t si = sketch::SubsampleSketch::SampleCount(pi, 64);
+    const std::size_t se = sketch::SubsampleSketch::SampleCount(pe, 64);
+    core::SketchParams fi = pi, fe = pe;
+    fi.scope = fe.scope = core::Scope::kForAll;
+    table.AddRow({util::Table::Fmt(eps),
+                  util::Table::Fmt(std::uint64_t{si}),
+                  util::Table::Fmt(std::uint64_t{se}),
+                  util::Table::Fmt(static_cast<double>(se) /
+                                   static_cast<double>(si)),
+                  util::Table::Fmt(std::uint64_t{
+                      sketch::SubsampleSketch::SampleCount(fi, 64)}),
+                  util::Table::Fmt(std::uint64_t{
+                      sketch::SubsampleSketch::SampleCount(fe, 64)})});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  FailureRates();
+  SampleScaling();
+  return 0;
+}

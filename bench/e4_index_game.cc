@@ -1,0 +1,94 @@
+// E4 -- Theorem 14: the INDEX reduction.
+//
+// Plays the one-way INDEX game over N = (d/2)/eps through For-Each
+// indicator sketches. A full-size SUBSAMPLE message wins with probability
+// >= 2/3 (so INDEX's Omega(N) bound applies to the sketch); messages
+// truncated below the bound drop toward coin-flipping.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "comm/one_way.h"
+#include "lowerbound/index_protocol.h"
+#include "sketch/release_db.h"
+#include "sketch/subsample.h"
+#include "util/bitio.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ifsketch;
+
+/// Wraps a sketch protocol, truncating Alice's message to a row budget.
+class TruncatedProtocol : public comm::OneWayIndexProtocol {
+ public:
+  TruncatedProtocol(const lowerbound::SketchIndexProtocol* inner,
+                    std::size_t d, double keep)
+      : inner_(inner), d_(d), keep_(keep) {}
+
+  std::size_t universe() const override { return inner_->universe(); }
+
+  util::BitVector AliceMessage(const util::BitVector& x,
+                               std::uint64_t seed) const override {
+    const util::BitVector full = inner_->AliceMessage(x, seed);
+    const std::size_t rows = full.size() / d_;
+    const std::size_t kept = std::max<std::size_t>(
+        1, static_cast<std::size_t>(keep_ * static_cast<double>(rows)));
+    util::BitWriter w;
+    for (std::size_t r = 0; r < kept; ++r) {
+      w.WriteBits(full.Slice(r * d_, d_));
+    }
+    return w.Finish();
+  }
+
+  bool BobOutput(const util::BitVector& message, std::size_t y,
+                 std::uint64_t seed) const override {
+    return inner_->BobOutput(message, y, seed);
+  }
+
+ private:
+  const lowerbound::SketchIndexProtocol* inner_;
+  std::size_t d_;
+  double keep_;
+};
+
+void Play(std::size_t d, std::size_t num_rows, std::size_t trials) {
+  util::Rng rng(4);
+  const auto subsample = std::make_shared<sketch::SubsampleSketch>();
+  lowerbound::SketchIndexProtocol protocol(subsample, d, 2, num_rows);
+
+  char title[160];
+  std::snprintf(title, sizeof(title),
+                "Theorem 14 INDEX game: d=%zu, 1/eps=%zu, universe N=%zu",
+                d, num_rows, protocol.universe());
+  util::Table table(title, {"message", "message bits", "success rate",
+                            ">= 2/3 ?"});
+
+  const comm::IndexGameResult full =
+      comm::PlayIndexGame(protocol, trials, rng);
+  table.AddRow({"full SUBSAMPLE",
+                util::Table::Fmt(std::uint64_t{full.max_message_bits}),
+                util::Table::Fmt(full.SuccessRate()),
+                full.SuccessRate() >= 2.0 / 3.0 ? "yes" : "no"});
+  for (const double keep : {0.5, 0.1, 0.02, 0.005, 0.002, 0.0005}) {
+    TruncatedProtocol truncated(&protocol, d, keep);
+    const comm::IndexGameResult r =
+        comm::PlayIndexGame(truncated, trials, rng);
+    char name[32];
+    std::snprintf(name, sizeof(name), "truncated %.2f%%", 100 * keep);
+    table.AddRow({name,
+                  util::Table::Fmt(std::uint64_t{r.max_message_bits}),
+                  util::Table::Fmt(r.SuccessRate()),
+                  r.SuccessRate() >= 2.0 / 3.0 ? "yes" : "no"});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  Play(16, 8, 120);
+  Play(24, 12, 80);
+  return 0;
+}

@@ -1,0 +1,186 @@
+// E7 -- Theorem 16 / Lemmas 20-27: the estimator lower bound pipeline.
+//
+// Three tables:
+//  (a) Lemma 26 measured: sigma_min of Hadamard products of random
+//      binary matrices vs the Omega(sqrt(d0^(k'-1))) prediction, plus
+//      the Euclidean-section ratio of the range.
+//  (b) The KRSU/De reconstruction cliff: bit-recovery of the secret
+//      column from +/-eps answers as n sweeps past ~1/eps^2, with the
+//      L1 (De) and L2 (KRSU) decoders side by side.
+//  (c) L1 vs L2 when a fraction of answers is adversarially wrong (the
+//      "accurate on average" regime that forces L1 in the paper).
+
+#include <cmath>
+#include <cstdio>
+
+#include "linalg/euclidean.h"
+#include "linalg/products.h"
+#include "linalg/svd.h"
+#include "lowerbound/estimator_lb.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ifsketch;
+
+void SigmaMinTable() {
+  util::Rng rng(9);
+  util::Table table(
+      "Lemma 26 measured: sigma_min(A1 o ... o A_{k'-1}) vs sqrt(rows)",
+      {"d0", "k'-1", "rows d0^(k'-1)", "n", "sigma_min",
+       "sigma_min/sqrt(rows)", "section delta (sampled)"});
+  const std::size_t configs[][3] = {{8, 2, 12},  {16, 2, 12}, {24, 2, 12},
+                                    {32, 2, 12}, {6, 3, 12},  {8, 3, 12},
+                                    {16, 2, 24}, {24, 2, 24}};
+  for (const auto& [d0, factors, n] : configs) {
+    std::vector<linalg::Matrix> as;
+    for (std::size_t f = 0; f < factors; ++f) {
+      as.push_back(linalg::RandomBinaryMatrix(d0, n, rng));
+    }
+    const linalg::Matrix a = linalg::HadamardProduct(as);
+    const double sigma = linalg::SmallestSingularValue(a);
+    const double rows = static_cast<double>(a.rows());
+    const linalg::SectionEstimate section =
+        linalg::EstimateSectionRatio(a, 200, rng);
+    table.AddRow({util::Table::Fmt(std::uint64_t{d0}),
+                  util::Table::Fmt(std::uint64_t{factors}),
+                  util::Table::Fmt(std::uint64_t{a.rows()}),
+                  util::Table::Fmt(std::uint64_t{n}),
+                  util::Table::Fmt(sigma),
+                  util::Table::Fmt(sigma / std::sqrt(rows)),
+                  util::Table::Fmt(section.min_ratio)});
+  }
+  table.Print();
+}
+
+void ReconstructionCliff() {
+  util::Rng rng(10);
+  util::Table table(
+      "KRSU/De cliff: secret bits recovered from +/-eps answers "
+      "(d0=10, k'=3, eps=1/48, trials=3)",
+      {"n", "n * eps^2", "L1 recovered frac", "L2 recovered frac"});
+  const double eps = 1.0 / 48.0;
+  for (const std::size_t n : {8u, 16u, 32u, 64u, 96u}) {
+    double l1_frac = 0.0, l2_frac = 0.0;
+    constexpr int kTrials = 3;
+    for (int t = 0; t < kTrials; ++t) {
+      const lowerbound::KrsuInstance inst(10, 3, n, rng);
+      const util::BitVector y = rng.RandomBits(n);
+      const core::Database db = inst.BuildDatabase(y);
+      linalg::Vector answers(inst.NumQueries());
+      for (std::size_t r = 0; r < inst.NumQueries(); ++r) {
+        answers[r] = db.Frequency(inst.QueryItemset(r)) +
+                     eps * (2.0 * rng.UniformDouble() - 1.0);
+      }
+      const util::BitVector l1 = inst.ReconstructL1(answers);
+      const util::BitVector l2 = inst.ReconstructL2(answers);
+      l1_frac += 1.0 - static_cast<double>(l1.HammingDistance(y)) /
+                           static_cast<double>(n);
+      l2_frac += 1.0 - static_cast<double>(l2.HammingDistance(y)) /
+                           static_cast<double>(n);
+    }
+    table.AddRow({util::Table::Fmt(std::uint64_t{n}),
+                  util::Table::Fmt(static_cast<double>(n) * eps * eps),
+                  util::Table::Fmt(l1_frac / kTrials),
+                  util::Table::Fmt(l2_frac / kTrials)});
+  }
+  table.Print();
+}
+
+void AverageCaseRobustness() {
+  util::Rng rng(11);
+  util::Table table(
+      "L1 (De) vs L2 (KRSU) under a corrupted fraction of answers "
+      "(d0=10, k'=3, n=24, exact answers otherwise)",
+      {"corrupt frac", "L1 recovered frac", "L2 recovered frac"});
+  for (const double corrupt : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+    double l1_frac = 0.0, l2_frac = 0.0;
+    constexpr int kTrials = 3;
+    for (int t = 0; t < kTrials; ++t) {
+      const std::size_t n = 24;
+      const lowerbound::KrsuInstance inst(10, 3, n, rng);
+      const util::BitVector y = rng.RandomBits(n);
+      const core::Database db = inst.BuildDatabase(y);
+      linalg::Vector answers(inst.NumQueries());
+      for (std::size_t r = 0; r < inst.NumQueries(); ++r) {
+        answers[r] = db.Frequency(inst.QueryItemset(r));
+      }
+      const auto bad = static_cast<std::size_t>(
+          corrupt * static_cast<double>(inst.NumQueries()));
+      for (std::size_t idx :
+           rng.SampleWithoutReplacement(inst.NumQueries(), bad)) {
+        answers[idx] = rng.UniformDouble();
+      }
+      const util::BitVector l1 = inst.ReconstructL1(answers);
+      const util::BitVector l2 = inst.ReconstructL2(answers);
+      l1_frac += 1.0 - static_cast<double>(l1.HammingDistance(y)) /
+                           static_cast<double>(n);
+      l2_frac += 1.0 - static_cast<double>(l2.HammingDistance(y)) /
+                           static_cast<double>(n);
+    }
+    table.AddRow({util::Table::Fmt(corrupt),
+                  util::Table::Fmt(l1_frac / kTrials),
+                  util::Table::Fmt(l2_frac / kTrials)});
+  }
+  table.Print();
+}
+
+void AmplifiedPipeline() {
+  util::Rng rng(12);
+  util::Table table(
+      "Theorem 16 amplification: v copies through one estimator view",
+      {"v", "c", "k", "n per copy", "payload bits", "noise eps",
+       "recovered frac"});
+  struct Shape {
+    std::size_t d_shatter, k, c, d0, n;
+    double eps;
+  };
+  const Shape shapes[] = {{8, 5, 3, 5, 10, 0.0},
+                          {8, 5, 3, 5, 10, 0.002},
+                          {16, 4, 2, 12, 10, 0.002},
+                          {16, 5, 3, 5, 12, 0.004}};
+  for (const auto& shape : shapes) {
+    const lowerbound::Thm16Amplified amp(shape.d_shatter, shape.k, shape.c,
+                                         shape.d0, shape.n, rng);
+    const util::BitVector payload = rng.RandomBits(amp.PayloadBits());
+    const core::Database db = amp.BuildDatabase(payload);
+    class Noisy : public core::FrequencyEstimator {
+     public:
+      Noisy(const core::Database* db, double eps, util::Rng* rng)
+          : db_(db), eps_(eps), rng_(rng) {}
+      double EstimateFrequency(const core::Itemset& t) const override {
+        const double noise =
+            eps_ == 0.0 ? 0.0 : eps_ * (2.0 * rng_->UniformDouble() - 1.0);
+        return db_->Frequency(t) + noise;
+      }
+
+     private:
+      const core::Database* db_;
+      double eps_;
+      util::Rng* rng_;
+    } oracle(&db, shape.eps, &rng);
+    const util::BitVector rec = amp.ReconstructPayload(oracle, 40, rng);
+    const std::size_t ok = amp.PayloadBits() - rec.HammingDistance(payload);
+    table.AddRow(
+        {util::Table::Fmt(std::uint64_t{amp.v()}),
+         util::Table::Fmt(std::uint64_t{shape.c}),
+         util::Table::Fmt(std::uint64_t{shape.k}),
+         util::Table::Fmt(std::uint64_t{shape.n}),
+         util::Table::Fmt(std::uint64_t{amp.PayloadBits()}),
+         util::Table::Fmt(shape.eps),
+         util::Table::Fmt(static_cast<double>(ok) /
+                          static_cast<double>(amp.PayloadBits()))});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  SigmaMinTable();
+  ReconstructionCliff();
+  AverageCaseRobustness();
+  AmplifiedPipeline();
+  return 0;
+}

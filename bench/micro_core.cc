@@ -1,0 +1,91 @@
+// Microbenchmarks: core database operations.
+
+#include <benchmark/benchmark.h>
+
+#include "core/column_store.h"
+#include "core/validate.h"
+#include "data/generators.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ifsketch;
+
+core::Database MakeDb(std::size_t n, std::size_t d) {
+  util::Rng rng(1);
+  return data::UniformRandom(n, d, 0.4, rng);
+}
+
+void BM_FrequencyQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  const core::Database db = MakeDb(n, d);
+  util::Rng rng(2);
+  const core::Itemset t = core::RandomItemset(d, 3, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Frequency(t));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_FrequencyQuery)
+    ->Args({1000, 64})
+    ->Args({10000, 64})
+    ->Args({10000, 512})
+    ->Args({100000, 64});
+
+void BM_ColumnStoreQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  const core::Database db = MakeDb(n, d);
+  const core::ColumnStore cs(db);
+  util::Rng rng(2);
+  const core::Itemset t = core::RandomItemset(d, 3, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs.Frequency(t));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ColumnStoreQuery)
+    ->Args({1000, 64})
+    ->Args({10000, 64})
+    ->Args({10000, 512})
+    ->Args({100000, 64});
+
+void BM_SupportCountWide(benchmark::State& state) {
+  const core::Database db = MakeDb(5000, 1024);
+  util::Rng rng(3);
+  const core::Itemset t = core::RandomItemset(1024, 5, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.SupportCount(t));
+  }
+}
+BENCHMARK(BM_SupportCountWide);
+
+void BM_HStack(benchmark::State& state) {
+  const core::Database a = MakeDb(2000, 128);
+  const core::Database b = MakeDb(2000, 128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Database::HStack(a, b));
+  }
+}
+BENCHMARK(BM_HStack);
+
+void BM_ColumnExtract(benchmark::State& state) {
+  const core::Database db = MakeDb(20000, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Column(17));
+  }
+}
+BENCHMARK(BM_ColumnExtract);
+
+void BM_RandomItemset(benchmark::State& state) {
+  util::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::RandomItemset(256, 4, rng));
+  }
+}
+BENCHMARK(BM_RandomItemset);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Microbenchmarks: error-correcting code throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "ecc/block_code.h"
+#include "ecc/concatenated.h"
+#include "ecc/reed_solomon.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ifsketch;
+
+void BM_InnerEncode(benchmark::State& state) {
+  const ecc::InnerCode& code = ecc::InnerCode::Instance();
+  std::uint8_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.Encode(x++));
+  }
+}
+BENCHMARK(BM_InnerEncode);
+
+void BM_InnerDecode(benchmark::State& state) {
+  const ecc::InnerCode& code = ecc::InnerCode::Instance();
+  std::uint32_t r = 0x5a5a5a;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.Decode(r));
+    r = (r * 1103515245u + 12345u) & 0xffffffu;
+  }
+}
+BENCHMARK(BM_InnerDecode);
+
+void BM_RsEncode(benchmark::State& state) {
+  util::Rng rng(1);
+  const ecc::ReedSolomon rs(255, 85);
+  std::vector<std::uint8_t> msg(85);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Encode(msg));
+  }
+}
+BENCHMARK(BM_RsEncode);
+
+void BM_RsDecodeClean(benchmark::State& state) {
+  util::Rng rng(2);
+  const ecc::ReedSolomon rs(60, 20);
+  std::vector<std::uint8_t> msg(20);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+  const auto cw = rs.Encode(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Decode(cw));
+  }
+}
+BENCHMARK(BM_RsDecodeClean);
+
+void BM_RsDecodeErrors(benchmark::State& state) {
+  util::Rng rng(3);
+  const ecc::ReedSolomon rs(60, 20);
+  std::vector<std::uint8_t> msg(20);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+  auto cw = rs.Encode(msg);
+  for (std::size_t pos : rng.SampleWithoutReplacement(60, 20)) {
+    cw[pos] ^= 0x3c;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Decode(cw));
+  }
+}
+BENCHMARK(BM_RsDecodeErrors);
+
+void BM_ConcatenatedEncode(benchmark::State& state) {
+  util::Rng rng(4);
+  const ecc::ConcatenatedCode code = ecc::ConcatenatedCode::Small();
+  const util::BitVector msg = rng.RandomBits(3 * code.DataBitsPerBlock());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.Encode(msg));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(msg.size() / 8));
+}
+BENCHMARK(BM_ConcatenatedEncode);
+
+void BM_ConcatenatedDecode(benchmark::State& state) {
+  util::Rng rng(5);
+  const ecc::ConcatenatedCode code = ecc::ConcatenatedCode::Small();
+  const std::size_t bits = 3 * code.DataBitsPerBlock();
+  const util::BitVector msg = rng.RandomBits(bits);
+  util::BitVector cw = code.Encode(msg);
+  const auto flips = static_cast<std::size_t>(0.03 * cw.size());
+  for (std::size_t pos : rng.SampleWithoutReplacement(cw.size(), flips)) {
+    cw.Flip(pos);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.Decode(cw, bits));
+  }
+}
+BENCHMARK(BM_ConcatenatedDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

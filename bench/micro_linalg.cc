@@ -1,0 +1,61 @@
+// Microbenchmarks: linear algebra kernels.
+
+#include <benchmark/benchmark.h>
+
+#include "linalg/products.h"
+#include "linalg/svd.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ifsketch;
+
+linalg::Matrix Random(std::size_t r, std::size_t c) {
+  util::Rng rng(1);
+  linalg::Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = Random(n, n);
+  const linalg::Matrix b = Random(n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Multiply(b));
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Svd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = Random(2 * n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::ComputeSvd(a));
+  }
+}
+BENCHMARK(BM_Svd)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_PseudoInverse(benchmark::State& state) {
+  const linalg::Matrix a = Random(80, 40);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::PseudoInverse(a));
+  }
+}
+BENCHMARK(BM_PseudoInverse);
+
+void BM_HadamardProduct(benchmark::State& state) {
+  util::Rng rng(2);
+  const linalg::Matrix a = linalg::RandomBinaryMatrix(24, 32, rng);
+  const linalg::Matrix b = linalg::RandomBinaryMatrix(24, 32, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::HadamardProduct({a, b}));
+  }
+}
+BENCHMARK(BM_HadamardProduct);
+
+}  // namespace
+
+BENCHMARK_MAIN();

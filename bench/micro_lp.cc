@@ -1,0 +1,55 @@
+// Microbenchmarks: simplex / L1 decoding throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "lp/l1fit.h"
+#include "lp/simplex.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ifsketch;
+
+void BM_SimplexDense(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 2 * m;
+  util::Rng rng(1);
+  lp::LpProblem p;
+  p.a = linalg::Matrix(m, n);
+  linalg::Vector feasible(n);
+  for (auto& v : feasible) v = rng.UniformDouble();
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) p.a(r, c) = rng.Gaussian();
+  }
+  p.b = p.a.MultiplyVec(feasible);
+  p.c.assign(n, 0.0);
+  for (auto& c : p.c) c = rng.UniformDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::SolveStandardForm(p));
+  }
+}
+BENCHMARK(BM_SimplexDense)->Arg(10)->Arg(25)->Arg(50);
+
+void BM_L1Regression(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const std::size_t cols = rows / 4;
+  util::Rng rng(2);
+  linalg::Matrix a(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      a(r, c) = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    }
+  }
+  linalg::Vector x(cols);
+  for (auto& v : x) v = rng.UniformDouble();
+  linalg::Vector b = a.MultiplyVec(x);
+  for (auto& v : b) v += 0.01 * rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::L1RegressionBox(a, b, 0.0, 1.0));
+  }
+}
+BENCHMARK(BM_L1Regression)->Arg(40)->Arg(80);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Microbenchmarks: mining engines and condensed representations.
+
+#include <benchmark/benchmark.h>
+
+#include "data/generators.h"
+#include "mining/condensed.h"
+#include "mining/fpgrowth.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ifsketch;
+
+core::Database Baskets(std::size_t n, std::size_t d) {
+  util::Rng rng(1);
+  return data::PowerLawBaskets(n, d, 1.0, 0.45, 5, 3, 0.2, rng);
+}
+
+void BM_Apriori(benchmark::State& state) {
+  const core::Database db = Baskets(
+      static_cast<std::size_t>(state.range(0)), 32);
+  mining::AprioriOptions opt;
+  opt.min_frequency = 0.05;
+  opt.max_size = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::MineDatabase(db, opt));
+  }
+}
+BENCHMARK(BM_Apriori)->Arg(2000)->Arg(10000);
+
+void BM_FpGrowth(benchmark::State& state) {
+  const core::Database db = Baskets(
+      static_cast<std::size_t>(state.range(0)), 32);
+  mining::AprioriOptions opt;
+  opt.min_frequency = 0.05;
+  opt.max_size = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::FpGrowth(db, opt));
+  }
+}
+BENCHMARK(BM_FpGrowth)->Arg(2000)->Arg(10000);
+
+void BM_MaximalItemsets(benchmark::State& state) {
+  const core::Database db = Baskets(3000, 24);
+  mining::AprioriOptions opt;
+  opt.min_frequency = 0.04;
+  opt.max_size = 4;
+  const auto frequent = mining::MineDatabase(db, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::MaximalItemsets(frequent));
+  }
+}
+BENCHMARK(BM_MaximalItemsets);
+
+void BM_Closure(benchmark::State& state) {
+  const core::Database db = Baskets(5000, 24);
+  const core::Itemset t(24, {0, 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::Closure(db, t));
+  }
+}
+BENCHMARK(BM_Closure);
+
+}  // namespace
+
+BENCHMARK_MAIN();

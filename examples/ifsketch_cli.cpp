@@ -1,0 +1,158 @@
+// ifsketch_cli: sketch databases from the command line.
+//
+// A minimal end-to-end tool over the library's file formats:
+//   ifsketch_cli gen    <out.txt> <n> <d>              synthesize demo data
+//   ifsketch_cli sketch <db.txt> <out.sk> <k> <eps>    build a SUBSAMPLE
+//   ifsketch_cli query  <in.sk> <attr> [attr...]       estimate one itemset
+//   ifsketch_cli mine   <in.sk> <min_freq> <max_size>  Apriori on the sketch
+//
+// Databases are transaction-format text (see data/io.h); sketches are
+// self-describing IFSK files (see sketch/sketch_file.h).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/generators.h"
+#include "data/io.h"
+#include "mining/apriori.h"
+#include "sketch/sketch_file.h"
+#include "sketch/subsample.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ifsketch;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ifsketch_cli gen    <out.txt> <n> <d>\n"
+               "  ifsketch_cli sketch <db.txt> <out.sk> <k> <eps>\n"
+               "  ifsketch_cli query  <in.sk> <attr> [attr...]\n"
+               "  ifsketch_cli mine   <in.sk> <min_freq> <max_size>\n");
+  return 2;
+}
+
+int Gen(const std::string& path, std::size_t n, std::size_t d) {
+  util::Rng rng(12345);
+  const core::Database db =
+      data::PowerLawBaskets(n, d, 1.0, 0.5, 4, 3, 0.2, rng);
+  if (!data::SaveTransactionsFile(path, db)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu transactions over %zu items to %s\n", n, d,
+              path.c_str());
+  return 0;
+}
+
+int Sketch(const std::string& db_path, const std::string& out_path,
+           std::size_t k, double eps) {
+  const auto db = data::LoadTransactionsFile(db_path);
+  if (!db.has_value()) {
+    std::fprintf(stderr, "error: cannot read %s\n", db_path.c_str());
+    return 1;
+  }
+  sketch::SubsampleSketch algo;
+  sketch::SketchFile file;
+  file.algorithm = algo.name();
+  file.params.k = k;
+  file.params.eps = eps;
+  file.params.delta = 0.05;
+  file.params.scope = core::Scope::kForAll;
+  file.params.answer = core::Answer::kEstimator;
+  file.n = db->num_rows();
+  file.d = db->num_columns();
+  util::Rng rng(987654321);
+  file.summary = algo.Build(*db, file.params, rng);
+  if (!sketch::SaveSketchFile(out_path, file)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("sketched %zu x %zu database (%zu bits) into %zu bits "
+              "(%.2f%%): %s\n",
+              file.n, file.d, file.n * file.d, file.summary.size(),
+              100.0 * static_cast<double>(file.summary.size()) /
+                  static_cast<double>(file.n * file.d),
+              out_path.c_str());
+  return 0;
+}
+
+int Query(const std::string& sk_path,
+          const std::vector<std::size_t>& attrs) {
+  const auto file = sketch::LoadSketchFile(sk_path);
+  if (!file.has_value()) {
+    std::fprintf(stderr, "error: cannot read %s\n", sk_path.c_str());
+    return 1;
+  }
+  for (std::size_t a : attrs) {
+    if (a >= file->d) {
+      std::fprintf(stderr, "error: attribute %zu out of range (d=%zu)\n",
+                   a, file->d);
+      return 1;
+    }
+  }
+  sketch::SubsampleSketch algo;
+  const auto est =
+      algo.LoadEstimator(file->summary, file->params, file->d, file->n);
+  const core::Itemset t(file->d, attrs);
+  std::printf("f%s ~= %.5f  (+/- %.4f with prob %.2f)\n",
+              t.ToString().c_str(), est->EstimateFrequency(t),
+              file->params.eps, 1.0 - file->params.delta);
+  return 0;
+}
+
+int Mine(const std::string& sk_path, double min_freq,
+         std::size_t max_size) {
+  const auto file = sketch::LoadSketchFile(sk_path);
+  if (!file.has_value()) {
+    std::fprintf(stderr, "error: cannot read %s\n", sk_path.c_str());
+    return 1;
+  }
+  sketch::SubsampleSketch algo;
+  const auto est =
+      algo.LoadEstimator(file->summary, file->params, file->d, file->n);
+  mining::AprioriOptions opt;
+  opt.min_frequency = min_freq;
+  opt.max_size = max_size;
+  const auto mined = mining::MineWithEstimator(*est, file->d, opt);
+  std::printf("%zu frequent itemsets at threshold %.3f (from the sketch "
+              "only):\n",
+              mined.size(), min_freq);
+  for (const auto& fi : mined) {
+    std::printf("  %-24s %.4f\n", fi.itemset.ToString().c_str(),
+                fi.frequency);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+  const std::string& cmd = args[0];
+  if (cmd == "gen" && args.size() == 4) {
+    return Gen(args[1], std::strtoull(args[2].c_str(), nullptr, 10),
+               std::strtoull(args[3].c_str(), nullptr, 10));
+  }
+  if (cmd == "sketch" && args.size() == 5) {
+    return Sketch(args[1], args[2],
+                  std::strtoull(args[3].c_str(), nullptr, 10),
+                  std::strtod(args[4].c_str(), nullptr));
+  }
+  if (cmd == "query" && args.size() >= 3) {
+    std::vector<std::size_t> attrs;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      attrs.push_back(std::strtoull(args[i].c_str(), nullptr, 10));
+    }
+    return Query(args[1], attrs);
+  }
+  if (cmd == "mine" && args.size() == 4) {
+    return Mine(args[1], std::strtod(args[2].c_str(), nullptr),
+                std::strtoull(args[3].c_str(), nullptr, 10));
+  }
+  return Usage();
+}

@@ -1,0 +1,70 @@
+// Quickstart: build a database, sketch it, query itemset frequencies.
+//
+// Demonstrates the three naive sketches of §2 of the paper and the
+// envelope selector, on a small synthetic market-basket database.
+
+#include <cstdio>
+
+#include "core/validate.h"
+#include "data/generators.h"
+#include "sketch/envelope.h"
+#include "sketch/release_answers.h"
+#include "sketch/release_db.h"
+#include "sketch/subsample.h"
+#include "util/random.h"
+
+int main() {
+  using namespace ifsketch;
+
+  // A database of 50,000 shopping baskets over 24 items.
+  util::Rng rng(2016);
+  const core::Database db =
+      data::PowerLawBaskets(50000, 24, 1.0, 0.5, 4, 3, 0.2, rng);
+  std::printf("database: n=%zu rows, d=%zu attributes (%zu bits)\n",
+              db.num_rows(), db.num_columns(), db.PayloadBits());
+
+  // Ask for For-All estimator guarantees on 3-itemsets at eps=0.03.
+  core::SketchParams params;
+  params.k = 3;
+  params.eps = 0.03;
+  params.delta = 0.05;
+  params.scope = core::Scope::kForAll;
+  params.answer = core::Answer::kEstimator;
+
+  // Theorem 12's envelope: which naive sketch is smallest here?
+  const auto envelope =
+      sketch::NaiveEnvelope(db.num_rows(), db.num_columns(), params);
+  std::printf(
+      "envelope: RELEASE-DB=%zu  RELEASE-ANSWERS=%zu  SUBSAMPLE=%zu "
+      "-> winner %s\n",
+      envelope.release_db_bits, envelope.release_answers_bits,
+      envelope.subsample_bits, envelope.winner.c_str());
+
+  // Build the SUBSAMPLE sketch (the paper's optimal algorithm).
+  sketch::SubsampleSketch algo;
+  const util::BitVector summary = algo.Build(db, params, rng);
+  std::printf("subsample summary: %zu bits (%.1f%% of the database)\n",
+              summary.size(),
+              100.0 * static_cast<double>(summary.size()) /
+                  static_cast<double>(db.PayloadBits()));
+
+  // Query it: the sketch answers without touching the database.
+  const auto estimator =
+      algo.LoadEstimator(summary, params, db.num_columns(), db.num_rows());
+  for (const auto& attrs :
+       {std::vector<std::size_t>{0}, {0, 1}, {0, 1, 2}, {5, 9, 17}}) {
+    const core::Itemset t(db.num_columns(), attrs);
+    std::printf("  f%-12s truth=%.4f  sketch=%.4f\n", t.ToString().c_str(),
+                db.Frequency(t), estimator->EstimateFrequency(t));
+  }
+
+  // Verify the For-All contract on a random sample of itemsets.
+  const auto report =
+      core::ValidateEstimatorSampled(db, *estimator, 3, params.eps,
+                                     2000, rng);
+  std::printf("validation: %zu itemsets checked, %zu violations, "
+              "max error %.4f (eps=%.2f)\n",
+              report.itemsets_checked, report.violations,
+              report.max_abs_error, params.eps);
+  return report.valid() ? 0 : 1;
+}

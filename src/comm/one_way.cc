@@ -1,0 +1,25 @@
+#include "comm/one_way.h"
+
+#include <algorithm>
+
+namespace ifsketch::comm {
+
+IndexGameResult PlayIndexGame(const OneWayIndexProtocol& protocol,
+                              std::size_t trials, util::Rng& rng) {
+  IndexGameResult result;
+  const std::size_t n = protocol.universe();
+  for (std::size_t t = 0; t < trials; ++t) {
+    const util::BitVector x = rng.RandomBits(n);
+    const std::size_t y = rng.UniformInt(n);
+    const std::uint64_t seed = rng.Next();
+    const util::BitVector message = protocol.AliceMessage(x, seed);
+    result.max_message_bits = std::max(result.max_message_bits,
+                                       message.size());
+    const bool out = protocol.BobOutput(message, y, seed);
+    ++result.trials;
+    if (out == x.Get(y)) ++result.successes;
+  }
+  return result;
+}
+
+}  // namespace ifsketch::comm

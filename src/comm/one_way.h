@@ -1,0 +1,56 @@
+// One-way randomized communication games.
+//
+// Theorem 14 reduces the INDEX problem to For-Each indicator sketching:
+// Alice holds x in {0,1}^N, Bob holds an index y, Alice sends one message
+// and Bob must output x_y with probability >= 2/3. Since INDEX requires
+// Omega(N) communication [Abl96], any protocol built from a sketch
+// transfers the bound to the sketch size. This header defines the generic
+// game; the sketch-based protocol lives in lowerbound/.
+#ifndef IFSKETCH_COMM_ONE_WAY_H_
+#define IFSKETCH_COMM_ONE_WAY_H_
+
+#include <cstdint>
+
+#include "util/bitvector.h"
+#include "util/random.h"
+
+namespace ifsketch::comm {
+
+/// A one-way protocol for INDEX over {0,1}^N. Alice and Bob share the
+/// public random seed.
+class OneWayIndexProtocol {
+ public:
+  virtual ~OneWayIndexProtocol() = default;
+
+  /// Universe size N.
+  virtual std::size_t universe() const = 0;
+
+  /// Alice's message on input x (|x| == universe()).
+  virtual util::BitVector AliceMessage(const util::BitVector& x,
+                                       std::uint64_t shared_seed) const = 0;
+
+  /// Bob's output bit on his index y given Alice's message.
+  virtual bool BobOutput(const util::BitVector& message, std::size_t y,
+                         std::uint64_t shared_seed) const = 0;
+};
+
+/// Result of playing the game repeatedly with random inputs.
+struct IndexGameResult {
+  std::size_t trials = 0;
+  std::size_t successes = 0;
+  std::size_t max_message_bits = 0;
+  double SuccessRate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(successes) /
+                             static_cast<double>(trials);
+  }
+};
+
+/// Plays `trials` rounds with uniformly random (x, y) and fresh shared
+/// seeds, recording the success rate and the largest message sent.
+IndexGameResult PlayIndexGame(const OneWayIndexProtocol& protocol,
+                              std::size_t trials, util::Rng& rng);
+
+}  // namespace ifsketch::comm
+
+#endif  // IFSKETCH_COMM_ONE_WAY_H_

@@ -1,0 +1,30 @@
+#include "core/column_store.h"
+
+#include "util/check.h"
+
+namespace ifsketch::core {
+
+ColumnStore::ColumnStore(const Database& db) : n_(db.num_rows()) {
+  columns_.reserve(db.num_columns());
+  for (std::size_t j = 0; j < db.num_columns(); ++j) {
+    columns_.push_back(db.Column(j));
+  }
+}
+
+std::size_t ColumnStore::SupportCount(const Itemset& t) const {
+  IFSKETCH_CHECK_EQ(t.universe(), columns_.size());
+  const auto attrs = t.Attributes();
+  if (attrs.empty()) return n_;
+  util::BitVector acc = columns_[attrs[0]];
+  for (std::size_t i = 1; i < attrs.size(); ++i) {
+    acc &= columns_[attrs[i]];
+  }
+  return acc.Count();
+}
+
+double ColumnStore::Frequency(const Itemset& t) const {
+  if (n_ == 0) return 0.0;
+  return static_cast<double>(SupportCount(t)) / static_cast<double>(n_);
+}
+
+}  // namespace ifsketch::core

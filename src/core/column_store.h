@@ -1,0 +1,45 @@
+// Column-oriented query acceleration.
+//
+// Database stores rows; answering f_T scans all n rows and tests
+// containment. For query-heavy workloads (validators, miners, the
+// reconstruction decoders) the transposed layout is much faster: keep
+// one n-bit column per attribute and compute support as the popcount of
+// the word-parallel AND of T's columns -- O(n/64 * |T|) instead of
+// O(n * d/64).
+#ifndef IFSKETCH_CORE_COLUMN_STORE_H_
+#define IFSKETCH_CORE_COLUMN_STORE_H_
+
+#include <vector>
+
+#include "core/database.h"
+
+namespace ifsketch::core {
+
+/// Immutable column-major copy of a database, for fast frequency queries.
+class ColumnStore {
+ public:
+  /// Transposes `db` (O(n*d)).
+  explicit ColumnStore(const Database& db);
+
+  std::size_t num_rows() const { return n_; }
+  std::size_t num_columns() const { return columns_.size(); }
+
+  /// Rows containing T, by ANDing T's columns.
+  std::size_t SupportCount(const Itemset& t) const;
+
+  /// f_T(D), identical to Database::Frequency on the source data.
+  double Frequency(const Itemset& t) const;
+
+  /// The n-bit column of attribute j.
+  const util::BitVector& Column(std::size_t j) const {
+    return columns_[j];
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<util::BitVector> columns_;
+};
+
+}  // namespace ifsketch::core
+
+#endif  // IFSKETCH_CORE_COLUMN_STORE_H_

@@ -1,0 +1,98 @@
+#include "core/database.h"
+
+#include "util/check.h"
+
+namespace ifsketch::core {
+
+Database::Database(std::size_t n, std::size_t d)
+    : d_(d), rows_(n, util::BitVector(d)) {}
+
+Database Database::FromRows(std::vector<util::BitVector> rows) {
+  Database db;
+  if (!rows.empty()) {
+    db.d_ = rows[0].size();
+    for (const auto& r : rows) IFSKETCH_CHECK_EQ(r.size(), db.d_);
+  }
+  db.rows_ = std::move(rows);
+  return db;
+}
+
+void Database::AppendRow(util::BitVector row) {
+  if (rows_.empty() && d_ == 0) d_ = row.size();
+  IFSKETCH_CHECK_EQ(row.size(), d_);
+  rows_.push_back(std::move(row));
+}
+
+util::BitVector Database::Column(std::size_t j) const {
+  IFSKETCH_CHECK_LT(j, d_);
+  util::BitVector col(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].Get(j)) col.Set(i, true);
+  }
+  return col;
+}
+
+void Database::SetColumn(std::size_t j, const util::BitVector& column) {
+  IFSKETCH_CHECK_LT(j, d_);
+  IFSKETCH_CHECK_EQ(column.size(), rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    rows_[i].Set(j, column.Get(i));
+  }
+}
+
+double Database::Frequency(const Itemset& t) const {
+  if (rows_.empty()) return 0.0;
+  return static_cast<double>(SupportCount(t)) /
+         static_cast<double>(rows_.size());
+}
+
+std::size_t Database::SupportCount(const Itemset& t) const {
+  IFSKETCH_CHECK_EQ(t.universe(), d_);
+  std::size_t count = 0;
+  for (const auto& row : rows_) {
+    if (t.ContainedIn(row)) ++count;
+  }
+  return count;
+}
+
+Database Database::HStack(const Database& left, const Database& right) {
+  IFSKETCH_CHECK_EQ(left.num_rows(), right.num_rows());
+  std::vector<util::BitVector> rows;
+  rows.reserve(left.num_rows());
+  for (std::size_t i = 0; i < left.num_rows(); ++i) {
+    rows.push_back(left.Row(i).Concat(right.Row(i)));
+  }
+  return FromRows(std::move(rows));
+}
+
+Database Database::VStack(const Database& top, const Database& bottom) {
+  IFSKETCH_CHECK_EQ(top.num_columns(), bottom.num_columns());
+  std::vector<util::BitVector> rows;
+  rows.reserve(top.num_rows() + bottom.num_rows());
+  for (std::size_t i = 0; i < top.num_rows(); ++i) rows.push_back(top.Row(i));
+  for (std::size_t i = 0; i < bottom.num_rows(); ++i) {
+    rows.push_back(bottom.Row(i));
+  }
+  return FromRows(std::move(rows));
+}
+
+Database Database::DuplicateRows(std::size_t times) const {
+  IFSKETCH_CHECK_GT(times, 0u);
+  std::vector<util::BitVector> rows;
+  rows.reserve(rows_.size() * times);
+  for (const auto& row : rows_) {
+    for (std::size_t t = 0; t < times; ++t) rows.push_back(row);
+  }
+  return FromRows(std::move(rows));
+}
+
+Database Database::SliceColumns(std::size_t begin, std::size_t len) const {
+  std::vector<util::BitVector> rows;
+  rows.reserve(rows_.size());
+  for (const auto& row : rows_) rows.push_back(row.Slice(begin, len));
+  Database db = FromRows(std::move(rows));
+  if (rows_.empty()) db.d_ = len;
+  return db;
+}
+
+}  // namespace ifsketch::core

@@ -1,0 +1,85 @@
+// Binary databases D in ({0,1}^d)^n.
+//
+// Rows are packed bit vectors of width d. Itemset frequency f_T(D) is the
+// fraction of rows containing T (§1.3). The structural operations
+// (horizontal / vertical stacking, row duplication, column extraction) are
+// exactly the moves the lower-bound constructions perform on databases.
+#ifndef IFSKETCH_CORE_DATABASE_H_
+#define IFSKETCH_CORE_DATABASE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/itemset.h"
+#include "util/bitvector.h"
+
+namespace ifsketch::core {
+
+/// An n-row, d-column binary database.
+class Database {
+ public:
+  Database() = default;
+
+  /// All-zero database with n rows and d columns.
+  Database(std::size_t n, std::size_t d);
+
+  /// Takes ownership of `rows`; all rows must share one width.
+  static Database FromRows(std::vector<util::BitVector> rows);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return d_; }
+
+  /// Row i (the paper's D(i)).
+  const util::BitVector& Row(std::size_t i) const { return rows_[i]; }
+
+  /// Entry D(i, j).
+  bool Get(std::size_t i, std::size_t j) const { return rows_[i].Get(j); }
+  void Set(std::size_t i, std::size_t j, bool v) { rows_[i].Set(j, v); }
+
+  /// Appends a row of width d.
+  void AppendRow(util::BitVector row);
+
+  /// Column j as an n-bit vector.
+  util::BitVector Column(std::size_t j) const;
+
+  /// Overwrites column j from an n-bit vector.
+  void SetColumn(std::size_t j, const util::BitVector& column);
+
+  /// f_T(D): the fraction of rows containing T. T's universe must equal d.
+  /// Returns 0 for an empty database.
+  double Frequency(const Itemset& t) const;
+
+  /// The number of rows containing T (the unnormalized count).
+  std::size_t SupportCount(const Itemset& t) const;
+
+  /// Horizontal concatenation: rows of `left` and `right` glued side by
+  /// side. Preconditions: same n.
+  static Database HStack(const Database& left, const Database& right);
+
+  /// Vertical concatenation: all rows of `top` then all rows of `bottom`.
+  /// Preconditions: same d.
+  static Database VStack(const Database& top, const Database& bottom);
+
+  /// Each row repeated `times` consecutively (the duplication move that
+  /// extends Theorem 13 from n = 1/eps to larger n).
+  Database DuplicateRows(std::size_t times) const;
+
+  /// The database restricted to columns [begin, begin+len).
+  Database SliceColumns(std::size_t begin, std::size_t len) const;
+
+  /// Exact equality of contents.
+  friend bool operator==(const Database& a, const Database& b) {
+    return a.d_ == b.d_ && a.rows_ == b.rows_;
+  }
+
+  /// Total payload size n*d in bits (what RELEASE-DB costs).
+  std::size_t PayloadBits() const { return rows_.size() * d_; }
+
+ private:
+  std::size_t d_ = 0;
+  std::vector<util::BitVector> rows_;
+};
+
+}  // namespace ifsketch::core
+
+#endif  // IFSKETCH_CORE_DATABASE_H_

@@ -1,0 +1,50 @@
+#include "core/itemset.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ifsketch::core {
+
+Itemset::Itemset(std::size_t d, const std::vector<std::size_t>& attributes)
+    : indicator_(d) {
+  for (std::size_t a : attributes) {
+    IFSKETCH_CHECK_LT(a, d);
+    indicator_.Set(a, true);
+  }
+}
+
+Itemset Itemset::FromIndicator(util::BitVector indicator) {
+  Itemset t;
+  t.indicator_ = std::move(indicator);
+  return t;
+}
+
+Itemset Itemset::Union(const Itemset& other) const {
+  IFSKETCH_CHECK_EQ(universe(), other.universe());
+  return FromIndicator(indicator_ | other.indicator_);
+}
+
+Itemset Itemset::ShiftInto(std::size_t new_d, std::size_t offset) const {
+  Itemset out(new_d);
+  for (std::size_t a : indicator_.SetBits()) {
+    IFSKETCH_CHECK_LT(a + offset, new_d);
+    out.Add(a + offset);
+  }
+  return out;
+}
+
+std::string Itemset::ToString() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (std::size_t a : indicator_.SetBits()) {
+    if (!first) os << ',';
+    os << a;
+    first = false;
+  }
+  os << "}/d=" << universe();
+  return os.str();
+}
+
+}  // namespace ifsketch::core

@@ -1,0 +1,83 @@
+#include "core/marginal.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ifsketch::core {
+
+double MarginalTable::Total() const {
+  double acc = 0.0;
+  for (double c : cells) acc += c;
+  return acc;
+}
+
+double MarginalTable::MaxCellDiff(const MarginalTable& other) const {
+  IFSKETCH_CHECK_EQ(cells.size(), other.cells.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    m = std::max(m, std::fabs(cells[i] - other.cells[i]));
+  }
+  return m;
+}
+
+MarginalTable ComputeMarginal(const Database& db,
+                              const std::vector<std::size_t>& attributes) {
+  const std::size_t k = attributes.size();
+  IFSKETCH_CHECK_LE(k, 24u);
+  MarginalTable table;
+  table.attributes = attributes;
+  table.cells.assign(std::size_t{1} << k, 0.0);
+  if (db.num_rows() == 0) return table;
+  for (std::size_t i = 0; i < db.num_rows(); ++i) {
+    std::size_t pattern = 0;
+    for (std::size_t bit = 0; bit < k; ++bit) {
+      if (db.Get(i, attributes[bit])) pattern |= std::size_t{1} << bit;
+    }
+    table.cells[pattern] += 1.0;
+  }
+  for (double& c : table.cells) {
+    c /= static_cast<double>(db.num_rows());
+  }
+  return table;
+}
+
+MarginalTable MarginalFromFrequencies(
+    std::size_t d, const std::vector<std::size_t>& attributes,
+    const FrequencyOracle& oracle) {
+  const std::size_t k = attributes.size();
+  IFSKETCH_CHECK_LE(k, 20u);
+  MarginalTable table;
+  table.attributes = attributes;
+  table.cells.assign(std::size_t{1} << k, 0.0);
+
+  // Precompute f_S for every subset S of A (indexed by subset mask).
+  std::vector<double> f(std::size_t{1} << k);
+  for (std::size_t mask = 0; mask < f.size(); ++mask) {
+    Itemset t(d);
+    for (std::size_t bit = 0; bit < k; ++bit) {
+      if ((mask >> bit) & 1u) t.Add(attributes[bit]);
+    }
+    f[mask] = mask == 0 ? 1.0 : oracle(t);  // empty itemset: frequency 1
+  }
+
+  // Cell b = sum over T subset of Zeros(b): (-1)^{|T|} f[Ones(b) | T].
+  const std::size_t full = f.size() - 1;
+  for (std::size_t b = 0; b <= full; ++b) {
+    const std::size_t zeros = full & ~b;
+    double cell = 0.0;
+    // Iterate submasks of `zeros` (standard submask enumeration).
+    std::size_t t = zeros;
+    while (true) {
+      const int parity = std::popcount(t) & 1;
+      cell += (parity ? -1.0 : 1.0) * f[b | t];
+      if (t == 0) break;
+      t = (t - 1) & zeros;
+    }
+    table.cells[b] = cell;
+  }
+  return table;
+}
+
+}  // namespace ifsketch::core

@@ -1,0 +1,56 @@
+// Marginal contingency tables (§1.1.2 and footnote 2).
+//
+// For an attribute set A with |A| = k, the marginal table has 2^k cells;
+// cell b in {0,1}^k counts the rows whose A-attributes equal b exactly.
+// Footnote 2's equivalence: cells are general (non-monotone) conjunction
+// counts, and every cell is an inclusion-exclusion sum of monotone
+// conjunction frequencies -- i.e. of itemset frequencies:
+//   P(x_A = b) = sum over T subset of Zeros(b) of (-1)^{|T|} f_{Ones(b)+T}.
+// So an itemset sketch answers arbitrary marginal cells; that is exactly
+// the data-release use case the paper describes.
+#ifndef IFSKETCH_CORE_MARGINAL_H_
+#define IFSKETCH_CORE_MARGINAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/database.h"
+
+namespace ifsketch::core {
+
+/// A k-attribute marginal table with 2^k cells.
+struct MarginalTable {
+  /// The attribute set A, ascending.
+  std::vector<std::size_t> attributes;
+  /// cells[b]: the fraction of rows whose A-pattern is b, where bit i of
+  /// b corresponds to attributes[i].
+  std::vector<double> cells;
+
+  std::size_t NumCells() const { return cells.size(); }
+
+  /// Sum of all cells (1.0 for exact tables; may drift for estimated).
+  double Total() const;
+
+  /// Largest absolute cell difference to another table over the same
+  /// attribute set.
+  double MaxCellDiff(const MarginalTable& other) const;
+};
+
+/// Exact marginal by direct row scanning.
+MarginalTable ComputeMarginal(const Database& db,
+                              const std::vector<std::size_t>& attributes);
+
+/// Oracle for (monotone) itemset frequencies over universe d.
+using FrequencyOracle = std::function<double(const Itemset&)>;
+
+/// Marginal reconstructed purely from itemset frequencies via
+/// inclusion-exclusion (footnote 2's reduction). With an exact oracle the
+/// result equals ComputeMarginal; with an eps-accurate oracle each cell
+/// carries error at most 2^k * eps.
+MarginalTable MarginalFromFrequencies(
+    std::size_t d, const std::vector<std::size_t>& attributes,
+    const FrequencyOracle& oracle);
+
+}  // namespace ifsketch::core
+
+#endif  // IFSKETCH_CORE_MARGINAL_H_

@@ -1,0 +1,32 @@
+#include "core/sketch.h"
+
+namespace ifsketch::core {
+
+const char* ToString(Scope scope) {
+  switch (scope) {
+    case Scope::kForAll:
+      return "for-all";
+    case Scope::kForEach:
+      return "for-each";
+  }
+  return "?";
+}
+
+const char* ToString(Answer answer) {
+  switch (answer) {
+    case Answer::kIndicator:
+      return "indicator";
+    case Answer::kEstimator:
+      return "estimator";
+  }
+  return "?";
+}
+
+std::unique_ptr<FrequencyIndicator> SketchAlgorithm::LoadIndicator(
+    const util::BitVector& summary, const SketchParams& params, std::size_t d,
+    std::size_t n) const {
+  return std::make_unique<ThresholdIndicator>(
+      LoadEstimator(summary, params, d, n), 0.75 * params.eps);
+}
+
+}  // namespace ifsketch::core

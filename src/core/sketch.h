@@ -1,0 +1,118 @@
+// The four itemset sketching problems (Definitions 1-4) as interfaces.
+//
+// A sketch is a pair (S, Q): a randomized sketching algorithm S producing
+// a bit-string summary, and a deterministic query procedure Q. We model S
+// as SketchAlgorithm::Build (which serializes through util::BitWriter so
+// Definition 5's |S| is an exact bit count) and Q as the Load +
+// IsFrequent / EstimateFrequency pair. The "for all" vs "for each"
+// distinction is a property of the *guarantee*, carried in SketchParams,
+// because algorithms like SUBSAMPLE pick their size from it (Lemma 9).
+#ifndef IFSKETCH_CORE_SKETCH_H_
+#define IFSKETCH_CORE_SKETCH_H_
+
+#include <memory>
+#include <string>
+
+#include "core/database.h"
+#include "core/itemset.h"
+#include "util/bitvector.h"
+#include "util/random.h"
+
+namespace ifsketch::core {
+
+/// Which quantifier the accuracy guarantee uses (§1.3).
+enum class Scope {
+  kForAll,   ///< With prob. 1-delta, correct for ALL k-itemsets at once.
+  kForEach,  ///< For each single k-itemset, correct with prob. 1-delta.
+};
+
+/// Whether the query returns a threshold bit or an approximate frequency.
+enum class Answer {
+  kIndicator,  ///< Definition 1/3: 1 if f_T > eps, 0 if f_T < eps/2.
+  kEstimator,  ///< Definition 2/4: |answer - f_T| <= eps.
+};
+
+const char* ToString(Scope scope);
+const char* ToString(Answer answer);
+
+/// The (k, eps, delta) triple plus the guarantee flavor.
+struct SketchParams {
+  std::size_t k = 1;      ///< Query itemset cardinality.
+  double eps = 0.1;       ///< Precision / threshold parameter.
+  double delta = 0.05;    ///< Failure probability.
+  Scope scope = Scope::kForAll;
+  Answer answer = Answer::kEstimator;
+};
+
+/// Query-side view of an estimator summary (Definitions 2 and 4).
+class FrequencyEstimator {
+ public:
+  virtual ~FrequencyEstimator() = default;
+
+  /// Q(S, T): an approximation of f_T(D) in [0, 1].
+  virtual double EstimateFrequency(const Itemset& t) const = 0;
+};
+
+/// Query-side view of an indicator summary (Definitions 1 and 3).
+class FrequencyIndicator {
+ public:
+  virtual ~FrequencyIndicator() = default;
+
+  /// Q(S, T): true asserts f_T > eps/2; false asserts f_T <= eps.
+  virtual bool IsFrequent(const Itemset& t) const = 0;
+};
+
+/// Adapts an estimator into an indicator by thresholding at 3eps/4
+/// (an estimator with error eps/4 yields a valid indicator at eps).
+class ThresholdIndicator : public FrequencyIndicator {
+ public:
+  ThresholdIndicator(std::unique_ptr<FrequencyEstimator> estimator,
+                     double threshold)
+      : estimator_(std::move(estimator)), threshold_(threshold) {}
+
+  bool IsFrequent(const Itemset& t) const override {
+    return estimator_->EstimateFrequency(t) >= threshold_;
+  }
+
+ private:
+  std::unique_ptr<FrequencyEstimator> estimator_;
+  double threshold_;
+};
+
+/// A sketching algorithm: the pair (S, Q) of §1.3.
+///
+/// Build() is the randomized S; LoadEstimator()/LoadIndicator() are the
+/// deterministic Q, reconstructing a queryable view purely from the
+/// summary bits plus the public parameters (params, d, n).
+class SketchAlgorithm {
+ public:
+  virtual ~SketchAlgorithm() = default;
+
+  /// Human-readable algorithm name ("RELEASE-DB", "SUBSAMPLE", ...).
+  virtual std::string name() const = 0;
+
+  /// S(D, k, eps, delta): serializes a summary of `db`.
+  virtual util::BitVector Build(const Database& db, const SketchParams& params,
+                                util::Rng& rng) const = 0;
+
+  /// Deserializes an estimator view. `d`/`n` are the public database shape
+  /// (not secret; Definition 5 fixes them when defining |S|).
+  virtual std::unique_ptr<FrequencyEstimator> LoadEstimator(
+      const util::BitVector& summary, const SketchParams& params,
+      std::size_t d, std::size_t n) const = 0;
+
+  /// Deserializes an indicator view (by default thresholds the estimator).
+  virtual std::unique_ptr<FrequencyIndicator> LoadIndicator(
+      const util::BitVector& summary, const SketchParams& params,
+      std::size_t d, std::size_t n) const;
+
+  /// Predicted summary size in bits for a database of shape (n, d),
+  /// i.e. the algorithm's side of the Theorem 12 envelope. Implementations
+  /// must match what Build() actually emits.
+  virtual std::size_t PredictedSizeBits(std::size_t n, std::size_t d,
+                                        const SketchParams& params) const = 0;
+};
+
+}  // namespace ifsketch::core
+
+#endif  // IFSKETCH_CORE_SKETCH_H_

@@ -1,0 +1,90 @@
+#include "core/validate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/combinatorics.h"
+
+namespace ifsketch::core {
+namespace {
+
+void CheckIndicatorOne(const Database& db, const FrequencyIndicator& q,
+                       double eps, const Itemset& t, ValidationReport& r) {
+  const double f = db.Frequency(t);
+  ++r.itemsets_checked;
+  const bool answer = q.IsFrequent(t);
+  if (f > eps && !answer) ++r.violations;
+  if (f < eps / 2 && answer) ++r.violations;
+}
+
+void CheckEstimatorOne(const Database& db, const FrequencyEstimator& q,
+                       double eps, const Itemset& t, ValidationReport& r) {
+  const double f = db.Frequency(t);
+  const double err = std::fabs(q.EstimateFrequency(t) - f);
+  ++r.itemsets_checked;
+  r.max_abs_error = std::max(r.max_abs_error, err);
+  r.mean_abs_error += err;
+  if (err > eps) ++r.violations;
+}
+
+void FinishMean(ValidationReport& r) {
+  if (r.itemsets_checked > 0) {
+    r.mean_abs_error /= static_cast<double>(r.itemsets_checked);
+  }
+}
+
+}  // namespace
+
+ValidationReport ValidateIndicatorExhaustive(const Database& db,
+                                             const FrequencyIndicator& q,
+                                             std::size_t k, double eps) {
+  ValidationReport r;
+  const std::size_t d = db.num_columns();
+  for (const auto& attrs : util::AllSubsets(d, k)) {
+    CheckIndicatorOne(db, q, eps, Itemset(d, attrs), r);
+  }
+  return r;
+}
+
+ValidationReport ValidateIndicatorSampled(const Database& db,
+                                          const FrequencyIndicator& q,
+                                          std::size_t k, double eps,
+                                          std::size_t count, util::Rng& rng) {
+  ValidationReport r;
+  for (std::size_t i = 0; i < count; ++i) {
+    CheckIndicatorOne(db, q, eps, RandomItemset(db.num_columns(), k, rng), r);
+  }
+  return r;
+}
+
+ValidationReport ValidateEstimatorExhaustive(const Database& db,
+                                             const FrequencyEstimator& q,
+                                             std::size_t k, double eps) {
+  ValidationReport r;
+  const std::size_t d = db.num_columns();
+  for (const auto& attrs : util::AllSubsets(d, k)) {
+    CheckEstimatorOne(db, q, eps, Itemset(d, attrs), r);
+  }
+  FinishMean(r);
+  return r;
+}
+
+ValidationReport ValidateEstimatorSampled(const Database& db,
+                                          const FrequencyEstimator& q,
+                                          std::size_t k, double eps,
+                                          std::size_t count, util::Rng& rng) {
+  ValidationReport r;
+  for (std::size_t i = 0; i < count; ++i) {
+    CheckEstimatorOne(db, q, eps, RandomItemset(db.num_columns(), k, rng), r);
+  }
+  FinishMean(r);
+  return r;
+}
+
+Itemset RandomItemset(std::size_t d, std::size_t k, util::Rng& rng) {
+  IFSKETCH_CHECK_LE(k, d);
+  return Itemset(d, rng.SampleWithoutReplacement(d, k));
+}
+
+}  // namespace ifsketch::core

@@ -1,0 +1,58 @@
+// Validity checking for sketches against Definitions 1-4.
+//
+// Given the original database (ground truth) and a loaded query view,
+// these helpers verify the accuracy contract over either every k-itemset
+// (exhaustive; for small C(d,k)) or a random sample of k-itemsets. The
+// experiment harnesses use them to measure empirical failure rates.
+#ifndef IFSKETCH_CORE_VALIDATE_H_
+#define IFSKETCH_CORE_VALIDATE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/database.h"
+#include "core/sketch.h"
+#include "util/random.h"
+
+namespace ifsketch::core {
+
+/// Outcome of checking one query view against ground truth.
+struct ValidationReport {
+  std::size_t itemsets_checked = 0;
+  std::size_t violations = 0;       ///< Queries breaking the contract.
+  double max_abs_error = 0.0;       ///< Estimator only.
+  double mean_abs_error = 0.0;      ///< Estimator only.
+  bool valid() const { return violations == 0; }
+};
+
+/// Checks Definition 1/3 semantics: every k-itemset with f_T > eps must
+/// answer 1 and every one with f_T < eps/2 must answer 0 (the gap region
+/// is unconstrained). Exhaustive over all C(d,k) itemsets.
+ValidationReport ValidateIndicatorExhaustive(const Database& db,
+                                             const FrequencyIndicator& q,
+                                             std::size_t k, double eps);
+
+/// Same contract checked on `count` uniformly random k-itemsets.
+ValidationReport ValidateIndicatorSampled(const Database& db,
+                                          const FrequencyIndicator& q,
+                                          std::size_t k, double eps,
+                                          std::size_t count, util::Rng& rng);
+
+/// Checks Definition 2/4 semantics: |answer - f_T| <= eps for every
+/// k-itemset. Exhaustive over all C(d,k) itemsets.
+ValidationReport ValidateEstimatorExhaustive(const Database& db,
+                                             const FrequencyEstimator& q,
+                                             std::size_t k, double eps);
+
+/// Same contract checked on `count` uniformly random k-itemsets.
+ValidationReport ValidateEstimatorSampled(const Database& db,
+                                          const FrequencyEstimator& q,
+                                          std::size_t k, double eps,
+                                          std::size_t count, util::Rng& rng);
+
+/// A uniformly random k-itemset over universe d.
+Itemset RandomItemset(std::size_t d, std::size_t k, util::Rng& rng);
+
+}  // namespace ifsketch::core
+
+#endif  // IFSKETCH_CORE_VALIDATE_H_

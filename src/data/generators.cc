@@ -1,0 +1,105 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ifsketch::data {
+
+core::Database UniformRandom(std::size_t n, std::size_t d, double density,
+                             util::Rng& rng) {
+  core::Database db(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      if (rng.Bernoulli(density)) db.Set(i, j, true);
+    }
+  }
+  return db;
+}
+
+core::Database PlantedItemsets(std::size_t n, std::size_t d,
+                               const std::vector<Planted>& planted,
+                               double background_density, util::Rng& rng) {
+  core::Database db = UniformRandom(n, d, background_density, rng);
+  for (const auto& p : planted) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(p.frequency)) {
+        for (std::size_t a : p.attributes) {
+          IFSKETCH_CHECK_LT(a, d);
+          db.Set(i, a, true);
+        }
+      }
+    }
+  }
+  return db;
+}
+
+core::Database PowerLawBaskets(std::size_t n, std::size_t d,
+                               double zipf_exponent, double base_rate,
+                               std::size_t bundles, std::size_t bundle_size,
+                               double bundle_frequency, util::Rng& rng) {
+  IFSKETCH_CHECK_GT(d, 0u);
+  // Per-item inclusion probability: base_rate / rank^exponent.
+  std::vector<double> item_prob(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    item_prob[j] =
+        base_rate / std::pow(static_cast<double>(j + 1), zipf_exponent);
+  }
+  core::Database db(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      if (rng.Bernoulli(item_prob[j])) db.Set(i, j, true);
+    }
+  }
+  // Correlated bundles over random item groups, frequency decaying by
+  // bundle rank.
+  for (std::size_t b = 0; b < bundles; ++b) {
+    const std::vector<std::size_t> members =
+        rng.SampleWithoutReplacement(d, std::min(bundle_size, d));
+    const double freq =
+        bundle_frequency / std::pow(static_cast<double>(b + 1), 0.5);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(freq)) {
+        for (std::size_t a : members) db.Set(i, a, true);
+      }
+    }
+  }
+  return db;
+}
+
+core::Database CensusLike(std::size_t n,
+                          const std::vector<CategoricalAttribute>& attributes,
+                          util::Rng& rng) {
+  std::size_t d = 0;
+  for (const auto& attr : attributes) {
+    IFSKETCH_CHECK_GE(attr.cardinality, 1u);
+    d += attr.cardinality;
+  }
+  core::Database db(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t offset = 0;
+    for (const auto& attr : attributes) {
+      std::size_t category;
+      if (attr.probabilities.empty()) {
+        category = rng.UniformInt(attr.cardinality);
+      } else {
+        IFSKETCH_CHECK_EQ(attr.probabilities.size(), attr.cardinality);
+        const double u = rng.UniformDouble();
+        double acc = 0.0;
+        category = attr.cardinality - 1;
+        for (std::size_t c = 0; c < attr.cardinality; ++c) {
+          acc += attr.probabilities[c];
+          if (u < acc) {
+            category = c;
+            break;
+          }
+        }
+      }
+      db.Set(i, offset + category, true);
+      offset += attr.cardinality;
+    }
+  }
+  return db;
+}
+
+}  // namespace ifsketch::data

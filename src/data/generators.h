@@ -1,0 +1,58 @@
+// Synthetic workload generators.
+//
+// The paper's motivating settings (§1.1): market-basket analysis, text
+// corpora, demographic tables. These generators produce binary databases
+// with those shapes -- i.i.d. noise, planted frequent itemsets, Zipfian
+// "shopping cart" data with correlated bundles, and a census-like
+// categorical table one-hot encoded to binary attributes.
+#ifndef IFSKETCH_DATA_GENERATORS_H_
+#define IFSKETCH_DATA_GENERATORS_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "util/random.h"
+
+namespace ifsketch::data {
+
+/// Every entry independently 1 with probability `density`.
+core::Database UniformRandom(std::size_t n, std::size_t d, double density,
+                             util::Rng& rng);
+
+/// An itemset planted into a fraction of rows.
+struct Planted {
+  std::vector<std::size_t> attributes;
+  double frequency = 0.1;  ///< Fraction of rows forced to contain it.
+};
+
+/// Background noise of `background_density`, then each planted itemset is
+/// written into an independent `frequency` fraction of rows.
+core::Database PlantedItemsets(std::size_t n, std::size_t d,
+                               const std::vector<Planted>& planted,
+                               double background_density, util::Rng& rng);
+
+/// Market-basket data: item popularity follows a Zipf law with the given
+/// exponent (item 0 most popular); `bundles` whole itemsets are bought
+/// together, each appearing in a Zipf-weighted fraction of baskets up to
+/// `bundle_frequency`.
+core::Database PowerLawBaskets(std::size_t n, std::size_t d,
+                               double zipf_exponent, double base_rate,
+                               std::size_t bundles, std::size_t bundle_size,
+                               double bundle_frequency, util::Rng& rng);
+
+/// A categorical attribute of a census-like table.
+struct CategoricalAttribute {
+  std::size_t cardinality = 2;          ///< Number of categories.
+  std::vector<double> probabilities;    ///< Optional; uniform if empty.
+};
+
+/// One-hot encodes `attributes` into sum-of-cardinalities binary columns;
+/// each row draws one category per attribute. The returned database has
+/// exactly one 1 per attribute group per row.
+core::Database CensusLike(std::size_t n,
+                          const std::vector<CategoricalAttribute>& attributes,
+                          util::Rng& rng);
+
+}  // namespace ifsketch::data
+
+#endif  // IFSKETCH_DATA_GENERATORS_H_

@@ -1,0 +1,92 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace ifsketch::data {
+
+void WriteTransactions(std::ostream& out, const core::Database& db) {
+  out << db.num_columns() << "\n";
+  for (std::size_t i = 0; i < db.num_rows(); ++i) {
+    bool first = true;
+    for (std::size_t a : db.Row(i).SetBits()) {
+      if (!first) out << ' ';
+      out << a;
+      first = false;
+    }
+    out << "\n";
+  }
+}
+
+std::optional<core::Database> ReadTransactions(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  std::size_t d = 0;
+  {
+    std::istringstream header(line);
+    long long dv = -1;
+    if (!(header >> dv) || dv <= 0) return std::nullopt;
+    d = static_cast<std::size_t>(dv);
+  }
+  std::vector<util::BitVector> rows;
+  while (std::getline(in, line)) {
+    util::BitVector row(d);
+    std::istringstream ls(line);
+    long long a;
+    while (ls >> a) {
+      if (a < 0 || static_cast<std::size_t>(a) >= d) return std::nullopt;
+      row.Set(static_cast<std::size_t>(a), true);
+    }
+    if (!ls.eof()) return std::nullopt;  // non-numeric garbage
+    rows.push_back(std::move(row));
+  }
+  core::Database db = core::Database::FromRows(std::move(rows));
+  if (db.num_rows() == 0) {
+    // Preserve the width even for empty databases.
+    core::Database empty(0, d);
+    return empty;
+  }
+  return db;
+}
+
+void WriteDense(std::ostream& out, const core::Database& db) {
+  out << db.num_rows() << ' ' << db.num_columns() << "\n";
+  for (std::size_t i = 0; i < db.num_rows(); ++i) {
+    out << db.Row(i).ToString() << "\n";
+  }
+}
+
+std::optional<core::Database> ReadDense(std::istream& in) {
+  std::size_t n = 0, d = 0;
+  if (!(in >> n >> d)) return std::nullopt;
+  std::string line;
+  std::getline(in, line);  // consume the header's newline
+  std::vector<util::BitVector> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::getline(in, line) || line.size() != d) return std::nullopt;
+    for (char c : line) {
+      if (c != '0' && c != '1') return std::nullopt;
+    }
+    rows.push_back(util::BitVector::FromString(line));
+  }
+  if (n == 0) return core::Database(0, d);
+  return core::Database::FromRows(std::move(rows));
+}
+
+bool SaveTransactionsFile(const std::string& path,
+                          const core::Database& db) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteTransactions(out, db);
+  return static_cast<bool>(out);
+}
+
+std::optional<core::Database> LoadTransactionsFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ReadTransactions(in);
+}
+
+}  // namespace ifsketch::data

@@ -1,0 +1,40 @@
+// Database file I/O.
+//
+// Two interchange formats:
+//  - transaction format (market-basket convention): first line "d", then
+//    one line per row listing the indices of its 1-attributes, space
+//    separated (possibly empty lines for empty rows);
+//  - dense format: first line "n d", then n lines of d '0'/'1' chars.
+// Both are line-oriented text so datasets can be produced and inspected
+// with standard tools.
+#ifndef IFSKETCH_DATA_IO_H_
+#define IFSKETCH_DATA_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/database.h"
+
+namespace ifsketch::data {
+
+/// Writes `db` in transaction format.
+void WriteTransactions(std::ostream& out, const core::Database& db);
+
+/// Parses transaction format. Returns nullopt on malformed input
+/// (negative / out-of-range indices, missing header).
+std::optional<core::Database> ReadTransactions(std::istream& in);
+
+/// Writes `db` in dense 0/1 format.
+void WriteDense(std::ostream& out, const core::Database& db);
+
+/// Parses dense format. Returns nullopt on malformed input.
+std::optional<core::Database> ReadDense(std::istream& in);
+
+/// Convenience file wrappers. Return false / nullopt on I/O failure.
+bool SaveTransactionsFile(const std::string& path, const core::Database& db);
+std::optional<core::Database> LoadTransactionsFile(const std::string& path);
+
+}  // namespace ifsketch::data
+
+#endif  // IFSKETCH_DATA_IO_H_

@@ -1,0 +1,48 @@
+#include "dp/private_answers.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/combinatorics.h"
+
+namespace ifsketch::dp {
+
+double SampleLaplace(double scale, util::Rng& rng) {
+  // Inverse-CDF sampling: u uniform in (-1/2, 1/2),
+  // x = -scale * sgn(u) * ln(1 - 2|u|).
+  double u = rng.UniformDouble() - 0.5;
+  while (u == -0.5) u = rng.UniformDouble() - 0.5;
+  const double sign = u < 0 ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+PrivateAnswers::PrivateAnswers(const core::Database& db, std::size_t k,
+                               double eps_dp, util::Rng& rng)
+    : d_(db.num_columns()), k_(k) {
+  IFSKETCH_CHECK_GT(eps_dp, 0.0);
+  IFSKETCH_CHECK_GT(db.num_rows(), 0u);
+  const std::uint64_t count = util::Binomial(d_, k_);
+  IFSKETCH_CHECK_LT(count, std::uint64_t{1} << 24);
+  // Each released answer gets budget eps_dp / count (basic composition);
+  // each answer has sensitivity 1/n.
+  noise_scale_ = static_cast<double>(count) /
+                 (static_cast<double>(db.num_rows()) * eps_dp);
+  answers_.reserve(count);
+  std::vector<std::size_t> attrs(k_);
+  for (std::size_t i = 0; i < k_; ++i) attrs[i] = i;
+  do {
+    answers_.push_back(db.Frequency(core::Itemset(d_, attrs)) +
+                       SampleLaplace(noise_scale_, rng));
+  } while (util::NextSubset(attrs, d_));
+}
+
+double PrivateAnswers::EstimateFrequency(const core::Itemset& t) const {
+  IFSKETCH_CHECK_EQ(t.universe(), d_);
+  IFSKETCH_CHECK_EQ(t.size(), k_);
+  const std::uint64_t rank = util::RankSubset(t.Attributes(), d_);
+  IFSKETCH_CHECK_LT(rank, answers_.size());
+  const double a = answers_[rank];
+  return a < 0.0 ? 0.0 : (a > 1.0 ? 1.0 : a);
+}
+
+}  // namespace ifsketch::dp

@@ -1,0 +1,53 @@
+// Differentially private itemset answers (footnote 3 of the paper).
+//
+// The paper observes a formal connection between non-private sketching
+// lower bounds and differential privacy: its techniques are imported
+// from the DP literature (KRSU, De, BUV), and any accurate sketch yields
+// a private one at an O(s/n) accuracy cost. This module implements the
+// simplest member of that family: the Laplace mechanism over the
+// RELEASE-ANSWERS table. Each k-itemset frequency has sensitivity 1/n
+// (changing one row moves every frequency by at most 1/n), so adding
+// Laplace(C(d,k) / (n * eps_dp)) noise to the full table is eps_dp-DP by
+// basic composition, with per-answer error ~ C(d,k)/(n * eps_dp) -- the
+// t/n-shaped accuracy loss the footnote's reduction speaks about.
+#ifndef IFSKETCH_DP_PRIVATE_ANSWERS_H_
+#define IFSKETCH_DP_PRIVATE_ANSWERS_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/sketch.h"
+#include "util/random.h"
+
+namespace ifsketch::dp {
+
+/// An eps_dp-differentially-private For-All estimator over k-itemsets.
+class PrivateAnswers : public core::FrequencyEstimator {
+ public:
+  /// Materializes all C(d,k) answers with calibrated Laplace noise.
+  /// Requires C(d,k) small enough to enumerate.
+  PrivateAnswers(const core::Database& db, std::size_t k, double eps_dp,
+                 util::Rng& rng);
+
+  /// Noisy frequency (clamped to [0,1]).
+  double EstimateFrequency(const core::Itemset& t) const override;
+
+  /// The per-answer Laplace scale b = C(d,k)/(n * eps_dp).
+  double NoiseScale() const { return noise_scale_; }
+
+  /// Expected absolute error per answer (= b for Laplace).
+  double ExpectedAbsError() const { return noise_scale_; }
+
+ private:
+  std::size_t d_;
+  std::size_t k_;
+  double noise_scale_;
+  std::vector<double> answers_;
+};
+
+/// One draw from Laplace(scale) (helper, exposed for tests).
+double SampleLaplace(double scale, util::Rng& rng);
+
+}  // namespace ifsketch::dp
+
+#endif  // IFSKETCH_DP_PRIVATE_ANSWERS_H_

@@ -1,0 +1,99 @@
+#include "ecc/concatenated.h"
+
+#include "ecc/block_code.h"
+#include "util/check.h"
+
+namespace ifsketch::ecc {
+namespace {
+
+// Bit position of inner-coded symbol `sym` of block `blk` in the
+// interleaved layout: symbols are striped round-robin across blocks so
+// that a burst of consecutive codeword bits touches each block equally.
+std::size_t SymbolBase(std::size_t blk, std::size_t sym,
+                       std::size_t num_blocks) {
+  return (sym * num_blocks + blk) * InnerCode::kCodeBits;
+}
+
+}  // namespace
+
+ConcatenatedCode::ConcatenatedCode(std::size_t outer_n, std::size_t outer_k)
+    : outer_(outer_n, outer_k) {}
+
+std::size_t ConcatenatedCode::NumBlocks(std::size_t message_bits) const {
+  const std::size_t per = DataBitsPerBlock();
+  return message_bits == 0 ? 1 : (message_bits + per - 1) / per;
+}
+
+std::size_t ConcatenatedCode::EncodedBits(std::size_t message_bits) const {
+  return NumBlocks(message_bits) * CodeBitsPerBlock();
+}
+
+std::size_t ConcatenatedCode::CapacityForBudget(
+    std::size_t budget_bits) const {
+  const std::size_t blocks = budget_bits / CodeBitsPerBlock();
+  return blocks * DataBitsPerBlock();
+}
+
+util::BitVector ConcatenatedCode::Encode(
+    const util::BitVector& message) const {
+  const std::size_t blocks = NumBlocks(message.size());
+  const std::size_t outer_n = outer_.n();
+  const std::size_t outer_k = outer_.k();
+  util::BitVector out(blocks * CodeBitsPerBlock());
+  const InnerCode& inner = InnerCode::Instance();
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    // Gather this block's data bytes (zero-padded past message end).
+    std::vector<std::uint8_t> data(outer_k, 0);
+    for (std::size_t byte = 0; byte < outer_k; ++byte) {
+      for (std::size_t bit = 0; bit < 8; ++bit) {
+        const std::size_t pos = blk * DataBitsPerBlock() + byte * 8 + bit;
+        if (pos < message.size() && message.Get(pos)) {
+          data[byte] |= static_cast<std::uint8_t>(1u << bit);
+        }
+      }
+    }
+    const std::vector<std::uint8_t> rs_codeword = outer_.Encode(data);
+    for (std::size_t sym = 0; sym < outer_n; ++sym) {
+      const std::uint32_t cw = inner.Encode(rs_codeword[sym]);
+      const std::size_t base = SymbolBase(blk, sym, blocks);
+      for (std::size_t bit = 0; bit < InnerCode::kCodeBits; ++bit) {
+        if ((cw >> bit) & 1u) out.Set(base + bit, true);
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<util::BitVector> ConcatenatedCode::Decode(
+    const util::BitVector& received, std::size_t message_bits) const {
+  const std::size_t blocks = NumBlocks(message_bits);
+  const std::size_t outer_n = outer_.n();
+  const std::size_t outer_k = outer_.k();
+  IFSKETCH_CHECK_EQ(received.size(), blocks * CodeBitsPerBlock());
+  const InnerCode& inner = InnerCode::Instance();
+  util::BitVector message(message_bits);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    std::vector<std::uint8_t> rs_received(outer_n);
+    for (std::size_t sym = 0; sym < outer_n; ++sym) {
+      const std::size_t base = SymbolBase(blk, sym, blocks);
+      std::uint32_t cw = 0;
+      for (std::size_t bit = 0; bit < InnerCode::kCodeBits; ++bit) {
+        if (received.Get(base + bit)) cw |= std::uint32_t{1} << bit;
+      }
+      rs_received[sym] = inner.Decode(cw);
+    }
+    const auto decoded = outer_.Decode(rs_received);
+    if (!decoded.has_value()) return std::nullopt;
+    for (std::size_t byte = 0; byte < outer_k; ++byte) {
+      for (std::size_t bit = 0; bit < 8; ++bit) {
+        const std::size_t pos = blk * DataBitsPerBlock() + byte * 8 + bit;
+        if (pos < message_bits) {
+          message.Set(pos, ((*decoded)[byte] >> bit) & 1u);
+        }
+      }
+    }
+  }
+  return message;
+}
+
+}  // namespace ifsketch::ecc

@@ -1,0 +1,101 @@
+#include "ecc/gf256.h"
+
+#include "util/check.h"
+
+namespace ifsketch::ecc {
+namespace {
+
+struct Tables {
+  std::uint8_t exp[512];
+  std::uint8_t log[256];
+
+  Tables() {
+    unsigned x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+    log[0] = 0;  // sentinel; callers must not take log of 0
+  }
+};
+
+const Tables& T() {
+  static const Tables* t = new Tables();  // leaked intentionally (trivial)
+  return *t;
+}
+
+}  // namespace
+
+std::uint8_t GF256::Mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return T().exp[T().log[a] + T().log[b]];
+}
+
+std::uint8_t GF256::Inv(std::uint8_t a) {
+  IFSKETCH_CHECK_NE(a, 0);
+  return T().exp[255 - T().log[a]];
+}
+
+std::uint8_t GF256::Div(std::uint8_t a, std::uint8_t b) {
+  IFSKETCH_CHECK_NE(b, 0);
+  if (a == 0) return 0;
+  return T().exp[(T().log[a] + 255 - T().log[b]) % 255];
+}
+
+std::uint8_t GF256::Pow(std::uint8_t a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const unsigned l = (static_cast<unsigned>(T().log[a]) * (e % 255)) % 255;
+  return T().exp[l];
+}
+
+std::uint8_t GF256::PolyEval(const std::vector<std::uint8_t>& coeffs,
+                             std::uint8_t x) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = coeffs.size(); i > 0; --i) {
+    acc = Add(Mul(acc, x), coeffs[i - 1]);
+  }
+  return acc;
+}
+
+std::vector<std::uint8_t> GF256::PolyMul(const std::vector<std::uint8_t>& a,
+                                         const std::vector<std::uint8_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<std::uint8_t> out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] = Add(out[i + j], Mul(a[i], b[j]));
+    }
+  }
+  return out;
+}
+
+GF256::DivRem GF256::PolyDivRem(std::vector<std::uint8_t> num,
+                                const std::vector<std::uint8_t>& den) {
+  // Trim the divisor's leading zeros to find its true degree.
+  std::size_t dlen = den.size();
+  while (dlen > 0 && den[dlen - 1] == 0) --dlen;
+  IFSKETCH_CHECK_GT(dlen, 0u);
+  const std::uint8_t lead_inv = Inv(den[dlen - 1]);
+
+  std::vector<std::uint8_t> quotient(
+      num.size() >= dlen ? num.size() - dlen + 1 : 0, 0);
+  for (std::size_t i = num.size(); i >= dlen; --i) {
+    const std::uint8_t coef = Mul(num[i - 1], lead_inv);
+    if (coef != 0) {
+      quotient[i - dlen] = coef;
+      for (std::size_t j = 0; j < dlen; ++j) {
+        num[i - dlen + j] = Add(num[i - dlen + j], Mul(coef, den[j]));
+      }
+    }
+    if (i == dlen) break;
+  }
+  num.resize(dlen > 1 ? dlen - 1 : 0);
+  return {std::move(quotient), std::move(num)};
+}
+
+}  // namespace ifsketch::ecc

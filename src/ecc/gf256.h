@@ -1,0 +1,52 @@
+// Arithmetic in GF(2^8).
+//
+// Field elements are bytes; multiplication uses exp/log tables over the
+// primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d). This is the
+// symbol field of the outer Reed-Solomon code.
+#ifndef IFSKETCH_ECC_GF256_H_
+#define IFSKETCH_ECC_GF256_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ifsketch::ecc {
+
+/// GF(2^8) operations (all static; tables built once at first use).
+class GF256 {
+ public:
+  static std::uint8_t Add(std::uint8_t a, std::uint8_t b) {
+    return a ^ b;  // characteristic 2: addition == subtraction == XOR
+  }
+
+  static std::uint8_t Mul(std::uint8_t a, std::uint8_t b);
+
+  /// Multiplicative inverse. Precondition: a != 0.
+  static std::uint8_t Inv(std::uint8_t a);
+
+  /// a / b. Precondition: b != 0.
+  static std::uint8_t Div(std::uint8_t a, std::uint8_t b);
+
+  /// a^e (e >= 0; 0^0 == 1).
+  static std::uint8_t Pow(std::uint8_t a, unsigned e);
+
+  /// Evaluates the polynomial sum coeffs[i] x^i at x (Horner).
+  static std::uint8_t PolyEval(const std::vector<std::uint8_t>& coeffs,
+                               std::uint8_t x);
+
+  /// Product of polynomials (coefficient vectors, low degree first).
+  static std::vector<std::uint8_t> PolyMul(
+      const std::vector<std::uint8_t>& a, const std::vector<std::uint8_t>& b);
+
+  /// Divides `num` by `den`, returning {quotient, remainder}.
+  /// Precondition: den is not the zero polynomial.
+  struct DivRem {
+    std::vector<std::uint8_t> quotient;
+    std::vector<std::uint8_t> remainder;
+  };
+  static DivRem PolyDivRem(std::vector<std::uint8_t> num,
+                           const std::vector<std::uint8_t>& den);
+};
+
+}  // namespace ifsketch::ecc
+
+#endif  // IFSKETCH_ECC_GF256_H_

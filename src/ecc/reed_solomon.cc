@@ -1,0 +1,141 @@
+#include "ecc/reed_solomon.h"
+
+#include "ecc/gf256.h"
+#include "util/check.h"
+
+namespace ifsketch::ecc {
+namespace {
+
+// Solves the square-ish linear system M x = rhs over GF(256) by Gaussian
+// elimination with partial pivoting; free variables are set to zero.
+// Returns false when the system is inconsistent.
+bool SolveLinear(std::vector<std::vector<std::uint8_t>> m,
+                 std::vector<std::uint8_t> rhs,
+                 std::vector<std::uint8_t>& solution) {
+  const std::size_t rows = m.size();
+  const std::size_t cols = rows == 0 ? 0 : m[0].size();
+  std::vector<std::size_t> pivot_col_of_row;
+  std::size_t row = 0;
+  for (std::size_t col = 0; col < cols && row < rows; ++col) {
+    std::size_t piv = row;
+    while (piv < rows && m[piv][col] == 0) ++piv;
+    if (piv == rows) continue;
+    std::swap(m[piv], m[row]);
+    std::swap(rhs[piv], rhs[row]);
+    const std::uint8_t inv = GF256::Inv(m[row][col]);
+    for (std::size_t c = col; c < cols; ++c) {
+      m[row][c] = GF256::Mul(m[row][c], inv);
+    }
+    rhs[row] = GF256::Mul(rhs[row], inv);
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == row || m[r][col] == 0) continue;
+      const std::uint8_t factor = m[r][col];
+      for (std::size_t c = col; c < cols; ++c) {
+        m[r][c] = GF256::Add(m[r][c], GF256::Mul(factor, m[row][c]));
+      }
+      rhs[r] = GF256::Add(rhs[r], GF256::Mul(factor, rhs[row]));
+    }
+    pivot_col_of_row.push_back(col);
+    ++row;
+  }
+  // Inconsistency: a zero row with nonzero rhs.
+  for (std::size_t r = row; r < rows; ++r) {
+    if (rhs[r] != 0) return false;
+  }
+  solution.assign(cols, 0);
+  for (std::size_t r = 0; r < row; ++r) {
+    solution[pivot_col_of_row[r]] = rhs[r];
+  }
+  return true;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(std::size_t n, std::size_t k) : n_(n), k_(k) {
+  IFSKETCH_CHECK_GE(k, 1u);
+  IFSKETCH_CHECK_LE(k, n);
+  IFSKETCH_CHECK_LE(n, 255u);
+}
+
+std::vector<std::uint8_t> ReedSolomon::Encode(
+    const std::vector<std::uint8_t>& message) const {
+  IFSKETCH_CHECK_EQ(message.size(), k_);
+  std::vector<std::uint8_t> codeword(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    codeword[i] = GF256::PolyEval(message, static_cast<std::uint8_t>(i));
+  }
+  return codeword;
+}
+
+std::optional<std::vector<std::uint8_t>> ReedSolomon::Decode(
+    const std::vector<std::uint8_t>& received) const {
+  IFSKETCH_CHECK_EQ(received.size(), n_);
+  const std::size_t e = max_errors();
+  if (e == 0) {
+    // No redundancy: interpolate directly (accept as-is when n == k).
+    // Build message by solving the k x k Vandermonde system.
+    std::vector<std::vector<std::uint8_t>> m(k_,
+                                             std::vector<std::uint8_t>(k_));
+    std::vector<std::uint8_t> rhs(k_);
+    for (std::size_t i = 0; i < k_; ++i) {
+      for (std::size_t j = 0; j < k_; ++j) {
+        m[i][j] = GF256::Pow(static_cast<std::uint8_t>(i),
+                             static_cast<unsigned>(j));
+      }
+      rhs[i] = received[i];
+    }
+    std::vector<std::uint8_t> sol;
+    if (!SolveLinear(std::move(m), std::move(rhs), sol)) return std::nullopt;
+    sol.resize(k_);
+    return sol;
+  }
+
+  // Berlekamp-Welch: find Q (deg < k+e) and monic E (deg == e) with
+  //   Q(a_i) = y_i * E(a_i)  for all i.
+  // Unknowns: q_0..q_{k+e-1}, e_0..e_{e-1}  (E(x) = x^e + sum e_j x^j).
+  // Row i: sum_j q_j a_i^j  +  y_i * sum_j e_j a_i^j  =  y_i * a_i^e
+  // (addition is XOR, so signs are immaterial).
+  const std::size_t num_q = k_ + e;
+  const std::size_t num_unknowns = num_q + e;
+  std::vector<std::vector<std::uint8_t>> m(
+      n_, std::vector<std::uint8_t>(num_unknowns, 0));
+  std::vector<std::uint8_t> rhs(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto a = static_cast<std::uint8_t>(i);
+    const std::uint8_t y = received[i];
+    for (std::size_t j = 0; j < num_q; ++j) {
+      m[i][j] = GF256::Pow(a, static_cast<unsigned>(j));
+    }
+    for (std::size_t j = 0; j < e; ++j) {
+      m[i][num_q + j] =
+          GF256::Mul(y, GF256::Pow(a, static_cast<unsigned>(j)));
+    }
+    rhs[i] = GF256::Mul(y, GF256::Pow(a, static_cast<unsigned>(e)));
+  }
+  std::vector<std::uint8_t> sol;
+  if (!SolveLinear(std::move(m), std::move(rhs), sol)) return std::nullopt;
+
+  std::vector<std::uint8_t> q(sol.begin(), sol.begin() + num_q);
+  std::vector<std::uint8_t> err(sol.begin() + num_q, sol.end());
+  err.push_back(1);  // monic leading coefficient
+
+  GF256::DivRem dr = GF256::PolyDivRem(q, err);
+  for (std::uint8_t r : dr.remainder) {
+    if (r != 0) return std::nullopt;  // more than e errors
+  }
+  dr.quotient.resize(k_, 0);
+
+  // Verify the decoded message is within distance e of the received word
+  // (guards against pathological underdetermined solutions).
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (GF256::PolyEval(dr.quotient, static_cast<std::uint8_t>(i)) !=
+        received[i]) {
+      ++mismatches;
+    }
+  }
+  if (mismatches > e) return std::nullopt;
+  return dr.quotient;
+}
+
+}  // namespace ifsketch::ecc

@@ -1,0 +1,45 @@
+// Reed-Solomon codes over GF(2^8) with Berlekamp-Welch decoding.
+//
+// RS(n, k): a message of k symbols is the coefficient vector of a degree
+// <k polynomial m(x); the codeword is (m(a_0), ..., m(a_{n-1})) at fixed
+// distinct evaluation points a_i = i. Minimum distance n-k+1; unique
+// decoding up to t = floor((n-k)/2) symbol errors via the Berlekamp-Welch
+// linear system. This is the outer code of the concatenated (Justesen
+// substitute) construction used by the Theorem 15/16 encoders.
+#ifndef IFSKETCH_ECC_REED_SOLOMON_H_
+#define IFSKETCH_ECC_REED_SOLOMON_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ifsketch::ecc {
+
+/// An RS(n, k) code instance over GF(2^8). Requires k >= 1, k <= n <= 255.
+class ReedSolomon {
+ public:
+  ReedSolomon(std::size_t n, std::size_t k);
+
+  std::size_t n() const { return n_; }
+  std::size_t k() const { return k_; }
+
+  /// Correctable symbol errors: floor((n-k)/2).
+  std::size_t max_errors() const { return (n_ - k_) / 2; }
+
+  /// Encodes k message symbols into n codeword symbols.
+  std::vector<std::uint8_t> Encode(
+      const std::vector<std::uint8_t>& message) const;
+
+  /// Decodes a received word with at most max_errors() symbol errors.
+  /// Returns nullopt when the error pattern is not uniquely decodable.
+  std::optional<std::vector<std::uint8_t>> Decode(
+      const std::vector<std::uint8_t>& received) const;
+
+ private:
+  std::size_t n_;
+  std::size_t k_;
+};
+
+}  // namespace ifsketch::ecc
+
+#endif  // IFSKETCH_ECC_REED_SOLOMON_H_

@@ -1,0 +1,31 @@
+#include "linalg/euclidean.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ifsketch::linalg {
+
+SectionEstimate EstimateSectionRatio(const Matrix& a, std::size_t samples,
+                                     util::Rng& rng) {
+  IFSKETCH_CHECK_GT(samples, 0u);
+  const double sqrt_z = std::sqrt(static_cast<double>(a.rows()));
+  SectionEstimate est;
+  est.samples = samples;
+  double sum = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    Vector x(a.cols());
+    for (auto& xi : x) xi = rng.Gaussian();
+    const Vector y = a.MultiplyVec(x);
+    const double n2 = Norm2(y);
+    if (n2 == 0.0) continue;  // x in the null space; ratio undefined
+    const double ratio = Norm1(y) / (sqrt_z * n2);
+    est.min_ratio = std::min(est.min_ratio, ratio);
+    sum += ratio;
+  }
+  est.mean_ratio = sum / static_cast<double>(samples);
+  return est;
+}
+
+}  // namespace ifsketch::linalg

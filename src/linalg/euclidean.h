@@ -1,0 +1,32 @@
+// Euclidean-section measurement (Definition 23).
+//
+// A subspace V of R^z is a (delta, d', z) Euclidean section when
+// sqrt(z)*||x||_2 >= ||x||_1 >= delta*sqrt(z)*||x||_2 for all x in V.
+// The range of the Hadamard-product matrix must be such a section for
+// De's L1 decoding to tolerate "accurate on average" answers (Lemma 24).
+// The exact minimal ratio over a subspace is NP-hard in general; we
+// measure the empirical minimum over many random directions, which is the
+// quantity the experiments track (documented substitution in DESIGN.md).
+#ifndef IFSKETCH_LINALG_EUCLIDEAN_H_
+#define IFSKETCH_LINALG_EUCLIDEAN_H_
+
+#include "linalg/matrix.h"
+#include "util/random.h"
+
+namespace ifsketch::linalg {
+
+/// Summary of sampled section ratios ||Ax||_1 / (sqrt(z) ||Ax||_2).
+struct SectionEstimate {
+  double min_ratio = 1.0;   ///< Empirical delta.
+  double mean_ratio = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Samples `samples` Gaussian directions x and reports the distribution
+/// of ||Ax||_1 / (sqrt(z) ||Ax||_2) over the range of A (z = A.rows()).
+SectionEstimate EstimateSectionRatio(const Matrix& a, std::size_t samples,
+                                     util::Rng& rng);
+
+}  // namespace ifsketch::linalg
+
+#endif  // IFSKETCH_LINALG_EUCLIDEAN_H_

@@ -1,0 +1,84 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ifsketch::linalg {
+
+Matrix Matrix::Identity(std::size_t order) {
+  Matrix m(order, order);
+  for (std::size_t i = 0; i < order; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  IFSKETCH_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::MultiplyVec(const Vector& v) const {
+  IFSKETCH_CHECK_EQ(cols_, v.size());
+  Vector out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  IFSKETCH_CHECK_EQ(rows_, other.rows_);
+  IFSKETCH_CHECK_EQ(cols_, other.cols_);
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+double Norm2(const Vector& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double Norm1(const Vector& v) {
+  double acc = 0.0;
+  for (double x : v) acc += std::fabs(x);
+  return acc;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  IFSKETCH_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace ifsketch::linalg

@@ -1,0 +1,67 @@
+// Dense double-precision matrices and vectors.
+//
+// Sized for the paper's reconstruction experiments (hundreds of rows /
+// columns), not for HPC: row-major storage, straightforward loops. Used by
+// the KRSU/De decoding pipeline (Theorem 16) and its diagnostics.
+#ifndef IFSKETCH_LINALG_MATRIX_H_
+#define IFSKETCH_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ifsketch::linalg {
+
+using Vector = std::vector<double>;
+
+/// A rows x cols dense matrix, row-major.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Identity of the given order.
+  static Matrix Identity(std::size_t order);
+
+  Matrix Transpose() const;
+
+  /// Matrix product. Preconditions: cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product. Preconditions: cols() == v.size().
+  Vector MultiplyVec(const Vector& v) const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Maximum absolute entry difference to `other` (same shape).
+  double MaxAbsDiff(const Matrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm of v.
+double Norm2(const Vector& v);
+
+/// L1 norm of v.
+double Norm1(const Vector& v);
+
+/// Dot product. Preconditions: equal sizes.
+double Dot(const Vector& a, const Vector& b);
+
+}  // namespace ifsketch::linalg
+
+#endif  // IFSKETCH_LINALG_MATRIX_H_

@@ -1,0 +1,48 @@
+#include "linalg/products.h"
+
+#include "util/check.h"
+
+namespace ifsketch::linalg {
+
+Matrix HadamardProduct(const std::vector<Matrix>& factors) {
+  IFSKETCH_CHECK(!factors.empty());
+  const std::size_t n = factors[0].cols();
+  std::size_t total_rows = 1;
+  for (const auto& f : factors) {
+    IFSKETCH_CHECK_EQ(f.cols(), n);
+    total_rows *= f.rows();
+  }
+  Matrix out(total_rows, n);
+  for (std::size_t r = 0; r < total_rows; ++r) {
+    // Decompose r into the index tuple (lexicographic, first factor is
+    // the most significant digit).
+    std::size_t rem = r;
+    std::vector<std::size_t> idx(factors.size());
+    for (std::size_t j = factors.size(); j > 0; --j) {
+      idx[j - 1] = rem % factors[j - 1].rows();
+      rem /= factors[j - 1].rows();
+    }
+    for (std::size_t h = 0; h < n; ++h) {
+      double prod = 1.0;
+      for (std::size_t j = 0; j < factors.size(); ++j) {
+        prod *= factors[j](idx[j], h);
+        if (prod == 0.0) break;
+      }
+      out(r, h) = prod;
+    }
+  }
+  return out;
+}
+
+Matrix RandomBinaryMatrix(std::size_t rows, std::size_t cols,
+                          util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    }
+  }
+  return m;
+}
+
+}  // namespace ifsketch::linalg

@@ -1,0 +1,31 @@
+// Hadamard (row-wise tensor / Khatri-Rao) products of matrices.
+//
+// Definition 22 of the paper: for A_1..A_s with A_j of shape l_j x n, the
+// Hadamard product A has shape (l_1*...*l_s) x n with
+// A[(i_1..i_s), h] = prod_j A_j[i_j, h]. When the A_j are the attribute
+// columns of a random database, A is exactly the matrix mapping the secret
+// column to the vector of k-itemset frequency answers (KRSU / De); Lemma
+// 26 (Rudelson) says its smallest singular value is Omega(sqrt(d^{s})).
+#ifndef IFSKETCH_LINALG_PRODUCTS_H_
+#define IFSKETCH_LINALG_PRODUCTS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/random.h"
+
+namespace ifsketch::linalg {
+
+/// The Hadamard product of the given matrices (all with equal column
+/// count n). Result row order is lexicographic in the index tuple
+/// (i_1, ..., i_s).
+Matrix HadamardProduct(const std::vector<Matrix>& factors);
+
+/// A d x n matrix of independent unbiased {0,1} entries (the distribution
+/// nu of Lemma 26).
+Matrix RandomBinaryMatrix(std::size_t rows, std::size_t cols,
+                          util::Rng& rng);
+
+}  // namespace ifsketch::linalg
+
+#endif  // IFSKETCH_LINALG_PRODUCTS_H_

@@ -1,0 +1,126 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace ifsketch::linalg {
+namespace {
+
+constexpr int kMaxSweeps = 60;
+constexpr double kConvergence = 1e-12;
+
+}  // namespace
+
+SvdResult ComputeSvd(const Matrix& a_in) {
+  // Work on the tall orientation; transpose back at the end if needed.
+  const bool transposed = a_in.rows() < a_in.cols();
+  Matrix a = transposed ? a_in.Transpose() : a_in;
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  Matrix v = Matrix::Identity(n);
+
+  // One-sided Jacobi: rotate column pairs of A until all are orthogonal.
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          app += a(i, p) * a(i, p);
+          aqq += a(i, q) * a(i, q);
+          apq += a(i, p) * a(i, q);
+        }
+        if (std::fabs(apq) <= kConvergence * std::sqrt(app * aqq) ||
+            apq == 0.0) {
+          continue;
+        }
+        off += apq * apq;
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double ap = a(i, p);
+          const double aq = a(i, q);
+          a(i, p) = c * ap - s * aq;
+          a(i, q) = s * ap + c * aq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (off == 0.0) break;
+  }
+
+  // Singular values are column norms; U's columns are normalized columns.
+  Vector sigma(n, 0.0);
+  Matrix u(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm += a(i, j) * a(i, j);
+    norm = std::sqrt(norm);
+    sigma[j] = norm;
+    if (norm > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) u(i, j) = a(i, j) / norm;
+    }
+  }
+
+  // Sort descending by singular value.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+  SvdResult out;
+  out.singular_values.resize(n);
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = order[j];
+    out.singular_values[j] = sigma[src];
+    for (std::size_t i = 0; i < m; ++i) out.u(i, j) = u(i, src);
+    for (std::size_t i = 0; i < n; ++i) out.v(i, j) = v(i, src);
+  }
+
+  if (transposed) {
+    std::swap(out.u, out.v);
+  }
+  return out;
+}
+
+double SmallestSingularValue(const Matrix& a) {
+  const SvdResult svd = ComputeSvd(a);
+  IFSKETCH_CHECK(!svd.singular_values.empty());
+  return svd.singular_values.back();
+}
+
+Matrix PseudoInverse(const Matrix& a, double tolerance) {
+  const SvdResult svd = ComputeSvd(a);
+  const std::size_t r = svd.singular_values.size();
+  const double cutoff =
+      svd.singular_values.empty() ? 0.0 : svd.singular_values[0] * tolerance;
+  // pinv(A) = V * diag(1/sigma) * U^T
+  Matrix scaled_v(svd.v.rows(), r);
+  for (std::size_t j = 0; j < r; ++j) {
+    const double s = svd.singular_values[j];
+    const double inv = s > cutoff ? 1.0 / s : 0.0;
+    for (std::size_t i = 0; i < svd.v.rows(); ++i) {
+      scaled_v(i, j) = svd.v(i, j) * inv;
+    }
+  }
+  return scaled_v.Multiply(svd.u.Transpose());
+}
+
+Vector LeastSquares(const Matrix& a, const Vector& b) {
+  return PseudoInverse(a).MultiplyVec(b);
+}
+
+}  // namespace ifsketch::linalg

@@ -1,0 +1,40 @@
+// Singular value decomposition via one-sided Jacobi rotation.
+//
+// Provides the two quantities the Theorem 16 pipeline needs: the full
+// singular spectrum of the Hadamard-product query matrix (Lemma 26's
+// sigma_min = Omega(sqrt(d^{k-1})) claim is measured directly), and the
+// Moore-Penrose pseudo-inverse used by the KRSU-style L2 reconstruction
+// baseline.
+#ifndef IFSKETCH_LINALG_SVD_H_
+#define IFSKETCH_LINALG_SVD_H_
+
+#include "linalg/matrix.h"
+
+namespace ifsketch::linalg {
+
+/// A = U * diag(singular_values) * V^T with U (m x r), V (n x r),
+/// r = min(m, n); singular values descending.
+struct SvdResult {
+  Matrix u;
+  Vector singular_values;
+  Matrix v;
+};
+
+/// One-sided Jacobi SVD. Converges for any real matrix; intended for the
+/// moderate sizes used here (up to ~1000 x ~300).
+SvdResult ComputeSvd(const Matrix& a);
+
+/// Smallest singular value of A (0 if A is rank-deficient w.r.t. its
+/// smaller dimension).
+double SmallestSingularValue(const Matrix& a);
+
+/// Moore-Penrose pseudo-inverse via SVD; singular values below
+/// `tolerance * sigma_max` are treated as zero.
+Matrix PseudoInverse(const Matrix& a, double tolerance = 1e-10);
+
+/// Least-squares solution x minimizing ||A x - b||_2 (via pseudo-inverse).
+Vector LeastSquares(const Matrix& a, const Vector& b);
+
+}  // namespace ifsketch::linalg
+
+#endif  // IFSKETCH_LINALG_SVD_H_

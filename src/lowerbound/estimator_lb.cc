@@ -1,0 +1,189 @@
+#include "lowerbound/estimator_lb.h"
+
+#include <cmath>
+
+#include "linalg/products.h"
+#include "linalg/svd.h"
+#include "lp/l1fit.h"
+#include "util/check.h"
+
+namespace ifsketch::lowerbound {
+namespace {
+
+util::BitVector RoundToBits(const linalg::Vector& x) {
+  util::BitVector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out.Set(i, x[i] >= 0.5);
+  return out;
+}
+
+}  // namespace
+
+KrsuInstance::KrsuInstance(std::size_t d0, std::size_t k_prime,
+                           std::size_t n, util::Rng& rng)
+    : d0_(d0), k_prime_(k_prime), n_(n) {
+  IFSKETCH_CHECK_GE(k_prime, 2u);
+  IFSKETCH_CHECK_GE(d0, 1u);
+  IFSKETCH_CHECK_GE(n, 1u);
+  factors_.reserve(k_prime - 1);
+  for (std::size_t f = 0; f + 1 < k_prime; ++f) {
+    factors_.push_back(linalg::RandomBinaryMatrix(d0, n, rng));
+  }
+  a_ = linalg::HadamardProduct(factors_);
+
+  // D0: row j concatenates column j of every factor.
+  base_ = core::Database(n, (k_prime - 1) * d0);
+  for (std::size_t f = 0; f < factors_.size(); ++f) {
+    for (std::size_t a = 0; a < d0; ++a) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (factors_[f](a, j) != 0.0) base_.Set(j, f * d0 + a, true);
+      }
+    }
+  }
+}
+
+std::size_t KrsuInstance::NumQueries() const { return a_.rows(); }
+
+core::Database KrsuInstance::BuildDatabase(const util::BitVector& y) const {
+  IFSKETCH_CHECK_EQ(y.size(), n_);
+  std::vector<util::BitVector> rows;
+  rows.reserve(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    util::BitVector suffix(1);
+    suffix.Set(0, y.Get(j));
+    rows.push_back(base_.Row(j).Concat(suffix));
+  }
+  return core::Database::FromRows(std::move(rows));
+}
+
+core::Itemset KrsuInstance::QueryItemset(std::size_t r) const {
+  IFSKETCH_CHECK_LT(r, NumQueries());
+  // Decompose r lexicographically (matching HadamardProduct's row order:
+  // the first factor is the most significant digit).
+  std::vector<std::size_t> attrs;
+  attrs.reserve(k_prime_);
+  std::size_t rem = r;
+  std::vector<std::size_t> idx(factors_.size());
+  for (std::size_t f = factors_.size(); f > 0; --f) {
+    idx[f - 1] = rem % d0_;
+    rem /= d0_;
+  }
+  for (std::size_t f = 0; f < factors_.size(); ++f) {
+    attrs.push_back(f * d0_ + idx[f]);
+  }
+  attrs.push_back(d1() - 1);  // the secret column
+  return core::Itemset(d1(), attrs);
+}
+
+util::BitVector KrsuInstance::ReconstructL1(
+    const linalg::Vector& answers) const {
+  IFSKETCH_CHECK_EQ(answers.size(), NumQueries());
+  linalg::Vector target(answers.size());
+  for (std::size_t r = 0; r < answers.size(); ++r) {
+    target[r] = answers[r] * static_cast<double>(n_);
+  }
+  const auto fit = lp::L1RegressionBox(a_, target, 0.0, 1.0);
+  IFSKETCH_CHECK(fit.has_value());  // box-constrained L1 is always feasible
+  return RoundToBits(fit->x);
+}
+
+util::BitVector KrsuInstance::ReconstructL2(
+    const linalg::Vector& answers) const {
+  IFSKETCH_CHECK_EQ(answers.size(), NumQueries());
+  linalg::Vector target(answers.size());
+  for (std::size_t r = 0; r < answers.size(); ++r) {
+    target[r] = answers[r] * static_cast<double>(n_);
+  }
+  return RoundToBits(linalg::LeastSquares(a_, target));
+}
+
+linalg::Vector Lemma21Decode(
+    std::size_t v,
+    const std::function<double(const util::BitVector&)>& estimate,
+    std::size_t random_probes, util::Rng& rng) {
+  // Probe family: all singletons plus random patterns of every density.
+  std::vector<util::BitVector> probes;
+  probes.reserve(v + random_probes);
+  for (std::size_t i = 0; i < v; ++i) {
+    util::BitVector s(v);
+    s.Set(i, true);
+    probes.push_back(std::move(s));
+  }
+  for (std::size_t p = 0; p < random_probes; ++p) {
+    probes.push_back(rng.RandomBits(v));
+  }
+  // L1 fit: min || S z - v*fhat ||_1  over z in [0,1]^v, where row p of
+  // S is the probe pattern. (Lemma 21 phrases this as finding any z
+  // whose probe inner products all sit within eps of the estimates; the
+  // L1 minimizer is such a vector whenever one exists and degrades
+  // gracefully when a few estimates are bad.)
+  linalg::Matrix s_mat(probes.size(), v);
+  linalg::Vector target(probes.size());
+  for (std::size_t p = 0; p < probes.size(); ++p) {
+    for (std::size_t i = 0; i < v; ++i) {
+      if (probes[p].Get(i)) s_mat(p, i) = 1.0;
+    }
+    target[p] = estimate(probes[p]) * static_cast<double>(v);
+  }
+  const auto fit = lp::L1RegressionBox(s_mat, target, 0.0, 1.0);
+  IFSKETCH_CHECK(fit.has_value());
+  return fit->x;
+}
+
+Thm16Amplified::Thm16Amplified(std::size_t d_shatter, std::size_t k,
+                               std::size_t c, std::size_t d0, std::size_t n,
+                               util::Rng& rng)
+    : k_(k), c_(c), shattered_(d_shatter, k - c), krsu_(d0, c, n, rng) {
+  IFSKETCH_CHECK_GE(c, 2u);
+  IFSKETCH_CHECK_GT(k, c);
+}
+
+core::Database Thm16Amplified::BuildDatabase(
+    const util::BitVector& payload) const {
+  IFSKETCH_CHECK_EQ(payload.size(), PayloadBits());
+  const std::size_t n = krsu_.n();
+  std::vector<util::BitVector> rows;
+  rows.reserve(v() * n);
+  for (std::size_t i = 0; i < v(); ++i) {
+    const core::Database di =
+        krsu_.BuildDatabase(payload.Slice(i * n, n));
+    for (std::size_t j = 0; j < n; ++j) {
+      rows.push_back(shattered_.Row(i).Concat(di.Row(j)));
+    }
+  }
+  return core::Database::FromRows(std::move(rows));
+}
+
+core::Itemset Thm16Amplified::OuterProbe(const util::BitVector& s,
+                                         std::size_t r) const {
+  const std::size_t total = shattered_.d() + krsu_.d1();
+  core::Itemset t = shattered_.QueryFor(s).ShiftInto(total, 0);
+  return t.Union(krsu_.QueryItemset(r).ShiftInto(total, shattered_.d()));
+}
+
+util::BitVector Thm16Amplified::ReconstructPayload(
+    const core::FrequencyEstimator& q, std::size_t random_probes,
+    util::Rng& rng) const {
+  const std::size_t n = krsu_.n();
+  const std::size_t queries = krsu_.NumQueries();
+  // Per KRSU query r, recover z_r = (f_{T_r}(D_1), ..., f_{T_r}(D_v)).
+  std::vector<linalg::Vector> z(queries);
+  for (std::size_t r = 0; r < queries; ++r) {
+    z[r] = Lemma21Decode(
+        v(),
+        [&](const util::BitVector& s) {
+          return q.EstimateFrequency(OuterProbe(s, r));
+        },
+        random_probes, rng);
+  }
+  // Per copy i, decode the secret from its recovered answer vector.
+  util::BitVector out(PayloadBits());
+  for (std::size_t i = 0; i < v(); ++i) {
+    linalg::Vector answers(queries);
+    for (std::size_t r = 0; r < queries; ++r) answers[r] = z[r][i];
+    const util::BitVector yi = krsu_.ReconstructL1(answers);
+    for (std::size_t j = 0; j < n; ++j) out.Set(i * n + j, yi.Get(j));
+  }
+  return out;
+}
+
+}  // namespace ifsketch::lowerbound

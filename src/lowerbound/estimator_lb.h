@@ -1,0 +1,126 @@
+// The Theorem 16 pipeline: estimator sketches encode Omega~(d/eps^2) bits.
+//
+// KRSU/De construction (Lemmas 20, 24-27): fix random binary matrices
+// A_1..A_{k'-1} (d0 x n each) and let D0's row j concatenate column j of
+// every factor. Appending a secret column y gives D1(y). The k'-itemsets
+// choosing one attribute per factor block plus the secret column have
+// frequencies (A y)_r / n where A is the Hadamard (row) product of the
+// factors -- so +/-eps answers are a noisy linear sketch of y, and
+// Rudelson's bound on sigma_min(A) (Lemma 26) makes y recoverable while
+// n <~ 1/eps^2. Recovery is by L1 minimization (De; robust to answers
+// accurate only on average) with L2/pseudo-inverse as the KRSU baseline.
+//
+// Amplification (proof of Theorem 16): v = (k-c) log(d/(k-c)) payloads
+// y_1..y_v are embedded as D'_i = (x_i, D(y_i)) with the Fact 18 strings
+// x_i; the k-itemset T'(T, s) = T_s + shifted-T has frequency
+// <s, z_T>/v with z_T = (f_T(D_1), ..., f_T(D_v)), so Lemma 21 recovers
+// every z_T from the big sketch and each y_i is decoded as above.
+#ifndef IFSKETCH_LOWERBOUND_ESTIMATOR_LB_H_
+#define IFSKETCH_LOWERBOUND_ESTIMATOR_LB_H_
+
+#include <functional>
+
+#include "core/database.h"
+#include "core/sketch.h"
+#include "linalg/matrix.h"
+#include "lowerbound/shattered_set.h"
+#include "util/bitvector.h"
+#include "util/random.h"
+
+namespace ifsketch::lowerbound {
+
+/// One KRSU/De database: secret column y behind k'-way marginals.
+class KrsuInstance {
+ public:
+  /// k_prime >= 2 factor-blocks-plus-secret query arity; d0 columns per
+  /// factor; n rows. The k'-1 factor matrices are drawn from `rng`
+  /// (Lemma 26's distribution nu).
+  KrsuInstance(std::size_t d0, std::size_t k_prime, std::size_t n,
+               util::Rng& rng);
+
+  std::size_t d0() const { return d0_; }
+  std::size_t k_prime() const { return k_prime_; }
+  std::size_t n() const { return n_; }
+
+  /// Total columns d1 = (k'-1)*d0 + 1 (secret column last).
+  std::size_t d1() const { return (k_prime_ - 1) * d0_ + 1; }
+
+  /// Number of reconstruction queries: d0^(k'-1) (all factor choices).
+  std::size_t NumQueries() const;
+
+  /// D1(y): the n x d1 database with secret column y (|y| == n).
+  core::Database BuildDatabase(const util::BitVector& y) const;
+
+  /// The query itemset for Hadamard-product row r: one attribute per
+  /// factor block plus the secret column. |T| == k'.
+  core::Itemset QueryItemset(std::size_t r) const;
+
+  /// The d0^(k'-1) x n Hadamard product matrix A (Definition 22);
+  /// n * f_{T_r}(D1(y)) == (A y)_r.
+  const linalg::Matrix& QueryMatrix() const { return a_; }
+
+  /// L1 decoding (De): min ||A x - n*answers||_1 over x in [0,1]^n,
+  /// rounded at 1/2. `answers[r]` approximates f_{T_r}.
+  util::BitVector ReconstructL1(const linalg::Vector& answers) const;
+
+  /// L2 decoding (KRSU baseline): round(pinv(A) * n*answers).
+  util::BitVector ReconstructL2(const linalg::Vector& answers) const;
+
+ private:
+  std::size_t d0_;
+  std::size_t k_prime_;
+  std::size_t n_;
+  std::vector<linalg::Matrix> factors_;
+  linalg::Matrix a_;
+  core::Database base_;  // D0 (without the secret column)
+};
+
+/// Lemma 21: recover z in [0,1]^v from estimates of <s, z>/v over a
+/// probe family (singletons + `random_probes` random patterns), by L1
+/// regression. `estimate` maps a pattern s to the sketch's estimate of
+/// <s, z>/v.
+linalg::Vector Lemma21Decode(
+    std::size_t v,
+    const std::function<double(const util::BitVector&)>& estimate,
+    std::size_t random_probes, util::Rng& rng);
+
+/// The amplified Theorem 16 instance: v tagged KRSU copies.
+class Thm16Amplified {
+ public:
+  /// d_shatter: attribute budget for the Fact 18 strings (>= 2*(k-c));
+  /// k: outer query arity; c = k_prime of the inner KRSU instances
+  /// (c >= 2, k > c). All copies share one KRSU instance shape/factors.
+  Thm16Amplified(std::size_t d_shatter, std::size_t k, std::size_t c,
+                 std::size_t d0, std::size_t n, util::Rng& rng);
+
+  std::size_t v() const { return shattered_.v(); }
+  std::size_t k() const { return k_; }
+
+  /// Payload: v secrets of n bits each.
+  std::size_t PayloadBits() const { return v() * krsu_.n(); }
+
+  /// Rows: v * n; columns: d_shatter + d1.
+  core::Database BuildDatabase(const util::BitVector& payload) const;
+
+  /// The outer k-itemset T'(T_r, s) for KRSU query r and pattern s.
+  core::Itemset OuterProbe(const util::BitVector& s, std::size_t r) const;
+
+  /// Full reconstruction from a For-All estimator view: Lemma 21 per
+  /// query, then per-copy L1 decoding. Returns the recovered payload.
+  util::BitVector ReconstructPayload(const core::FrequencyEstimator& q,
+                                     std::size_t random_probes,
+                                     util::Rng& rng) const;
+
+  const KrsuInstance& krsu() const { return krsu_; }
+  const ShatteredSet& shattered() const { return shattered_; }
+
+ private:
+  std::size_t k_;
+  std::size_t c_;
+  ShatteredSet shattered_;
+  KrsuInstance krsu_;
+};
+
+}  // namespace ifsketch::lowerbound
+
+#endif  // IFSKETCH_LOWERBOUND_ESTIMATOR_LB_H_

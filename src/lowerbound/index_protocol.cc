@@ -1,0 +1,44 @@
+#include "lowerbound/index_protocol.h"
+
+#include "util/check.h"
+
+namespace ifsketch::lowerbound {
+
+SketchIndexProtocol::SketchIndexProtocol(
+    std::shared_ptr<const core::SketchAlgorithm> algorithm, std::size_t d,
+    std::size_t k, std::size_t num_rows, std::size_t duplication)
+    : algorithm_(std::move(algorithm)),
+      instance_(d, k, num_rows),
+      duplication_(duplication) {
+  IFSKETCH_CHECK(algorithm_ != nullptr);
+  params_.k = k;
+  params_.eps = instance_.SketchEps();
+  params_.delta = 0.05;
+  params_.scope = core::Scope::kForEach;
+  params_.answer = core::Answer::kIndicator;
+}
+
+std::size_t SketchIndexProtocol::universe() const {
+  return instance_.PayloadBits();
+}
+
+util::BitVector SketchIndexProtocol::AliceMessage(
+    const util::BitVector& x, std::uint64_t shared_seed) const {
+  const core::Database db = instance_.BuildDatabase(x, duplication_);
+  util::Rng rng(shared_seed);
+  return algorithm_->Build(db, params_, rng);
+}
+
+bool SketchIndexProtocol::BobOutput(const util::BitVector& message,
+                                    std::size_t y,
+                                    std::uint64_t /*shared_seed*/) const {
+  const std::size_t half = instance_.d() / 2;
+  const std::size_t i = y / half;
+  const std::size_t j = y % half;
+  const auto indicator = algorithm_->LoadIndicator(
+      message, params_, instance_.d(),
+      instance_.num_rows() * duplication_);
+  return indicator->IsFrequent(instance_.ProbeItemset(i, j));
+}
+
+}  // namespace ifsketch::lowerbound

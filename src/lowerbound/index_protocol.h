@@ -1,0 +1,50 @@
+// The Theorem 14 reduction: a sketch yields a one-way INDEX protocol.
+//
+// Alice interprets her N = (d/2)*R bit input as the payload of a Theorem
+// 13 database D_x, sketches it, and sends the summary. Bob maps his index
+// y to the probe itemset T_y and outputs the indicator answer. Protocol
+// success probability equals the sketch's per-query success probability,
+// so Omega(N) communication for INDEX forces |S| = Omega(d/eps) even for
+// For-Each sketches.
+#ifndef IFSKETCH_LOWERBOUND_INDEX_PROTOCOL_H_
+#define IFSKETCH_LOWERBOUND_INDEX_PROTOCOL_H_
+
+#include <memory>
+
+#include "comm/one_way.h"
+#include "core/sketch.h"
+#include "lowerbound/thm13.h"
+
+namespace ifsketch::lowerbound {
+
+/// INDEX protocol backed by a sketching algorithm on the Theorem 13
+/// hard family.
+class SketchIndexProtocol : public comm::OneWayIndexProtocol {
+ public:
+  /// The game universe is N = (d/2) * num_rows. `algorithm` is queried
+  /// with For-Each indicator semantics at the instance's SketchEps().
+  SketchIndexProtocol(std::shared_ptr<const core::SketchAlgorithm> algorithm,
+                      std::size_t d, std::size_t k, std::size_t num_rows,
+                      std::size_t duplication = 1);
+
+  std::size_t universe() const override;
+
+  util::BitVector AliceMessage(const util::BitVector& x,
+                               std::uint64_t shared_seed) const override;
+
+  bool BobOutput(const util::BitVector& message, std::size_t y,
+                 std::uint64_t shared_seed) const override;
+
+  const Thm13Instance& instance() const { return instance_; }
+  const core::SketchParams& params() const { return params_; }
+
+ private:
+  std::shared_ptr<const core::SketchAlgorithm> algorithm_;
+  Thm13Instance instance_;
+  std::size_t duplication_;
+  core::SketchParams params_;
+};
+
+}  // namespace ifsketch::lowerbound
+
+#endif  // IFSKETCH_LOWERBOUND_INDEX_PROTOCOL_H_

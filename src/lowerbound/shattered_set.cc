@@ -1,0 +1,47 @@
+#include "lowerbound/shattered_set.h"
+
+#include "util/check.h"
+#include "util/combinatorics.h"
+
+namespace ifsketch::lowerbound {
+
+ShatteredSet::ShatteredSet(std::size_t d, std::size_t k_prime)
+    : d_(d), k_prime_(k_prime) {
+  IFSKETCH_CHECK_GE(k_prime, 1u);
+  IFSKETCH_CHECK_GE(d, 2 * k_prime);
+  log_block_ = static_cast<std::size_t>(util::FloorLog2(d / k_prime));
+  block_size_ = std::size_t{1} << log_block_;
+
+  const std::size_t v = k_prime_ * log_block_;
+  rows_.reserve(v);
+  for (std::size_t r = 0; r < k_prime_; ++r) {
+    for (std::size_t t = 0; t < log_block_; ++t) {
+      // Row (r, t): all ones, except block r carries the binary-counter
+      // row Y(t, c) = bit t of c.
+      util::BitVector row(d_);
+      for (std::size_t a = 0; a < d_; ++a) row.Set(a, true);
+      for (std::size_t c = 0; c < block_size_; ++c) {
+        const bool bit = (c >> t) & 1u;
+        row.Set(r * block_size_ + c, bit);
+      }
+      rows_.push_back(std::move(row));
+    }
+  }
+}
+
+core::Itemset ShatteredSet::QueryFor(const util::BitVector& s) const {
+  IFSKETCH_CHECK_EQ(s.size(), v());
+  std::vector<std::size_t> attrs;
+  attrs.reserve(k_prime_);
+  for (std::size_t r = 0; r < k_prime_; ++r) {
+    // int(s^(r)): the r-th chunk read as a block-local element index.
+    std::size_t ell = 0;
+    for (std::size_t t = 0; t < log_block_; ++t) {
+      if (s.Get(r * log_block_ + t)) ell |= std::size_t{1} << t;
+    }
+    attrs.push_back(r * block_size_ + ell);
+  }
+  return core::Itemset(d_, attrs);
+}
+
+}  // namespace ifsketch::lowerbound

@@ -1,0 +1,53 @@
+// The Fact 18 shattered set: v = k' * log2(B) strings x_1..x_v in {0,1}^d
+// such that for every s in {0,1}^v some k'-itemset T_s has
+// f_{T_s}(x_i) = s_i for all i.
+//
+// Construction (Appendix A): view the first k'*B attributes as a k' x B
+// grid of blocks, B = 2^floor(log2(d/k')). Row (r, t) of X holds row t of
+// the "binary counter" matrix Y in block r and all-ones elsewhere; T_s
+// picks one attribute per block, namely element int(s^(r)) of block r
+// where s^(r) is the r-th log2(B)-bit chunk of s. Any attributes beyond
+// k'*B are set to 1 and never queried.
+#ifndef IFSKETCH_LOWERBOUND_SHATTERED_SET_H_
+#define IFSKETCH_LOWERBOUND_SHATTERED_SET_H_
+
+#include <vector>
+
+#include "core/itemset.h"
+#include "util/bitvector.h"
+
+namespace ifsketch::lowerbound {
+
+/// The VC-dimension witness behind Theorems 15 and 16.
+class ShatteredSet {
+ public:
+  /// Requires d >= 2*k_prime (so each block has B >= 2 elements).
+  ShatteredSet(std::size_t d, std::size_t k_prime);
+
+  std::size_t d() const { return d_; }
+  std::size_t k_prime() const { return k_prime_; }
+
+  /// Block size B (a power of two).
+  std::size_t block_size() const { return block_size_; }
+
+  /// Number of shattered strings v = k' * log2(B).
+  std::size_t v() const { return rows_.size(); }
+
+  /// x_i (width d).
+  const util::BitVector& Row(std::size_t i) const { return rows_[i]; }
+
+  /// T_s for the pattern s (|s| == v()): a k'-itemset with
+  /// f_{T_s}(x_i) == s_i for every i.
+  core::Itemset QueryFor(const util::BitVector& s) const;
+
+ private:
+  std::size_t d_;
+  std::size_t k_prime_;
+  std::size_t block_size_;
+  std::size_t log_block_;
+  std::vector<util::BitVector> rows_;
+};
+
+}  // namespace ifsketch::lowerbound
+
+#endif  // IFSKETCH_LOWERBOUND_SHATTERED_SET_H_

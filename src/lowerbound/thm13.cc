@@ -1,0 +1,59 @@
+#include "lowerbound/thm13.h"
+
+#include "util/check.h"
+#include "util/combinatorics.h"
+
+namespace ifsketch::lowerbound {
+
+Thm13Instance::Thm13Instance(std::size_t d, std::size_t k,
+                             std::size_t num_rows)
+    : d_(d), k_(k), num_rows_(num_rows) {
+  IFSKETCH_CHECK_EQ(d % 2, 0u);
+  IFSKETCH_CHECK_GE(k, 2u);
+  IFSKETCH_CHECK_GE(num_rows, 1u);
+  // The paper's regime condition 1/eps <= C(d/2, k-1): every row gets a
+  // unique (k-1)-subset of the first half.
+  IFSKETCH_CHECK_LE(num_rows, util::Binomial(d / 2, k - 1));
+}
+
+core::Database Thm13Instance::BuildDatabase(const util::BitVector& payload,
+                                            std::size_t duplication) const {
+  IFSKETCH_CHECK_EQ(payload.size(), PayloadBits());
+  const std::size_t half = d_ / 2;
+  core::Database db(num_rows_, d_);
+  std::vector<std::size_t> subset(k_ - 1);
+  for (std::size_t j = 0; j < k_ - 1; ++j) subset[j] = j;
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    for (std::size_t a : subset) db.Set(i, a, true);
+    for (std::size_t j = 0; j < half; ++j) {
+      db.Set(i, half + j, payload.Get(PayloadIndex(i, j)));
+    }
+    util::NextSubset(subset, half);  // colex successor; unique per row
+  }
+  return duplication > 1 ? db.DuplicateRows(duplication) : db;
+}
+
+core::Itemset Thm13Instance::ProbeItemset(std::size_t i,
+                                          std::size_t j) const {
+  IFSKETCH_CHECK_LT(i, num_rows_);
+  IFSKETCH_CHECK_LT(j, d_ / 2);
+  std::vector<std::size_t> attrs =
+      util::UnrankSubset(i, d_ / 2, k_ - 1);
+  attrs.push_back(d_ / 2 + j);
+  return core::Itemset(d_, attrs);
+}
+
+util::BitVector Thm13Instance::ReconstructPayload(
+    const core::FrequencyIndicator& indicator) const {
+  util::BitVector out(PayloadBits());
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    for (std::size_t j = 0; j < d_ / 2; ++j) {
+      if (indicator.IsFrequent(ProbeItemset(i, j))) {
+        out.Set(PayloadIndex(i, j), true);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ifsketch::lowerbound

@@ -1,0 +1,75 @@
+// The Theorem 13 / 14 hard instance.
+//
+// Databases with R = 1/eps distinct rows over d columns: the first d/2
+// columns of row i hold the indicator of the i-th (k-1)-subset of [d/2]
+// (colex order), the last d/2 columns are free payload bits. Each probe
+// itemset T_{i,j} = subset_i + {d/2 + j} has frequency q*payload(i,j)
+// where q = 1/R, so any valid indicator sketch built with threshold
+// eps_q in (0, q) reveals payload(i,j) exactly: the construction encodes
+// (d/2)*R arbitrary bits, forcing |S| = Omega(d/eps).
+//
+// (The paper states the bound with f_T >= eps exactly at the threshold;
+// since Definition 1 leaves f_T == eps unconstrained, we query the sketch
+// at eps_q = 3q/4 so that frequency q is strictly above eps_q and 0 is
+// strictly below eps_q/2 -- same bound up to the constant.)
+#ifndef IFSKETCH_LOWERBOUND_THM13_H_
+#define IFSKETCH_LOWERBOUND_THM13_H_
+
+#include "core/database.h"
+#include "core/sketch.h"
+#include "util/bitvector.h"
+
+namespace ifsketch::lowerbound {
+
+/// Builder/decoder for the Theorem 13 hard family.
+class Thm13Instance {
+ public:
+  /// Requires: d even, k >= 2, num_rows <= C(d/2, k-1) (the paper's
+  /// 1/eps <= C(d/2, k-1) condition), num_rows >= 1.
+  Thm13Instance(std::size_t d, std::size_t k, std::size_t num_rows);
+
+  std::size_t d() const { return d_; }
+  std::size_t k() const { return k_; }
+
+  /// Number of distinct rows R = 1/eps.
+  std::size_t num_rows() const { return num_rows_; }
+
+  /// Payload capacity in bits: (d/2) * R. This is the Omega(d/eps)
+  /// information content.
+  std::size_t PayloadBits() const { return (d_ / 2) * num_rows_; }
+
+  /// The frequency of each present probe itemset: q = 1/R.
+  double RowFrequency() const {
+    return 1.0 / static_cast<double>(num_rows_);
+  }
+
+  /// The sketch threshold to query at: 3q/4 (see file comment).
+  double SketchEps() const { return 0.75 * RowFrequency(); }
+
+  /// Builds the database embedding `payload` (PayloadBits() bits), with
+  /// each distinct row duplicated `duplication` times (n = R*duplication).
+  core::Database BuildDatabase(const util::BitVector& payload,
+                               std::size_t duplication = 1) const;
+
+  /// The probe itemset T_{i,j} for payload bit (row i, free column j).
+  /// |T_{i,j}| == k.
+  core::Itemset ProbeItemset(std::size_t i, std::size_t j) const;
+
+  /// Linear payload position of (i, j).
+  std::size_t PayloadIndex(std::size_t i, std::size_t j) const {
+    return i * (d_ / 2) + j;
+  }
+
+  /// Reads every payload bit back out of an indicator view.
+  util::BitVector ReconstructPayload(
+      const core::FrequencyIndicator& indicator) const;
+
+ private:
+  std::size_t d_;
+  std::size_t k_;
+  std::size_t num_rows_;
+};
+
+}  // namespace ifsketch::lowerbound
+
+#endif  // IFSKETCH_LOWERBOUND_THM13_H_

@@ -1,0 +1,188 @@
+#include "lowerbound/thm15.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "lp/inequality.h"
+#include "util/check.h"
+#include "util/combinatorics.h"
+
+namespace ifsketch::lowerbound {
+
+util::BitVector DecodeColumnByConsistency(
+    std::size_t v, const std::function<bool(const util::BitVector&)>& answer,
+    const ConsistencyDecoderOptions& options, util::Rng& rng) {
+  const double eps = Thm15Instance::kEps;
+  const double vd = static_cast<double>(v);
+
+  // Regime 1: 1/v > eps. A singleton probe's frequency is either 0
+  // (forcing answer 0) or 1/v > eps (forcing answer 1), so the indicator
+  // bit *is* the payload bit.
+  if (1.0 / vd > eps) {
+    util::BitVector out(v);
+    for (std::size_t i = 0; i < v; ++i) {
+      util::BitVector s(v);
+      s.Set(i, true);
+      out.Set(i, answer(s));
+    }
+    return out;
+  }
+
+  // Regime 2: v >= 50. Paired-probe consistency decoding. Lemma 19 says
+  // any vector consistent with all 2^v threshold answers is within v/25
+  // of the truth; querying all 2^v patterns is out of the question, so we
+  // decode coordinate-by-coordinate with paired probes instead: for a
+  // pad R not containing i, the answers b(R + {i}) and b(R) can differ
+  // only if t_i = 1 (for any monotone threshold rule consistent with the
+  // sketch's contract, adding a zero coordinate never moves <s, t>).
+  // Pads are sized so that <R, t> straddles the decision threshold with
+  // constant probability, and a majority vote absorbs the noise of
+  // sampled (non-threshold but still valid) sketches.
+  const std::size_t band = std::max<std::size_t>(
+      2, static_cast<std::size_t>(
+             std::lround(options.probe_density_scale * eps * vd)));
+  const std::size_t trials_per_bit =
+      std::max<std::size_t>(16, options.random_probes);
+  util::BitVector out(v);
+  std::vector<std::size_t> others;
+  others.reserve(v - 1);
+  for (std::size_t i = 0; i < v; ++i) {
+    others.clear();
+    for (std::size_t j = 0; j < v; ++j) {
+      if (j != i) others.push_back(j);
+    }
+    long score = 0;
+    for (std::size_t trial = 0; trial < trials_per_bit; ++trial) {
+      const std::size_t pad = 1 + rng.UniformInt(band);
+      rng.Shuffle(others);
+      util::BitVector without(v);
+      for (std::size_t p = 0; p < pad && p < others.size(); ++p) {
+        without.Set(others[p], true);
+      }
+      util::BitVector with = without;
+      with.Set(i, true);
+      const bool b_with = answer(with);
+      const bool b_without = answer(without);
+      if (b_with && !b_without) ++score;
+      if (!b_with && b_without) --score;
+    }
+    out.Set(i, score >= static_cast<long>(trials_per_bit) / 10 + 1);
+  }
+  return out;
+}
+
+Thm15Instance::Thm15Instance(std::size_t d, std::size_t k)
+    : d_(d), k_(k), shattered_(d, k - 1) {
+  IFSKETCH_CHECK_GE(k, 2u);
+}
+
+core::Database Thm15Instance::BuildDatabase(
+    const util::BitVector& payload) const {
+  IFSKETCH_CHECK_EQ(payload.size(), PayloadBits());
+  std::vector<util::BitVector> rows;
+  rows.reserve(v());
+  for (std::size_t i = 0; i < v(); ++i) {
+    rows.push_back(
+        shattered_.Row(i).Concat(payload.Slice(i * d_, d_)));
+  }
+  return core::Database::FromRows(std::move(rows));
+}
+
+core::Itemset Thm15Instance::ProbeItemset(const util::BitVector& s,
+                                          std::size_t j) const {
+  IFSKETCH_CHECK_LT(j, d_);
+  core::Itemset t = shattered_.QueryFor(s).ShiftInto(2 * d_, 0);
+  t.Add(d_ + j);
+  return t;
+}
+
+double Thm15Instance::TrueFrequency(const util::BitVector& payload,
+                                    const util::BitVector& s,
+                                    std::size_t j) const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < v(); ++i) {
+    if (s.Get(i) && payload.Get(i * d_ + j)) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(v());
+}
+
+util::BitVector Thm15Instance::ReconstructPayload(
+    const core::FrequencyIndicator& q,
+    const ConsistencyDecoderOptions& options, util::Rng& rng) const {
+  util::BitVector out(PayloadBits());
+  for (std::size_t j = 0; j < d_; ++j) {
+    const util::BitVector column = DecodeColumnByConsistency(
+        v(),
+        [&](const util::BitVector& s) {
+          return q.IsFrequent(ProbeItemset(s, j));
+        },
+        options, rng);
+    for (std::size_t i = 0; i < v(); ++i) {
+      out.Set(i * d_ + j, column.Get(i));
+    }
+  }
+  return out;
+}
+
+Thm15Amplified::Thm15Amplified(std::size_t d, std::size_t k, std::size_t m)
+    : d_(d), k_(k), m_(m), inner_(d, (k + 1) / 2) {
+  IFSKETCH_CHECK_GE(k, 3u);
+  IFSKETCH_CHECK_EQ(k % 2, 1u);
+  IFSKETCH_CHECK_GE(m, 1u);
+  // Distinct tags require m <= C(d, (k-1)/2).
+  IFSKETCH_CHECK_LE(m, util::Binomial(d, (k - 1) / 2));
+}
+
+core::Itemset Thm15Amplified::Tag(std::size_t copy) const {
+  return core::Itemset(d_, util::UnrankSubset(copy, d_, (k_ - 1) / 2));
+}
+
+core::Database Thm15Amplified::BuildDatabase(
+    const util::BitVector& payload) const {
+  IFSKETCH_CHECK_EQ(payload.size(), PayloadBits());
+  const std::size_t inner_bits = inner_.PayloadBits();
+  std::vector<util::BitVector> rows;
+  rows.reserve(m_ * inner_.v());
+  for (std::size_t i = 0; i < m_; ++i) {
+    const core::Database di =
+        inner_.BuildDatabase(payload.Slice(i * inner_bits, inner_bits));
+    const util::BitVector tag = Tag(i).indicator();
+    for (std::size_t r = 0; r < di.num_rows(); ++r) {
+      rows.push_back(di.Row(r).Concat(tag));
+    }
+  }
+  return core::Database::FromRows(std::move(rows));
+}
+
+core::Itemset Thm15Amplified::OuterProbe(std::size_t copy,
+                                         const util::BitVector& s,
+                                         std::size_t j) const {
+  IFSKETCH_CHECK_LT(copy, m_);
+  const core::Itemset inner_probe = inner_.ProbeItemset(s, j);
+  core::Itemset t = inner_probe.ShiftInto(3 * d_, 0);
+  return t.Union(Tag(copy).ShiftInto(3 * d_, 2 * d_));
+}
+
+util::BitVector Thm15Amplified::ReconstructPayload(
+    const core::FrequencyIndicator& q,
+    const ConsistencyDecoderOptions& options, util::Rng& rng) const {
+  const std::size_t inner_bits = inner_.PayloadBits();
+  util::BitVector out(PayloadBits());
+  for (std::size_t copy = 0; copy < m_; ++copy) {
+    for (std::size_t j = 0; j < d_; ++j) {
+      const util::BitVector column = DecodeColumnByConsistency(
+          inner_.v(),
+          [&](const util::BitVector& s) {
+            return q.IsFrequent(OuterProbe(copy, s, j));
+          },
+          options, rng);
+      for (std::size_t i = 0; i < inner_.v(); ++i) {
+        out.Set(copy * inner_bits + i * d_ + j, column.Get(i));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ifsketch::lowerbound

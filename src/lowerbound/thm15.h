@@ -1,0 +1,142 @@
+// The Theorem 15 construction: tight Omega(kd log(d/k)/eps) information
+// content of For-All indicator sketches.
+//
+// Constant-eps stage (eps = 1/50): rows D(i) = (x_i, y_i) pair the Fact 18
+// shattered strings x_i with arbitrary payload strings y_i. For a pattern
+// s and payload column j, the itemset T_s + {d+j} has frequency <s,t>/v
+// where t is column j of the payload, so indicator answers are threshold
+// queries on inner products and Lemma 19 lets a consistency decoder
+// recover >= 96% of each column. The payload is wrapped in the
+// ConcatenatedCode so those 96% become exact recovery of Omega(kd
+// log(d/k)) bits.
+//
+// Sub-constant-eps stage: m = 1/(50 eps) constant-eps databases are
+// tagged with distinct ((k-1)/2)-itemsets and stacked (3d columns); each
+// outer k-itemset query T* + shifted-tag_i satisfies
+// f(D) = f_inner(D_i)/m, so one For-All sketch at eps answers all m inner
+// instances at 1/50 -- multiplying the information content by m.
+#ifndef IFSKETCH_LOWERBOUND_THM15_H_
+#define IFSKETCH_LOWERBOUND_THM15_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "core/database.h"
+#include "core/sketch.h"
+#include "lowerbound/shattered_set.h"
+#include "util/bitvector.h"
+#include "util/random.h"
+
+namespace ifsketch::lowerbound {
+
+/// Tuning for the Lemma 19 consistency decoder.
+struct ConsistencyDecoderOptions {
+  /// Random probe patterns per column in addition to the singletons.
+  std::size_t random_probes = 96;
+  /// Density (set size) of random probes as a multiple of v/50;
+  /// sizes near the threshold band are the informative ones.
+  double probe_density_scale = 4.0;
+};
+
+/// The constant-eps (eps = 1/50) instance over 2d columns and v rows.
+class Thm15Instance {
+ public:
+  /// Requires k >= 2 and d >= 2*(k-1). Uses ShatteredSet(d, k-1).
+  Thm15Instance(std::size_t d, std::size_t k);
+
+  static constexpr double kEps = 1.0 / 50.0;
+
+  std::size_t d() const { return d_; }
+  std::size_t k() const { return k_; }
+
+  /// Number of rows v = (k-1) * log2(block) (Fact 18).
+  std::size_t v() const { return shattered_.v(); }
+
+  /// Payload capacity: v rows of d bits each = Omega(kd log(d/k)).
+  std::size_t PayloadBits() const { return v() * d_; }
+
+  /// Builds the v x 2d database with row i = (x_i, payload row i).
+  core::Database BuildDatabase(const util::BitVector& payload) const;
+
+  /// The k-itemset T_{s,j} = T_s + {d + j} over the 2d columns.
+  core::Itemset ProbeItemset(const util::BitVector& s, std::size_t j) const;
+
+  /// Ground truth: f_{T_{s,j}}(D) = <s, column j of payload> / v.
+  double TrueFrequency(const util::BitVector& payload,
+                       const util::BitVector& s, std::size_t j) const;
+
+  /// Recovers the payload from a For-All indicator view built at kEps.
+  /// Per column runs the Lemma 19 consistency decoder (exact singleton
+  /// reads when 1/v > eps; paired-probe voting otherwise -- see
+  /// DecodeColumnByConsistency). The Theorem's claim is that >= 96% of
+  /// bits come back correct.
+  util::BitVector ReconstructPayload(const core::FrequencyIndicator& q,
+                                     const ConsistencyDecoderOptions& options,
+                                     util::Rng& rng) const;
+
+  const ShatteredSet& shattered() const { return shattered_; }
+
+ private:
+  std::size_t d_;
+  std::size_t k_;
+  ShatteredSet shattered_;
+};
+
+/// The amplified instance: m stacked, tagged copies over 3d columns.
+class Thm15Amplified {
+ public:
+  /// Requires k odd, k >= 3, d >= 2*((k+1)/2 - 1), and
+  /// m <= C(d, (k-1)/2) distinct tags. The inner instances use itemset
+  /// size (k+1)/2 so the outer queries have size exactly k.
+  Thm15Amplified(std::size_t d, std::size_t k, std::size_t m);
+
+  std::size_t d() const { return d_; }
+  std::size_t k() const { return k_; }
+  std::size_t m() const { return m_; }
+
+  /// The sub-constant threshold eps = 1/(50 m).
+  double OuterEps() const {
+    return Thm15Instance::kEps / static_cast<double>(m_);
+  }
+
+  /// Total payload: m * inner payload.
+  std::size_t PayloadBits() const { return m_ * inner_.PayloadBits(); }
+
+  /// Rows: m * v; columns: 3d.
+  core::Database BuildDatabase(const util::BitVector& payload) const;
+
+  /// Outer probe for inner probe (s, j) of copy i:
+  /// T_{s,j} + shifted tag_i, a k-itemset over 3d columns.
+  core::Itemset OuterProbe(std::size_t copy, const util::BitVector& s,
+                           std::size_t j) const;
+
+  /// Recovers all m inner payloads from one outer For-All indicator view
+  /// built at OuterEps().
+  util::BitVector ReconstructPayload(const core::FrequencyIndicator& q,
+                                     const ConsistencyDecoderOptions& options,
+                                     util::Rng& rng) const;
+
+  const Thm15Instance& inner() const { return inner_; }
+
+ private:
+  /// The i-th tag: a ((k-1)/2)-itemset over [d], colex rank i.
+  core::Itemset Tag(std::size_t copy) const;
+
+  std::size_t d_;
+  std::size_t k_;
+  std::size_t m_;
+  Thm15Instance inner_;
+};
+
+/// Shared internals, exposed for tests: the Lemma 19 consistency decoder
+/// run on externally supplied indicator answers.
+///
+/// `answer` is a callback mapping a probe pattern s (width v) to the
+/// indicator bit b_s. Returns the decoded column t' (width v).
+util::BitVector DecodeColumnByConsistency(
+    std::size_t v, const std::function<bool(const util::BitVector&)>& answer,
+    const ConsistencyDecoderOptions& options, util::Rng& rng);
+
+}  // namespace ifsketch::lowerbound
+
+#endif  // IFSKETCH_LOWERBOUND_THM15_H_

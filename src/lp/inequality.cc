@@ -1,0 +1,49 @@
+#include "lp/inequality.h"
+
+#include "util/check.h"
+
+namespace ifsketch::lp {
+
+std::optional<linalg::Vector> SolveInequalityBox(
+    const linalg::Matrix& g, const linalg::Vector& h,
+    const linalg::Vector& c, double lo, double hi,
+    std::size_t max_iterations) {
+  const std::size_t m = g.rows();
+  const std::size_t n = g.cols();
+  IFSKETCH_CHECK_EQ(h.size(), m);
+  IFSKETCH_CHECK_EQ(c.size(), n);
+  IFSKETCH_CHECK_LT(lo, hi);
+
+  // Variables (all >= 0): u (n, x = lo + u), s (n, u + s = hi - lo),
+  // w (m, inequality slacks): G u + w = h - G*lo.
+  const std::size_t num_vars = 2 * n + m;
+  LpProblem p;
+  p.a = linalg::Matrix(m + n, num_vars);
+  p.b.assign(m + n, 0.0);
+  p.c.assign(num_vars, 0.0);
+
+  for (std::size_t r = 0; r < m; ++r) {
+    double shift = 0.0;
+    for (std::size_t col = 0; col < n; ++col) {
+      p.a(r, col) = g(r, col);
+      shift += g(r, col) * lo;
+    }
+    p.a(r, 2 * n + r) = 1.0;
+    p.b[r] = h[r] - shift;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    p.a(m + i, i) = 1.0;
+    p.a(m + i, n + i) = 1.0;
+    p.b[m + i] = hi - lo;
+  }
+  for (std::size_t i = 0; i < n; ++i) p.c[i] = c[i];
+
+  const LpSolution sol = SolveStandardForm(p, max_iterations);
+  if (sol.status != LpStatus::kOptimal) return std::nullopt;
+
+  linalg::Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = lo + sol.x[i];
+  return x;
+}
+
+}  // namespace ifsketch::lp

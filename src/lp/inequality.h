@@ -1,0 +1,26 @@
+// Inequality-form LP with box constraints.
+//
+// min c^T x  subject to  G x <= h,  lo <= x_i <= hi.
+// Converted to standard form by shifting x, adding box slacks and
+// inequality slacks. A general-purpose companion to the L1 fitter:
+// threshold constraints extracted from indicator answers have exactly
+// this shape.
+#ifndef IFSKETCH_LP_INEQUALITY_H_
+#define IFSKETCH_LP_INEQUALITY_H_
+
+#include <optional>
+
+#include "lp/simplex.h"
+
+namespace ifsketch::lp {
+
+/// Solves min c^T x s.t. G x <= h, lo <= x <= hi. Returns nullopt when
+/// infeasible or the iteration limit is hit.
+std::optional<linalg::Vector> SolveInequalityBox(
+    const linalg::Matrix& g, const linalg::Vector& h,
+    const linalg::Vector& c, double lo, double hi,
+    std::size_t max_iterations = 0);
+
+}  // namespace ifsketch::lp
+
+#endif  // IFSKETCH_LP_INEQUALITY_H_

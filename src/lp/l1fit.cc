@@ -1,0 +1,58 @@
+#include "lp/l1fit.h"
+
+#include "lp/simplex.h"
+#include "util/check.h"
+
+namespace ifsketch::lp {
+
+std::optional<L1FitResult> L1RegressionBox(const linalg::Matrix& a,
+                                           const linalg::Vector& b,
+                                           double lo, double hi,
+                                           std::size_t max_iterations) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  IFSKETCH_CHECK_EQ(b.size(), m);
+  IFSKETCH_CHECK_LT(lo, hi);
+
+  // Variables (all >= 0): u (n, x = lo + u), s (n, u + s = hi - lo),
+  // rp (m), rn (m) with A u - rp + rn = b - A*lo.
+  const std::size_t num_vars = 2 * n + 2 * m;
+  LpProblem p;
+  p.a = linalg::Matrix(m + n, num_vars);
+  p.b.assign(m + n, 0.0);
+  p.c.assign(num_vars, 0.0);
+
+  // Residual constraints.
+  for (std::size_t r = 0; r < m; ++r) {
+    double shift = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      p.a(r, c) = a(r, c);
+      shift += a(r, c) * lo;
+    }
+    p.a(r, 2 * n + r) = -1.0;      // rp
+    p.a(r, 2 * n + m + r) = 1.0;   // rn
+    p.b[r] = b[r] - shift;
+  }
+  // Box constraints u + s = hi - lo.
+  for (std::size_t i = 0; i < n; ++i) {
+    p.a(m + i, i) = 1.0;
+    p.a(m + i, n + i) = 1.0;
+    p.b[m + i] = hi - lo;
+  }
+  // Objective: sum of residual parts.
+  for (std::size_t r = 0; r < m; ++r) {
+    p.c[2 * n + r] = 1.0;
+    p.c[2 * n + m + r] = 1.0;
+  }
+
+  const LpSolution sol = SolveStandardForm(p, max_iterations);
+  if (sol.status != LpStatus::kOptimal) return std::nullopt;
+
+  L1FitResult out;
+  out.x.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.x[i] = lo + sol.x[i];
+  out.residual_l1 = sol.objective;
+  return out;
+}
+
+}  // namespace ifsketch::lp

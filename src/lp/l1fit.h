@@ -1,0 +1,34 @@
+// L1 regression via linear programming.
+//
+// min ||A x - b||_1 with box constraints lo <= x_i <= hi, reduced to
+// standard form by splitting residuals into positive/negative parts and
+// shifting/bounding x with slack variables. This is the decoding step of
+// Lemma 24 (De's reconstruction) and of the Lemma 21 consistency decoder:
+// L1's robustness to a few large-error answers is exactly why the paper
+// can work with sketches accurate only "on average".
+#ifndef IFSKETCH_LP_L1FIT_H_
+#define IFSKETCH_LP_L1FIT_H_
+
+#include <optional>
+
+#include "linalg/matrix.h"
+
+namespace ifsketch::lp {
+
+/// Result of an L1 fit.
+struct L1FitResult {
+  linalg::Vector x;       ///< The minimizer.
+  double residual_l1 = 0; ///< ||A x - b||_1 at the minimizer.
+};
+
+/// Minimizes ||A x - b||_1 subject to lo <= x_i <= hi for every i.
+/// Requires lo < hi (finite box). Returns nullopt only if the solver hits
+/// its iteration limit (the problem itself is always feasible).
+std::optional<L1FitResult> L1RegressionBox(const linalg::Matrix& a,
+                                           const linalg::Vector& b,
+                                           double lo, double hi,
+                                           std::size_t max_iterations = 0);
+
+}  // namespace ifsketch::lp
+
+#endif  // IFSKETCH_LP_L1FIT_H_

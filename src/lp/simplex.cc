@@ -1,0 +1,192 @@
+#include "lp/simplex.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ifsketch::lp {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense simplex tableau over the columns of one phase.
+//
+// Layout: rows 0..m-1 are constraints (columns 0..n-1 variables, column n
+// the rhs); row m is the objective (reduced costs, rhs = -objective).
+class Tableau {
+ public:
+  Tableau(std::size_t m, std::size_t n) : m_(m), n_(n), t_(m + 1, linalg::Vector(n + 1, 0.0)), basis_(m) {}
+
+  double& At(std::size_t r, std::size_t c) { return t_[r][c]; }
+  double At(std::size_t r, std::size_t c) const { return t_[r][c]; }
+  std::size_t basis(std::size_t r) const { return basis_[r]; }
+  void set_basis(std::size_t r, std::size_t col) { basis_[r] = col; }
+
+  // Pivots on (row, col): scales the row and eliminates the column
+  // everywhere else.
+  void Pivot(std::size_t row, std::size_t col) {
+    const double p = t_[row][col];
+    IFSKETCH_CHECK(std::fabs(p) > kEps);
+    for (std::size_t c = 0; c <= n_; ++c) t_[row][c] /= p;
+    for (std::size_t r = 0; r <= m_; ++r) {
+      if (r == row) continue;
+      const double f = t_[r][col];
+      if (f == 0.0) continue;
+      for (std::size_t c = 0; c <= n_; ++c) t_[r][c] -= f * t_[row][c];
+    }
+    basis_[row] = col;
+  }
+
+  // One phase of simplex with Bland's rule. `allowed` marks columns
+  // eligible to enter. Returns kOptimal / kUnbounded / kIterationLimit.
+  LpStatus Run(const std::vector<bool>& allowed, std::size_t& iterations,
+               std::size_t max_iterations) {
+    while (true) {
+      if (iterations >= max_iterations) return LpStatus::kIterationLimit;
+      // Bland: entering column = lowest index with negative reduced cost.
+      std::size_t enter = n_;
+      for (std::size_t c = 0; c < n_; ++c) {
+        if (allowed[c] && t_[m_][c] < -kEps) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter == n_) return LpStatus::kOptimal;
+      // Ratio test; ties broken by lowest basis index (Bland).
+      std::size_t leave = m_;
+      double best_ratio = 0.0;
+      for (std::size_t r = 0; r < m_; ++r) {
+        if (t_[r][enter] > kEps) {
+          const double ratio = t_[r][n_] / t_[r][enter];
+          if (leave == m_ || ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps && basis_[r] < basis_[leave])) {
+            leave = r;
+            best_ratio = ratio;
+          }
+        }
+      }
+      if (leave == m_) return LpStatus::kUnbounded;
+      Pivot(leave, enter);
+      ++iterations;
+    }
+  }
+
+  std::size_t m() const { return m_; }
+  std::size_t n() const { return n_; }
+
+ private:
+  std::size_t m_;
+  std::size_t n_;
+  std::vector<linalg::Vector> t_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+const char* ToString(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+    case LpStatus::kIterationLimit:
+      return "iteration-limit";
+  }
+  return "?";
+}
+
+LpSolution SolveStandardForm(const LpProblem& problem,
+                             std::size_t max_iterations) {
+  const std::size_t m = problem.a.rows();
+  const std::size_t n = problem.a.cols();
+  IFSKETCH_CHECK_EQ(problem.b.size(), m);
+  IFSKETCH_CHECK_EQ(problem.c.size(), n);
+  if (max_iterations == 0) max_iterations = 50 * (m + n) + 1000;
+
+  // Phase 1: minimize the sum of artificial variables (columns n..n+m-1).
+  Tableau tab(m, n + m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double sign = problem.b[r] >= 0.0 ? 1.0 : -1.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      tab.At(r, c) = sign * problem.a(r, c);
+    }
+    tab.At(r, n + r) = 1.0;
+    tab.At(r, n + m) = sign * problem.b[r];
+    tab.set_basis(r, n + r);
+  }
+  // Phase-1 objective row: sum of artificial rows, negated into reduced
+  // costs (cost 1 on artificials; eliminate them since they are basic).
+  for (std::size_t c = 0; c <= n + m; ++c) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < m; ++r) acc += tab.At(r, c);
+    if (c < n) {
+      tab.At(m, c) = -acc;
+    } else if (c < n + m) {
+      tab.At(m, c) = 0.0;
+    } else {
+      tab.At(m, c) = -acc;
+    }
+  }
+
+  std::size_t iterations = 0;
+  std::vector<bool> allowed(n + m, true);
+  LpStatus status = tab.Run(allowed, iterations, max_iterations);
+  LpSolution solution;
+  if (status == LpStatus::kIterationLimit) {
+    solution.status = status;
+    return solution;
+  }
+  // Phase-1 objective value = -rhs of the objective row.
+  const double phase1 = -tab.At(m, n + m);
+  if (phase1 > 1e-6) {
+    solution.status = LpStatus::kInfeasible;
+    return solution;
+  }
+  // Drive any artificial still in the basis out (degenerate case): pivot
+  // on any real column with a nonzero entry; if none, the row is
+  // redundant and stays put (its artificial remains at value 0).
+  for (std::size_t r = 0; r < m; ++r) {
+    if (tab.basis(r) >= n) {
+      for (std::size_t c = 0; c < n; ++c) {
+        if (std::fabs(tab.At(r, c)) > kEps) {
+          tab.Pivot(r, c);
+          break;
+        }
+      }
+    }
+  }
+
+  // Phase 2: install the real objective. Reduced costs: c_j minus the
+  // basic-cost combination; recompute from scratch.
+  for (std::size_t c = 0; c <= tab.n(); ++c) tab.At(m, c) = 0.0;
+  for (std::size_t c = 0; c < n; ++c) tab.At(m, c) = problem.c[c];
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t bc = tab.basis(r);
+    const double cost = bc < n ? problem.c[bc] : 0.0;
+    if (cost == 0.0) continue;
+    for (std::size_t c = 0; c <= tab.n(); ++c) {
+      tab.At(m, c) -= cost * tab.At(r, c);
+    }
+  }
+  // Exclude artificial columns from entering in phase 2.
+  for (std::size_t c = n; c < n + m; ++c) allowed[c] = false;
+
+  status = tab.Run(allowed, iterations, max_iterations);
+  solution.status = status;
+  if (status != LpStatus::kOptimal) return solution;
+
+  solution.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (tab.basis(r) < n) solution.x[tab.basis(r)] = tab.At(r, tab.n());
+  }
+  solution.objective = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    solution.objective += problem.c[c] * solution.x[c];
+  }
+  return solution;
+}
+
+}  // namespace ifsketch::lp

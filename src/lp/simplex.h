@@ -1,0 +1,46 @@
+// A dense two-phase primal simplex solver.
+//
+// Solves  min c^T x  subject to  A x = b, x >= 0  with Bland's rule for
+// anti-cycling. This is the workhorse behind the L1-minimization decoding
+// of De [De12] used in the Theorem 16 reconstruction (L2 minimization, as
+// in KRSU, breaks under answers that are only accurate on average; L1 is
+// what makes the "for at least a 1-gamma fraction of queries" hypothesis
+// usable). Dense tableau; intended for problems up to a few thousand
+// variables.
+#ifndef IFSKETCH_LP_SIMPLEX_H_
+#define IFSKETCH_LP_SIMPLEX_H_
+
+#include "linalg/matrix.h"
+
+namespace ifsketch::lp {
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+const char* ToString(LpStatus status);
+
+/// min c^T x  s.t.  A x = b, x >= 0.
+struct LpProblem {
+  linalg::Matrix a;
+  linalg::Vector b;
+  linalg::Vector c;
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  linalg::Vector x;
+  double objective = 0.0;
+};
+
+/// Solves the standard-form LP. `max_iterations` bounds total pivots
+/// across both phases (0 means an automatic limit of 50*(m+n)).
+LpSolution SolveStandardForm(const LpProblem& problem,
+                             std::size_t max_iterations = 0);
+
+}  // namespace ifsketch::lp
+
+#endif  // IFSKETCH_LP_SIMPLEX_H_

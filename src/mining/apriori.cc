@@ -1,0 +1,144 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace ifsketch::mining {
+namespace {
+
+using Attrs = std::vector<std::size_t>;
+
+// Joins two sorted k-itemsets sharing their first k-1 elements into a
+// (k+1)-candidate; returns empty when they don't join.
+Attrs Join(const Attrs& a, const Attrs& b) {
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    if (a[i] != b[i]) return {};
+  }
+  if (a.back() >= b.back()) return {};
+  Attrs out = a;
+  out.push_back(b.back());
+  return out;
+}
+
+// Downward closure: every (|c|-1)-subset of the candidate must be in the
+// previous frequent level.
+bool AllSubsetsFrequent(const Attrs& candidate,
+                        const std::set<Attrs>& previous) {
+  Attrs sub(candidate.begin(), candidate.end() - 1);
+  for (std::size_t drop = 0; drop < candidate.size(); ++drop) {
+    sub.clear();
+    for (std::size_t i = 0; i < candidate.size(); ++i) {
+      if (i != drop) sub.push_back(candidate[i]);
+    }
+    if (previous.find(sub) == previous.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> MineFrequentItemsets(
+    std::size_t d, const FrequencyFn& frequency,
+    const AprioriOptions& options) {
+  std::vector<FrequentItemset> results;
+  // Level 1.
+  std::vector<Attrs> level;
+  for (std::size_t a = 0; a < d; ++a) {
+    const core::Itemset t(d, {a});
+    const double f = frequency(t);
+    if (f >= options.min_frequency) {
+      level.push_back({a});
+      results.push_back({t, f});
+    }
+  }
+  // Levels 2..max_size.
+  for (std::size_t size = 2;
+       size <= options.max_size && !level.empty() &&
+       results.size() < options.max_results;
+       ++size) {
+    const std::set<Attrs> previous(level.begin(), level.end());
+    std::vector<Attrs> next;
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      for (std::size_t j = i + 1; j < level.size(); ++j) {
+        Attrs candidate = Join(level[i], level[j]);
+        if (candidate.empty()) continue;
+        if (!AllSubsetsFrequent(candidate, previous)) continue;
+        const core::Itemset t(d, candidate);
+        const double f = frequency(t);
+        if (f >= options.min_frequency) {
+          next.push_back(std::move(candidate));
+          results.push_back({t, f});
+          if (results.size() >= options.max_results) break;
+        }
+      }
+      if (results.size() >= options.max_results) break;
+    }
+    level = std::move(next);
+  }
+  return results;
+}
+
+std::vector<FrequentItemset> MineDatabase(const core::Database& db,
+                                          const AprioriOptions& options) {
+  return MineFrequentItemsets(
+      db.num_columns(),
+      [&db](const core::Itemset& t) { return db.Frequency(t); }, options);
+}
+
+std::vector<FrequentItemset> MineWithEstimator(
+    const core::FrequencyEstimator& estimator, std::size_t d,
+    const AprioriOptions& options) {
+  return MineFrequentItemsets(
+      d,
+      [&estimator](const core::Itemset& t) {
+        return estimator.EstimateFrequency(t);
+      },
+      options);
+}
+
+std::vector<AssociationRule> ExtractRules(
+    const std::vector<FrequentItemset>& itemsets,
+    const FrequencyFn& frequency, double min_confidence) {
+  std::vector<AssociationRule> rules;
+  for (const auto& fi : itemsets) {
+    const Attrs attrs = fi.itemset.Attributes();
+    if (attrs.size() < 2) continue;
+    const std::size_t d = fi.itemset.universe();
+    for (std::size_t out = 0; out < attrs.size(); ++out) {
+      Attrs lhs_attrs;
+      for (std::size_t i = 0; i < attrs.size(); ++i) {
+        if (i != out) lhs_attrs.push_back(attrs[i]);
+      }
+      const core::Itemset lhs(d, lhs_attrs);
+      const double f_lhs = frequency(lhs);
+      if (f_lhs <= 0.0) continue;
+      const double confidence = fi.frequency / f_lhs;
+      if (confidence >= min_confidence) {
+        rules.push_back(
+            {lhs, core::Itemset(d, {attrs[out]}), fi.frequency, confidence});
+      }
+    }
+  }
+  return rules;
+}
+
+MiningQuality CompareMinedSets(const std::vector<FrequentItemset>& reference,
+                               const std::vector<FrequentItemset>& mined) {
+  std::set<std::string> ref_keys;
+  for (const auto& r : reference) {
+    ref_keys.insert(r.itemset.indicator().ToString());
+  }
+  MiningQuality q;
+  q.reference_count = reference.size();
+  q.mined_count = mined.size();
+  for (const auto& m : mined) {
+    if (ref_keys.count(m.itemset.indicator().ToString()) > 0) {
+      ++q.intersection;
+    }
+  }
+  return q;
+}
+
+}  // namespace ifsketch::mining

@@ -1,0 +1,90 @@
+// Apriori frequent-itemset mining over databases or sketches.
+//
+// The paper's §1.1 motivation: an analyst keeps an itemset sketch instead
+// of the database and runs mining algorithms against it. This miner is
+// the classic level-wise Apriori [AIS93]: level k candidates are joins of
+// frequent (k-1)-itemsets sharing a (k-2)-prefix, pruned by the downward
+// closure property, with supports evaluated either exactly on a Database
+// or approximately through any FrequencyEstimator (e.g. a SUBSAMPLE
+// summary) -- which is exactly how a sketch replaces repeated scans.
+#ifndef IFSKETCH_MINING_APRIORI_H_
+#define IFSKETCH_MINING_APRIORI_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/database.h"
+#include "core/sketch.h"
+
+namespace ifsketch::mining {
+
+/// A mined itemset with its (possibly estimated) frequency.
+struct FrequentItemset {
+  core::Itemset itemset;
+  double frequency = 0.0;
+};
+
+/// Mining configuration.
+struct AprioriOptions {
+  double min_frequency = 0.1;   ///< Support threshold.
+  std::size_t max_size = 4;     ///< Largest itemset cardinality mined.
+  std::size_t max_results = 100000;  ///< Safety cap on output size.
+};
+
+/// Frequency oracle abstraction: exact (database) or sketched.
+using FrequencyFn = std::function<double(const core::Itemset&)>;
+
+/// Runs Apriori against an arbitrary frequency oracle over universe d.
+/// Results are sorted by (size, colex rank of attributes).
+std::vector<FrequentItemset> MineFrequentItemsets(
+    std::size_t d, const FrequencyFn& frequency,
+    const AprioriOptions& options);
+
+/// Convenience: exact mining on a database.
+std::vector<FrequentItemset> MineDatabase(const core::Database& db,
+                                          const AprioriOptions& options);
+
+/// Convenience: approximate mining through an estimator summary.
+std::vector<FrequentItemset> MineWithEstimator(
+    const core::FrequencyEstimator& estimator, std::size_t d,
+    const AprioriOptions& options);
+
+/// An association rule lhs => rhs.
+struct AssociationRule {
+  core::Itemset lhs;
+  core::Itemset rhs;
+  double support = 0.0;     ///< Frequency of lhs + rhs.
+  double confidence = 0.0;  ///< support / frequency(lhs).
+};
+
+/// Extracts single-consequent rules from mined itemsets with confidence
+/// at least `min_confidence` (Mannila-Toivonen style rule identification
+/// on an eps-adequate representation).
+std::vector<AssociationRule> ExtractRules(
+    const std::vector<FrequentItemset>& itemsets,
+    const FrequencyFn& frequency, double min_confidence);
+
+/// Precision/recall of mined itemsets against a reference set (compared
+/// as attribute sets, frequencies ignored).
+struct MiningQuality {
+  std::size_t reference_count = 0;
+  std::size_t mined_count = 0;
+  std::size_t intersection = 0;
+  double Precision() const {
+    return mined_count == 0 ? 1.0
+                            : static_cast<double>(intersection) /
+                                  static_cast<double>(mined_count);
+  }
+  double Recall() const {
+    return reference_count == 0 ? 1.0
+                                : static_cast<double>(intersection) /
+                                      static_cast<double>(reference_count);
+  }
+};
+
+MiningQuality CompareMinedSets(const std::vector<FrequentItemset>& reference,
+                               const std::vector<FrequentItemset>& mined);
+
+}  // namespace ifsketch::mining
+
+#endif  // IFSKETCH_MINING_APRIORI_H_

@@ -1,0 +1,46 @@
+#include "mining/biclique.h"
+
+#include "util/check.h"
+
+namespace ifsketch::mining {
+
+Biclique BicliqueFromItemset(const core::Database& db,
+                             const core::Itemset& t) {
+  Biclique b;
+  b.attributes = t.Attributes();
+  for (std::size_t i = 0; i < db.num_rows(); ++i) {
+    if (t.ContainedIn(db.Row(i))) b.rows.push_back(i);
+  }
+  return b;
+}
+
+bool IsBiclique(const core::Database& db, const Biclique& b) {
+  for (std::size_t i : b.rows) {
+    for (std::size_t j : b.attributes) {
+      if (!db.Get(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+Biclique MaxBalancedBicliqueExact(const core::Database& db) {
+  const std::size_t d = db.num_columns();
+  IFSKETCH_CHECK_LE(d, 22u);  // 2^d enumeration guard
+  Biclique best;
+  const std::size_t subsets = std::size_t{1} << d;
+  for (std::size_t mask = 1; mask < subsets; ++mask) {
+    core::Itemset t(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      if ((mask >> j) & 1u) t.Add(j);
+    }
+    Biclique candidate = BicliqueFromItemset(db, t);
+    if (candidate.BalancedSize() > best.BalancedSize() ||
+        (candidate.BalancedSize() == best.BalancedSize() &&
+         candidate.attributes.size() > best.attributes.size())) {
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace ifsketch::mining

@@ -1,0 +1,47 @@
+// The frequent-itemset <-> balanced-biclique correspondence (§1.1.1).
+//
+// View D as a bipartite graph: rows on one side, attributes on the
+// other, an edge when D(i,j)=1. An itemset of cardinality c and support
+// count s induces a complete bipartite subgraph with s rows and c
+// attributes, and conversely. The paper uses this to show that finding a
+// frequent itemset of approximately maximal size is NP-hard (via hardness
+// of Balanced Complete Bipartite Subgraph). This module implements both
+// directions of the correspondence plus an exact (exponential-time)
+// balanced-biclique search usable at test scale.
+#ifndef IFSKETCH_MINING_BICLIQUE_H_
+#define IFSKETCH_MINING_BICLIQUE_H_
+
+#include <vector>
+
+#include "core/database.h"
+
+namespace ifsketch::mining {
+
+/// A complete bipartite subgraph of the row/attribute graph.
+struct Biclique {
+  std::vector<std::size_t> rows;        ///< Row indices (ascending).
+  std::vector<std::size_t> attributes;  ///< Attribute indices (ascending).
+  /// Balanced size: min(|rows|, |attributes|).
+  std::size_t BalancedSize() const {
+    return rows.size() < attributes.size() ? rows.size()
+                                           : attributes.size();
+  }
+};
+
+/// The biclique induced by an itemset: its attributes x its supporting
+/// rows. (The paper's forward direction.)
+Biclique BicliqueFromItemset(const core::Database& db,
+                             const core::Itemset& t);
+
+/// True iff every (row, attribute) pair of `b` is an edge (D(i,j)=1).
+bool IsBiclique(const core::Database& db, const Biclique& b);
+
+/// Exact maximum *balanced* biclique by exhaustive search over attribute
+/// subsets (O(2^d * n d)); intended for d <= ~20. Returns a biclique
+/// maximizing min(|rows|, |attributes|); ties broken toward more
+/// attributes.
+Biclique MaxBalancedBicliqueExact(const core::Database& db);
+
+}  // namespace ifsketch::mining
+
+#endif  // IFSKETCH_MINING_BICLIQUE_H_

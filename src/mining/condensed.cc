@@ -1,0 +1,94 @@
+#include "mining/condensed.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+#include "util/combinatorics.h"
+
+namespace ifsketch::mining {
+namespace {
+
+bool IsProperSubset(const core::Itemset& small, const core::Itemset& big) {
+  return small.size() < big.size() &&
+         big.indicator().Contains(small.indicator());
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> MaximalItemsets(
+    const std::vector<FrequentItemset>& frequent) {
+  std::vector<FrequentItemset> out;
+  for (const auto& candidate : frequent) {
+    bool has_superset = false;
+    for (const auto& other : frequent) {
+      if (IsProperSubset(candidate.itemset, other.itemset)) {
+        has_superset = true;
+        break;
+      }
+    }
+    if (!has_superset) out.push_back(candidate);
+  }
+  return out;
+}
+
+std::vector<FrequentItemset> ClosedItemsets(
+    const std::vector<FrequentItemset>& frequent) {
+  std::vector<FrequentItemset> out;
+  for (const auto& candidate : frequent) {
+    bool has_equal_superset = false;
+    for (const auto& other : frequent) {
+      if (IsProperSubset(candidate.itemset, other.itemset) &&
+          other.frequency == candidate.frequency) {
+        has_equal_superset = true;
+        break;
+      }
+    }
+    if (!has_equal_superset) out.push_back(candidate);
+  }
+  return out;
+}
+
+std::vector<core::Itemset> ExpandMaximal(
+    const std::vector<FrequentItemset>& maximal) {
+  std::set<std::string> seen;
+  std::vector<core::Itemset> out;
+  for (const auto& m : maximal) {
+    const std::vector<std::size_t> attrs = m.itemset.Attributes();
+    const std::size_t d = m.itemset.universe();
+    // Every nonempty subset of each maximal itemset.
+    const std::size_t subsets = std::size_t{1} << attrs.size();
+    IFSKETCH_CHECK_LE(attrs.size(), 24u);  // guard the expansion
+    for (std::size_t mask = 1; mask < subsets; ++mask) {
+      core::Itemset sub(d);
+      for (std::size_t i = 0; i < attrs.size(); ++i) {
+        if ((mask >> i) & 1u) sub.Add(attrs[i]);
+      }
+      const std::string key = sub.indicator().ToString();
+      if (seen.insert(key).second) out.push_back(std::move(sub));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const core::Itemset& a, const core::Itemset& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return util::RankSubset(a.Attributes(), a.universe()) <
+                     util::RankSubset(b.Attributes(), b.universe());
+            });
+  return out;
+}
+
+core::Itemset Closure(const core::Database& db, const core::Itemset& t) {
+  util::BitVector common(db.num_columns());
+  for (std::size_t a = 0; a < db.num_columns(); ++a) common.Set(a, true);
+  bool any = false;
+  for (std::size_t i = 0; i < db.num_rows(); ++i) {
+    if (t.ContainedIn(db.Row(i))) {
+      common &= db.Row(i);
+      any = true;
+    }
+  }
+  IFSKETCH_CHECK(any);
+  return core::Itemset::FromIndicator(std::move(common));
+}
+
+}  // namespace ifsketch::mining

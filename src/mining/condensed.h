@@ -1,0 +1,44 @@
+// Condensed representations of frequent itemsets (§1.1.1).
+//
+// The paper motivates sketches by the blow-up of exact representations:
+// a frequent itemset of cardinality c makes all 2^c subsets frequent, so
+// "all frequent itemsets" is worst-case exponential while the maximal and
+// closed families can stay small (yet are themselves exponential in the
+// worst case, citing the Calders-Goethals survey). These helpers compute
+// both condensed families from a mined result set, and reconstruct the
+// full family from the maximal one -- the trade the paper contrasts
+// sketches against.
+#ifndef IFSKETCH_MINING_CONDENSED_H_
+#define IFSKETCH_MINING_CONDENSED_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "mining/apriori.h"
+
+namespace ifsketch::mining {
+
+/// Itemsets from `frequent` with no frequent proper superset in the list.
+/// Input must be downward-closed (as produced by MineFrequentItemsets).
+std::vector<FrequentItemset> MaximalItemsets(
+    const std::vector<FrequentItemset>& frequent);
+
+/// Itemsets from `frequent` that are closed: no proper superset in the
+/// list has the same frequency.
+std::vector<FrequentItemset> ClosedItemsets(
+    const std::vector<FrequentItemset>& frequent);
+
+/// Expands a maximal family back into every frequent itemset (without
+/// frequencies -- exactly the information loss the closed family avoids).
+/// Itemsets are returned deduplicated, sorted by (size, colex rank).
+std::vector<core::Itemset> ExpandMaximal(
+    const std::vector<FrequentItemset>& maximal);
+
+/// The closure of an itemset in a database: the set of all attributes
+/// shared by every supporting row (equals `t` iff `t` is closed).
+/// Precondition: t has at least one supporting row.
+core::Itemset Closure(const core::Database& db, const core::Itemset& t);
+
+}  // namespace ifsketch::mining
+
+#endif  // IFSKETCH_MINING_CONDENSED_H_

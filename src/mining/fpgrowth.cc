@@ -1,0 +1,175 @@
+#include "mining/fpgrowth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "util/check.h"
+#include "util/combinatorics.h"
+
+namespace ifsketch::mining {
+namespace {
+
+struct FpNode {
+  std::size_t item = 0;           // attribute index
+  std::uint64_t count = 0;
+  FpNode* parent = nullptr;
+  FpNode* next_same_item = nullptr;  // header-table chain
+  std::map<std::size_t, std::unique_ptr<FpNode>> children;
+};
+
+// An FP-tree over weighted transactions (weights support the conditional
+// trees, where each path carries its accumulated count).
+class FpTree {
+ public:
+  explicit FpTree(std::uint64_t min_count) : min_count_(min_count) {}
+
+  // One pass to count item supports; items below min_count are dropped.
+  void CountItems(const std::vector<std::pair<std::vector<std::size_t>,
+                                              std::uint64_t>>& txns) {
+    for (const auto& [items, weight] : txns) {
+      for (std::size_t item : items) item_count_[item] += weight;
+    }
+    for (auto it = item_count_.begin(); it != item_count_.end();) {
+      if (it->second < min_count_) {
+        it = item_count_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Second pass: insert each transaction's surviving items in descending
+  // (support, then ascending item) order.
+  void Insert(const std::vector<std::size_t>& items, std::uint64_t weight) {
+    std::vector<std::size_t> kept;
+    for (std::size_t item : items) {
+      if (item_count_.count(item) > 0) kept.push_back(item);
+    }
+    std::sort(kept.begin(), kept.end(), [&](std::size_t a, std::size_t b) {
+      const std::uint64_t ca = item_count_.at(a);
+      const std::uint64_t cb = item_count_.at(b);
+      if (ca != cb) return ca > cb;
+      return a < b;
+    });
+    FpNode* node = &root_;
+    for (std::size_t item : kept) {
+      auto it = node->children.find(item);
+      if (it == node->children.end()) {
+        auto child = std::make_unique<FpNode>();
+        child->item = item;
+        child->parent = node;
+        child->next_same_item = header_[item];
+        header_[item] = child.get();
+        it = node->children.emplace(item, std::move(child)).first;
+      }
+      it->second->count += weight;
+      node = it->second.get();
+    }
+  }
+
+  // Items present in the tree, ascending by support (the mining order).
+  std::vector<std::size_t> ItemsAscendingSupport() const {
+    std::vector<std::size_t> items;
+    items.reserve(item_count_.size());
+    for (const auto& [item, count] : item_count_) items.push_back(item);
+    std::sort(items.begin(), items.end(),
+              [&](std::size_t a, std::size_t b) {
+                const std::uint64_t ca = item_count_.at(a);
+                const std::uint64_t cb = item_count_.at(b);
+                if (ca != cb) return ca < cb;
+                return a > b;
+              });
+    return items;
+  }
+
+  std::uint64_t ItemSupport(std::size_t item) const {
+    const auto it = item_count_.find(item);
+    return it == item_count_.end() ? 0 : it->second;
+  }
+
+  // The conditional pattern base of `item`: for every tree occurrence,
+  // the root path above it with that occurrence's count.
+  std::vector<std::pair<std::vector<std::size_t>, std::uint64_t>>
+  ConditionalBase(std::size_t item) const {
+    std::vector<std::pair<std::vector<std::size_t>, std::uint64_t>> base;
+    const auto it = header_.find(item);
+    for (FpNode* node = it == header_.end() ? nullptr : it->second;
+         node != nullptr; node = node->next_same_item) {
+      std::vector<std::size_t> path;
+      for (FpNode* up = node->parent; up != nullptr && up->parent != nullptr;
+           up = up->parent) {
+        path.push_back(up->item);
+      }
+      std::reverse(path.begin(), path.end());
+      if (!path.empty()) base.emplace_back(std::move(path), node->count);
+    }
+    return base;
+  }
+
+ private:
+  std::uint64_t min_count_;
+  FpNode root_;
+  std::map<std::size_t, std::uint64_t> item_count_;
+  std::map<std::size_t, FpNode*> header_;
+};
+
+void MineTree(
+    const std::vector<std::pair<std::vector<std::size_t>, std::uint64_t>>&
+        txns,
+    std::uint64_t min_count, std::uint64_t total_rows,
+    const std::vector<std::size_t>& prefix, std::size_t max_size,
+    std::size_t max_results, std::vector<FrequentItemset>& out,
+    std::size_t d) {
+  if (prefix.size() >= max_size || out.size() >= max_results) return;
+  FpTree tree(min_count);
+  tree.CountItems(txns);
+  for (const auto& [items, weight] : txns) tree.Insert(items, weight);
+  for (std::size_t item : tree.ItemsAscendingSupport()) {
+    if (out.size() >= max_results) return;
+    std::vector<std::size_t> extended = prefix;
+    extended.push_back(item);
+    std::sort(extended.begin(), extended.end());
+    out.push_back(
+        {core::Itemset(d, extended),
+         static_cast<double>(tree.ItemSupport(item)) /
+             static_cast<double>(total_rows)});
+    const auto base = tree.ConditionalBase(item);
+    if (!base.empty()) {
+      MineTree(base, min_count, total_rows, extended, max_size,
+               max_results, out, d);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> FpGrowth(const core::Database& db,
+                                      const AprioriOptions& options) {
+  std::vector<FrequentItemset> out;
+  if (db.num_rows() == 0) return out;
+  const auto min_count = static_cast<std::uint64_t>(
+      std::ceil(options.min_frequency * static_cast<double>(db.num_rows()) -
+                1e-9));
+  std::vector<std::pair<std::vector<std::size_t>, std::uint64_t>> txns;
+  txns.reserve(db.num_rows());
+  for (std::size_t i = 0; i < db.num_rows(); ++i) {
+    txns.emplace_back(db.Row(i).SetBits(), 1);
+  }
+  MineTree(txns, std::max<std::uint64_t>(min_count, 1), db.num_rows(), {},
+           options.max_size, options.max_results, out, db.num_columns());
+  std::sort(out.begin(), out.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.itemset.size() != b.itemset.size()) {
+                return a.itemset.size() < b.itemset.size();
+              }
+              return util::RankSubset(a.itemset.Attributes(),
+                                      a.itemset.universe()) <
+                     util::RankSubset(b.itemset.Attributes(),
+                                      b.itemset.universe());
+            });
+  return out;
+}
+
+}  // namespace ifsketch::mining

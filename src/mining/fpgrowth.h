@@ -1,0 +1,28 @@
+// FP-Growth frequent-itemset mining.
+//
+// A second, independent miner (Han et al.'s pattern-growth method): the
+// database is compressed into an FP-tree (prefix tree over transactions
+// with items in descending support order, plus per-item node chains) and
+// frequent itemsets are enumerated by recursive conditional-tree
+// projection -- no candidate generation and at most two database scans.
+// Used both as a faster engine for the examples and as an independent
+// oracle to cross-check Apriori in tests.
+#ifndef IFSKETCH_MINING_FPGROWTH_H_
+#define IFSKETCH_MINING_FPGROWTH_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "mining/apriori.h"
+
+namespace ifsketch::mining {
+
+/// Mines frequent itemsets with FP-Growth. Returns the same family as
+/// MineDatabase(db, options) (ordering may differ; sorted by
+/// (size, colex rank) for determinism).
+std::vector<FrequentItemset> FpGrowth(const core::Database& db,
+                                      const AprioriOptions& options);
+
+}  // namespace ifsketch::mining
+
+#endif  // IFSKETCH_MINING_FPGROWTH_H_

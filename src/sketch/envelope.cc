@@ -1,0 +1,43 @@
+#include "sketch/envelope.h"
+
+#include "sketch/release_answers.h"
+#include "sketch/release_db.h"
+#include "sketch/subsample.h"
+
+namespace ifsketch::sketch {
+
+EnvelopeReport NaiveEnvelope(std::size_t n, std::size_t d,
+                             const core::SketchParams& params) {
+  const ReleaseDbSketch release_db;
+  const ReleaseAnswersSketch release_answers;
+  const SubsampleSketch subsample;
+
+  EnvelopeReport r;
+  r.release_db_bits = release_db.PredictedSizeBits(n, d, params);
+  r.release_answers_bits = release_answers.PredictedSizeBits(n, d, params);
+  r.subsample_bits = subsample.PredictedSizeBits(n, d, params);
+
+  r.winner = release_db.name();
+  r.winner_bits = r.release_db_bits;
+  if (r.release_answers_bits < r.winner_bits) {
+    r.winner = release_answers.name();
+    r.winner_bits = r.release_answers_bits;
+  }
+  if (r.subsample_bits < r.winner_bits) {
+    r.winner = subsample.name();
+    r.winner_bits = r.subsample_bits;
+  }
+  return r;
+}
+
+std::unique_ptr<core::SketchAlgorithm> BestNaiveAlgorithm(
+    std::size_t n, std::size_t d, const core::SketchParams& params) {
+  const EnvelopeReport r = NaiveEnvelope(n, d, params);
+  if (r.winner == "RELEASE-DB") return std::make_unique<ReleaseDbSketch>();
+  if (r.winner == "RELEASE-ANSWERS") {
+    return std::make_unique<ReleaseAnswersSketch>();
+  }
+  return std::make_unique<SubsampleSketch>();
+}
+
+}  // namespace ifsketch::sketch

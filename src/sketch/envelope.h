@@ -1,0 +1,36 @@
+// The Theorem 12 naive envelope: min over the three trivial algorithms.
+//
+// For any (n, d, k, eps, delta) the smallest of RELEASE-DB,
+// RELEASE-ANSWERS and SUBSAMPLE is the paper's naive upper bound; the
+// lower bounds show this envelope is (essentially) optimal. NaiveEnvelope
+// reports all three predicted sizes and which algorithm wins.
+#ifndef IFSKETCH_SKETCH_ENVELOPE_H_
+#define IFSKETCH_SKETCH_ENVELOPE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/sketch.h"
+
+namespace ifsketch::sketch {
+
+/// Predicted sizes of the three naive algorithms and the winner.
+struct EnvelopeReport {
+  std::size_t release_db_bits = 0;
+  std::size_t release_answers_bits = 0;
+  std::size_t subsample_bits = 0;
+  std::string winner;          ///< Name of the smallest algorithm.
+  std::size_t winner_bits = 0; ///< min of the three.
+};
+
+/// Evaluates the Theorem 12 envelope for a database shape.
+EnvelopeReport NaiveEnvelope(std::size_t n, std::size_t d,
+                             const core::SketchParams& params);
+
+/// Instantiates the winning algorithm for the shape.
+std::unique_ptr<core::SketchAlgorithm> BestNaiveAlgorithm(
+    std::size_t n, std::size_t d, const core::SketchParams& params);
+
+}  // namespace ifsketch::sketch
+
+#endif  // IFSKETCH_SKETCH_ENVELOPE_H_

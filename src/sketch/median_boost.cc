@@ -1,0 +1,105 @@
+#include "sketch/median_boost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+#include "util/combinatorics.h"
+
+namespace ifsketch::sketch {
+namespace {
+
+/// Answers with the median over the loaded copies.
+class MedianEstimator : public core::FrequencyEstimator {
+ public:
+  explicit MedianEstimator(
+      std::vector<std::unique_ptr<core::FrequencyEstimator>> copies)
+      : copies_(std::move(copies)) {}
+
+  double EstimateFrequency(const core::Itemset& t) const override {
+    std::vector<double> answers;
+    answers.reserve(copies_.size());
+    for (const auto& c : copies_) answers.push_back(c->EstimateFrequency(t));
+    std::nth_element(answers.begin(), answers.begin() + answers.size() / 2,
+                     answers.end());
+    return answers[answers.size() / 2];
+  }
+
+ private:
+  std::vector<std::unique_ptr<core::FrequencyEstimator>> copies_;
+};
+
+}  // namespace
+
+MedianBoostSketch::MedianBoostSketch(
+    std::shared_ptr<core::SketchAlgorithm> inner, double copies_scale)
+    : inner_(std::move(inner)), copies_scale_(copies_scale) {
+  IFSKETCH_CHECK(inner_ != nullptr);
+  IFSKETCH_CHECK_GT(copies_scale_, 0.0);
+}
+
+std::string MedianBoostSketch::name() const {
+  return "MEDIAN-BOOST(" + inner_->name() + ")";
+}
+
+core::SketchParams MedianBoostSketch::InnerParams(
+    const core::SketchParams& outer) {
+  core::SketchParams inner = outer;
+  inner.scope = core::Scope::kForEach;
+  inner.answer = core::Answer::kEstimator;
+  inner.delta = 0.25;
+  return inner;
+}
+
+std::size_t MedianBoostSketch::CopyCount(const core::SketchParams& params,
+                                         std::size_t d) const {
+  const double ln_term =
+      util::LogBinomial(d, params.k) - std::log(params.delta);
+  std::size_t m = static_cast<std::size_t>(
+      std::ceil(copies_scale_ * 10.0 * std::max(ln_term, 1.0)));
+  if (m % 2 == 0) ++m;
+  return m;
+}
+
+util::BitVector MedianBoostSketch::Build(const core::Database& db,
+                                         const core::SketchParams& params,
+                                         util::Rng& rng) const {
+  const core::SketchParams ip = InnerParams(params);
+  const std::size_t m = CopyCount(params, db.num_columns());
+  const std::size_t inner_bits =
+      inner_->PredictedSizeBits(db.num_rows(), db.num_columns(), ip);
+  util::BitVector out(m * inner_bits);
+  for (std::size_t c = 0; c < m; ++c) {
+    const util::BitVector copy = inner_->Build(db, ip, rng);
+    IFSKETCH_CHECK_EQ(copy.size(), inner_bits);
+    for (std::size_t b = 0; b < inner_bits; ++b) {
+      out.Set(c * inner_bits + b, copy.Get(b));
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<core::FrequencyEstimator> MedianBoostSketch::LoadEstimator(
+    const util::BitVector& summary, const core::SketchParams& params,
+    std::size_t d, std::size_t n) const {
+  const core::SketchParams ip = InnerParams(params);
+  const std::size_t m = CopyCount(params, d);
+  IFSKETCH_CHECK_EQ(summary.size() % m, 0u);
+  const std::size_t inner_bits = summary.size() / m;
+  std::vector<std::unique_ptr<core::FrequencyEstimator>> copies;
+  copies.reserve(m);
+  for (std::size_t c = 0; c < m; ++c) {
+    copies.push_back(inner_->LoadEstimator(
+        summary.Slice(c * inner_bits, inner_bits), ip, d, n));
+  }
+  return std::make_unique<MedianEstimator>(std::move(copies));
+}
+
+std::size_t MedianBoostSketch::PredictedSizeBits(
+    std::size_t n, std::size_t d, const core::SketchParams& params) const {
+  return CopyCount(params, d) *
+         inner_->PredictedSizeBits(n, d, InnerParams(params));
+}
+
+}  // namespace ifsketch::sketch

@@ -1,0 +1,119 @@
+#include "sketch/release_answers.h"
+
+#include <cmath>
+
+#include "util/bitio.h"
+#include "util/check.h"
+#include "util/combinatorics.h"
+
+namespace ifsketch::sketch {
+namespace {
+
+// RELEASE-ANSWERS requires materializing C(d,k) answers; refuse absurd
+// shapes up front rather than allocating forever.
+constexpr std::uint64_t kMaxStoredAnswers = std::uint64_t{1} << 28;
+
+std::uint64_t NumItemsets(std::size_t d, std::size_t k) {
+  const std::uint64_t c = util::Binomial(d, k);
+  IFSKETCH_CHECK_LT(c, kMaxStoredAnswers);
+  return c;
+}
+
+/// Looks answers up by the queried itemset's colex rank.
+class AnswerTableEstimator : public core::FrequencyEstimator {
+ public:
+  AnswerTableEstimator(std::vector<double> answers, std::size_t d)
+      : answers_(std::move(answers)), d_(d) {}
+
+  double EstimateFrequency(const core::Itemset& t) const override {
+    const std::uint64_t rank = util::RankSubset(t.Attributes(), d_);
+    IFSKETCH_CHECK_LT(rank, answers_.size());
+    return answers_[rank];
+  }
+
+ private:
+  std::vector<double> answers_;
+  std::size_t d_;
+};
+
+class AnswerTableIndicator : public core::FrequencyIndicator {
+ public:
+  AnswerTableIndicator(util::BitVector bits, std::size_t d)
+      : bits_(std::move(bits)), d_(d) {}
+
+  bool IsFrequent(const core::Itemset& t) const override {
+    const std::uint64_t rank = util::RankSubset(t.Attributes(), d_);
+    IFSKETCH_CHECK_LT(rank, bits_.size());
+    return bits_.Get(rank);
+  }
+
+ private:
+  util::BitVector bits_;
+  std::size_t d_;
+};
+
+}  // namespace
+
+int ReleaseAnswersSketch::FrequencyBits(double eps) {
+  IFSKETCH_CHECK(eps > 0.0 && eps <= 1.0);
+  const int bits =
+      static_cast<int>(std::ceil(std::log2(1.0 / eps))) + 1;
+  return bits < 1 ? 1 : (bits > 62 ? 62 : bits);
+}
+
+util::BitVector ReleaseAnswersSketch::Build(const core::Database& db,
+                                            const core::SketchParams& params,
+                                            util::Rng& /*rng*/) const {
+  const std::size_t d = db.num_columns();
+  NumItemsets(d, params.k);  // shape sanity check
+  util::BitWriter w;
+  std::vector<std::size_t> attrs(params.k);
+  for (std::size_t i = 0; i < params.k; ++i) attrs[i] = i;
+  const int fbits = FrequencyBits(params.eps);
+  // Colex enumeration order matches RankSubset, so lookups are direct.
+  do {
+    const double f = db.Frequency(core::Itemset(d, attrs));
+    if (params.answer == core::Answer::kIndicator) {
+      // Store the exact decision bit: 1 iff f_T > eps/2 (any rule that is
+      // 1 above eps and 0 below eps/2 is valid; exactness costs nothing).
+      w.WriteBit(f > params.eps / 2);
+    } else {
+      w.WriteQuantized(f, fbits);
+    }
+  } while (util::NextSubset(attrs, d));
+  return w.Finish();
+}
+
+std::unique_ptr<core::FrequencyEstimator> ReleaseAnswersSketch::LoadEstimator(
+    const util::BitVector& summary, const core::SketchParams& params,
+    std::size_t d, std::size_t /*n*/) const {
+  IFSKETCH_CHECK(params.answer == core::Answer::kEstimator);
+  const std::uint64_t count = NumItemsets(d, params.k);
+  const int fbits = FrequencyBits(params.eps);
+  util::BitReader r(summary);
+  std::vector<double> answers(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    answers[i] = r.ReadQuantized(fbits);
+  }
+  return std::make_unique<AnswerTableEstimator>(std::move(answers), d);
+}
+
+std::unique_ptr<core::FrequencyIndicator> ReleaseAnswersSketch::LoadIndicator(
+    const util::BitVector& summary, const core::SketchParams& params,
+    std::size_t d, std::size_t n) const {
+  if (params.answer == core::Answer::kEstimator) {
+    return SketchAlgorithm::LoadIndicator(summary, params, d, n);
+  }
+  const std::uint64_t count = NumItemsets(d, params.k);
+  IFSKETCH_CHECK_EQ(summary.size(), count);
+  return std::make_unique<AnswerTableIndicator>(summary, d);
+}
+
+std::size_t ReleaseAnswersSketch::PredictedSizeBits(
+    std::size_t /*n*/, std::size_t d, const core::SketchParams& params) const {
+  const std::uint64_t count = util::Binomial(d, params.k);
+  if (params.answer == core::Answer::kIndicator) return count;
+  return count * static_cast<std::uint64_t>(FrequencyBits(params.eps));
+}
+
+}  // namespace ifsketch::sketch

@@ -1,0 +1,42 @@
+// RELEASE-ANSWERS (Definition 7): precompute and store every query answer.
+//
+// For the indicator semantics the summary is one bit per k-itemset
+// (C(d,k) bits); for the estimator semantics it is a ceil(log2(1/eps))+1
+// bit fixed-point frequency per itemset — the paper's extra log(1/eps)
+// factor. Itemsets are indexed by colex rank so Q is a direct lookup.
+// Only usable when C(d,k) is small; one corner of the Theorem 12 envelope.
+#ifndef IFSKETCH_SKETCH_RELEASE_ANSWERS_H_
+#define IFSKETCH_SKETCH_RELEASE_ANSWERS_H_
+
+#include "core/sketch.h"
+
+namespace ifsketch::sketch {
+
+/// The precomputed-answers sketch.
+class ReleaseAnswersSketch : public core::SketchAlgorithm {
+ public:
+  std::string name() const override { return "RELEASE-ANSWERS"; }
+
+  util::BitVector Build(const core::Database& db,
+                        const core::SketchParams& params,
+                        util::Rng& rng) const override;
+
+  std::unique_ptr<core::FrequencyEstimator> LoadEstimator(
+      const util::BitVector& summary, const core::SketchParams& params,
+      std::size_t d, std::size_t n) const override;
+
+  std::unique_ptr<core::FrequencyIndicator> LoadIndicator(
+      const util::BitVector& summary, const core::SketchParams& params,
+      std::size_t d, std::size_t n) const override;
+
+  std::size_t PredictedSizeBits(std::size_t n, std::size_t d,
+                                const core::SketchParams& params) const override;
+
+  /// Bits of precision per stored frequency: ceil(log2(1/eps)) + 1, so the
+  /// quantization error is at most eps/2 < eps.
+  static int FrequencyBits(double eps);
+};
+
+}  // namespace ifsketch::sketch
+
+#endif  // IFSKETCH_SKETCH_RELEASE_ANSWERS_H_

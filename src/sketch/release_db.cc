@@ -1,0 +1,56 @@
+#include "sketch/release_db.h"
+
+#include "util/bitio.h"
+#include "util/check.h"
+
+namespace ifsketch::sketch {
+namespace {
+
+/// Queries the decoded database exactly.
+class ExactEstimator : public core::FrequencyEstimator {
+ public:
+  explicit ExactEstimator(core::Database db) : db_(std::move(db)) {}
+
+  double EstimateFrequency(const core::Itemset& t) const override {
+    return db_.Frequency(t);
+  }
+
+ private:
+  core::Database db_;
+};
+
+}  // namespace
+
+util::BitVector ReleaseDbSketch::Build(const core::Database& db,
+                                       const core::SketchParams& /*params*/,
+                                       util::Rng& /*rng*/) const {
+  util::BitWriter w;
+  for (std::size_t i = 0; i < db.num_rows(); ++i) {
+    w.WriteBits(db.Row(i));
+  }
+  return w.Finish();
+}
+
+std::unique_ptr<core::FrequencyEstimator> ReleaseDbSketch::LoadEstimator(
+    const util::BitVector& summary, const core::SketchParams& /*params*/,
+    std::size_t d, std::size_t n) const {
+  return std::make_unique<ExactEstimator>(Decode(summary, d, n));
+}
+
+std::size_t ReleaseDbSketch::PredictedSizeBits(
+    std::size_t n, std::size_t d,
+    const core::SketchParams& /*params*/) const {
+  return n * d;
+}
+
+core::Database ReleaseDbSketch::Decode(const util::BitVector& summary,
+                                       std::size_t d, std::size_t n) {
+  IFSKETCH_CHECK_EQ(summary.size(), n * d);
+  util::BitReader r(summary);
+  std::vector<util::BitVector> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) rows.push_back(r.ReadBits(d));
+  return core::Database::FromRows(std::move(rows));
+}
+
+}  // namespace ifsketch::sketch

@@ -1,0 +1,33 @@
+#include "sketch/reservoir.h"
+
+#include "sketch/subsample.h"
+#include "util/bitio.h"
+#include "util/check.h"
+
+namespace ifsketch::sketch {
+
+ReservoirBuilder::ReservoirBuilder(std::size_t d,
+                                   const core::SketchParams& params,
+                                   util::Rng& rng)
+    : d_(d),
+      slots_(SubsampleSketch::SampleCount(params, d), util::BitVector(d)),
+      rng_(&rng) {}
+
+void ReservoirBuilder::Observe(const util::BitVector& row) {
+  IFSKETCH_CHECK_EQ(row.size(), d_);
+  ++rows_seen_;
+  // Slot i keeps the current row with probability 1/rows_seen_,
+  // independently of the other slots (s parallel size-1 reservoirs).
+  for (auto& slot : slots_) {
+    if (rng_->UniformInt(rows_seen_) == 0) slot = row;
+  }
+}
+
+util::BitVector ReservoirBuilder::Finish() const {
+  IFSKETCH_CHECK_GT(rows_seen_, 0u);
+  util::BitWriter w;
+  for (const auto& slot : slots_) w.WriteBits(slot);
+  return w.Finish();
+}
+
+}  // namespace ifsketch::sketch

@@ -1,0 +1,108 @@
+#include "sketch/sketch_file.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace ifsketch::sketch {
+namespace {
+
+constexpr char kMagic[4] = {'I', 'F', 'S', 'K'};
+constexpr std::uint16_t kVersion = 1;
+
+template <typename T>
+void PutRaw(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool GetRaw(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool WriteSketch(std::ostream& out, const SketchFile& file) {
+  out.write(kMagic, 4);
+  PutRaw<std::uint16_t>(out, kVersion);
+  PutRaw<std::uint16_t>(out,
+                        static_cast<std::uint16_t>(file.algorithm.size()));
+  out.write(file.algorithm.data(),
+            static_cast<std::streamsize>(file.algorithm.size()));
+  PutRaw<std::uint32_t>(out, static_cast<std::uint32_t>(file.params.k));
+  PutRaw<double>(out, file.params.eps);
+  PutRaw<double>(out, file.params.delta);
+  PutRaw<std::uint8_t>(out, file.params.scope == core::Scope::kForAll ? 0
+                                                                      : 1);
+  PutRaw<std::uint8_t>(
+      out, file.params.answer == core::Answer::kIndicator ? 0 : 1);
+  PutRaw<std::uint64_t>(out, file.n);
+  PutRaw<std::uint64_t>(out, file.d);
+  PutRaw<std::uint64_t>(out, file.summary.size());
+  // Pack bits LSB-first into bytes.
+  std::vector<char> bytes((file.summary.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < file.summary.size(); ++i) {
+    if (file.summary.Get(i)) bytes[i / 8] |= static_cast<char>(1 << (i % 8));
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<SketchFile> ReadSketch(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) return std::nullopt;
+  std::uint16_t version = 0;
+  if (!GetRaw(in, version) || version != kVersion) return std::nullopt;
+
+  SketchFile file;
+  std::uint16_t name_len = 0;
+  if (!GetRaw(in, name_len)) return std::nullopt;
+  file.algorithm.resize(name_len);
+  in.read(file.algorithm.data(), name_len);
+  if (!in) return std::nullopt;
+
+  std::uint32_t k = 0;
+  std::uint8_t scope = 0, answer = 0;
+  std::uint64_t n = 0, d = 0, bits = 0;
+  if (!GetRaw(in, k) || !GetRaw(in, file.params.eps) ||
+      !GetRaw(in, file.params.delta) || !GetRaw(in, scope) ||
+      !GetRaw(in, answer) || !GetRaw(in, n) || !GetRaw(in, d) ||
+      !GetRaw(in, bits)) {
+    return std::nullopt;
+  }
+  if (scope > 1 || answer > 1) return std::nullopt;
+  file.params.k = k;
+  file.params.scope = scope == 0 ? core::Scope::kForAll
+                                 : core::Scope::kForEach;
+  file.params.answer =
+      answer == 0 ? core::Answer::kIndicator : core::Answer::kEstimator;
+  file.n = static_cast<std::size_t>(n);
+  file.d = static_cast<std::size_t>(d);
+
+  std::vector<char> bytes((bits + 7) / 8);
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!in && bits > 0) return std::nullopt;
+  file.summary = util::BitVector(static_cast<std::size_t>(bits));
+  for (std::size_t i = 0; i < bits; ++i) {
+    if ((bytes[i / 8] >> (i % 8)) & 1) file.summary.Set(i, true);
+  }
+  return file;
+}
+
+bool SaveSketchFile(const std::string& path, const SketchFile& file) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  return WriteSketch(out, file);
+}
+
+std::optional<SketchFile> LoadSketchFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return ReadSketch(in);
+}
+
+}  // namespace ifsketch::sketch

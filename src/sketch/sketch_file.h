@@ -1,0 +1,43 @@
+// Self-describing sketch files.
+//
+// A summary is just a bit string (Definition 5), but shipping one to
+// another process requires carrying the public context: which algorithm,
+// the (k, eps, delta, scope, answer) parameters, and the database shape
+// (n, d). This module defines a small framed file format:
+//   magic "IFSK", version u16, algorithm-name (u16 length + bytes),
+//   k u32, eps f64, delta f64, scope u8, answer u8, n u64, d u64,
+//   bit-count u64, payload bytes (LSB-first within each byte).
+#ifndef IFSKETCH_SKETCH_SKETCH_FILE_H_
+#define IFSKETCH_SKETCH_SKETCH_FILE_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/sketch.h"
+#include "util/bitvector.h"
+
+namespace ifsketch::sketch {
+
+/// Everything needed to reload and query a summary.
+struct SketchFile {
+  std::string algorithm;
+  core::SketchParams params;
+  std::size_t n = 0;
+  std::size_t d = 0;
+  util::BitVector summary;
+};
+
+/// Serializes to a binary stream. Returns false on I/O failure.
+bool WriteSketch(std::ostream& out, const SketchFile& file);
+
+/// Parses a stream written by WriteSketch; nullopt on malformed input.
+std::optional<SketchFile> ReadSketch(std::istream& in);
+
+/// File-path conveniences.
+bool SaveSketchFile(const std::string& path, const SketchFile& file);
+std::optional<SketchFile> LoadSketchFile(const std::string& path);
+
+}  // namespace ifsketch::sketch
+
+#endif  // IFSKETCH_SKETCH_SKETCH_FILE_H_

@@ -1,0 +1,99 @@
+#include "sketch/stratified_sample.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/bitio.h"
+#include "util/check.h"
+
+namespace ifsketch::sketch {
+namespace {
+
+constexpr int kWeightBits = 32;  // fixed-point stratum weights
+
+struct Stratum {
+  double weight = 0.0;                     // n_h / n
+  core::Database sample;                   // sampled rows
+};
+
+class StratifiedEstimator : public core::FrequencyEstimator {
+ public:
+  explicit StratifiedEstimator(std::vector<Stratum> strata)
+      : strata_(std::move(strata)) {}
+
+  double EstimateFrequency(const core::Itemset& t) const override {
+    double acc = 0.0;
+    for (const auto& s : strata_) {
+      if (s.sample.num_rows() > 0) {
+        acc += s.weight * s.sample.Frequency(t);
+      }
+    }
+    return acc < 0.0 ? 0.0 : (acc > 1.0 ? 1.0 : acc);
+  }
+
+ private:
+  std::vector<Stratum> strata_;
+};
+
+}  // namespace
+
+StratifiedSampler::StratifiedSampler(std::size_t strata) : strata_(strata) {
+  IFSKETCH_CHECK_GE(strata, 1u);
+}
+
+util::BitVector StratifiedSampler::Build(const core::Database& db,
+                                         std::size_t total_samples,
+                                         util::Rng& rng) const {
+  IFSKETCH_CHECK_GT(db.num_rows(), 0u);
+  IFSKETCH_CHECK_GT(total_samples, 0u);
+  const std::size_t d = db.num_columns();
+  // Partition row indices by popcount bucket.
+  std::vector<std::vector<std::size_t>> members(strata_);
+  for (std::size_t i = 0; i < db.num_rows(); ++i) {
+    const std::size_t pc = db.Row(i).Count();
+    const std::size_t bucket =
+        std::min(strata_ - 1, pc * strata_ / (d + 1));
+    members[bucket].push_back(i);
+  }
+  util::BitWriter w;
+  w.WriteUint(strata_, 16);
+  for (std::size_t h = 0; h < strata_; ++h) {
+    const double weight = static_cast<double>(members[h].size()) /
+                          static_cast<double>(db.num_rows());
+    std::size_t s_h = 0;
+    if (!members[h].empty()) {
+      s_h = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::lround(
+                 weight * static_cast<double>(total_samples))));
+    }
+    w.WriteUint(s_h, 32);
+    w.WriteQuantized(weight, kWeightBits);
+    for (std::size_t j = 0; j < s_h; ++j) {
+      const std::size_t pick =
+          members[h][rng.UniformInt(members[h].size())];
+      w.WriteBits(db.Row(pick));
+    }
+  }
+  return w.Finish();
+}
+
+std::unique_ptr<core::FrequencyEstimator> StratifiedSampler::Load(
+    const util::BitVector& summary, std::size_t d) const {
+  util::BitReader r(summary);
+  const std::size_t strata = r.ReadUint(16);
+  std::vector<Stratum> loaded;
+  loaded.reserve(strata);
+  for (std::size_t h = 0; h < strata; ++h) {
+    Stratum s;
+    const std::size_t s_h = r.ReadUint(32);
+    s.weight = r.ReadQuantized(kWeightBits);
+    std::vector<util::BitVector> rows;
+    rows.reserve(s_h);
+    for (std::size_t j = 0; j < s_h; ++j) rows.push_back(r.ReadBits(d));
+    s.sample = core::Database::FromRows(std::move(rows));
+    loaded.push_back(std::move(s));
+  }
+  return std::make_unique<StratifiedEstimator>(std::move(loaded));
+}
+
+}  // namespace ifsketch::sketch

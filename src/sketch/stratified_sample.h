@@ -1,0 +1,42 @@
+// Stratified row sampling (the §5 / Lang-Liberty-Shmakov direction).
+//
+// Rows are partitioned into strata by popcount bucket (a proxy for "how
+// much itemset mass a row carries"); each stratum is sampled uniformly
+// with proportional allocation and the estimator recombines per-stratum
+// frequencies with the true stratum weights. On databases whose rows are
+// heterogeneous this reduces variance relative to uniform sampling at
+// equal size; on the paper's hard distributions it cannot help -- which
+// is the point of the lower bounds. Standalone (not a SketchAlgorithm):
+// its summary layout depends on the data's stratum occupancy.
+#ifndef IFSKETCH_SKETCH_STRATIFIED_SAMPLE_H_
+#define IFSKETCH_SKETCH_STRATIFIED_SAMPLE_H_
+
+#include <memory>
+
+#include "core/sketch.h"
+
+namespace ifsketch::sketch {
+
+/// Builder + loader for stratified-sample summaries.
+class StratifiedSampler {
+ public:
+  /// `strata`: number of popcount buckets (rows with popcount in
+  /// [h*d/strata, (h+1)*d/strata) share bucket h).
+  explicit StratifiedSampler(std::size_t strata = 4);
+
+  /// Builds a summary of ~`total_samples` rows, allocated across
+  /// non-empty strata proportionally (each non-empty stratum gets >= 1).
+  util::BitVector Build(const core::Database& db,
+                        std::size_t total_samples, util::Rng& rng) const;
+
+  /// Loads the estimator view: f = sum_h weight_h * f_h(sample_h).
+  std::unique_ptr<core::FrequencyEstimator> Load(
+      const util::BitVector& summary, std::size_t d) const;
+
+ private:
+  std::size_t strata_;
+};
+
+}  // namespace ifsketch::sketch
+
+#endif  // IFSKETCH_SKETCH_STRATIFIED_SAMPLE_H_

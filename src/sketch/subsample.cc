@@ -1,0 +1,119 @@
+#include "sketch/subsample.h"
+
+#include "util/bitio.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace ifsketch::sketch {
+namespace {
+
+/// Evaluates queries on the decoded sample.
+class SampleEstimator : public core::FrequencyEstimator {
+ public:
+  explicit SampleEstimator(core::Database sample)
+      : sample_(std::move(sample)) {}
+
+  double EstimateFrequency(const core::Itemset& t) const override {
+    return sample_.Frequency(t);
+  }
+
+ private:
+  core::Database sample_;
+};
+
+/// Indicator decision rule: declare frequent iff the sample frequency is
+/// at least 3eps/4, the midpoint of the (eps/2, eps] uncertainty band.
+class SampleIndicator : public core::FrequencyIndicator {
+ public:
+  SampleIndicator(core::Database sample, double eps)
+      : sample_(std::move(sample)), eps_(eps) {}
+
+  bool IsFrequent(const core::Itemset& t) const override {
+    return sample_.Frequency(t) >= 0.75 * eps_;
+  }
+
+ private:
+  core::Database sample_;
+  double eps_;
+};
+
+}  // namespace
+
+std::size_t SubsampleSketch::SampleCount(const core::SketchParams& params,
+                                         std::size_t d) {
+  switch (params.scope) {
+    case core::Scope::kForEach:
+      return params.answer == core::Answer::kIndicator
+                 ? util::IndicatorSampleCount(params.eps, params.delta)
+                 : util::EstimatorSampleCount(params.eps, params.delta);
+    case core::Scope::kForAll:
+      return params.answer == core::Answer::kIndicator
+                 ? util::ForAllIndicatorSampleCount(params.eps, params.delta,
+                                                    d, params.k)
+                 : util::ForAllEstimatorSampleCount(params.eps, params.delta,
+                                                    d, params.k);
+  }
+  return 0;
+}
+
+util::BitVector SubsampleSketch::Build(const core::Database& db,
+                                       const core::SketchParams& params,
+                                       util::Rng& rng) const {
+  IFSKETCH_CHECK_GT(db.num_rows(), 0u);
+  const std::size_t s = SampleCount(params, db.num_columns());
+  util::BitWriter w;
+  for (std::size_t i = 0; i < s; ++i) {
+    const std::size_t row = rng.UniformInt(db.num_rows());
+    w.WriteBits(db.Row(row));
+  }
+  return w.Finish();
+}
+
+core::Database SubsampleSketch::DecodeSample(const util::BitVector& summary,
+                                             std::size_t d) {
+  IFSKETCH_CHECK_GT(d, 0u);
+  IFSKETCH_CHECK_EQ(summary.size() % d, 0u);
+  const std::size_t s = summary.size() / d;
+  util::BitReader r(summary);
+  std::vector<util::BitVector> rows;
+  rows.reserve(s);
+  for (std::size_t i = 0; i < s; ++i) rows.push_back(r.ReadBits(d));
+  return core::Database::FromRows(std::move(rows));
+}
+
+std::unique_ptr<core::FrequencyEstimator> SubsampleSketch::LoadEstimator(
+    const util::BitVector& summary, const core::SketchParams& /*params*/,
+    std::size_t d, std::size_t /*n*/) const {
+  return std::make_unique<SampleEstimator>(DecodeSample(summary, d));
+}
+
+std::unique_ptr<core::FrequencyIndicator> SubsampleSketch::LoadIndicator(
+    const util::BitVector& summary, const core::SketchParams& params,
+    std::size_t d, std::size_t /*n*/) const {
+  return std::make_unique<SampleIndicator>(DecodeSample(summary, d),
+                                           params.eps);
+}
+
+std::size_t SubsampleSketch::PredictedSizeBits(
+    std::size_t /*n*/, std::size_t d, const core::SketchParams& params) const {
+  return SampleCount(params, d) * d;
+}
+
+util::BitVector SubsampleWithoutReplacementSketch::Build(
+    const core::Database& db, const core::SketchParams& params,
+    util::Rng& rng) const {
+  IFSKETCH_CHECK_GT(db.num_rows(), 0u);
+  const std::size_t s = SampleCount(params, db.num_columns());
+  if (s > db.num_rows()) {
+    // Not enough distinct rows: with-replacement is the only option that
+    // keeps the summary format (s rows).
+    return SubsampleSketch::Build(db, params, rng);
+  }
+  util::BitWriter w;
+  for (std::size_t row : rng.SampleWithoutReplacement(db.num_rows(), s)) {
+    w.WriteBits(db.Row(row));
+  }
+  return w.Finish();
+}
+
+}  // namespace ifsketch::sketch

@@ -1,0 +1,42 @@
+#include "stream/count_min.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ifsketch::stream {
+
+CountMin::CountMin(std::size_t width, std::size_t depth, util::Rng& rng)
+    : width_(width), depth_(depth), counters_(width * depth, 0) {
+  IFSKETCH_CHECK_GE(width, 1u);
+  IFSKETCH_CHECK_GE(depth, 1u);
+  a_.reserve(depth);
+  b_.reserve(depth);
+  for (std::size_t r = 0; r < depth; ++r) {
+    a_.push_back(rng.Next() | 1u);  // odd multiplier
+    b_.push_back(rng.Next());
+  }
+}
+
+std::size_t CountMin::Bucket(std::size_t row, std::uint64_t item) const {
+  // Multiply-shift hashing; take the high bits for the bucket.
+  const std::uint64_t h = a_[row] * item + b_[row];
+  return static_cast<std::size_t>((h >> 33) % width_);
+}
+
+void CountMin::Observe(std::uint64_t item, std::uint64_t amount) {
+  items_seen_ += amount;
+  for (std::size_t r = 0; r < depth_; ++r) {
+    counters_[r * width_ + Bucket(r, item)] += amount;
+  }
+}
+
+std::uint64_t CountMin::Estimate(std::uint64_t item) const {
+  std::uint64_t best = ~std::uint64_t{0};
+  for (std::size_t r = 0; r < depth_; ++r) {
+    best = std::min(best, counters_[r * width_ + Bucket(r, item)]);
+  }
+  return best;
+}
+
+}  // namespace ifsketch::stream

@@ -1,0 +1,51 @@
+// Count-Min sketch for item counts (§1.2 contrast class, randomized).
+//
+// The randomized counterpart to Misra-Gries: r x w counters with
+// pairwise-independent hashing; estimates never undercount and
+// overcount by at most e*N/w with probability 1 - e^-r per query. Like
+// Misra-Gries it pays no factor of d -- exactly the structure the paper
+// shows cannot exist for itemset frequencies.
+#ifndef IFSKETCH_STREAM_COUNT_MIN_H_
+#define IFSKETCH_STREAM_COUNT_MIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ifsketch::stream {
+
+/// Count-Min sketch over items from an arbitrary integer universe.
+class CountMin {
+ public:
+  /// `width` counters per row, `depth` independent rows; hash parameters
+  /// drawn from `rng`.
+  CountMin(std::size_t width, std::size_t depth, util::Rng& rng);
+
+  /// Adds `amount` occurrences of `item`.
+  void Observe(std::uint64_t item, std::uint64_t amount = 1);
+
+  /// Upper-bound estimate of the item's count (never an undercount).
+  std::uint64_t Estimate(std::uint64_t item) const;
+
+  std::uint64_t items_seen() const { return items_seen_; }
+
+  /// Summary size in bits (64 per counter plus the hash seeds).
+  std::size_t SizeBits() const {
+    return width_ * depth_ * 64 + depth_ * 2 * 64;
+  }
+
+ private:
+  std::size_t Bucket(std::size_t row, std::uint64_t item) const;
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::uint64_t items_seen_ = 0;
+  std::vector<std::uint64_t> a_;  // per-row hash multipliers (odd)
+  std::vector<std::uint64_t> b_;  // per-row hash offsets
+  std::vector<std::uint64_t> counters_;  // row-major depth x width
+};
+
+}  // namespace ifsketch::stream
+
+#endif  // IFSKETCH_STREAM_COUNT_MIN_H_

@@ -1,0 +1,50 @@
+#include "stream/misra_gries.h"
+
+#include "util/check.h"
+
+namespace ifsketch::stream {
+
+MisraGries::MisraGries(std::size_t counters) : counters_(counters) {
+  IFSKETCH_CHECK_GE(counters, 1u);
+}
+
+void MisraGries::Observe(std::size_t item) {
+  ++items_seen_;
+  auto it = counts_.find(item);
+  if (it != counts_.end()) {
+    ++it->second;
+    return;
+  }
+  if (counts_.size() < counters_) {
+    counts_[item] = 1;
+    return;
+  }
+  // Decrement-all step; erase counters that reach zero.
+  for (auto iter = counts_.begin(); iter != counts_.end();) {
+    if (--iter->second == 0) {
+      iter = counts_.erase(iter);
+    } else {
+      ++iter;
+    }
+  }
+}
+
+void MisraGries::ObserveRow(const util::BitVector& row) {
+  for (std::size_t item : row.SetBits()) Observe(item);
+}
+
+std::uint64_t MisraGries::Estimate(std::size_t item) const {
+  const auto it = counts_.find(item);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::size_t> MisraGries::HeavyHitters(
+    std::uint64_t threshold) const {
+  std::vector<std::size_t> out;
+  for (const auto& [item, count] : counts_) {
+    if (count >= threshold) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace ifsketch::stream

@@ -1,0 +1,117 @@
+#include "util/bitvector.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace ifsketch::util {
+
+BitVector BitVector::FromString(const std::string& bits) {
+  BitVector v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    IFSKETCH_CHECK(bits[i] == '0' || bits[i] == '1');
+    v.Set(i, bits[i] == '1');
+  }
+  return v;
+}
+
+void BitVector::Clear() {
+  for (auto& w : words_) w = 0;
+}
+
+std::size_t BitVector::Count() const {
+  std::size_t c = 0;
+  for (std::uint64_t w : words_) c += std::popcount(w);
+  return c;
+}
+
+bool BitVector::Contains(const BitVector& other) const {
+  IFSKETCH_CHECK_EQ(size_, other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != other.words_[i]) return false;
+  }
+  return true;
+}
+
+std::size_t BitVector::HammingDistance(const BitVector& other) const {
+  IFSKETCH_CHECK_EQ(size_, other.size_);
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    c += std::popcount(words_[i] ^ other.words_[i]);
+  }
+  return c;
+}
+
+std::size_t BitVector::AndCount(const BitVector& other) const {
+  IFSKETCH_CHECK_EQ(size_, other.size_);
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    c += std::popcount(words_[i] & other.words_[i]);
+  }
+  return c;
+}
+
+BitVector& BitVector::operator&=(const BitVector& other) {
+  IFSKETCH_CHECK_EQ(size_, other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator|=(const BitVector& other) {
+  IFSKETCH_CHECK_EQ(size_, other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator^=(const BitVector& other) {
+  IFSKETCH_CHECK_EQ(size_, other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+BitVector BitVector::Concat(const BitVector& other) const {
+  BitVector out(size_ + other.size_);
+  for (std::size_t i = 0; i < size_; ++i) out.Set(i, Get(i));
+  for (std::size_t i = 0; i < other.size_; ++i) {
+    out.Set(size_ + i, other.Get(i));
+  }
+  return out;
+}
+
+BitVector BitVector::Slice(std::size_t begin, std::size_t len) const {
+  IFSKETCH_CHECK_LE(begin + len, size_);
+  BitVector out(len);
+  for (std::size_t i = 0; i < len; ++i) out.Set(i, Get(begin + i));
+  return out;
+}
+
+std::vector<std::size_t> BitVector::SetBits() const {
+  std::vector<std::size_t> out;
+  out.reserve(Count());
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w != 0) {
+      const int b = std::countr_zero(w);
+      out.push_back(wi * 64 + static_cast<std::size_t>(b));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+std::string BitVector::ToString() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (Get(i)) s[i] = '1';
+  }
+  return s;
+}
+
+void BitVector::MaskTail() {
+  const std::size_t tail = size_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+}
+
+}  // namespace ifsketch::util

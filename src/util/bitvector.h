@@ -1,0 +1,117 @@
+// A packed, fixed-size bit vector.
+//
+// Database rows, itemset indicator vectors, code words and sketch payloads
+// are all bit strings; this is the shared representation. The layout is
+// little-endian within each 64-bit word: bit i lives in word i/64 at
+// position i%64.
+#ifndef IFSKETCH_UTIL_BITVECTOR_H_
+#define IFSKETCH_UTIL_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ifsketch::util {
+
+/// Fixed-size packed vector of bits with word-level bulk operations.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Creates a vector of `size` bits, all zero.
+  explicit BitVector(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  /// Creates a vector from a string of '0'/'1' characters (test helper).
+  static BitVector FromString(const std::string& bits);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Returns bit `i`. Precondition: i < size().
+  bool Get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Sets bit `i` to `value`. Precondition: i < size().
+  void Set(std::size_t i, bool value) {
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Flips bit `i`. Precondition: i < size().
+  void Flip(std::size_t i) { words_[i >> 6] ^= std::uint64_t{1} << (i & 63); }
+
+  /// Sets all bits to zero.
+  void Clear();
+
+  /// Number of set bits.
+  std::size_t Count() const;
+
+  /// True iff every bit set in `other` is also set in *this
+  /// (i.e. other ⊆ this, reading both as attribute sets).
+  /// Precondition: same size.
+  bool Contains(const BitVector& other) const;
+
+  /// Number of positions where *this and `other` differ.
+  /// Precondition: same size.
+  std::size_t HammingDistance(const BitVector& other) const;
+
+  /// Popcount of the AND of the two vectors (inner product over {0,1}).
+  /// Precondition: same size.
+  std::size_t AndCount(const BitVector& other) const;
+
+  /// In-place bitwise operations. Precondition: same size.
+  BitVector& operator&=(const BitVector& other);
+  BitVector& operator|=(const BitVector& other);
+  BitVector& operator^=(const BitVector& other);
+
+  friend BitVector operator&(BitVector a, const BitVector& b) {
+    a &= b;
+    return a;
+  }
+  friend BitVector operator|(BitVector a, const BitVector& b) {
+    a |= b;
+    return a;
+  }
+  friend BitVector operator^(BitVector a, const BitVector& b) {
+    a ^= b;
+    return a;
+  }
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// Concatenation: the bits of `other` appended after the bits of *this.
+  BitVector Concat(const BitVector& other) const;
+
+  /// The sub-vector [begin, begin+len).
+  BitVector Slice(std::size_t begin, std::size_t len) const;
+
+  /// Indices of set bits, ascending.
+  std::vector<std::size_t> SetBits() const;
+
+  /// '0'/'1' rendering (test/debug helper).
+  std::string ToString() const;
+
+  /// Raw word storage (read-only); trailing bits beyond size() are zero.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  // Zeroes the unused high bits of the last word so that word-level
+  // comparisons and popcounts are exact.
+  void MaskTail();
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ifsketch::util
+
+#endif  // IFSKETCH_UTIL_BITVECTOR_H_

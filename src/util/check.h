@@ -1,0 +1,40 @@
+// Lightweight assertion macros used across the library.
+//
+// IFSKETCH_CHECK is active in all build types (unlike assert) because the
+// lower-bound constructions rely on invariants whose violation would
+// silently invalidate an experiment's conclusion.
+#ifndef IFSKETCH_UTIL_CHECK_H_
+#define IFSKETCH_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ifsketch::util {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "IFSKETCH_CHECK failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace ifsketch::util
+
+/// Aborts the process with a diagnostic if `cond` is false.
+#define IFSKETCH_CHECK(cond)                                    \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::ifsketch::util::CheckFailed(#cond, __FILE__, __LINE__); \
+    }                                                           \
+  } while (0)
+
+/// Convenience comparisons with no message formatting (keeps call sites
+/// terse; the failing expression text carries enough context).
+#define IFSKETCH_CHECK_EQ(a, b) IFSKETCH_CHECK((a) == (b))
+#define IFSKETCH_CHECK_NE(a, b) IFSKETCH_CHECK((a) != (b))
+#define IFSKETCH_CHECK_LT(a, b) IFSKETCH_CHECK((a) < (b))
+#define IFSKETCH_CHECK_LE(a, b) IFSKETCH_CHECK((a) <= (b))
+#define IFSKETCH_CHECK_GT(a, b) IFSKETCH_CHECK((a) > (b))
+#define IFSKETCH_CHECK_GE(a, b) IFSKETCH_CHECK((a) >= (b))
+
+#endif  // IFSKETCH_UTIL_CHECK_H_

@@ -1,0 +1,76 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/combinatorics.h"
+
+namespace ifsketch::util {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::StdDev() const { return std::sqrt(Variance()); }
+
+double Quantile(std::vector<double> values, double q) {
+  IFSKETCH_CHECK(!values.empty());
+  IFSKETCH_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::size_t IndicatorSampleCount(double eps, double delta) {
+  IFSKETCH_CHECK(eps > 0.0 && eps <= 1.0);
+  IFSKETCH_CHECK(delta > 0.0 && delta < 1.0);
+  return static_cast<std::size_t>(
+      std::ceil(16.0 * std::log(2.0 / delta) / eps));
+}
+
+std::size_t EstimatorSampleCount(double eps, double delta) {
+  IFSKETCH_CHECK(eps > 0.0 && eps <= 1.0);
+  IFSKETCH_CHECK(delta > 0.0 && delta < 1.0);
+  return static_cast<std::size_t>(
+      std::ceil(std::log(2.0 / delta) / (2.0 * eps * eps)));
+}
+
+namespace {
+
+// ln(C(d,k)/delta), computed in log space so huge C(d,k) is fine.
+double LnUnionDelta(double delta, std::uint64_t d, std::uint64_t k) {
+  const double ln_binom = LogBinomial(d, k);  // natural log
+  return ln_binom - std::log(delta);
+}
+
+}  // namespace
+
+std::size_t ForAllIndicatorSampleCount(double eps, double delta,
+                                       std::uint64_t d, std::uint64_t k) {
+  IFSKETCH_CHECK(eps > 0.0 && eps <= 1.0);
+  const double ln_term = std::log(2.0) + LnUnionDelta(delta, d, k);
+  return static_cast<std::size_t>(std::ceil(16.0 * ln_term / eps));
+}
+
+std::size_t ForAllEstimatorSampleCount(double eps, double delta,
+                                       std::uint64_t d, std::uint64_t k) {
+  IFSKETCH_CHECK(eps > 0.0 && eps <= 1.0);
+  const double ln_term = std::log(2.0) + LnUnionDelta(delta, d, k);
+  return static_cast<std::size_t>(std::ceil(ln_term / (2.0 * eps * eps)));
+}
+
+}  // namespace ifsketch::util

@@ -1,0 +1,58 @@
+// Descriptive statistics and Chernoff-bound sample-size calculators.
+//
+// The calculators implement Lemma 9's sample counts exactly as stated:
+//   For-Each indicator:  s = O(eps^-1 log(1/delta))     (Lemma 10 route)
+//   For-Each estimator:  s = O(eps^-2 log(1/delta))     (Lemma 11 route)
+//   For-All  variants:   union bound over C(d,k) itemsets.
+#ifndef IFSKETCH_UTIL_STATS_H_
+#define IFSKETCH_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ifsketch::util {
+
+/// Streaming mean / variance / min / max accumulator (Welford).
+class RunningStat {
+ public:
+  void Add(double x);
+  std::size_t count() const { return count_; }
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double Variance() const;  ///< Sample variance (n-1 denominator).
+  double StdDev() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+/// The q-th quantile (0 <= q <= 1) of `values` by linear interpolation.
+/// Copies and sorts; intended for reporting, not hot paths.
+double Quantile(std::vector<double> values, double q);
+
+/// Lemma 10 route: samples sufficient for the For-Each indicator guarantee
+/// at threshold eps with failure probability delta: ceil(16 ln(2/delta)/eps).
+std::size_t IndicatorSampleCount(double eps, double delta);
+
+/// Lemma 11 route: samples sufficient for the For-Each estimator guarantee:
+/// ceil(ln(2/delta) / (2 eps^2)).
+std::size_t EstimatorSampleCount(double eps, double delta);
+
+/// For-All indicator samples: union bound over C(d,k) itemsets, i.e.
+/// IndicatorSampleCount with delta' = delta / C(d,k) (log-space safe).
+std::size_t ForAllIndicatorSampleCount(double eps, double delta,
+                                       std::uint64_t d, std::uint64_t k);
+
+/// For-All estimator samples: EstimatorSampleCount with
+/// delta' = delta / C(d,k).
+std::size_t ForAllEstimatorSampleCount(double eps, double delta,
+                                       std::uint64_t d, std::uint64_t k);
+
+}  // namespace ifsketch::util
+
+#endif  // IFSKETCH_UTIL_STATS_H_

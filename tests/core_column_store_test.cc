@@ -1,0 +1,76 @@
+#include "core/column_store.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.h"
+#include "data/generators.h"
+#include "mining/apriori.h"
+#include "util/combinatorics.h"
+
+namespace ifsketch::core {
+namespace {
+
+TEST(ColumnStoreTest, MatchesRowStoreExhaustively) {
+  util::Rng rng(1);
+  const Database db = data::UniformRandom(200, 10, 0.45, rng);
+  const ColumnStore cs(db);
+  EXPECT_EQ(cs.num_rows(), 200u);
+  EXPECT_EQ(cs.num_columns(), 10u);
+  for (std::size_t k = 0; k <= 4; ++k) {
+    for (const auto& attrs : util::AllSubsets(10, k)) {
+      const Itemset t(10, attrs);
+      EXPECT_EQ(cs.SupportCount(t), db.SupportCount(t));
+      EXPECT_DOUBLE_EQ(cs.Frequency(t), db.Frequency(t));
+    }
+  }
+}
+
+TEST(ColumnStoreTest, EmptyItemsetIsAllRows) {
+  util::Rng rng(2);
+  const Database db = data::UniformRandom(33, 5, 0.2, rng);
+  const ColumnStore cs(db);
+  EXPECT_EQ(cs.SupportCount(Itemset(5)), 33u);
+  EXPECT_DOUBLE_EQ(cs.Frequency(Itemset(5)), 1.0);
+}
+
+TEST(ColumnStoreTest, EmptyDatabase) {
+  const Database db(0, 4);
+  const ColumnStore cs(db);
+  EXPECT_EQ(cs.Frequency(Itemset(4, {0})), 0.0);
+}
+
+TEST(ColumnStoreTest, ColumnsMatchSource) {
+  util::Rng rng(3);
+  const Database db = data::UniformRandom(70, 8, 0.5, rng);
+  const ColumnStore cs(db);
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(cs.Column(j), db.Column(j));
+  }
+}
+
+TEST(ColumnStoreTest, DrivesMinerIdentically) {
+  util::Rng rng(4);
+  const Database db =
+      data::PowerLawBaskets(600, 16, 1.0, 0.5, 3, 3, 0.25, rng);
+  const ColumnStore cs(db);
+  mining::AprioriOptions opt;
+  opt.min_frequency = 0.105;
+  opt.max_size = 3;
+  const auto via_rows = mining::MineDatabase(db, opt);
+  const auto via_cols = mining::MineFrequentItemsets(
+      16, [&cs](const Itemset& t) { return cs.Frequency(t); }, opt);
+  ASSERT_EQ(via_rows.size(), via_cols.size());
+  for (std::size_t i = 0; i < via_rows.size(); ++i) {
+    EXPECT_EQ(via_rows[i].itemset, via_cols[i].itemset);
+    EXPECT_DOUBLE_EQ(via_rows[i].frequency, via_cols[i].frequency);
+  }
+}
+
+TEST(ColumnStoreTest, UniverseMismatchDies) {
+  const Database db(4, 6);
+  const ColumnStore cs(db);
+  EXPECT_DEATH(cs.SupportCount(Itemset(7, {0})), "");
+}
+
+}  // namespace
+}  // namespace ifsketch::core

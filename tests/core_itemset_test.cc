@@ -1,0 +1,83 @@
+#include "core/itemset.h"
+
+#include <gtest/gtest.h>
+
+namespace ifsketch::core {
+namespace {
+
+using util::BitVector;
+
+TEST(ItemsetTest, EmptySetContainedInEverything) {
+  const Itemset empty(5);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.ContainedIn(BitVector::FromString("00000")));
+  EXPECT_TRUE(empty.ContainedIn(BitVector::FromString("11111")));
+}
+
+TEST(ItemsetTest, ConstructionFromAttributes) {
+  const Itemset t(6, {1, 3, 5});
+  EXPECT_EQ(t.universe(), 6u);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.Has(1));
+  EXPECT_TRUE(t.Has(3));
+  EXPECT_TRUE(t.Has(5));
+  EXPECT_FALSE(t.Has(0));
+  EXPECT_EQ(t.Attributes(), (std::vector<std::size_t>{1, 3, 5}));
+}
+
+TEST(ItemsetTest, FromIndicatorRoundTrip) {
+  const BitVector ind = BitVector::FromString("010110");
+  const Itemset t = Itemset::FromIndicator(ind);
+  EXPECT_EQ(t.indicator(), ind);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(ItemsetTest, ContainmentSemantics) {
+  const Itemset t(5, {0, 2});
+  EXPECT_TRUE(t.ContainedIn(BitVector::FromString("10100")));
+  EXPECT_TRUE(t.ContainedIn(BitVector::FromString("11111")));
+  EXPECT_FALSE(t.ContainedIn(BitVector::FromString("10010")));
+  EXPECT_FALSE(t.ContainedIn(BitVector::FromString("01100")));
+}
+
+TEST(ItemsetTest, UnionMergesAttributes) {
+  const Itemset a(6, {0, 1});
+  const Itemset b(6, {1, 4});
+  const Itemset u = a.Union(b);
+  EXPECT_EQ(u.Attributes(), (std::vector<std::size_t>{0, 1, 4}));
+}
+
+TEST(ItemsetTest, AddGrowsSet) {
+  Itemset t(4);
+  t.Add(2);
+  t.Add(0);
+  EXPECT_EQ(t.Attributes(), (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(ItemsetTest, ShiftIntoRelocatesAttributes) {
+  const Itemset t(4, {0, 3});
+  const Itemset shifted = t.ShiftInto(10, 5);
+  EXPECT_EQ(shifted.universe(), 10u);
+  EXPECT_EQ(shifted.Attributes(), (std::vector<std::size_t>{5, 8}));
+}
+
+TEST(ItemsetTest, ShiftIntoZeroOffsetWidens) {
+  const Itemset t(3, {1});
+  const Itemset wide = t.ShiftInto(8, 0);
+  EXPECT_EQ(wide.universe(), 8u);
+  EXPECT_EQ(wide.Attributes(), (std::vector<std::size_t>{1}));
+}
+
+TEST(ItemsetTest, EqualityIsStructural) {
+  EXPECT_EQ(Itemset(4, {1, 2}), Itemset(4, {2, 1}));
+  EXPECT_FALSE(Itemset(4, {1}) == Itemset(4, {2}));
+  EXPECT_FALSE(Itemset(4, {1}) == Itemset(5, {1}));
+}
+
+TEST(ItemsetTest, ToStringFormat) {
+  EXPECT_EQ(Itemset(8, {2, 5}).ToString(), "{2,5}/d=8");
+  EXPECT_EQ(Itemset(3).ToString(), "{}/d=3");
+}
+
+}  // namespace
+}  // namespace ifsketch::core

@@ -1,0 +1,118 @@
+#include "core/marginal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "sketch/subsample.h"
+#include "util/bitvector.h"
+
+namespace ifsketch::core {
+namespace {
+
+Database MakeDb(const std::vector<std::string>& rows) {
+  std::vector<util::BitVector> bits;
+  for (const auto& r : rows) bits.push_back(util::BitVector::FromString(r));
+  return Database::FromRows(std::move(bits));
+}
+
+TEST(MarginalTest, HandComputedTwoWay) {
+  // Patterns over attrs {0,1}: rows 11, 10, 00, 11.
+  const Database db = MakeDb({"110", "100", "000", "110"});
+  const MarginalTable t = ComputeMarginal(db, {0, 1});
+  ASSERT_EQ(t.NumCells(), 4u);
+  EXPECT_DOUBLE_EQ(t.cells[0b00], 0.25);
+  EXPECT_DOUBLE_EQ(t.cells[0b01], 0.25);  // attr0=1, attr1=0
+  EXPECT_DOUBLE_EQ(t.cells[0b10], 0.0);
+  EXPECT_DOUBLE_EQ(t.cells[0b11], 0.5);
+  EXPECT_DOUBLE_EQ(t.Total(), 1.0);
+}
+
+TEST(MarginalTest, CellsSumToOneRandom) {
+  util::Rng rng(1);
+  const Database db = data::UniformRandom(500, 10, 0.4, rng);
+  for (const auto& attrs : {std::vector<std::size_t>{0},
+                            {1, 5},
+                            {2, 4, 8},
+                            {0, 3, 6, 9}}) {
+    const MarginalTable t = ComputeMarginal(db, attrs);
+    EXPECT_NEAR(t.Total(), 1.0, 1e-9);
+    for (double c : t.cells) EXPECT_GE(c, 0.0);
+  }
+}
+
+TEST(MarginalTest, InclusionExclusionMatchesExact) {
+  // Footnote 2's reduction with an exact frequency oracle must reproduce
+  // the direct computation bit-for-bit (up to float rounding).
+  util::Rng rng(2);
+  const Database db = data::UniformRandom(300, 9, 0.45, rng);
+  const auto oracle = [&db](const Itemset& t) { return db.Frequency(t); };
+  for (const auto& attrs :
+       {std::vector<std::size_t>{3}, {0, 7}, {1, 4, 8}, {0, 2, 5, 6}}) {
+    const MarginalTable direct = ComputeMarginal(db, attrs);
+    const MarginalTable via_ie =
+        MarginalFromFrequencies(9, attrs, oracle);
+    EXPECT_LT(direct.MaxCellDiff(via_ie), 1e-9);
+  }
+}
+
+TEST(MarginalTest, EmptyAttributeSet) {
+  util::Rng rng(3);
+  const Database db = data::UniformRandom(50, 5, 0.5, rng);
+  const MarginalTable t = ComputeMarginal(db, {});
+  ASSERT_EQ(t.NumCells(), 1u);
+  EXPECT_DOUBLE_EQ(t.cells[0], 1.0);
+  const MarginalTable t2 = MarginalFromFrequencies(
+      5, {}, [&db](const Itemset& q) { return db.Frequency(q); });
+  EXPECT_DOUBLE_EQ(t2.cells[0], 1.0);
+}
+
+TEST(MarginalTest, DeterministicColumns) {
+  // Attribute 1 always equals attribute 0: off-diagonal cells vanish.
+  const Database db = MakeDb({"11", "11", "00", "00"});
+  const MarginalTable t = ComputeMarginal(db, {0, 1});
+  EXPECT_DOUBLE_EQ(t.cells[0b01], 0.0);
+  EXPECT_DOUBLE_EQ(t.cells[0b10], 0.0);
+  EXPECT_DOUBLE_EQ(t.cells[0b00], 0.5);
+  EXPECT_DOUBLE_EQ(t.cells[0b11], 0.5);
+}
+
+TEST(MarginalTest, SketchBackedMarginalWithinInclusionExclusionError) {
+  util::Rng rng(4);
+  const Database db = data::CensusLike(
+      20000, {{3, {0.5, 0.3, 0.2}}, {2, {}}, {2, {0.8, 0.2}}}, rng);
+  SketchParams p;
+  p.k = 3;
+  p.eps = 0.01;
+  p.delta = 0.05;
+  p.scope = Scope::kForAll;
+  p.answer = Answer::kEstimator;
+  sketch::SubsampleSketch algo;
+  const auto summary = algo.Build(db, p, rng);
+  const auto est =
+      algo.LoadEstimator(summary, p, db.num_columns(), db.num_rows());
+  // One attribute from each group: a 3-way marginal through the sketch.
+  const std::vector<std::size_t> attrs = {0, 3, 5};
+  const MarginalTable direct = ComputeMarginal(db, attrs);
+  const MarginalTable sketched = MarginalFromFrequencies(
+      db.num_columns(), attrs,
+      [&est](const Itemset& t) { return est->EstimateFrequency(t); });
+  // Each cell is a sum of at most 2^3 frequencies, each +/- eps.
+  EXPECT_LT(direct.MaxCellDiff(sketched), 8 * p.eps);
+  EXPECT_NEAR(sketched.Total(), 1.0, 8 * p.eps);
+}
+
+TEST(MarginalTest, CellIsNonMonotoneConjunction) {
+  // Cell (1,0) over attrs {0,1} equals f_{0} - f_{0,1}: the footnote's
+  // "general conjunction = +/- sum of monotone conjunctions".
+  util::Rng rng(5);
+  const Database db = data::UniformRandom(400, 6, 0.5, rng);
+  const MarginalTable t = ComputeMarginal(db, {0, 1});
+  const double expected = db.Frequency(Itemset(6, {0})) -
+                          db.Frequency(Itemset(6, {0, 1}));
+  EXPECT_NEAR(t.cells[0b01], expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace ifsketch::core

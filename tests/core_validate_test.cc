@@ -1,0 +1,133 @@
+#include "core/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace ifsketch::core {
+namespace {
+
+/// Estimator with a programmable constant bias.
+class BiasedEstimator : public FrequencyEstimator {
+ public:
+  BiasedEstimator(const Database* db, double bias) : db_(db), bias_(bias) {}
+  double EstimateFrequency(const Itemset& t) const override {
+    const double f = db_->Frequency(t) + bias_;
+    return f < 0.0 ? 0.0 : (f > 1.0 ? 1.0 : f);
+  }
+
+ private:
+  const Database* db_;
+  double bias_;
+};
+
+/// Indicator thresholding exact frequencies at the given cut.
+class CutIndicator : public FrequencyIndicator {
+ public:
+  CutIndicator(const Database* db, double cut) : db_(db), cut_(cut) {}
+  bool IsFrequent(const Itemset& t) const override {
+    return db_->Frequency(t) >= cut_;
+  }
+
+ private:
+  const Database* db_;
+  double cut_;
+};
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(33);
+    db_ = data::UniformRandom(64, 8, 0.5, rng);
+  }
+  Database db_;
+};
+
+TEST_F(ValidateTest, ExactEstimatorIsValid) {
+  BiasedEstimator exact(&db_, 0.0);
+  const auto report = ValidateEstimatorExhaustive(db_, exact, 2, 0.05);
+  EXPECT_TRUE(report.valid());
+  EXPECT_EQ(report.itemsets_checked, 28u);  // C(8,2)
+  EXPECT_EQ(report.max_abs_error, 0.0);
+}
+
+TEST_F(ValidateTest, SmallBiasWithinEpsIsValid) {
+  BiasedEstimator biased(&db_, 0.03);
+  const auto report = ValidateEstimatorExhaustive(db_, biased, 2, 0.05);
+  EXPECT_TRUE(report.valid());
+  EXPECT_NEAR(report.max_abs_error, 0.03, 1e-9);
+}
+
+TEST_F(ValidateTest, LargeBiasViolates) {
+  BiasedEstimator biased(&db_, 0.2);
+  const auto report = ValidateEstimatorExhaustive(db_, biased, 2, 0.05);
+  EXPECT_FALSE(report.valid());
+  EXPECT_GT(report.violations, 0u);
+}
+
+TEST_F(ValidateTest, MidThresholdIndicatorIsValid) {
+  // Thresholding exact frequencies anywhere inside (eps/2, eps] is valid.
+  CutIndicator ind(&db_, 0.15);
+  const auto report = ValidateIndicatorExhaustive(db_, ind, 2, 0.2);
+  EXPECT_TRUE(report.valid());
+}
+
+TEST_F(ValidateTest, AlwaysFrequentIndicatorViolates) {
+  CutIndicator always(&db_, -1.0);  // answers 1 for everything
+  // With eps large, many itemsets have f < eps/2 and must answer 0.
+  const auto report = ValidateIndicatorExhaustive(db_, always, 3, 0.9);
+  EXPECT_FALSE(report.valid());
+}
+
+TEST_F(ValidateTest, NeverFrequentIndicatorViolates) {
+  CutIndicator never(&db_, 2.0);  // answers 0 for everything
+  const auto report = ValidateIndicatorExhaustive(db_, never, 1, 0.2);
+  // Single attributes have frequency ~0.5 > eps: must answer 1.
+  EXPECT_FALSE(report.valid());
+}
+
+TEST_F(ValidateTest, SampledMatchesExhaustiveForExactOracle) {
+  util::Rng rng(44);
+  BiasedEstimator exact(&db_, 0.0);
+  const auto report =
+      ValidateEstimatorSampled(db_, exact, 3, 0.05, 200, rng);
+  EXPECT_TRUE(report.valid());
+  EXPECT_EQ(report.itemsets_checked, 200u);
+}
+
+TEST_F(ValidateTest, SampledCatchesGrossViolations) {
+  util::Rng rng(45);
+  CutIndicator always(&db_, -1.0);
+  const auto report =
+      ValidateIndicatorSampled(db_, always, 3, 0.9, 200, rng);
+  EXPECT_FALSE(report.valid());
+}
+
+TEST(RandomItemsetTest, SizeAndUniverse) {
+  util::Rng rng(46);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Itemset t = RandomItemset(12, 4, rng);
+    EXPECT_EQ(t.universe(), 12u);
+    EXPECT_EQ(t.size(), 4u);
+  }
+}
+
+TEST(RandomItemsetTest, CoversUniverse) {
+  util::Rng rng(47);
+  std::vector<int> seen(10, 0);
+  for (int trial = 0; trial < 300; ++trial) {
+    for (std::size_t a : RandomItemset(10, 2, rng).Attributes()) {
+      ++seen[a];
+    }
+  }
+  for (int c : seen) EXPECT_GT(c, 0);
+}
+
+TEST_F(ValidateTest, MeanAbsErrorComputed) {
+  BiasedEstimator biased(&db_, 0.02);
+  const auto report = ValidateEstimatorExhaustive(db_, biased, 2, 0.1);
+  EXPECT_NEAR(report.mean_abs_error, 0.02, 1e-9);
+}
+
+}  // namespace
+}  // namespace ifsketch::core

@@ -1,0 +1,110 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/combinatorics.h"
+namespace ifsketch::data {
+namespace {
+
+TEST(UniformRandomTest, ShapeAndDensity) {
+  util::Rng rng(1);
+  const core::Database db = UniformRandom(500, 20, 0.3, rng);
+  EXPECT_EQ(db.num_rows(), 500u);
+  EXPECT_EQ(db.num_columns(), 20u);
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < 500; ++i) ones += db.Row(i).Count();
+  EXPECT_NEAR(static_cast<double>(ones) / (500.0 * 20.0), 0.3, 0.02);
+}
+
+TEST(UniformRandomTest, DensityExtremes) {
+  util::Rng rng(2);
+  const core::Database zeros = UniformRandom(10, 8, 0.0, rng);
+  const core::Database ones = UniformRandom(10, 8, 1.0, rng);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(zeros.Row(i).Count(), 0u);
+    EXPECT_EQ(ones.Row(i).Count(), 8u);
+  }
+}
+
+TEST(PlantedItemsetsTest, PlantedFrequenciesHit) {
+  util::Rng rng(3);
+  const core::Database db = PlantedItemsets(
+      4000, 16, {{{2, 5, 11}, 0.35}}, 0.05, rng);
+  const double f = db.Frequency(core::Itemset(16, {2, 5, 11}));
+  // Planted at 0.35 plus small background coincidences.
+  EXPECT_NEAR(f, 0.35, 0.04);
+}
+
+TEST(PlantedItemsetsTest, BackgroundUnaffectedItemsetsRare) {
+  util::Rng rng(4);
+  const core::Database db = PlantedItemsets(
+      2000, 16, {{{2, 5}, 0.3}}, 0.05, rng);
+  // An unplanted pair should have frequency ~0.0025.
+  EXPECT_LT(db.Frequency(core::Itemset(16, {9, 13})), 0.03);
+}
+
+TEST(PowerLawTest, PopularityDecays) {
+  util::Rng rng(5);
+  const core::Database db =
+      PowerLawBaskets(3000, 30, 1.0, 0.8, 0, 0, 0.0, rng);
+  const double f0 = db.Frequency(core::Itemset(30, {0}));
+  const double f9 = db.Frequency(core::Itemset(30, {9}));
+  const double f29 = db.Frequency(core::Itemset(30, {29}));
+  EXPECT_GT(f0, f9);
+  EXPECT_GT(f9, f29);
+  EXPECT_NEAR(f0, 0.8, 0.05);
+  EXPECT_NEAR(f9, 0.08, 0.02);
+}
+
+TEST(PowerLawTest, BundlesCreateCorrelation) {
+  util::Rng rng(6);
+  // Low base rate, strong bundles: some triple must be far more frequent
+  // than independence predicts.
+  const core::Database db =
+      PowerLawBaskets(3000, 20, 1.2, 0.1, 2, 3, 0.35, rng);
+  double best_lift = 0.0;
+  for (const auto& attrs : util::AllSubsets(20, 2)) {
+    const core::Itemset pair(20, attrs);
+    const double joint = db.Frequency(pair);
+    const double indep =
+        db.Frequency(core::Itemset(20, {attrs[0]})) *
+        db.Frequency(core::Itemset(20, {attrs[1]}));
+    if (indep > 1e-6) best_lift = std::max(best_lift, joint / indep);
+  }
+  EXPECT_GT(best_lift, 3.0);
+}
+
+TEST(CensusLikeTest, OneHotInvariant) {
+  util::Rng rng(7);
+  const std::vector<CategoricalAttribute> attrs = {
+      {4, {}}, {3, {0.7, 0.2, 0.1}}, {2, {}}};
+  const core::Database db = CensusLike(200, attrs, rng);
+  EXPECT_EQ(db.num_columns(), 9u);
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(db.Row(i).Slice(0, 4).Count(), 1u);
+    EXPECT_EQ(db.Row(i).Slice(4, 3).Count(), 1u);
+    EXPECT_EQ(db.Row(i).Slice(7, 2).Count(), 1u);
+  }
+}
+
+TEST(CensusLikeTest, CategoryProbabilitiesRespected) {
+  util::Rng rng(8);
+  const std::vector<CategoricalAttribute> attrs = {{3, {0.7, 0.2, 0.1}}};
+  const core::Database db = CensusLike(5000, attrs, rng);
+  EXPECT_NEAR(db.Frequency(core::Itemset(3, {0})), 0.7, 0.03);
+  EXPECT_NEAR(db.Frequency(core::Itemset(3, {1})), 0.2, 0.03);
+  EXPECT_NEAR(db.Frequency(core::Itemset(3, {2})), 0.1, 0.03);
+}
+
+TEST(CensusLikeTest, MutuallyExclusiveCategories) {
+  util::Rng rng(9);
+  const core::Database db = CensusLike(300, {{3, {}}}, rng);
+  // Two categories of one attribute never co-occur.
+  EXPECT_DOUBLE_EQ(db.Frequency(core::Itemset(3, {0, 1})), 0.0);
+  EXPECT_DOUBLE_EQ(db.Frequency(core::Itemset(3, {1, 2})), 0.0);
+}
+
+}  // namespace
+}  // namespace ifsketch::data

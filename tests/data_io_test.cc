@@ -1,0 +1,104 @@
+#include "data/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/generators.h"
+
+namespace ifsketch::data {
+namespace {
+
+TEST(TransactionIoTest, RoundTrip) {
+  util::Rng rng(1);
+  const core::Database db = UniformRandom(50, 17, 0.3, rng);
+  std::stringstream stream;
+  WriteTransactions(stream, db);
+  const auto back = ReadTransactions(stream);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, db);
+}
+
+TEST(TransactionIoTest, EmptyRowsPreserved) {
+  core::Database db(3, 5);
+  db.Set(1, 2, true);
+  std::stringstream stream;
+  WriteTransactions(stream, db);
+  const auto back = ReadTransactions(stream);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, db);
+  EXPECT_EQ(back->Row(0).Count(), 0u);
+}
+
+TEST(TransactionIoTest, RejectsOutOfRangeIndex) {
+  std::stringstream stream("4\n0 1\n7\n");
+  EXPECT_FALSE(ReadTransactions(stream).has_value());
+}
+
+TEST(TransactionIoTest, RejectsGarbage) {
+  std::stringstream stream("4\n0 banana\n");
+  EXPECT_FALSE(ReadTransactions(stream).has_value());
+}
+
+TEST(TransactionIoTest, RejectsMissingHeader) {
+  std::stringstream stream("");
+  EXPECT_FALSE(ReadTransactions(stream).has_value());
+}
+
+TEST(TransactionIoTest, EmptyDatabaseKeepsWidth) {
+  std::stringstream stream("9\n");
+  const auto back = ReadTransactions(stream);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_rows(), 0u);
+  EXPECT_EQ(back->num_columns(), 9u);
+}
+
+TEST(DenseIoTest, RoundTrip) {
+  util::Rng rng(2);
+  const core::Database db = UniformRandom(30, 12, 0.5, rng);
+  std::stringstream stream;
+  WriteDense(stream, db);
+  const auto back = ReadDense(stream);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, db);
+}
+
+TEST(DenseIoTest, RejectsWrongWidth) {
+  std::stringstream stream("2 3\n101\n10\n");
+  EXPECT_FALSE(ReadDense(stream).has_value());
+}
+
+TEST(DenseIoTest, RejectsNonBinaryChars) {
+  std::stringstream stream("1 3\n1x1\n");
+  EXPECT_FALSE(ReadDense(stream).has_value());
+}
+
+TEST(FileIoTest, SaveLoadRoundTrip) {
+  util::Rng rng(3);
+  const core::Database db = UniformRandom(20, 8, 0.4, rng);
+  const std::string path = testing::TempDir() + "/ifsketch_io_test.txt";
+  ASSERT_TRUE(SaveTransactionsFile(path, db));
+  const auto back = LoadTransactionsFile(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, db);
+}
+
+TEST(FileIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(
+      LoadTransactionsFile("/nonexistent/definitely/not/here").has_value());
+}
+
+TEST(IoTest, FrequenciesSurviveRoundTrip) {
+  util::Rng rng(4);
+  const core::Database db =
+      PlantedItemsets(200, 10, {{{2, 6}, 0.3}}, 0.1, rng);
+  std::stringstream stream;
+  WriteTransactions(stream, db);
+  const auto back = ReadTransactions(stream);
+  ASSERT_TRUE(back.has_value());
+  const core::Itemset t(10, {2, 6});
+  EXPECT_DOUBLE_EQ(back->Frequency(t), db.Frequency(t));
+}
+
+}  // namespace
+}  // namespace ifsketch::data

@@ -1,0 +1,188 @@
+// Differential tests: fast implementations vs naive reference
+// re-implementations, on randomized inputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/database.h"
+#include "core/marginal.h"
+#include "data/generators.h"
+#include "ecc/gf256.h"
+#include "lowerbound/thm13.h"
+#include "mining/fpgrowth.h"
+#include "util/bitvector.h"
+#include "util/combinatorics.h"
+#include "util/random.h"
+
+namespace ifsketch {
+namespace {
+
+// Reference: frequency by per-entry scanning (no word tricks).
+double NaiveFrequency(const core::Database& db, const core::Itemset& t) {
+  if (db.num_rows() == 0) return 0.0;
+  const auto attrs = t.Attributes();
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < db.num_rows(); ++i) {
+    bool all = true;
+    for (std::size_t a : attrs) {
+      if (!db.Get(i, a)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(db.num_rows());
+}
+
+TEST(DifferentialTest, FrequencyMatchesNaive) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.UniformInt(80);
+    const std::size_t d = 1 + rng.UniformInt(100);
+    const core::Database db =
+        data::UniformRandom(n, d, rng.UniformDouble(), rng);
+    for (int q = 0; q < 10; ++q) {
+      const std::size_t k = 1 + rng.UniformInt(std::min<std::size_t>(d, 6));
+      const core::Itemset t(d, rng.SampleWithoutReplacement(d, k));
+      EXPECT_DOUBLE_EQ(db.Frequency(t), NaiveFrequency(db, t));
+    }
+  }
+}
+
+// Reference: BitVector ops vs std::vector<bool>.
+TEST(DifferentialTest, BitVectorMatchesVectorBool) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t size = 1 + rng.UniformInt(300);
+    std::vector<bool> ref(size, false);
+    util::BitVector v(size);
+    for (int op = 0; op < 200; ++op) {
+      const std::size_t i = rng.UniformInt(size);
+      switch (rng.UniformInt(3)) {
+        case 0:
+          ref[i] = true;
+          v.Set(i, true);
+          break;
+        case 1:
+          ref[i] = false;
+          v.Set(i, false);
+          break;
+        default:
+          ref[i] = !ref[i];
+          v.Flip(i);
+          break;
+      }
+    }
+    std::size_t ref_count = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      EXPECT_EQ(v.Get(i), ref[i]) << i;
+      if (ref[i]) ++ref_count;
+    }
+    EXPECT_EQ(v.Count(), ref_count);
+  }
+}
+
+// Reference: GF(256) multiplication by schoolbook carry-less polynomial
+// multiplication mod 0x11d.
+std::uint8_t SchoolbookMul(std::uint8_t a, std::uint8_t b) {
+  unsigned product = 0;
+  unsigned aa = a;
+  for (int bit = 0; bit < 8; ++bit) {
+    if ((b >> bit) & 1u) product ^= aa << bit;
+  }
+  for (int bit = 15; bit >= 8; --bit) {
+    if ((product >> bit) & 1u) product ^= 0x11du << (bit - 8);
+  }
+  return static_cast<std::uint8_t>(product);
+}
+
+TEST(DifferentialTest, GF256MulMatchesSchoolbook) {
+  for (unsigned a = 0; a < 256; a += 3) {
+    for (unsigned b = 0; b < 256; b += 5) {
+      EXPECT_EQ(ecc::GF256::Mul(static_cast<std::uint8_t>(a),
+                                static_cast<std::uint8_t>(b)),
+                SchoolbookMul(static_cast<std::uint8_t>(a),
+                              static_cast<std::uint8_t>(b)))
+          << a << "*" << b;
+    }
+  }
+}
+
+// Reference: colex rank by linear scan of AllSubsets.
+TEST(DifferentialTest, RankMatchesEnumerationOrder) {
+  for (const auto& [n, k] :
+       std::vector<std::pair<std::size_t, std::size_t>>{{7, 3}, {9, 2},
+                                                        {6, 5}}) {
+    const auto all = util::AllSubsets(n, k);
+    for (std::size_t rank = 0; rank < all.size(); ++rank) {
+      EXPECT_EQ(util::RankSubset(all[rank], n), rank);
+      EXPECT_EQ(util::UnrankSubset(rank, n, k), all[rank]);
+    }
+  }
+}
+
+// Reference: marginal cells by brute-force pattern matching.
+TEST(DifferentialTest, MarginalMatchesBruteForce) {
+  util::Rng rng(3);
+  const core::Database db = data::UniformRandom(120, 9, 0.5, rng);
+  const std::vector<std::size_t> attrs = {1, 4, 7};
+  const core::MarginalTable table = core::ComputeMarginal(db, attrs);
+  for (std::size_t pattern = 0; pattern < 8; ++pattern) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < db.num_rows(); ++i) {
+      bool match = true;
+      for (std::size_t bit = 0; bit < attrs.size(); ++bit) {
+        const bool want = (pattern >> bit) & 1u;
+        if (db.Get(i, attrs[bit]) != want) {
+          match = false;
+          break;
+        }
+      }
+      if (match) ++count;
+    }
+    EXPECT_DOUBLE_EQ(table.cells[pattern],
+                     static_cast<double>(count) / 120.0);
+  }
+}
+
+// Reference: miners against exhaustive subset enumeration.
+TEST(DifferentialTest, MinersMatchExhaustiveEnumeration) {
+  util::Rng rng(4);
+  const core::Database db = data::UniformRandom(60, 7, 0.55, rng);
+  mining::AprioriOptions opt;
+  opt.min_frequency = 0.305;  // off the count grid
+  opt.max_size = 7;
+  std::size_t expected = 0;
+  for (std::size_t k = 1; k <= 7; ++k) {
+    for (const auto& attrs : util::AllSubsets(7, k)) {
+      if (db.Frequency(core::Itemset(7, attrs)) >= opt.min_frequency) {
+        ++expected;
+      }
+    }
+  }
+  EXPECT_EQ(mining::MineDatabase(db, opt).size(), expected);
+  EXPECT_EQ(mining::FpGrowth(db, opt).size(), expected);
+}
+
+// Reference: Thm13 probe frequencies against direct database queries
+// across the whole payload (the construction's core identity).
+TEST(DifferentialTest, Thm13ProbeIdentityFullSweep) {
+  util::Rng rng(5);
+  const lowerbound::Thm13Instance inst(20, 3, 30);
+  const util::BitVector payload = rng.RandomBits(inst.PayloadBits());
+  const core::Database db = inst.BuildDatabase(payload, 3);
+  for (std::size_t i = 0; i < inst.num_rows(); ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      const double expected =
+          payload.Get(inst.PayloadIndex(i, j)) ? inst.RowFrequency() : 0.0;
+      EXPECT_DOUBLE_EQ(db.Frequency(inst.ProbeItemset(i, j)), expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ifsketch

@@ -1,0 +1,95 @@
+#include "dp/private_answers.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/generators.h"
+#include "util/combinatorics.h"
+#include "util/stats.h"
+
+namespace ifsketch::dp {
+namespace {
+
+TEST(LaplaceTest, MomentsMatch) {
+  util::Rng rng(1);
+  const double scale = 0.7;
+  util::RunningStat stat;
+  for (int i = 0; i < 60000; ++i) stat.Add(SampleLaplace(scale, rng));
+  EXPECT_NEAR(stat.Mean(), 0.0, 0.02);
+  // Var(Laplace(b)) = 2 b^2.
+  EXPECT_NEAR(stat.Variance(), 2.0 * scale * scale, 0.05);
+}
+
+TEST(LaplaceTest, AbsMeanIsScale) {
+  util::Rng rng(2);
+  const double scale = 0.3;
+  util::RunningStat stat;
+  for (int i = 0; i < 60000; ++i) {
+    stat.Add(std::fabs(SampleLaplace(scale, rng)));
+  }
+  EXPECT_NEAR(stat.Mean(), scale, 0.01);
+}
+
+TEST(PrivateAnswersTest, NoiseScaleFormula) {
+  util::Rng rng(3);
+  const core::Database db = data::UniformRandom(10000, 10, 0.4, rng);
+  PrivateAnswers priv(db, 2, 1.0, rng);
+  // b = C(10,2) / (n * eps_dp) = 45 / 10000.
+  EXPECT_NEAR(priv.NoiseScale(), 45.0 / 10000.0, 1e-12);
+}
+
+TEST(PrivateAnswersTest, AccuracyTracksScale) {
+  util::Rng rng(4);
+  const core::Database db = data::UniformRandom(20000, 8, 0.5, rng);
+  PrivateAnswers priv(db, 2, 1.0, rng);
+  util::RunningStat err;
+  for (const auto& attrs : util::AllSubsets(8, 2)) {
+    const core::Itemset t(8, attrs);
+    err.Add(std::fabs(priv.EstimateFrequency(t) - db.Frequency(t)));
+  }
+  // Mean |Laplace(b)| = b (modulo clamping, negligible here).
+  EXPECT_LT(err.Mean(), 4.0 * priv.NoiseScale());
+}
+
+TEST(PrivateAnswersTest, MoreRowsMeansLessNoise) {
+  util::Rng rng(5);
+  const core::Database small = data::UniformRandom(500, 8, 0.5, rng);
+  const core::Database big = data::UniformRandom(50000, 8, 0.5, rng);
+  PrivateAnswers ps(small, 2, 1.0, rng);
+  PrivateAnswers pb(big, 2, 1.0, rng);
+  EXPECT_GT(ps.NoiseScale(), pb.NoiseScale());
+  EXPECT_NEAR(ps.NoiseScale() / pb.NoiseScale(), 100.0, 1e-9);
+}
+
+TEST(PrivateAnswersTest, EstimatesClampedToUnitInterval) {
+  util::Rng rng(6);
+  // Tiny database + strict privacy -> huge noise; clamping must hold.
+  const core::Database db = data::UniformRandom(10, 6, 0.5, rng);
+  PrivateAnswers priv(db, 2, 0.1, rng);
+  for (const auto& attrs : util::AllSubsets(6, 2)) {
+    const double f = priv.EstimateFrequency(core::Itemset(6, attrs));
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+// The footnote's qualitative content: at fixed privacy budget, accuracy
+// improves ~ linearly with n, so for n large the private answers become
+// a valid (non-private-grade) estimator sketch.
+TEST(PrivateAnswersTest, LargeNGivesValidEstimator) {
+  util::Rng rng(7);
+  const core::Database db = data::UniformRandom(100000, 8, 0.4, rng);
+  PrivateAnswers priv(db, 2, 1.0, rng);
+  double max_err = 0.0;
+  for (const auto& attrs : util::AllSubsets(8, 2)) {
+    const core::Itemset t(8, attrs);
+    max_err = std::max(
+        max_err, std::fabs(priv.EstimateFrequency(t) - db.Frequency(t)));
+  }
+  EXPECT_LT(max_err, 0.01);
+}
+
+}  // namespace
+}  // namespace ifsketch::dp

@@ -1,0 +1,101 @@
+#include "ecc/block_code.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+#include "util/random.h"
+
+namespace ifsketch::ecc {
+namespace {
+
+TEST(InnerCodeTest, MinDistanceAtLeastSix) {
+  const InnerCode& code = InnerCode::Instance();
+  EXPECT_GE(code.MeasuredMinDistance(), InnerCode::kMinDistance);
+  // Exhaustive pairwise verification over all 256 codewords.
+  std::size_t min_dist = 24;
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = a + 1; b < 256; ++b) {
+      const int dist = std::popcount(code.Encode(a) ^ code.Encode(b));
+      min_dist = std::min<std::size_t>(min_dist, dist);
+    }
+  }
+  EXPECT_EQ(min_dist, code.MeasuredMinDistance());
+  EXPECT_GE(min_dist, 6u);
+}
+
+TEST(InnerCodeTest, CodewordsFitIn24Bits) {
+  const InnerCode& code = InnerCode::Instance();
+  for (unsigned m = 0; m < 256; ++m) {
+    EXPECT_EQ(code.Encode(m) >> 24, 0u);
+  }
+}
+
+TEST(InnerCodeTest, CodewordsDistinct) {
+  const InnerCode& code = InnerCode::Instance();
+  std::set<std::uint32_t> seen;
+  for (unsigned m = 0; m < 256; ++m) seen.insert(code.Encode(m));
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(InnerCodeTest, SystematicDataByte) {
+  // Generator is [I | A]: the low 8 bits of the codeword are the data.
+  const InnerCode& code = InnerCode::Instance();
+  for (unsigned m = 0; m < 256; ++m) {
+    EXPECT_EQ(code.Encode(m) & 0xff, m);
+  }
+}
+
+TEST(InnerCodeTest, Linear) {
+  // Encode(a ^ b) == Encode(a) ^ Encode(b) (it's a linear code).
+  const InnerCode& code = InnerCode::Instance();
+  util::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<std::uint8_t>(rng.UniformInt(256));
+    const auto b = static_cast<std::uint8_t>(rng.UniformInt(256));
+    EXPECT_EQ(code.Encode(a ^ b), code.Encode(a) ^ code.Encode(b));
+  }
+}
+
+TEST(InnerCodeTest, DecodesCleanCodewords) {
+  const InnerCode& code = InnerCode::Instance();
+  for (unsigned m = 0; m < 256; ++m) {
+    EXPECT_EQ(code.Decode(code.Encode(m)), m);
+  }
+}
+
+TEST(InnerCodeTest, CorrectsOneAndTwoErrorsExhaustively) {
+  const InnerCode& code = InnerCode::Instance();
+  for (unsigned m = 0; m < 256; m += 7) {
+    const std::uint32_t cw = code.Encode(m);
+    for (int b1 = 0; b1 < 24; ++b1) {
+      EXPECT_EQ(code.Decode(cw ^ (1u << b1)), m);
+      for (int b2 = b1 + 1; b2 < 24; ++b2) {
+        EXPECT_EQ(code.Decode(cw ^ (1u << b1) ^ (1u << b2)), m)
+            << m << " " << b1 << " " << b2;
+      }
+    }
+  }
+}
+
+TEST(InnerCodeTest, ThreeErrorsMayFailButStayClose) {
+  // With distance >= 6 and nearest-codeword decoding, 3 flips either come
+  // back correct or land on a codeword within 3 of the received word.
+  const InnerCode& code = InnerCode::Instance();
+  util::Rng rng(2);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto m = static_cast<std::uint8_t>(rng.UniformInt(256));
+    std::uint32_t received = code.Encode(m);
+    for (std::size_t pos : rng.SampleWithoutReplacement(24, 3)) {
+      received ^= 1u << pos;
+    }
+    const std::uint8_t decoded = code.Decode(received);
+    const int dist = std::popcount(code.Encode(decoded) ^ received);
+    EXPECT_LE(dist, 3);
+  }
+}
+
+}  // namespace
+}  // namespace ifsketch::ecc

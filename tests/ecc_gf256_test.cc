@@ -1,0 +1,127 @@
+#include "ecc/gf256.h"
+
+#include <gtest/gtest.h>
+
+namespace ifsketch::ecc {
+namespace {
+
+TEST(GF256Test, AddIsXor) {
+  EXPECT_EQ(GF256::Add(0x53, 0xca), 0x53 ^ 0xca);
+  EXPECT_EQ(GF256::Add(7, 7), 0);
+}
+
+TEST(GF256Test, MulIdentityAndZero) {
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(GF256::Mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(GF256::Mul(1, static_cast<std::uint8_t>(a)), a);
+    EXPECT_EQ(GF256::Mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(GF256Test, MulCommutative) {
+  for (unsigned a = 1; a < 256; a += 7) {
+    for (unsigned b = 1; b < 256; b += 11) {
+      EXPECT_EQ(GF256::Mul(a, b), GF256::Mul(b, a));
+    }
+  }
+}
+
+TEST(GF256Test, MulAssociative) {
+  for (unsigned a = 1; a < 256; a += 17) {
+    for (unsigned b = 1; b < 256; b += 19) {
+      for (unsigned c = 1; c < 256; c += 23) {
+        EXPECT_EQ(GF256::Mul(GF256::Mul(a, b), c),
+                  GF256::Mul(a, GF256::Mul(b, c)));
+      }
+    }
+  }
+}
+
+TEST(GF256Test, DistributesOverAdd) {
+  for (unsigned a = 1; a < 256; a += 13) {
+    for (unsigned b = 0; b < 256; b += 29) {
+      for (unsigned c = 0; c < 256; c += 31) {
+        EXPECT_EQ(GF256::Mul(a, GF256::Add(b, c)),
+                  GF256::Add(GF256::Mul(a, b), GF256::Mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST(GF256Test, KnownProduct) {
+  // 0x02 * 0x80 = 0x100 mod 0x11d = 0x1d.
+  EXPECT_EQ(GF256::Mul(0x02, 0x80), 0x1d);
+}
+
+TEST(GF256Test, InverseIsTwoSided) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const std::uint8_t inv = GF256::Inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(GF256::Mul(static_cast<std::uint8_t>(a), inv), 1) << a;
+    EXPECT_EQ(GF256::Mul(inv, static_cast<std::uint8_t>(a)), 1) << a;
+  }
+}
+
+TEST(GF256Test, DivInvertsMul) {
+  for (unsigned a = 0; a < 256; a += 5) {
+    for (unsigned b = 1; b < 256; b += 9) {
+      const std::uint8_t q = GF256::Div(a, b);
+      EXPECT_EQ(GF256::Mul(q, b), a);
+    }
+  }
+}
+
+TEST(GF256Test, PowMatchesRepeatedMul) {
+  for (unsigned a = 1; a < 256; a += 37) {
+    std::uint8_t acc = 1;
+    for (unsigned e = 0; e < 10; ++e) {
+      EXPECT_EQ(GF256::Pow(static_cast<std::uint8_t>(a), e), acc);
+      acc = GF256::Mul(acc, static_cast<std::uint8_t>(a));
+    }
+  }
+}
+
+TEST(GF256Test, PowZeroBase) {
+  EXPECT_EQ(GF256::Pow(0, 0), 1);
+  EXPECT_EQ(GF256::Pow(0, 5), 0);
+}
+
+TEST(GF256Test, PolyEvalHorner) {
+  // p(x) = 3 + 2x + x^2 at x=1: 3^2^1 = 0; at x=0: 3.
+  const std::vector<std::uint8_t> p = {3, 2, 1};
+  EXPECT_EQ(GF256::PolyEval(p, 0), 3);
+  EXPECT_EQ(GF256::PolyEval(p, 1), 3 ^ 2 ^ 1);
+}
+
+TEST(GF256Test, PolyMulDegreeAndContent) {
+  // (1 + x)(1 + x) = 1 + 2x + x^2 = 1 + x^2 over GF(2^8) (char 2).
+  const std::vector<std::uint8_t> one_plus_x = {1, 1};
+  const auto sq = GF256::PolyMul(one_plus_x, one_plus_x);
+  EXPECT_EQ(sq, (std::vector<std::uint8_t>{1, 0, 1}));
+}
+
+TEST(GF256Test, PolyDivRemRoundTrip) {
+  // num = q*den + r with deg(r) < deg(den), for random-ish polynomials.
+  const std::vector<std::uint8_t> den = {7, 1, 3};  // degree 2
+  const std::vector<std::uint8_t> q = {2, 5, 11, 1};
+  const std::vector<std::uint8_t> r = {9, 4};
+  auto num = GF256::PolyMul(q, den);
+  for (std::size_t i = 0; i < r.size(); ++i) num[i] = GF256::Add(num[i], r[i]);
+  const auto dr = GF256::PolyDivRem(num, den);
+  EXPECT_EQ(dr.quotient, q);
+  ASSERT_GE(dr.remainder.size(), r.size());
+  for (std::size_t i = 0; i < dr.remainder.size(); ++i) {
+    EXPECT_EQ(dr.remainder[i], i < r.size() ? r[i] : 0);
+  }
+}
+
+TEST(GF256Test, PolyDivExactDivision) {
+  const std::vector<std::uint8_t> den = {1, 1};     // x + 1
+  const std::vector<std::uint8_t> q = {5, 0, 255};  // arbitrary
+  const auto num = GF256::PolyMul(q, den);
+  const auto dr = GF256::PolyDivRem(num, den);
+  EXPECT_EQ(dr.quotient, q);
+  for (std::uint8_t c : dr.remainder) EXPECT_EQ(c, 0);
+}
+
+}  // namespace
+}  // namespace ifsketch::ecc

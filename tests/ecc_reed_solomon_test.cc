@@ -1,0 +1,137 @@
+#include "ecc/reed_solomon.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ifsketch::ecc {
+namespace {
+
+std::vector<std::uint8_t> RandomMessage(std::size_t k, util::Rng& rng) {
+  std::vector<std::uint8_t> m(k);
+  for (auto& b : m) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+  return m;
+}
+
+TEST(ReedSolomonTest, EncodeLengthAndDeterminism) {
+  ReedSolomon rs(15, 5);
+  const std::vector<std::uint8_t> msg = {1, 2, 3, 4, 5};
+  const auto cw = rs.Encode(msg);
+  EXPECT_EQ(cw.size(), 15u);
+  EXPECT_EQ(rs.Encode(msg), cw);
+}
+
+TEST(ReedSolomonTest, NoErrorsDecodes) {
+  util::Rng rng(1);
+  ReedSolomon rs(20, 8);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto msg = RandomMessage(8, rng);
+    const auto decoded = rs.Decode(rs.Encode(msg));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, msg);
+  }
+}
+
+TEST(ReedSolomonTest, MaxErrors) {
+  EXPECT_EQ(ReedSolomon(15, 5).max_errors(), 5u);
+  EXPECT_EQ(ReedSolomon(255, 85).max_errors(), 85u);
+  EXPECT_EQ(ReedSolomon(10, 10).max_errors(), 0u);
+}
+
+TEST(ReedSolomonTest, CorrectsUpToMaxErrors) {
+  util::Rng rng(2);
+  ReedSolomon rs(31, 11);  // corrects 10
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto msg = RandomMessage(11, rng);
+    auto cw = rs.Encode(msg);
+    const std::size_t num_errors = rng.UniformInt(rs.max_errors() + 1);
+    for (std::size_t pos : rng.SampleWithoutReplacement(31, num_errors)) {
+      cw[pos] ^= static_cast<std::uint8_t>(1 + rng.UniformInt(255));
+    }
+    const auto decoded = rs.Decode(cw);
+    ASSERT_TRUE(decoded.has_value())
+        << "errors=" << num_errors << " trial=" << trial;
+    EXPECT_EQ(*decoded, msg);
+  }
+}
+
+TEST(ReedSolomonTest, ExactlyMaxErrorsBoundary) {
+  util::Rng rng(3);
+  ReedSolomon rs(24, 8);  // corrects 8
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto msg = RandomMessage(8, rng);
+    auto cw = rs.Encode(msg);
+    for (std::size_t pos : rng.SampleWithoutReplacement(24, 8)) {
+      cw[pos] ^= static_cast<std::uint8_t>(1 + rng.UniformInt(255));
+    }
+    const auto decoded = rs.Decode(cw);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, msg);
+  }
+}
+
+TEST(ReedSolomonTest, BeyondCapacityDoesNotReturnWrongSilently) {
+  // With > max_errors the decoder may fail (nullopt) or, rarely, land on
+  // another codeword; it must never return a message whose re-encoding is
+  // far from the received word. We check the decoder's self-consistency.
+  util::Rng rng(4);
+  ReedSolomon rs(20, 8);  // corrects 6
+  int failures = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto msg = RandomMessage(8, rng);
+    auto cw = rs.Encode(msg);
+    for (std::size_t pos : rng.SampleWithoutReplacement(20, 10)) {
+      cw[pos] ^= static_cast<std::uint8_t>(1 + rng.UniformInt(255));
+    }
+    const auto decoded = rs.Decode(cw);
+    if (!decoded.has_value()) {
+      ++failures;
+      continue;
+    }
+    // If it decoded, the result must be within max_errors of received.
+    const auto recoded = rs.Encode(*decoded);
+    std::size_t dist = 0;
+    for (std::size_t i = 0; i < 20; ++i) {
+      if (recoded[i] != cw[i]) ++dist;
+    }
+    EXPECT_LE(dist, rs.max_errors());
+  }
+  EXPECT_GT(failures, 0);  // most over-capacity patterns are detected
+}
+
+TEST(ReedSolomonTest, RateOneCodePassesThrough) {
+  util::Rng rng(5);
+  ReedSolomon rs(9, 9);
+  const auto msg = RandomMessage(9, rng);
+  const auto cw = rs.Encode(msg);
+  const auto decoded = rs.Decode(cw);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(ReedSolomonTest, PaperScaleBlock) {
+  util::Rng rng(6);
+  ReedSolomon rs(255, 85);
+  const auto msg = RandomMessage(85, rng);
+  auto cw = rs.Encode(msg);
+  for (std::size_t pos : rng.SampleWithoutReplacement(255, 85)) {
+    cw[pos] ^= static_cast<std::uint8_t>(1 + rng.UniformInt(255));
+  }
+  const auto decoded = rs.Decode(cw);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(ReedSolomonTest, BurstErrorsAlsoCorrected) {
+  util::Rng rng(7);
+  ReedSolomon rs(40, 20);  // corrects 10
+  const auto msg = RandomMessage(20, rng);
+  auto cw = rs.Encode(msg);
+  for (std::size_t i = 5; i < 15; ++i) cw[i] ^= 0xff;  // contiguous burst
+  const auto decoded = rs.Decode(cw);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+}
+
+}  // namespace
+}  // namespace ifsketch::ecc

@@ -1,0 +1,64 @@
+#include "linalg/euclidean.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/products.h"
+
+namespace ifsketch::linalg {
+namespace {
+
+TEST(EuclideanTest, RatiosAtMostOne) {
+  util::Rng rng(1);
+  const Matrix a = RandomBinaryMatrix(20, 6, rng);
+  const SectionEstimate est = EstimateSectionRatio(a, 200, rng);
+  EXPECT_LE(est.min_ratio, 1.0 + 1e-9);
+  EXPECT_LE(est.mean_ratio, 1.0 + 1e-9);
+  EXPECT_GE(est.min_ratio, 0.0);
+  EXPECT_LE(est.min_ratio, est.mean_ratio + 1e-9);
+}
+
+TEST(EuclideanTest, IdentityRangeIsWeakSection) {
+  // Range of I_z is all of R^z; the min over random Gaussians is still
+  // bounded below (Gaussian vectors have ||x||_1 ~ sqrt(2/pi) sqrt(z)
+  // ||x||_2), so the sampled min is comfortably positive.
+  util::Rng rng(2);
+  const SectionEstimate est =
+      EstimateSectionRatio(Matrix::Identity(40), 300, rng);
+  EXPECT_GT(est.min_ratio, 0.4);
+  EXPECT_NEAR(est.mean_ratio, std::sqrt(2.0 / 3.14159265), 0.05);
+}
+
+TEST(EuclideanTest, SpikeDirectionGivesLowRatio) {
+  // A matrix whose range contains e_1 (a maximally non-flat vector):
+  // ||e_1||_1 / (sqrt(z) ||e_1||_2) = 1/sqrt(z).
+  const std::size_t z = 25;
+  Matrix a(z, 1);
+  a(0, 0) = 1.0;
+  util::Rng rng(3);
+  const SectionEstimate est = EstimateSectionRatio(a, 50, rng);
+  EXPECT_NEAR(est.min_ratio, 1.0 / std::sqrt(static_cast<double>(z)), 1e-9);
+}
+
+// Lemma 26's second claim, measured: the range of a Hadamard product of
+// random binary matrices is a good Euclidean section (delta bounded away
+// from 0).
+TEST(EuclideanTest, HadamardProductRangeIsGoodSection) {
+  util::Rng rng(4);
+  const Matrix a1 = RandomBinaryMatrix(12, 10, rng);
+  const Matrix a2 = RandomBinaryMatrix(12, 10, rng);
+  const Matrix prod = HadamardProduct({a1, a2});  // 144 x 10
+  const SectionEstimate est = EstimateSectionRatio(prod, 400, rng);
+  EXPECT_GT(est.min_ratio, 0.2);
+}
+
+TEST(EuclideanTest, SamplesRecorded) {
+  util::Rng rng(5);
+  const SectionEstimate est =
+      EstimateSectionRatio(Matrix::Identity(4), 77, rng);
+  EXPECT_EQ(est.samples, 77u);
+}
+
+}  // namespace
+}  // namespace ifsketch::linalg

@@ -1,0 +1,100 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ifsketch::linalg {
+namespace {
+
+TEST(MatrixTest, ConstructionZeroed) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(MatrixTest, IdentityProperties) {
+  const Matrix id = Matrix::Identity(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 2) = 5;
+  m(1, 1) = -2;
+  const Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 0), 5.0);
+  EXPECT_EQ(t(1, 1), -2.0);
+  EXPECT_EQ(t.Transpose().MaxAbsDiff(m), 0.0);
+}
+
+TEST(MatrixTest, MultiplyKnown) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const Matrix c = a.Multiply(b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyByIdentity) {
+  Matrix a(3, 3);
+  a(0, 1) = 2.5;
+  a(2, 0) = -1;
+  EXPECT_EQ(a.Multiply(Matrix::Identity(3)).MaxAbsDiff(a), 0.0);
+  EXPECT_EQ(Matrix::Identity(3).Multiply(a).MaxAbsDiff(a), 0.0);
+}
+
+TEST(MatrixTest, MultiplyVec) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Vector v = {1, 0, -1};
+  const Vector out = a.MultiplyVec(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], -2.0);
+  EXPECT_EQ(out[1], -2.0);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix a(2, 2);
+  a(0, 0) = 3;
+  a(1, 1) = 4;
+  EXPECT_NEAR(a.FrobeniusNorm(), 5.0, 1e-12);
+}
+
+TEST(VectorOpsTest, Norms) {
+  const Vector v = {3, -4};
+  EXPECT_NEAR(Norm2(v), 5.0, 1e-12);
+  EXPECT_NEAR(Norm1(v), 7.0, 1e-12);
+}
+
+TEST(VectorOpsTest, Dot) {
+  EXPECT_EQ(Dot({1, 2, 3}, {4, -5, 6}), 12.0);
+  EXPECT_EQ(Dot({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace ifsketch::linalg

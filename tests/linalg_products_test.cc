@@ -1,0 +1,102 @@
+#include "linalg/products.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/svd.h"
+
+namespace ifsketch::linalg {
+namespace {
+
+TEST(HadamardProductTest, SingleFactorIsIdentityOperation) {
+  Matrix a(3, 4);
+  a(0, 0) = 1;
+  a(2, 3) = 1;
+  const Matrix p = HadamardProduct({a});
+  EXPECT_EQ(p.rows(), 3u);
+  EXPECT_EQ(p.cols(), 4u);
+  EXPECT_EQ(p.MaxAbsDiff(a), 0.0);
+}
+
+TEST(HadamardProductTest, TwoFactorEntries) {
+  // Definition 22: A[(i1,i2), h] = A1[i1,h] * A2[i2,h].
+  Matrix a1(2, 3), a2(2, 3);
+  a1(0, 0) = 1;
+  a1(0, 2) = 1;
+  a1(1, 1) = 1;
+  a2(0, 0) = 1;
+  a2(1, 2) = 1;
+  const Matrix p = HadamardProduct({a1, a2});
+  ASSERT_EQ(p.rows(), 4u);
+  ASSERT_EQ(p.cols(), 3u);
+  for (std::size_t i1 = 0; i1 < 2; ++i1) {
+    for (std::size_t i2 = 0; i2 < 2; ++i2) {
+      for (std::size_t h = 0; h < 3; ++h) {
+        EXPECT_EQ(p(i1 * 2 + i2, h), a1(i1, h) * a2(i2, h));
+      }
+    }
+  }
+}
+
+TEST(HadamardProductTest, ThreeFactorShape) {
+  Matrix a(2, 5), b(3, 5), c(4, 5);
+  const Matrix p = HadamardProduct({a, b, c});
+  EXPECT_EQ(p.rows(), 24u);
+  EXPECT_EQ(p.cols(), 5u);
+}
+
+TEST(HadamardProductTest, AllOnesFactors) {
+  Matrix ones(3, 4);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) ones(r, c) = 1.0;
+  }
+  const Matrix p = HadamardProduct({ones, ones});
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    for (std::size_t c = 0; c < p.cols(); ++c) EXPECT_EQ(p(r, c), 1.0);
+  }
+}
+
+TEST(RandomBinaryMatrixTest, EntriesAreBits) {
+  util::Rng rng(1);
+  const Matrix m = RandomBinaryMatrix(10, 12, rng);
+  double sum = 0;
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 12; ++c) {
+      EXPECT_TRUE(m(r, c) == 0.0 || m(r, c) == 1.0);
+      sum += m(r, c);
+    }
+  }
+  EXPECT_NEAR(sum / 120.0, 0.5, 0.2);
+}
+
+// Lemma 26 (Rudelson), measured: sigma_min of the Hadamard product of
+// k-1 random binary d0 x n matrices scales like sqrt(d0^(k-1)) once
+// d0^(k-1) is comfortably above n.
+TEST(HadamardProductTest, SmallestSingularValueScalesLikeSqrtRows) {
+  util::Rng rng(2);
+  const std::size_t n = 12;
+  double prev_ratio = 0.0;
+  for (const std::size_t d0 : {8u, 16u, 24u}) {
+    double min_sigma_avg = 0.0;
+    constexpr int kTrials = 3;
+    for (int t = 0; t < kTrials; ++t) {
+      const Matrix a1 = RandomBinaryMatrix(d0, n, rng);
+      const Matrix a2 = RandomBinaryMatrix(d0, n, rng);
+      min_sigma_avg += SmallestSingularValue(HadamardProduct({a1, a2}));
+    }
+    min_sigma_avg /= kTrials;
+    const double rows = static_cast<double>(d0 * d0);
+    const double ratio = min_sigma_avg / std::sqrt(rows);
+    // The normalized ratio should be bounded away from zero and not
+    // collapsing as d0 grows.
+    EXPECT_GT(ratio, 0.05) << d0;
+    if (prev_ratio > 0.0) {
+      EXPECT_GT(ratio, prev_ratio * 0.5) << d0;
+    }
+    prev_ratio = ratio;
+  }
+}
+
+}  // namespace
+}  // namespace ifsketch::linalg

@@ -1,0 +1,141 @@
+#include "linalg/svd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace ifsketch::linalg {
+namespace {
+
+Matrix RandomMatrix(std::size_t r, std::size_t c, util::Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.Gaussian();
+  }
+  return m;
+}
+
+// Reassembles U diag(sigma) V^T.
+Matrix Reassemble(const SvdResult& svd) {
+  Matrix us = svd.u;
+  for (std::size_t j = 0; j < svd.singular_values.size(); ++j) {
+    for (std::size_t i = 0; i < us.rows(); ++i) {
+      us(i, j) *= svd.singular_values[j];
+    }
+  }
+  return us.Multiply(svd.v.Transpose());
+}
+
+TEST(SvdTest, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 3;
+  a(1, 1) = 1;
+  a(2, 2) = 2;
+  const SvdResult svd = ComputeSvd(a);
+  ASSERT_EQ(svd.singular_values.size(), 3u);
+  EXPECT_NEAR(svd.singular_values[0], 3.0, 1e-9);
+  EXPECT_NEAR(svd.singular_values[1], 2.0, 1e-9);
+  EXPECT_NEAR(svd.singular_values[2], 1.0, 1e-9);
+}
+
+TEST(SvdTest, SingularValuesDescending) {
+  util::Rng rng(1);
+  const Matrix a = RandomMatrix(8, 5, rng);
+  const SvdResult svd = ComputeSvd(a);
+  for (std::size_t i = 1; i < svd.singular_values.size(); ++i) {
+    EXPECT_GE(svd.singular_values[i - 1], svd.singular_values[i]);
+  }
+}
+
+TEST(SvdTest, ReconstructsTallMatrix) {
+  util::Rng rng(2);
+  const Matrix a = RandomMatrix(10, 4, rng);
+  EXPECT_LT(Reassemble(ComputeSvd(a)).MaxAbsDiff(a), 1e-8);
+}
+
+TEST(SvdTest, ReconstructsWideMatrix) {
+  util::Rng rng(3);
+  const Matrix a = RandomMatrix(4, 11, rng);
+  EXPECT_LT(Reassemble(ComputeSvd(a)).MaxAbsDiff(a), 1e-8);
+}
+
+TEST(SvdTest, OrthonormalFactors) {
+  util::Rng rng(4);
+  const Matrix a = RandomMatrix(9, 6, rng);
+  const SvdResult svd = ComputeSvd(a);
+  const Matrix utu = svd.u.Transpose().Multiply(svd.u);
+  const Matrix vtv = svd.v.Transpose().Multiply(svd.v);
+  EXPECT_LT(utu.MaxAbsDiff(Matrix::Identity(6)), 1e-8);
+  EXPECT_LT(vtv.MaxAbsDiff(Matrix::Identity(6)), 1e-8);
+}
+
+TEST(SvdTest, FrobeniusEqualsSigmaNorm) {
+  util::Rng rng(5);
+  const Matrix a = RandomMatrix(7, 7, rng);
+  const SvdResult svd = ComputeSvd(a);
+  double sum = 0;
+  for (double s : svd.singular_values) sum += s * s;
+  EXPECT_NEAR(std::sqrt(sum), a.FrobeniusNorm(), 1e-8);
+}
+
+TEST(SvdTest, RankDeficientHasZeroSigma) {
+  // Two identical columns -> rank 1.
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = static_cast<double>(i + 1);
+  }
+  EXPECT_NEAR(SmallestSingularValue(a), 0.0, 1e-9);
+}
+
+TEST(SvdTest, SmallestSingularValueOfOrthogonal) {
+  EXPECT_NEAR(SmallestSingularValue(Matrix::Identity(5)), 1.0, 1e-10);
+}
+
+TEST(PseudoInverseTest, InvertibleMatchesInverse) {
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 7;
+  a(1, 0) = 2;
+  a(1, 1) = 6;
+  const Matrix pinv = PseudoInverse(a);
+  EXPECT_LT(a.Multiply(pinv).MaxAbsDiff(Matrix::Identity(2)), 1e-9);
+}
+
+TEST(PseudoInverseTest, MoorePenroseConditions) {
+  util::Rng rng(6);
+  const Matrix a = RandomMatrix(8, 5, rng);
+  const Matrix p = PseudoInverse(a);
+  // A P A = A and P A P = P.
+  EXPECT_LT(a.Multiply(p).Multiply(a).MaxAbsDiff(a), 1e-8);
+  EXPECT_LT(p.Multiply(a).Multiply(p).MaxAbsDiff(p), 1e-8);
+}
+
+TEST(LeastSquaresTest, ExactSystem) {
+  Matrix a(3, 2);
+  a(0, 0) = 1;
+  a(1, 1) = 1;
+  a(2, 0) = 1;
+  a(2, 1) = 1;
+  const Vector x_true = {2.0, -1.0};
+  const Vector b = a.MultiplyVec(x_true);
+  const Vector x = LeastSquares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_NEAR(x[1], -1.0, 1e-9);
+}
+
+TEST(LeastSquaresTest, OverdeterminedMinimizesResidual) {
+  util::Rng rng(7);
+  const Matrix a = RandomMatrix(20, 5, rng);
+  Vector x_true(5);
+  for (auto& v : x_true) v = rng.Gaussian();
+  Vector b = a.MultiplyVec(x_true);
+  for (auto& v : b) v += 0.01 * rng.Gaussian();
+  const Vector x = LeastSquares(a, b);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x[i], x_true[i], 0.05);
+}
+
+}  // namespace
+}  // namespace ifsketch::linalg

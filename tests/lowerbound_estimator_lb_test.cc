@@ -1,0 +1,223 @@
+#include "lowerbound/estimator_lb.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sketch/release_db.h"
+#include "util/random.h"
+
+namespace ifsketch::lowerbound {
+namespace {
+
+TEST(KrsuTest, ShapeAndQueryCount) {
+  util::Rng rng(1);
+  const KrsuInstance inst(6, 3, 10, rng);  // k'=3: two factor blocks
+  EXPECT_EQ(inst.d1(), 13u);
+  EXPECT_EQ(inst.NumQueries(), 36u);
+  EXPECT_EQ(inst.QueryMatrix().rows(), 36u);
+  EXPECT_EQ(inst.QueryMatrix().cols(), 10u);
+}
+
+TEST(KrsuTest, QueryItemsetsHaveSizeKPrime) {
+  util::Rng rng(2);
+  const KrsuInstance inst(5, 3, 8, rng);
+  for (std::size_t r = 0; r < inst.NumQueries(); ++r) {
+    const core::Itemset t = inst.QueryItemset(r);
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_TRUE(t.Has(inst.d1() - 1));  // always includes the secret col
+  }
+}
+
+// The core linear-algebra identity: n * f_{T_r}(D1(y)) == (A y)_r.
+TEST(KrsuTest, FrequenciesAreLinearInSecret) {
+  util::Rng rng(3);
+  const KrsuInstance inst(5, 3, 12, rng);
+  const util::BitVector y = rng.RandomBits(12);
+  const core::Database db = inst.BuildDatabase(y);
+  EXPECT_EQ(db.num_rows(), 12u);
+  EXPECT_EQ(db.num_columns(), inst.d1());
+  linalg::Vector yv(12);
+  for (std::size_t j = 0; j < 12; ++j) yv[j] = y.Get(j) ? 1.0 : 0.0;
+  const linalg::Vector ay = inst.QueryMatrix().MultiplyVec(yv);
+  for (std::size_t r = 0; r < inst.NumQueries(); ++r) {
+    EXPECT_NEAR(12.0 * db.Frequency(inst.QueryItemset(r)), ay[r], 1e-9)
+        << r;
+  }
+}
+
+TEST(KrsuTest, ExactAnswersRecoverSecretL1AndL2) {
+  util::Rng rng(4);
+  const KrsuInstance inst(6, 3, 16, rng);
+  const util::BitVector y = rng.RandomBits(16);
+  const core::Database db = inst.BuildDatabase(y);
+  linalg::Vector answers(inst.NumQueries());
+  for (std::size_t r = 0; r < inst.NumQueries(); ++r) {
+    answers[r] = db.Frequency(inst.QueryItemset(r));
+  }
+  EXPECT_EQ(inst.ReconstructL1(answers), y);
+  EXPECT_EQ(inst.ReconstructL2(answers), y);
+}
+
+TEST(KrsuTest, NoisyAnswersRecoverSecretWhenNBelowInverseEpsSquared) {
+  // n = 16, eps = 1/64: eps ~ sqrt(n)/n regime where recovery succeeds.
+  util::Rng rng(5);
+  const KrsuInstance inst(10, 3, 16, rng);
+  const util::BitVector y = rng.RandomBits(16);
+  const core::Database db = inst.BuildDatabase(y);
+  const double eps = 1.0 / 64.0;
+  linalg::Vector answers(inst.NumQueries());
+  for (std::size_t r = 0; r < inst.NumQueries(); ++r) {
+    answers[r] = db.Frequency(inst.QueryItemset(r)) +
+                 eps * (2.0 * rng.UniformDouble() - 1.0);
+  }
+  EXPECT_EQ(inst.ReconstructL1(answers), y);
+  EXPECT_EQ(inst.ReconstructL2(answers), y);
+}
+
+// De's point: L1 survives a few grossly-wrong answers; L2 need not.
+TEST(KrsuTest, L1RobustToSparseGrossErrors) {
+  util::Rng rng(6);
+  const KrsuInstance inst(10, 3, 16, rng);  // 100 queries
+  const util::BitVector y = rng.RandomBits(16);
+  const core::Database db = inst.BuildDatabase(y);
+  linalg::Vector answers(inst.NumQueries());
+  for (std::size_t r = 0; r < inst.NumQueries(); ++r) {
+    answers[r] = db.Frequency(inst.QueryItemset(r));
+  }
+  // Corrupt 5% of the answers completely.
+  for (std::size_t c = 0; c < inst.NumQueries() / 20; ++c) {
+    answers[rng.UniformInt(inst.NumQueries())] = rng.UniformDouble();
+  }
+  EXPECT_EQ(inst.ReconstructL1(answers), y);
+}
+
+TEST(Lemma21Test, ExactEstimatesRecovered) {
+  util::Rng rng(7);
+  const std::size_t v = 10;
+  linalg::Vector z(v);
+  for (auto& zi : z) zi = rng.UniformDouble();
+  auto estimate = [&](const util::BitVector& s) {
+    double dot = 0;
+    for (std::size_t i = 0; i < v; ++i) {
+      if (s.Get(i)) dot += z[i];
+    }
+    return dot / static_cast<double>(v);
+  };
+  const linalg::Vector decoded = Lemma21Decode(v, estimate, 40, rng);
+  for (std::size_t i = 0; i < v; ++i) {
+    EXPECT_NEAR(decoded[i], z[i], 1e-6) << i;
+  }
+}
+
+TEST(Lemma21Test, NoisyEstimatesCloseOnAverage) {
+  util::Rng rng(8);
+  const std::size_t v = 12;
+  linalg::Vector z(v);
+  for (auto& zi : z) zi = rng.UniformDouble();
+  const double eps = 0.01;
+  auto estimate = [&](const util::BitVector& s) {
+    double dot = 0;
+    for (std::size_t i = 0; i < v; ++i) {
+      if (s.Get(i)) dot += z[i];
+    }
+    return dot / static_cast<double>(v) +
+           eps * (2.0 * rng.UniformDouble() - 1.0);
+  };
+  const linalg::Vector decoded = Lemma21Decode(v, estimate, 60, rng);
+  double total = 0;
+  for (std::size_t i = 0; i < v; ++i) total += std::fabs(decoded[i] - z[i]);
+  // Lemma 21's bound is 4*eps average error (times v here since we sum).
+  EXPECT_LE(total / static_cast<double>(v), 8 * eps);
+}
+
+TEST(Thm16AmplifiedTest, ShapeAndProbeArity) {
+  util::Rng rng(9);
+  const Thm16Amplified amp(8, 5, 3, 4, 10, rng);  // k=5, c=3: k-c=2
+  EXPECT_EQ(amp.v(), amp.shattered().v());
+  EXPECT_EQ(amp.PayloadBits(), amp.v() * 10);
+  const util::BitVector s = rng.RandomBits(amp.v());
+  // |T'| = (k-c) + c = k... as attribute sets: (k-c) from the shattered
+  // block, c from the KRSU block.
+  EXPECT_EQ(amp.OuterProbe(s, 3).size(), 5u);
+}
+
+TEST(Thm16AmplifiedTest, OuterFrequencyIdentity) {
+  // f_{T'(T,s)}(D) = <s, z_T>/v (Equations (6)-(9) of the paper).
+  util::Rng rng(10);
+  const Thm16Amplified amp(8, 5, 3, 4, 8, rng);
+  const util::BitVector payload = rng.RandomBits(amp.PayloadBits());
+  const core::Database db = amp.BuildDatabase(payload);
+  const std::size_t n = amp.krsu().n();
+  for (std::size_t r = 0; r < amp.krsu().NumQueries(); r += 2) {
+    // Compute z_T directly.
+    linalg::Vector z(amp.v());
+    for (std::size_t i = 0; i < amp.v(); ++i) {
+      const core::Database di =
+          amp.krsu().BuildDatabase(payload.Slice(i * n, n));
+      z[i] = di.Frequency(amp.krsu().QueryItemset(r));
+    }
+    for (int trial = 0; trial < 5; ++trial) {
+      const util::BitVector s = rng.RandomBits(amp.v());
+      double dot = 0;
+      for (std::size_t i = 0; i < amp.v(); ++i) {
+        if (s.Get(i)) dot += z[i];
+      }
+      EXPECT_NEAR(db.Frequency(amp.OuterProbe(s, r)),
+                  dot / static_cast<double>(amp.v()), 1e-9);
+    }
+  }
+}
+
+TEST(Thm16AmplifiedTest, FullReconstructionThroughExactEstimator) {
+  util::Rng rng(11);
+  const Thm16Amplified amp(8, 5, 3, 5, 10, rng);
+  const util::BitVector payload = rng.RandomBits(amp.PayloadBits());
+  const core::Database db = amp.BuildDatabase(payload);
+
+  class Exact : public core::FrequencyEstimator {
+   public:
+    explicit Exact(const core::Database* db) : db_(db) {}
+    double EstimateFrequency(const core::Itemset& t) const override {
+      return db_->Frequency(t);
+    }
+
+   private:
+    const core::Database* db_;
+  } exact(&db);
+
+  const util::BitVector recovered =
+      amp.ReconstructPayload(exact, 30, rng);
+  EXPECT_EQ(recovered, payload);
+}
+
+TEST(Thm16AmplifiedTest, ReconstructionThroughNoisyEstimator) {
+  util::Rng rng(12);
+  const Thm16Amplified amp(8, 5, 3, 4, 8, rng);
+  const util::BitVector payload = rng.RandomBits(amp.PayloadBits());
+  const core::Database db = amp.BuildDatabase(payload);
+
+  class Noisy : public core::FrequencyEstimator {
+   public:
+    Noisy(const core::Database* db, double eps, util::Rng* rng)
+        : db_(db), eps_(eps), rng_(rng) {}
+    double EstimateFrequency(const core::Itemset& t) const override {
+      return db_->Frequency(t) +
+             eps_ * (2.0 * rng_->UniformDouble() - 1.0);
+    }
+
+   private:
+    const core::Database* db_;
+    double eps_;
+    util::Rng* rng_;
+  } noisy(&db, 0.004, &rng);
+
+  const util::BitVector recovered =
+      amp.ReconstructPayload(noisy, 40, rng);
+  const std::size_t errors = recovered.HammingDistance(payload);
+  EXPECT_LE(errors, amp.PayloadBits() / 4)
+      << "errors=" << errors << "/" << amp.PayloadBits();
+}
+
+}  // namespace
+}  // namespace ifsketch::lowerbound

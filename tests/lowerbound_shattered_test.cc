@@ -1,0 +1,99 @@
+#include "lowerbound/shattered_set.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/database.h"
+#include "util/random.h"
+
+namespace ifsketch::lowerbound {
+namespace {
+
+TEST(ShatteredSetTest, DimensionsFollowFact18) {
+  // v = k' * floor(log2(d/k')).
+  const ShatteredSet s(32, 2);
+  EXPECT_EQ(s.block_size(), 16u);
+  EXPECT_EQ(s.v(), 8u);
+  const ShatteredSet t(64, 3);
+  EXPECT_EQ(t.block_size(), 16u);  // floor(log2(64/3)) = 4
+  EXPECT_EQ(t.v(), 12u);
+}
+
+TEST(ShatteredSetTest, RowsHaveWidthD) {
+  const ShatteredSet s(20, 2);
+  for (std::size_t i = 0; i < s.v(); ++i) {
+    EXPECT_EQ(s.Row(i).size(), 20u);
+  }
+}
+
+TEST(ShatteredSetTest, QueriesHaveSizeKPrime) {
+  util::Rng rng(1);
+  const ShatteredSet s(32, 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const util::BitVector pattern = rng.RandomBits(s.v());
+    EXPECT_EQ(s.QueryFor(pattern).size(), 3u);
+  }
+}
+
+// The defining property of Fact 18, exhaustively: for EVERY pattern s in
+// {0,1}^v, f_{T_s}(x_i) = s_i for all i.
+class ShatteredExhaustiveTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(ShatteredExhaustiveTest, EveryPatternShattered) {
+  const auto [d, k_prime] = GetParam();
+  const ShatteredSet s(d, k_prime);
+  ASSERT_LE(s.v(), 16u) << "test parameter too large for exhaustion";
+  const std::size_t patterns = std::size_t{1} << s.v();
+  for (std::size_t p = 0; p < patterns; ++p) {
+    util::BitVector pattern(s.v());
+    for (std::size_t i = 0; i < s.v(); ++i) {
+      pattern.Set(i, (p >> i) & 1u);
+    }
+    const core::Itemset ts = s.QueryFor(pattern);
+    for (std::size_t i = 0; i < s.v(); ++i) {
+      // f_{T_s}(x_i) on the one-row database x_i is containment.
+      EXPECT_EQ(ts.ContainedIn(s.Row(i)), pattern.Get(i))
+          << "d=" << d << " k'=" << k_prime << " pattern=" << p
+          << " row=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fact18Sweep, ShatteredExhaustiveTest,
+    ::testing::Values(std::make_tuple(4, 1), std::make_tuple(16, 1),
+                      std::make_tuple(256, 1), std::make_tuple(8, 2),
+                      std::make_tuple(16, 2), std::make_tuple(64, 2),
+                      std::make_tuple(12, 3), std::make_tuple(24, 3),
+                      std::make_tuple(32, 4), std::make_tuple(40, 5),
+                      std::make_tuple(20, 2), std::make_tuple(100, 3)));
+
+TEST(ShatteredSetTest, DistinctPatternsDistinctQueries) {
+  const ShatteredSet s(16, 2);
+  util::Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const util::BitVector p1 = rng.RandomBits(s.v());
+    const util::BitVector p2 = rng.RandomBits(s.v());
+    if (p1 == p2) continue;
+    EXPECT_FALSE(s.QueryFor(p1) == s.QueryFor(p2));
+  }
+}
+
+TEST(ShatteredSetTest, NonPowerOfTwoRatioUsesFloor) {
+  // d=24, k'=5 -> d/k' = 4.8 -> block 4, v = 10; only the first 20
+  // attributes participate, the rest are all-ones padding.
+  const ShatteredSet s(24, 5);
+  EXPECT_EQ(s.block_size(), 4u);
+  EXPECT_EQ(s.v(), 10u);
+  for (std::size_t i = 0; i < s.v(); ++i) {
+    for (std::size_t a = 20; a < 24; ++a) {
+      EXPECT_TRUE(s.Row(i).Get(a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ifsketch::lowerbound

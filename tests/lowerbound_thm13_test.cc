@@ -1,0 +1,172 @@
+#include "lowerbound/thm13.h"
+
+#include <gtest/gtest.h>
+
+#include "sketch/release_db.h"
+#include "sketch/subsample.h"
+#include "util/combinatorics.h"
+#include "util/bitio.h"
+#include "util/random.h"
+
+namespace ifsketch::lowerbound {
+namespace {
+
+TEST(Thm13Test, ShapeAndCapacity) {
+  const Thm13Instance inst(16, 3, 20);  // C(8,2)=28 >= 20 rows
+  EXPECT_EQ(inst.PayloadBits(), 8u * 20u);
+  EXPECT_NEAR(inst.RowFrequency(), 0.05, 1e-12);
+  EXPECT_LT(inst.SketchEps(), inst.RowFrequency());
+}
+
+TEST(Thm13Test, DatabaseStructure) {
+  util::Rng rng(1);
+  const Thm13Instance inst(12, 2, 6);
+  const util::BitVector payload = rng.RandomBits(inst.PayloadBits());
+  const core::Database db = inst.BuildDatabase(payload);
+  EXPECT_EQ(db.num_rows(), 6u);
+  EXPECT_EQ(db.num_columns(), 12u);
+  // First half of row i: exactly k-1 = 1 ones (a unique singleton).
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(db.Row(i).Slice(0, 6).Count(), 1u);
+  }
+  // Free half matches the payload.
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_EQ(db.Get(i, 6 + j), payload.Get(inst.PayloadIndex(i, j)));
+    }
+  }
+}
+
+TEST(Thm13Test, RowPrefixesAreDistinct) {
+  util::Rng rng(2);
+  const Thm13Instance inst(16, 4, util::Binomial(8, 3));  // all 56 subsets
+  const util::BitVector payload = rng.RandomBits(inst.PayloadBits());
+  const core::Database db = inst.BuildDatabase(payload);
+  for (std::size_t i = 0; i < db.num_rows(); ++i) {
+    EXPECT_EQ(db.Row(i).Slice(0, 8).Count(), 3u);
+    for (std::size_t i2 = i + 1; i2 < db.num_rows(); ++i2) {
+      EXPECT_NE(db.Row(i).Slice(0, 8), db.Row(i2).Slice(0, 8));
+    }
+  }
+}
+
+TEST(Thm13Test, ProbeFrequencyEncodesPayloadBit) {
+  util::Rng rng(3);
+  const Thm13Instance inst(16, 3, 15);
+  const util::BitVector payload = rng.RandomBits(inst.PayloadBits());
+  const core::Database db = inst.BuildDatabase(payload);
+  for (std::size_t i = 0; i < inst.num_rows(); ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      const double f = db.Frequency(inst.ProbeItemset(i, j));
+      if (payload.Get(inst.PayloadIndex(i, j))) {
+        EXPECT_DOUBLE_EQ(f, inst.RowFrequency());
+      } else {
+        EXPECT_DOUBLE_EQ(f, 0.0);
+      }
+    }
+  }
+}
+
+TEST(Thm13Test, ProbeItemsetsHaveSizeK) {
+  const Thm13Instance inst(20, 5, 30);
+  for (std::size_t i = 0; i < 30; i += 7) {
+    for (std::size_t j = 0; j < 10; j += 3) {
+      EXPECT_EQ(inst.ProbeItemset(i, j).size(), 5u);
+    }
+  }
+}
+
+TEST(Thm13Test, DuplicationPreservesFrequencies) {
+  util::Rng rng(4);
+  const Thm13Instance inst(16, 2, 8);
+  const util::BitVector payload = rng.RandomBits(inst.PayloadBits());
+  const core::Database base = inst.BuildDatabase(payload, 1);
+  const core::Database dup = inst.BuildDatabase(payload, 7);
+  EXPECT_EQ(dup.num_rows(), 56u);
+  for (std::size_t i = 0; i < 8; i += 3) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_DOUBLE_EQ(dup.Frequency(inst.ProbeItemset(i, j)),
+                       base.Frequency(inst.ProbeItemset(i, j)));
+    }
+  }
+}
+
+// The encoding argument end-to-end: a lossless sketch (RELEASE-DB)
+// recovers every payload bit; this is the decoder the proof describes.
+TEST(Thm13Test, ReconstructionThroughReleaseDb) {
+  util::Rng rng(5);
+  const Thm13Instance inst(16, 3, 25);
+  const util::BitVector payload = rng.RandomBits(inst.PayloadBits());
+  const core::Database db = inst.BuildDatabase(payload);
+  sketch::ReleaseDbSketch algo;
+  core::SketchParams params;
+  params.k = 3;
+  params.eps = inst.SketchEps();
+  params.answer = core::Answer::kIndicator;
+  const auto summary = algo.Build(db, params, rng);
+  const auto indicator =
+      algo.LoadIndicator(summary, params, 16, db.num_rows());
+  EXPECT_EQ(inst.ReconstructPayload(*indicator), payload);
+}
+
+// A correctly-sized SUBSAMPLE sketch also supports reconstruction with
+// high per-bit success -- sampling *can* carry the information, it just
+// cannot be smaller than Omega(d/eps) bits (that's the theorem).
+TEST(Thm13Test, ReconstructionThroughSubsampleMostBitsCorrect) {
+  util::Rng rng(6);
+  const Thm13Instance inst(20, 2, 10);
+  const util::BitVector payload = rng.RandomBits(inst.PayloadBits());
+  const core::Database db = inst.BuildDatabase(payload);
+  sketch::SubsampleSketch algo;
+  core::SketchParams params;
+  params.k = 2;
+  params.eps = inst.SketchEps();
+  params.delta = 0.05;
+  params.scope = core::Scope::kForAll;
+  params.answer = core::Answer::kIndicator;
+  const auto summary = algo.Build(db, params, rng);
+  const auto indicator =
+      algo.LoadIndicator(summary, params, 20, db.num_rows());
+  const util::BitVector recovered = inst.ReconstructPayload(*indicator);
+  const std::size_t errors = recovered.HammingDistance(payload);
+  // For-All validity with delta=5% means usually zero errors.
+  EXPECT_LE(errors, inst.PayloadBits() / 20);
+}
+
+// The information-theoretic cliff: a *truncated* sample (fewer rows than
+// Lemma 9 requires, i.e. a sketch below the lower bound's size) loses
+// payload bits.
+TEST(Thm13Test, TruncatedSketchLosesInformation) {
+  util::Rng rng(7);
+  const Thm13Instance inst(24, 2, 12);
+  const util::BitVector payload = rng.RandomBits(inst.PayloadBits());
+  const core::Database db = inst.BuildDatabase(payload);
+  core::SketchParams params;
+  params.k = 2;
+  params.eps = inst.SketchEps();
+  params.answer = core::Answer::kIndicator;
+  // Keep only 4 sampled rows: far fewer than the 12 distinct rows, so
+  // at least 8 rows' payloads are simply absent from the summary.
+  sketch::SubsampleSketch algo;
+  util::BitWriter w;
+  for (int s = 0; s < 4; ++s) {
+    w.WriteBits(db.Row(rng.UniformInt(db.num_rows())));
+  }
+  const auto indicator =
+      algo.LoadIndicator(w.Finish(), params, 24, db.num_rows());
+  const util::BitVector recovered = inst.ReconstructPayload(*indicator);
+  const std::size_t errors = recovered.HammingDistance(payload);
+  // Payload bits are random; missing rows decode to 0, wrong half the
+  // time. Expect a substantial error mass.
+  EXPECT_GT(errors, inst.PayloadBits() / 8);
+}
+
+TEST(Thm13Test, RegimeConditionEnforced) {
+  // num_rows <= C(d/2, k-1) is required; the boundary works.
+  const Thm13Instance boundary(12, 3, util::Binomial(6, 2));
+  EXPECT_EQ(boundary.num_rows(), 15u);
+  EXPECT_DEATH(Thm13Instance(12, 3, 16), "");
+}
+
+}  // namespace
+}  // namespace ifsketch::lowerbound

@@ -1,0 +1,235 @@
+#include "lowerbound/thm15.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.h"
+#include "ecc/concatenated.h"
+#include "sketch/subsample.h"
+#include "sketch/release_db.h"
+#include "util/random.h"
+
+namespace ifsketch::lowerbound {
+namespace {
+
+/// Ground-truth indicator: thresholds exact frequencies with the valid
+/// rule "1 iff f > eps/2" (any rule valid per Definition 1 works here).
+class ExactIndicator : public core::FrequencyIndicator {
+ public:
+  ExactIndicator(const core::Database* db, double eps)
+      : db_(db), eps_(eps) {}
+  bool IsFrequent(const core::Itemset& t) const override {
+    return db_->Frequency(t) > eps_ / 2;
+  }
+
+ private:
+  const core::Database* db_;
+  double eps_;
+};
+
+TEST(Thm15Test, InstanceShape) {
+  const Thm15Instance inst(32, 3);  // k-1 = 2, block 16, v = 8
+  EXPECT_EQ(inst.v(), 8u);
+  EXPECT_EQ(inst.PayloadBits(), 8u * 32u);
+}
+
+TEST(Thm15Test, DatabaseLayout) {
+  util::Rng rng(1);
+  const Thm15Instance inst(16, 2);
+  const util::BitVector payload = rng.RandomBits(inst.PayloadBits());
+  const core::Database db = inst.BuildDatabase(payload);
+  EXPECT_EQ(db.num_rows(), inst.v());
+  EXPECT_EQ(db.num_columns(), 32u);
+  for (std::size_t i = 0; i < inst.v(); ++i) {
+    EXPECT_EQ(db.Row(i).Slice(0, 16), inst.shattered().Row(i));
+    EXPECT_EQ(db.Row(i).Slice(16, 16), payload.Slice(i * 16, 16));
+  }
+}
+
+TEST(Thm15Test, ProbeFrequencyIsInnerProduct) {
+  // The key identity: f_{T_{s,j}}(D) = <s, t>/v with t = payload col j.
+  util::Rng rng(2);
+  const Thm15Instance inst(32, 3);
+  const util::BitVector payload = rng.RandomBits(inst.PayloadBits());
+  const core::Database db = inst.BuildDatabase(payload);
+  for (int trial = 0; trial < 30; ++trial) {
+    const util::BitVector s = rng.RandomBits(inst.v());
+    const std::size_t j = rng.UniformInt(inst.d());
+    EXPECT_DOUBLE_EQ(db.Frequency(inst.ProbeItemset(s, j)),
+                     inst.TrueFrequency(payload, s, j));
+  }
+}
+
+TEST(Thm15Test, ProbeItemsetsHaveSizeK) {
+  util::Rng rng(3);
+  const Thm15Instance inst(32, 3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const util::BitVector s = rng.RandomBits(inst.v());
+    // |T_s| = k-1 plus the payload column = k... except when the pattern
+    // maps two blocks to the same attribute -- impossible here since
+    // blocks are disjoint. Size is exactly k.
+    EXPECT_EQ(inst.ProbeItemset(s, trial).size(), 3u);
+  }
+}
+
+// The constant-eps reconstruction: with a valid indicator (exact
+// thresholds), the consistency decoder recovers the payload with at
+// most the Lemma 19 error budget -- in the 1/v > eps regime, exactly.
+TEST(Thm15Test, ReconstructionExactInSmallVRegime) {
+  util::Rng rng(4);
+  const Thm15Instance inst(32, 3);  // v = 8 < 50
+  ASSERT_LT(inst.v(), 50u);
+  const util::BitVector payload = rng.RandomBits(inst.PayloadBits());
+  const core::Database db = inst.BuildDatabase(payload);
+  const ExactIndicator indicator(&db, Thm15Instance::kEps);
+  ConsistencyDecoderOptions options;
+  const util::BitVector recovered =
+      inst.ReconstructPayload(indicator, options, rng);
+  EXPECT_EQ(recovered, payload);
+}
+
+TEST(Thm15Test, ReconstructionThroughReleaseDbSketch) {
+  util::Rng rng(5);
+  const Thm15Instance inst(16, 3);
+  const util::BitVector payload = rng.RandomBits(inst.PayloadBits());
+  const core::Database db = inst.BuildDatabase(payload);
+  sketch::ReleaseDbSketch algo;
+  core::SketchParams params;
+  params.k = 3;
+  params.eps = Thm15Instance::kEps;
+  params.answer = core::Answer::kIndicator;
+  const auto summary = algo.Build(db, params, rng);
+  const auto ind = algo.LoadIndicator(summary, params, db.num_columns(),
+                                      db.num_rows());
+  ConsistencyDecoderOptions options;
+  EXPECT_EQ(inst.ReconstructPayload(*ind, options, rng), payload);
+}
+
+// Large-v regime: exercise the LP consistency decoder directly with a
+// synthetic column and a valid answer oracle.
+TEST(Thm15Test, ConsistencyDecoderLargeV) {
+  util::Rng rng(6);
+  const std::size_t v = 120;  // 1/v < eps/2: LP regime
+  const util::BitVector truth = rng.RandomBits(v);
+  auto answer = [&](const util::BitVector& s) {
+    // A valid indicator at eps=1/50: forced answers outside the gray
+    // zone, adversarially answer 0 inside it.
+    std::size_t dot = 0;
+    for (std::size_t i = 0; i < v; ++i) {
+      if (s.Get(i) && truth.Get(i)) ++dot;
+    }
+    const double f = static_cast<double>(dot) / static_cast<double>(v);
+    return f > Thm15Instance::kEps;  // threshold rule, valid
+  };
+  ConsistencyDecoderOptions options;
+  options.random_probes = 220;
+  const util::BitVector decoded =
+      DecodeColumnByConsistency(v, answer, options, rng);
+  const std::size_t errors = decoded.HammingDistance(truth);
+  // Lemma 19's budget is v/25 for the all-probes decoder; our sampled-
+  // probe decoder is validated against a 2x budget.
+  EXPECT_LE(errors, 2 * v / 25) << "errors=" << errors;
+}
+
+TEST(Thm15Test, AmplifiedShape) {
+  const Thm15Amplified amp(16, 3, 4);
+  EXPECT_EQ(amp.m(), 4u);
+  EXPECT_NEAR(amp.OuterEps(), 1.0 / 200.0, 1e-12);
+  EXPECT_EQ(amp.PayloadBits(), 4 * amp.inner().PayloadBits());
+  util::Rng rng(7);
+  const util::BitVector payload = rng.RandomBits(amp.PayloadBits());
+  const core::Database db = amp.BuildDatabase(payload);
+  EXPECT_EQ(db.num_columns(), 48u);
+  EXPECT_EQ(db.num_rows(), 4 * amp.inner().v());
+}
+
+TEST(Thm15Test, AmplifiedFrequencyScaling) {
+  // f_outer(D) = f_inner(D_i) / m.
+  util::Rng rng(8);
+  const Thm15Amplified amp(16, 3, 5);
+  const util::BitVector payload = rng.RandomBits(amp.PayloadBits());
+  const core::Database db = amp.BuildDatabase(payload);
+  const std::size_t inner_bits = amp.inner().PayloadBits();
+  for (std::size_t copy = 0; copy < amp.m(); ++copy) {
+    const core::Database di = amp.inner().BuildDatabase(
+        payload.Slice(copy * inner_bits, inner_bits));
+    for (int trial = 0; trial < 10; ++trial) {
+      const util::BitVector s = rng.RandomBits(amp.inner().v());
+      const std::size_t j = rng.UniformInt(amp.d());
+      const double inner_f = di.Frequency(amp.inner().ProbeItemset(s, j));
+      const double outer_f = db.Frequency(amp.OuterProbe(copy, s, j));
+      EXPECT_NEAR(outer_f, inner_f / static_cast<double>(amp.m()), 1e-12);
+    }
+  }
+}
+
+TEST(Thm15Test, AmplifiedOuterProbeSizeIsK) {
+  util::Rng rng(9);
+  const Thm15Amplified amp(16, 5, 3);  // k=5: inner itemsets size 3, tags 2
+  for (int trial = 0; trial < 10; ++trial) {
+    const util::BitVector s = rng.RandomBits(amp.inner().v());
+    EXPECT_EQ(amp.OuterProbe(trial % 3, s, trial).size(), 5u);
+  }
+}
+
+TEST(Thm15Test, AmplifiedReconstruction) {
+  util::Rng rng(10);
+  const Thm15Amplified amp(16, 3, 4);
+  const util::BitVector payload = rng.RandomBits(amp.PayloadBits());
+  const core::Database db = amp.BuildDatabase(payload);
+  const ExactIndicator indicator(&db, amp.OuterEps());
+  ConsistencyDecoderOptions options;
+  const util::BitVector recovered =
+      amp.ReconstructPayload(indicator, options, rng);
+  EXPECT_EQ(recovered, payload);
+}
+
+TEST(Thm15Test, AmplifiedReconstructionThroughRealSketch) {
+  // The sub-constant-eps stage against an actual SUBSAMPLE For-All
+  // indicator summary built at eps = 1/(50m).
+  util::Rng rng(12);
+  const Thm15Amplified amp(16, 3, 4);
+  const util::BitVector payload = rng.RandomBits(amp.PayloadBits());
+  const core::Database db = amp.BuildDatabase(payload);
+  core::SketchParams params;
+  params.k = 3;
+  params.eps = amp.OuterEps();
+  params.delta = 0.05;
+  params.scope = core::Scope::kForAll;
+  params.answer = core::Answer::kIndicator;
+  sketch::SubsampleSketch algo;
+  const auto summary = algo.Build(db, params, rng);
+  const auto ind = algo.LoadIndicator(summary, params, db.num_columns(),
+                                      db.num_rows());
+  ConsistencyDecoderOptions options;
+  const util::BitVector recovered =
+      amp.ReconstructPayload(*ind, options, rng);
+  EXPECT_LE(recovered.HammingDistance(payload), amp.PayloadBits() / 25);
+}
+
+// End-to-end with the error-correcting wrap: encode a message, embed the
+// codeword as payload, reconstruct through an exact indicator, decode.
+TEST(Thm15Test, EccWrappedPayloadRoundTrip) {
+  util::Rng rng(11);
+  const Thm15Instance inst(256, 3);  // v = 14, payload 3584 bits
+  const ecc::ConcatenatedCode code = ecc::ConcatenatedCode::Small();
+  const std::size_t capacity = code.CapacityForBudget(inst.PayloadBits());
+  ASSERT_GT(capacity, 0u);
+  const util::BitVector message = rng.RandomBits(capacity);
+  util::BitVector payload(inst.PayloadBits());
+  const util::BitVector codeword = code.Encode(message);
+  for (std::size_t i = 0; i < codeword.size(); ++i) {
+    payload.Set(i, codeword.Get(i));
+  }
+  const core::Database db = inst.BuildDatabase(payload);
+  const ExactIndicator indicator(&db, Thm15Instance::kEps);
+  ConsistencyDecoderOptions options;
+  const util::BitVector recovered =
+      inst.ReconstructPayload(indicator, options, rng);
+  const auto decoded =
+      code.Decode(recovered.Slice(0, codeword.size()), capacity);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, message);
+}
+
+}  // namespace
+}  // namespace ifsketch::lowerbound

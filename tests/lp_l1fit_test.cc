@@ -1,0 +1,143 @@
+#include "lp/l1fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/inequality.h"
+#include "util/random.h"
+
+namespace ifsketch::lp {
+namespace {
+
+TEST(L1FitTest, ExactSystemZeroResidual) {
+  linalg::Matrix a(3, 2);
+  a(0, 0) = 1;
+  a(1, 1) = 1;
+  a(2, 0) = 1;
+  a(2, 1) = 1;
+  const linalg::Vector x_true = {0.3, 0.6};
+  const linalg::Vector b = a.MultiplyVec(x_true);
+  const auto fit = L1RegressionBox(a, b, 0.0, 1.0);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->residual_l1, 0.0, 1e-8);
+  EXPECT_NEAR(fit->x[0], 0.3, 1e-8);
+  EXPECT_NEAR(fit->x[1], 0.6, 1e-8);
+}
+
+TEST(L1FitTest, MedianPropertyOfL1) {
+  // Fitting a constant to {0, 0, 10} under L1 gives the median 0 (the L2
+  // answer would be the mean 10/3) -- robustness to one outlier.
+  linalg::Matrix a(3, 1);
+  a(0, 0) = 1;
+  a(1, 0) = 1;
+  a(2, 0) = 1;
+  const linalg::Vector b = {0.0, 0.0, 10.0};
+  const auto fit = L1RegressionBox(a, b, 0.0, 20.0);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->x[0], 0.0, 1e-8);
+  EXPECT_NEAR(fit->residual_l1, 10.0, 1e-8);
+}
+
+TEST(L1FitTest, BoxBindsSolution) {
+  // Unconstrained optimum would be x = 2; the box caps it at 1.
+  linalg::Matrix a(1, 1);
+  a(0, 0) = 1;
+  const auto fit = L1RegressionBox(a, {2.0}, 0.0, 1.0);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->x[0], 1.0, 1e-8);
+  EXPECT_NEAR(fit->residual_l1, 1.0, 1e-8);
+}
+
+TEST(L1FitTest, NegativeLowBound) {
+  linalg::Matrix a(2, 1);
+  a(0, 0) = 1;
+  a(1, 0) = 1;
+  const auto fit = L1RegressionBox(a, {-0.5, -0.5}, -1.0, 1.0);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->x[0], -0.5, 1e-8);
+}
+
+TEST(L1FitTest, RobustToMinorityCorruption) {
+  // y = A x_true with 20% of entries corrupted by large noise: L1 still
+  // recovers x_true (this is exactly why De's reconstruction uses L1).
+  util::Rng rng(9);
+  const std::size_t m = 40, n = 5;
+  linalg::Matrix a(m, n);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      a(r, c) = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    }
+  }
+  linalg::Vector x_true(n);
+  for (auto& v : x_true) v = rng.UniformDouble();
+  linalg::Vector b = a.MultiplyVec(x_true);
+  for (std::size_t r = 0; r < m / 5; ++r) {
+    b[rng.UniformInt(m)] += (rng.Bernoulli(0.5) ? 5.0 : -5.0);
+  }
+  const auto fit = L1RegressionBox(a, b, 0.0, 1.0);
+  ASSERT_TRUE(fit.has_value());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(fit->x[i], x_true[i], 0.05) << i;
+  }
+}
+
+TEST(InequalityTest, SimpleBoxFeasibility) {
+  // min x s.t. x >= 0.3 (as -x <= -0.3), 0 <= x <= 1.
+  linalg::Matrix g(1, 1);
+  g(0, 0) = -1;
+  const auto sol = SolveInequalityBox(g, {-0.3}, {1.0}, 0.0, 1.0);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR((*sol)[0], 0.3, 1e-8);
+}
+
+TEST(InequalityTest, InfeasibleBox) {
+  // x <= -0.5 with x in [0, 1].
+  linalg::Matrix g(1, 1);
+  g(0, 0) = 1;
+  EXPECT_FALSE(SolveInequalityBox(g, {-0.5}, {0.0}, 0.0, 1.0).has_value());
+}
+
+TEST(InequalityTest, MultipleConstraintsPolytopeVertex) {
+  // min -(x+y) s.t. x + 2y <= 2, 2x + y <= 2, box [0,1]^2
+  // -> optimum at x = y = 2/3.
+  linalg::Matrix g(2, 2);
+  g(0, 0) = 1;
+  g(0, 1) = 2;
+  g(1, 0) = 2;
+  g(1, 1) = 1;
+  const auto sol =
+      SolveInequalityBox(g, {2.0, 2.0}, {-1.0, -1.0}, 0.0, 1.0);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR((*sol)[0], 2.0 / 3.0, 1e-8);
+  EXPECT_NEAR((*sol)[1], 2.0 / 3.0, 1e-8);
+}
+
+TEST(InequalityTest, SolutionRespectsAllConstraints) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t m = 8, n = 4;
+    linalg::Matrix g(m, n);
+    linalg::Vector interior(n, 0.5);
+    linalg::Vector h(m);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < n; ++c) g(r, c) = rng.Gaussian();
+    }
+    // Make the midpoint feasible with slack.
+    const linalg::Vector gmid = g.MultiplyVec(interior);
+    for (std::size_t r = 0; r < m; ++r) h[r] = gmid[r] + 0.1;
+    linalg::Vector c(n);
+    for (auto& ci : c) ci = rng.Gaussian();
+    const auto sol = SolveInequalityBox(g, h, c, 0.0, 1.0);
+    ASSERT_TRUE(sol.has_value());
+    const linalg::Vector gx = g.MultiplyVec(*sol);
+    for (std::size_t r = 0; r < m; ++r) EXPECT_LE(gx[r], h[r] + 1e-6);
+    for (double xi : *sol) {
+      EXPECT_GE(xi, -1e-9);
+      EXPECT_LE(xi, 1.0 + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ifsketch::lp

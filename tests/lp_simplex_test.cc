@@ -1,0 +1,149 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ifsketch::lp {
+namespace {
+
+LpProblem Make(std::size_t m, std::size_t n) {
+  LpProblem p;
+  p.a = linalg::Matrix(m, n);
+  p.b.assign(m, 0.0);
+  p.c.assign(n, 0.0);
+  return p;
+}
+
+TEST(SimplexTest, TrivialEquality) {
+  // min x0 s.t. x0 + x1 = 2, x >= 0  -> x0 = 0, x1 = 2.
+  LpProblem p = Make(1, 2);
+  p.a(0, 0) = 1;
+  p.a(0, 1) = 1;
+  p.b[0] = 2;
+  p.c = {1, 0};
+  const auto sol = SolveStandardForm(p);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 0.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, ClassicTwoVariable) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (Dantzig example)
+  // -> x=2, y=6, objective 36. Standard form with slacks.
+  LpProblem p = Make(3, 5);
+  p.a(0, 0) = 1;
+  p.a(0, 2) = 1;
+  p.b[0] = 4;
+  p.a(1, 1) = 2;
+  p.a(1, 3) = 1;
+  p.b[1] = 12;
+  p.a(2, 0) = 3;
+  p.a(2, 1) = 2;
+  p.a(2, 4) = 1;
+  p.b[2] = 18;
+  p.c = {-3, -5, 0, 0, 0};  // minimize the negation
+  const auto sol = SolveStandardForm(p);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -36.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-9);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x0 = -1 with x0 >= 0 is infeasible.
+  LpProblem p = Make(1, 1);
+  p.a(0, 0) = 1;
+  p.b[0] = -1;
+  p.c = {0};
+  EXPECT_EQ(SolveStandardForm(p).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, ContradictoryEqualitiesInfeasible) {
+  // x0 + x1 = 1 and x0 + x1 = 3.
+  LpProblem p = Make(2, 2);
+  p.a(0, 0) = 1;
+  p.a(0, 1) = 1;
+  p.b[0] = 1;
+  p.a(1, 0) = 1;
+  p.a(1, 1) = 1;
+  p.b[1] = 3;
+  p.c = {1, 1};
+  EXPECT_EQ(SolveStandardForm(p).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  // min -x0 s.t. x0 - x1 = 0: x0 = x1 can grow forever.
+  LpProblem p = Make(1, 2);
+  p.a(0, 0) = 1;
+  p.a(0, 1) = -1;
+  p.b[0] = 0;
+  p.c = {-1, 0};
+  EXPECT_EQ(SolveStandardForm(p).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsHandledByRowNegation) {
+  // -x0 = -5 -> x0 = 5.
+  LpProblem p = Make(1, 1);
+  p.a(0, 0) = -1;
+  p.b[0] = -5;
+  p.c = {1};
+  const auto sol = SolveStandardForm(p);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 5.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints (degeneracy stresses Bland's rule).
+  LpProblem p = Make(3, 2);
+  for (int r = 0; r < 3; ++r) {
+    p.a(r, 0) = 1;
+    p.a(r, 1) = 1;
+    p.b[r] = 1;
+  }
+  p.c = {1, 2};
+  const auto sol = SolveStandardForm(p);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 1.0, 1e-9);  // x0=1, x1=0
+}
+
+TEST(SimplexTest, SolutionSatisfiesConstraints) {
+  // Random feasible problems: check Ax = b and x >= 0 at the optimum.
+  util::Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t m = 3, n = 7;
+    LpProblem p = Make(m, n);
+    linalg::Vector x_feasible(n);
+    for (auto& v : x_feasible) v = rng.UniformDouble();
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        p.a(r, c) = rng.Gaussian();
+      }
+    }
+    p.b = p.a.MultiplyVec(x_feasible);  // feasible by construction
+    for (auto& c : p.c) c = rng.Gaussian();
+    const auto sol = SolveStandardForm(p);
+    if (sol.status == LpStatus::kUnbounded) continue;  // possible
+    ASSERT_EQ(sol.status, LpStatus::kOptimal);
+    const linalg::Vector ax = p.a.MultiplyVec(sol.x);
+    for (std::size_t r = 0; r < m; ++r) EXPECT_NEAR(ax[r], p.b[r], 1e-6);
+    for (double xi : sol.x) EXPECT_GE(xi, -1e-9);
+    // Optimal is at least as good as our known feasible point.
+    double feasible_obj = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      feasible_obj += p.c[i] * x_feasible[i];
+    }
+    EXPECT_LE(sol.objective, feasible_obj + 1e-6);
+  }
+}
+
+TEST(SimplexTest, StatusToString) {
+  EXPECT_STREQ(ToString(LpStatus::kOptimal), "optimal");
+  EXPECT_STREQ(ToString(LpStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(ToString(LpStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(ToString(LpStatus::kIterationLimit), "iteration-limit");
+}
+
+}  // namespace
+}  // namespace ifsketch::lp

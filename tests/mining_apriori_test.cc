@@ -1,0 +1,193 @@
+#include "mining/apriori.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "sketch/subsample.h"
+#include "util/bitvector.h"
+#include "util/combinatorics.h"
+
+namespace ifsketch::mining {
+namespace {
+
+core::Database MakeDb(const std::vector<std::string>& rows) {
+  std::vector<util::BitVector> bits;
+  for (const auto& r : rows) bits.push_back(util::BitVector::FromString(r));
+  return core::Database::FromRows(std::move(bits));
+}
+
+bool ContainsItemset(const std::vector<FrequentItemset>& mined,
+                     const core::Itemset& t) {
+  for (const auto& fi : mined) {
+    if (fi.itemset == t) return true;
+  }
+  return false;
+}
+
+TEST(AprioriTest, HandComputedExample) {
+  // 4 transactions over 4 items.
+  const core::Database db = MakeDb({
+      "1101",
+      "1100",
+      "1010",
+      "1101",
+  });
+  AprioriOptions opt;
+  opt.min_frequency = 0.5;
+  opt.max_size = 3;
+  const auto mined = MineDatabase(db, opt);
+  // Frequent: {0}=1.0, {1}=0.75, {3}=0.5, {0,1}=0.75, {0,3}=0.5,
+  // {1,3}=0.5, {0,1,3}=0.5. Not: {2}=0.25.
+  EXPECT_EQ(mined.size(), 7u);
+  EXPECT_TRUE(ContainsItemset(mined, core::Itemset(4, {0, 1, 3})));
+  EXPECT_FALSE(ContainsItemset(mined, core::Itemset(4, {2})));
+  for (const auto& fi : mined) {
+    EXPECT_GE(fi.frequency, 0.5);
+    EXPECT_DOUBLE_EQ(fi.frequency, db.Frequency(fi.itemset));
+  }
+}
+
+TEST(AprioriTest, DownwardClosureHolds) {
+  util::Rng rng(1);
+  const core::Database db = data::PowerLawBaskets(
+      300, 15, 0.8, 0.6, 3, 3, 0.3, rng);
+  AprioriOptions opt;
+  opt.min_frequency = 0.15;
+  opt.max_size = 4;
+  const auto mined = MineDatabase(db, opt);
+  // Every subset of a mined itemset obtained by dropping one attribute
+  // must itself be mined (downward closure).
+  for (const auto& fi : mined) {
+    const auto attrs = fi.itemset.Attributes();
+    if (attrs.size() < 2) continue;
+    for (std::size_t drop = 0; drop < attrs.size(); ++drop) {
+      std::vector<std::size_t> sub;
+      for (std::size_t i = 0; i < attrs.size(); ++i) {
+        if (i != drop) sub.push_back(attrs[i]);
+      }
+      EXPECT_TRUE(
+          ContainsItemset(mined, core::Itemset(db.num_columns(), sub)))
+          << fi.itemset.ToString();
+    }
+  }
+}
+
+TEST(AprioriTest, MiningIsExhaustiveUpToMaxSize) {
+  util::Rng rng(2);
+  const core::Database db = data::UniformRandom(100, 8, 0.6, rng);
+  AprioriOptions opt;
+  opt.min_frequency = 0.3;
+  opt.max_size = 3;
+  const auto mined = MineDatabase(db, opt);
+  // Brute-force verification.
+  std::size_t expected = 0;
+  for (std::size_t k = 1; k <= 3; ++k) {
+    for (const auto& attrs : util::AllSubsets(8, k)) {
+      if (db.Frequency(core::Itemset(8, attrs)) >= 0.3) ++expected;
+    }
+  }
+  EXPECT_EQ(mined.size(), expected);
+}
+
+TEST(AprioriTest, MaxSizeRespected) {
+  const core::Database db = MakeDb({"1111", "1111", "1111"});
+  AprioriOptions opt;
+  opt.min_frequency = 0.5;
+  opt.max_size = 2;
+  for (const auto& fi : MineDatabase(db, opt)) {
+    EXPECT_LE(fi.itemset.size(), 2u);
+  }
+}
+
+TEST(AprioriTest, MaxResultsCapRespected) {
+  const core::Database db = MakeDb({"11111111", "11111111"});
+  AprioriOptions opt;
+  opt.min_frequency = 0.5;
+  opt.max_size = 8;
+  opt.max_results = 20;
+  EXPECT_LE(MineDatabase(db, opt).size(), 20u);
+}
+
+TEST(AprioriTest, EmptyResultBelowThreshold) {
+  const core::Database db = MakeDb({"10", "01"});
+  AprioriOptions opt;
+  opt.min_frequency = 0.9;
+  EXPECT_TRUE(MineDatabase(db, opt).empty());
+}
+
+TEST(AprioriTest, MiningOnSketchApproximatesTruth) {
+  util::Rng rng(3);
+  const core::Database db = data::PlantedItemsets(
+      3000, 12, {{{0, 3}, 0.4}, {{5, 7, 9}, 0.3}}, 0.08, rng);
+  AprioriOptions opt;
+  opt.min_frequency = 0.2;
+  opt.max_size = 3;
+  const auto reference = MineDatabase(db, opt);
+
+  sketch::SubsampleSketch algo;
+  core::SketchParams params;
+  params.k = 3;
+  params.eps = 0.04;
+  params.delta = 0.05;
+  params.scope = core::Scope::kForAll;
+  params.answer = core::Answer::kEstimator;
+  const auto summary = algo.Build(db, params, rng);
+  const auto est = algo.LoadEstimator(summary, params, 12, 3000);
+  const auto mined = MineWithEstimator(*est, 12, opt);
+
+  const MiningQuality q = CompareMinedSets(reference, mined);
+  EXPECT_GT(q.Recall(), 0.85);
+  EXPECT_GT(q.Precision(), 0.85);
+  // The planted itemsets themselves must be found.
+  EXPECT_TRUE(ContainsItemset(mined, core::Itemset(12, {0, 3})));
+}
+
+TEST(RulesTest, ConfidenceComputedCorrectly) {
+  // {0,1} has f=0.5; {0} has f=0.75 -> rule {0}=>{1} confidence 2/3.
+  const core::Database db = MakeDb({"11", "10", "11", "00"});
+  AprioriOptions opt;
+  opt.min_frequency = 0.4;
+  opt.max_size = 2;
+  const auto mined = MineDatabase(db, opt);
+  const auto rules = ExtractRules(
+      mined, [&db](const core::Itemset& t) { return db.Frequency(t); },
+      0.5);
+  bool found = false;
+  for (const auto& rule : rules) {
+    if (rule.lhs == core::Itemset(2, {0}) &&
+        rule.rhs == core::Itemset(2, {1})) {
+      EXPECT_NEAR(rule.confidence, 2.0 / 3.0, 1e-9);
+      EXPECT_NEAR(rule.support, 0.5, 1e-9);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RulesTest, MinConfidenceFilters) {
+  const core::Database db = MakeDb({"11", "10", "11", "00"});
+  AprioriOptions opt;
+  opt.min_frequency = 0.4;
+  opt.max_size = 2;
+  const auto mined = MineDatabase(db, opt);
+  const auto rules = ExtractRules(
+      mined, [&db](const core::Itemset& t) { return db.Frequency(t); },
+      0.99);
+  for (const auto& rule : rules) {
+    EXPECT_GE(rule.confidence, 0.99);
+  }
+}
+
+TEST(QualityTest, PrecisionRecallMath) {
+  std::vector<FrequentItemset> ref = {{core::Itemset(4, {0}), 0.5},
+                                      {core::Itemset(4, {1}), 0.5}};
+  std::vector<FrequentItemset> mined = {{core::Itemset(4, {0}), 0.5},
+                                        {core::Itemset(4, {2}), 0.5}};
+  const MiningQuality q = CompareMinedSets(ref, mined);
+  EXPECT_EQ(q.intersection, 1u);
+  EXPECT_DOUBLE_EQ(q.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(q.Recall(), 0.5);
+}
+
+}  // namespace
+}  // namespace ifsketch::mining

@@ -1,0 +1,84 @@
+#include "mining/biclique.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.h"
+#include "data/generators.h"
+#include "util/bitvector.h"
+#include "util/combinatorics.h"
+
+namespace ifsketch::mining {
+namespace {
+
+core::Database MakeDb(const std::vector<std::string>& rows) {
+  std::vector<util::BitVector> bits;
+  for (const auto& r : rows) bits.push_back(util::BitVector::FromString(r));
+  return core::Database::FromRows(std::move(bits));
+}
+
+TEST(BicliqueTest, FromItemsetCollectsSupport) {
+  const core::Database db = MakeDb({"110", "111", "011", "100"});
+  const Biclique b = BicliqueFromItemset(db, core::Itemset(3, {0, 1}));
+  EXPECT_EQ(b.attributes, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(b.rows, (std::vector<std::size_t>{0, 1}));
+  EXPECT_TRUE(IsBiclique(db, b));
+}
+
+TEST(BicliqueTest, InducedSubgraphIsAlwaysComplete) {
+  // The paper's forward direction: itemset -> complete bipartite
+  // subgraph, for random databases and random itemsets.
+  util::Rng rng(1);
+  const core::Database db = data::UniformRandom(40, 10, 0.5, rng);
+  for (int trial = 0; trial < 30; ++trial) {
+    const core::Itemset t = core::RandomItemset(10, 3, rng);
+    EXPECT_TRUE(IsBiclique(db, BicliqueFromItemset(db, t)));
+  }
+}
+
+TEST(BicliqueTest, IsBicliqueDetectsMissingEdge) {
+  const core::Database db = MakeDb({"10", "01"});
+  Biclique b;
+  b.rows = {0, 1};
+  b.attributes = {0};
+  EXPECT_FALSE(IsBiclique(db, b));  // row 1 lacks attribute 0
+}
+
+TEST(BicliqueTest, ExactSearchFindsPlantedBalancedBiclique) {
+  // Plant a 4x4 all-ones block in an otherwise sparse database.
+  util::Rng rng(2);
+  core::Database db = data::UniformRandom(16, 10, 0.1, rng);
+  for (std::size_t i = 3; i < 7; ++i) {
+    for (std::size_t j = 2; j < 6; ++j) db.Set(i, j, true);
+  }
+  const Biclique best = MaxBalancedBicliqueExact(db);
+  EXPECT_GE(best.BalancedSize(), 4u);
+  EXPECT_TRUE(IsBiclique(db, best));
+}
+
+TEST(BicliqueTest, BalancedSizeMatchesFrequentItemsetView) {
+  // The paper's equivalence: a balanced biclique with s rows per side
+  // exists iff some itemset of cardinality s has support count >= s.
+  util::Rng rng(3);
+  const core::Database db = data::UniformRandom(20, 8, 0.45, rng);
+  const Biclique best = MaxBalancedBicliqueExact(db);
+  const std::size_t s = best.BalancedSize();
+  // Forward: best's attribute set (restricted to s attributes) is an
+  // itemset with support >= s.
+  core::Itemset witness(8);
+  for (std::size_t i = 0; i < s; ++i) witness.Add(best.attributes[i]);
+  EXPECT_GE(db.SupportCount(witness), s);
+  // Converse: no itemset of cardinality s+1 has support >= s+1 (else the
+  // search would have found a bigger balanced biclique).
+  for (const auto& attrs : util::AllSubsets(8, s + 1)) {
+    EXPECT_LT(db.SupportCount(core::Itemset(8, attrs)), s + 1);
+  }
+}
+
+TEST(BicliqueTest, EmptyDatabaseGivesEmptyBiclique) {
+  const core::Database db(4, 3);  // all zeros
+  const Biclique best = MaxBalancedBicliqueExact(db);
+  EXPECT_EQ(best.BalancedSize(), 0u);
+}
+
+}  // namespace
+}  // namespace ifsketch::mining

@@ -1,0 +1,133 @@
+#include "mining/condensed.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.h"
+#include "data/generators.h"
+#include "util/bitvector.h"
+
+namespace ifsketch::mining {
+namespace {
+
+core::Database MakeDb(const std::vector<std::string>& rows) {
+  std::vector<util::BitVector> bits;
+  for (const auto& r : rows) bits.push_back(util::BitVector::FromString(r));
+  return core::Database::FromRows(std::move(bits));
+}
+
+std::vector<FrequentItemset> Mine(const core::Database& db, double minf,
+                                  std::size_t max_size) {
+  AprioriOptions opt;
+  opt.min_frequency = minf;
+  opt.max_size = max_size;
+  return MineDatabase(db, opt);
+}
+
+TEST(CondensedTest, MaximalOfChain) {
+  // All rows identical "1110": frequent sets are all subsets of {0,1,2};
+  // the single maximal one is {0,1,2}.
+  const core::Database db = MakeDb({"1110", "1110", "1110"});
+  const auto frequent = Mine(db, 0.5, 4);
+  EXPECT_EQ(frequent.size(), 7u);  // 2^3 - 1
+  const auto maximal = MaximalItemsets(frequent);
+  ASSERT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal[0].itemset, core::Itemset(4, {0, 1, 2}));
+}
+
+TEST(CondensedTest, ClosedKeepsFrequencyInformation) {
+  // {0} appears in 3 rows, {0,1} in 2: both closed. {1} also appears in
+  // exactly the rows of {0,1} -> {1} is NOT closed ({0,1} has the same
+  // frequency).
+  const core::Database db = MakeDb({"10", "11", "11", "00"});
+  const auto frequent = Mine(db, 0.25, 2);
+  const auto closed = ClosedItemsets(frequent);
+  bool has_0 = false, has_01 = false, has_1 = false;
+  for (const auto& c : closed) {
+    if (c.itemset == core::Itemset(2, {0})) has_0 = true;
+    if (c.itemset == core::Itemset(2, {1})) has_1 = true;
+    if (c.itemset == core::Itemset(2, {0, 1})) has_01 = true;
+  }
+  EXPECT_TRUE(has_0);
+  EXPECT_TRUE(has_01);
+  EXPECT_FALSE(has_1);
+}
+
+TEST(CondensedTest, MaximalSubsetOfClosed) {
+  // Every maximal itemset is closed (standard containment).
+  util::Rng rng(1);
+  const core::Database db =
+      data::PowerLawBaskets(400, 12, 0.9, 0.5, 3, 3, 0.3, rng);
+  const auto frequent = Mine(db, 0.1, 4);
+  const auto maximal = MaximalItemsets(frequent);
+  const auto closed = ClosedItemsets(frequent);
+  EXPECT_LE(maximal.size(), closed.size());
+  EXPECT_LE(closed.size(), frequent.size());
+  for (const auto& m : maximal) {
+    bool found = false;
+    for (const auto& c : closed) {
+      if (c.itemset == m.itemset) found = true;
+    }
+    EXPECT_TRUE(found) << m.itemset.ToString();
+  }
+}
+
+TEST(CondensedTest, ExpandMaximalRecoversAllFrequent) {
+  util::Rng rng(2);
+  const core::Database db = data::PlantedItemsets(
+      500, 10, {{{1, 3, 5, 7}, 0.4}, {{0, 2}, 0.3}}, 0.05, rng);
+  const auto frequent = Mine(db, 0.15, 5);
+  const auto maximal = MaximalItemsets(frequent);
+  const auto expanded = ExpandMaximal(maximal);
+  EXPECT_EQ(expanded.size(), frequent.size());
+  // Every frequent itemset appears in the expansion.
+  for (const auto& f : frequent) {
+    bool found = false;
+    for (const auto& e : expanded) {
+      if (e == f.itemset) found = true;
+    }
+    EXPECT_TRUE(found) << f.itemset.ToString();
+  }
+}
+
+TEST(CondensedTest, ExponentialBlowupExample) {
+  // The paper's §1.1.1 observation: one frequent itemset of cardinality
+  // c makes 2^c - 1 itemsets frequent, while the maximal family is tiny.
+  const std::size_t c = 10;
+  core::Database db(4, 12);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < c; ++j) db.Set(i, j, true);
+  }
+  const auto frequent = Mine(db, 0.5, c);
+  EXPECT_EQ(frequent.size(), (std::size_t{1} << c) - 1);
+  EXPECT_EQ(MaximalItemsets(frequent).size(), 1u);
+  EXPECT_EQ(ClosedItemsets(frequent).size(), 1u);
+}
+
+TEST(ClosureTest, ClosureOfClosedIsIdentity) {
+  const core::Database db = MakeDb({"110", "110", "011"});
+  const core::Itemset t(3, {0, 1});
+  EXPECT_EQ(Closure(db, t), t);
+}
+
+TEST(ClosureTest, ClosureAddsImpliedAttributes) {
+  // {1} appears only in rows that also have 0 -> closure({1}) = {0,1}.
+  const core::Database db = MakeDb({"110", "110", "001"});
+  EXPECT_EQ(Closure(db, core::Itemset(3, {1})), core::Itemset(3, {0, 1}));
+}
+
+TEST(ClosureTest, ClosureIsIdempotentRandom) {
+  util::Rng rng(3);
+  const core::Database db = data::UniformRandom(60, 8, 0.5, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    const core::Itemset t = core::RandomItemset(8, 2, rng);
+    if (db.SupportCount(t) == 0) continue;
+    const core::Itemset c1 = Closure(db, t);
+    EXPECT_TRUE(c1.indicator().Contains(t.indicator()));
+    EXPECT_EQ(Closure(db, c1), c1);
+    // Closure preserves frequency.
+    EXPECT_DOUBLE_EQ(db.Frequency(c1), db.Frequency(t));
+  }
+}
+
+}  // namespace
+}  // namespace ifsketch::mining

@@ -1,0 +1,126 @@
+#include "mining/fpgrowth.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "data/generators.h"
+#include "util/bitvector.h"
+
+namespace ifsketch::mining {
+namespace {
+
+core::Database MakeDb(const std::vector<std::string>& rows) {
+  std::vector<util::BitVector> bits;
+  for (const auto& r : rows) bits.push_back(util::BitVector::FromString(r));
+  return core::Database::FromRows(std::move(bits));
+}
+
+std::set<std::string> Keys(const std::vector<FrequentItemset>& v) {
+  std::set<std::string> out;
+  for (const auto& fi : v) out.insert(fi.itemset.indicator().ToString());
+  return out;
+}
+
+TEST(FpGrowthTest, HandComputedExample) {
+  const core::Database db = MakeDb({"1101", "1100", "1010", "1101"});
+  AprioriOptions opt;
+  opt.min_frequency = 0.5;
+  opt.max_size = 3;
+  const auto mined = FpGrowth(db, opt);
+  EXPECT_EQ(mined.size(), 7u);
+  for (const auto& fi : mined) {
+    EXPECT_GE(fi.frequency, 0.5);
+    EXPECT_DOUBLE_EQ(fi.frequency, db.Frequency(fi.itemset));
+  }
+}
+
+TEST(FpGrowthTest, AgreesWithAprioriOnRandomData) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const core::Database db = data::UniformRandom(150, 10, 0.5, rng);
+    AprioriOptions opt;
+    // Off-grid thresholds (0.205*150 = 30.75, never an exact count) so
+    // float rounding at the boundary cannot make the two miners differ.
+    opt.min_frequency = 0.205 + 0.05 * trial;
+    opt.max_size = 4;
+    const auto apriori = MineDatabase(db, opt);
+    const auto fp = FpGrowth(db, opt);
+    EXPECT_EQ(Keys(apriori), Keys(fp)) << "trial " << trial;
+    // Frequencies agree too.
+    for (const auto& fi : fp) {
+      EXPECT_DOUBLE_EQ(fi.frequency, db.Frequency(fi.itemset));
+    }
+  }
+}
+
+TEST(FpGrowthTest, AgreesWithAprioriOnBasketData) {
+  util::Rng rng(2);
+  const core::Database db =
+      data::PowerLawBaskets(800, 20, 1.0, 0.5, 4, 3, 0.25, rng);
+  AprioriOptions opt;
+  opt.min_frequency = 0.1;
+  opt.max_size = 4;
+  EXPECT_EQ(Keys(MineDatabase(db, opt)), Keys(FpGrowth(db, opt)));
+}
+
+TEST(FpGrowthTest, MaxSizeRespected) {
+  const core::Database db = MakeDb({"11111", "11111", "11111"});
+  AprioriOptions opt;
+  opt.min_frequency = 0.5;
+  opt.max_size = 2;
+  for (const auto& fi : FpGrowth(db, opt)) {
+    EXPECT_LE(fi.itemset.size(), 2u);
+  }
+}
+
+TEST(FpGrowthTest, EmptyDatabase) {
+  core::Database db(0, 5);
+  AprioriOptions opt;
+  EXPECT_TRUE(FpGrowth(db, opt).empty());
+}
+
+TEST(FpGrowthTest, ThresholdBoundaryInclusive) {
+  // Exactly at the threshold must be included (same rule as Apriori).
+  const core::Database db = MakeDb({"10", "10", "01", "01"});
+  AprioriOptions opt;
+  opt.min_frequency = 0.5;
+  opt.max_size = 1;
+  const auto mined = FpGrowth(db, opt);
+  EXPECT_EQ(mined.size(), 2u);
+}
+
+TEST(FpGrowthTest, SingleItemDominates) {
+  // One very frequent item, everything else rare: conditional trees are
+  // trivial and the recursion must not blow up.
+  util::Rng rng(3);
+  core::Database db(1000, 16);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    db.Set(i, 0, true);
+    if (rng.Bernoulli(0.02)) db.Set(i, 1 + rng.UniformInt(15), true);
+  }
+  AprioriOptions opt;
+  opt.min_frequency = 0.5;
+  opt.max_size = 5;
+  const auto mined = FpGrowth(db, opt);
+  ASSERT_EQ(mined.size(), 1u);
+  EXPECT_EQ(mined[0].itemset, core::Itemset(16, {0}));
+}
+
+TEST(FpGrowthTest, DeterministicOutputOrder) {
+  util::Rng rng(4);
+  const core::Database db = data::UniformRandom(200, 8, 0.6, rng);
+  AprioriOptions opt;
+  opt.min_frequency = 0.3;
+  opt.max_size = 3;
+  const auto a = FpGrowth(db, opt);
+  const auto b = FpGrowth(db, opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].itemset, b[i].itemset);
+  }
+}
+
+}  // namespace
+}  // namespace ifsketch::mining

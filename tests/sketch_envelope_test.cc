@@ -1,0 +1,85 @@
+#include "sketch/envelope.h"
+
+#include <gtest/gtest.h>
+
+#include "util/combinatorics.h"
+
+namespace ifsketch::sketch {
+namespace {
+
+core::SketchParams Params(std::size_t k, double eps,
+                          core::Answer answer = core::Answer::kEstimator) {
+  core::SketchParams p;
+  p.k = k;
+  p.eps = eps;
+  p.delta = 0.05;
+  p.scope = core::Scope::kForAll;
+  p.answer = answer;
+  return p;
+}
+
+TEST(EnvelopeTest, WinnerBitsIsMinimum) {
+  const auto r = NaiveEnvelope(1000, 30, Params(3, 0.05));
+  EXPECT_EQ(r.winner_bits,
+            std::min({r.release_db_bits, r.release_answers_bits,
+                      r.subsample_bits}));
+}
+
+TEST(EnvelopeTest, TinyNFavorsReleaseDb) {
+  // n = 3 rows: nd is unbeatable.
+  const auto r = NaiveEnvelope(3, 20, Params(3, 0.01));
+  EXPECT_EQ(r.winner, "RELEASE-DB");
+}
+
+TEST(EnvelopeTest, SmallItemsetSpaceFavorsReleaseAnswers) {
+  // d=10, k=1 -> C(10,1)=10 answers; with coarse eps that's tiny.
+  const auto r =
+      NaiveEnvelope(1000000, 10, Params(1, 0.25, core::Answer::kIndicator));
+  EXPECT_EQ(r.winner, "RELEASE-ANSWERS");
+  EXPECT_EQ(r.release_answers_bits, util::Binomial(10, 1));
+}
+
+TEST(EnvelopeTest, LargeNModerateEpsFavorsSubsample) {
+  // Huge n, many itemsets, moderate eps: sampling wins.
+  const auto r = NaiveEnvelope(100000000, 100, Params(4, 0.05));
+  EXPECT_EQ(r.winner, "SUBSAMPLE");
+}
+
+TEST(EnvelopeTest, PaperCrossoverReleaseAnswersVsSubsample) {
+  // Theorem 13 discussion: for k=O(1), RELEASE-ANSWERS becomes optimal
+  // once 1/eps >= C(d/2, k-1). Check the envelope crosses over as eps
+  // shrinks with d, k fixed and n huge.
+  const std::size_t n = std::size_t{1} << 30;
+  const std::size_t d = 100;
+  const std::size_t k = 4;
+  const auto coarse =
+      NaiveEnvelope(n, d, Params(k, 0.05, core::Answer::kIndicator));
+  const auto fine =
+      NaiveEnvelope(n, d, Params(k, 1e-4, core::Answer::kIndicator));
+  EXPECT_EQ(coarse.winner, "SUBSAMPLE");
+  EXPECT_EQ(fine.winner, "RELEASE-ANSWERS");
+}
+
+TEST(EnvelopeTest, BestNaiveAlgorithmMatchesWinner) {
+  for (const auto& [n, d] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {3, 20}, {1u << 30, 10}, {100000000, 100}}) {
+    const auto p = Params(2, 0.05);
+    const auto r = NaiveEnvelope(n, d, p);
+    EXPECT_EQ(BestNaiveAlgorithm(n, d, p)->name(), r.winner);
+  }
+}
+
+TEST(EnvelopeTest, EstimatorEnvelopeAtLeastIndicator) {
+  // Estimators cost at least as much on every branch once eps is small
+  // enough for the eps^-2 term to dominate the Chernoff constants.
+  const auto ind = NaiveEnvelope(10000, 24,
+                                 Params(3, 0.005, core::Answer::kIndicator));
+  const auto est = NaiveEnvelope(10000, 24,
+                                 Params(3, 0.005, core::Answer::kEstimator));
+  EXPECT_GE(est.release_answers_bits, ind.release_answers_bits);
+  EXPECT_GE(est.subsample_bits, ind.subsample_bits);
+  EXPECT_EQ(est.release_db_bits, ind.release_db_bits);
+}
+
+}  // namespace
+}  // namespace ifsketch::sketch

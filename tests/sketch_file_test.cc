@@ -1,0 +1,108 @@
+#include "sketch/sketch_file.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/generators.h"
+#include "sketch/subsample.h"
+
+namespace ifsketch::sketch {
+namespace {
+
+SketchFile MakeFile(util::Rng& rng) {
+  const core::Database db = data::UniformRandom(200, 14, 0.4, rng);
+  SubsampleSketch algo;
+  SketchFile file;
+  file.algorithm = algo.name();
+  file.params.k = 3;
+  file.params.eps = 0.07;
+  file.params.delta = 0.02;
+  file.params.scope = core::Scope::kForEach;
+  file.params.answer = core::Answer::kEstimator;
+  file.n = db.num_rows();
+  file.d = db.num_columns();
+  file.summary = algo.Build(db, file.params, rng);
+  return file;
+}
+
+TEST(SketchFileTest, StreamRoundTrip) {
+  util::Rng rng(1);
+  const SketchFile file = MakeFile(rng);
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSketch(stream, file));
+  const auto back = ReadSketch(stream);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->algorithm, file.algorithm);
+  EXPECT_EQ(back->params.k, file.params.k);
+  EXPECT_DOUBLE_EQ(back->params.eps, file.params.eps);
+  EXPECT_DOUBLE_EQ(back->params.delta, file.params.delta);
+  EXPECT_EQ(back->params.scope, file.params.scope);
+  EXPECT_EQ(back->params.answer, file.params.answer);
+  EXPECT_EQ(back->n, file.n);
+  EXPECT_EQ(back->d, file.d);
+  EXPECT_EQ(back->summary, file.summary);
+}
+
+TEST(SketchFileTest, ReloadedSummaryIsQueryable) {
+  util::Rng rng(2);
+  const core::Database db = data::UniformRandom(300, 10, 0.5, rng);
+  SubsampleSketch algo;
+  SketchFile file;
+  file.algorithm = algo.name();
+  file.params.k = 2;
+  file.params.eps = 0.1;
+  file.params.scope = core::Scope::kForEach;
+  file.params.answer = core::Answer::kEstimator;
+  file.n = db.num_rows();
+  file.d = db.num_columns();
+  file.summary = algo.Build(db, file.params, rng);
+
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSketch(stream, file));
+  const auto back = ReadSketch(stream);
+  ASSERT_TRUE(back.has_value());
+  const auto est =
+      algo.LoadEstimator(back->summary, back->params, back->d, back->n);
+  const core::Itemset t(10, {1, 7});
+  EXPECT_NEAR(est->EstimateFrequency(t), db.Frequency(t), 0.15);
+}
+
+TEST(SketchFileTest, RejectsBadMagic) {
+  std::stringstream stream("NOPExxxxxxxxxxxxxxxxx");
+  EXPECT_FALSE(ReadSketch(stream).has_value());
+}
+
+TEST(SketchFileTest, RejectsTruncatedPayload) {
+  util::Rng rng(3);
+  const SketchFile file = MakeFile(rng);
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSketch(stream, file));
+  std::string data = stream.str();
+  data.resize(data.size() / 2);
+  std::stringstream half(data);
+  EXPECT_FALSE(ReadSketch(half).has_value());
+}
+
+TEST(SketchFileTest, FileRoundTrip) {
+  util::Rng rng(4);
+  const SketchFile file = MakeFile(rng);
+  const std::string path = testing::TempDir() + "/ifsketch_sketch_test.bin";
+  ASSERT_TRUE(SaveSketchFile(path, file));
+  const auto back = LoadSketchFile(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->summary, file.summary);
+}
+
+TEST(SketchFileTest, ZeroBitSummary) {
+  SketchFile file;
+  file.algorithm = "EMPTY";
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSketch(stream, file));
+  const auto back = ReadSketch(stream);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->summary.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ifsketch::sketch

@@ -1,0 +1,117 @@
+#include "sketch/release_answers.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.h"
+#include "data/generators.h"
+#include "util/combinatorics.h"
+
+namespace ifsketch::sketch {
+namespace {
+
+class ReleaseAnswersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(66);
+    db_ = data::UniformRandom(50, 9, 0.45, rng);
+    params_.k = 3;
+    params_.eps = 0.05;
+    params_.delta = 0.05;
+  }
+  core::Database db_;
+  core::SketchParams params_;
+  ReleaseAnswersSketch algo_;
+  util::Rng build_rng_{88};
+};
+
+TEST_F(ReleaseAnswersTest, IndicatorSummaryIsOneBitPerItemset) {
+  core::SketchParams p = params_;
+  p.answer = core::Answer::kIndicator;
+  const auto summary = algo_.Build(db_, p, build_rng_);
+  EXPECT_EQ(summary.size(), util::Binomial(9, 3));
+  EXPECT_EQ(summary.size(), algo_.PredictedSizeBits(50, 9, p));
+}
+
+TEST_F(ReleaseAnswersTest, EstimatorSummaryHasLogEpsFactor) {
+  core::SketchParams p = params_;
+  p.answer = core::Answer::kEstimator;
+  const auto summary = algo_.Build(db_, p, build_rng_);
+  const int fbits = ReleaseAnswersSketch::FrequencyBits(p.eps);
+  EXPECT_EQ(summary.size(), util::Binomial(9, 3) * fbits);
+  EXPECT_EQ(summary.size(), algo_.PredictedSizeBits(50, 9, p));
+}
+
+TEST_F(ReleaseAnswersTest, FrequencyBitsCoversEps) {
+  // Quantization with FrequencyBits(eps) bits has resolution < eps.
+  for (const double eps : {0.5, 0.1, 0.01, 0.001}) {
+    const int bits = ReleaseAnswersSketch::FrequencyBits(eps);
+    EXPECT_LT(1.0 / ((1ull << bits) - 1), eps) << eps;
+  }
+}
+
+TEST_F(ReleaseAnswersTest, EstimatorValid) {
+  core::SketchParams p = params_;
+  p.answer = core::Answer::kEstimator;
+  const auto summary = algo_.Build(db_, p, build_rng_);
+  const auto est = algo_.LoadEstimator(summary, p, 9, 50);
+  const auto report =
+      core::ValidateEstimatorExhaustive(db_, *est, 3, p.eps);
+  EXPECT_TRUE(report.valid());
+  // Quantization error only: at most eps/2.
+  EXPECT_LE(report.max_abs_error, p.eps / 2 + 1e-9);
+}
+
+TEST_F(ReleaseAnswersTest, IndicatorValid) {
+  core::SketchParams p = params_;
+  p.answer = core::Answer::kIndicator;
+  p.eps = 0.3;
+  const auto summary = algo_.Build(db_, p, build_rng_);
+  const auto ind = algo_.LoadIndicator(summary, p, 9, 50);
+  const auto report = core::ValidateIndicatorExhaustive(db_, *ind, 3, p.eps);
+  EXPECT_TRUE(report.valid());
+}
+
+TEST_F(ReleaseAnswersTest, LookupMatchesTrueFrequencyWithinQuantization) {
+  core::SketchParams p = params_;
+  p.answer = core::Answer::kEstimator;
+  const auto summary = algo_.Build(db_, p, build_rng_);
+  const auto est = algo_.LoadEstimator(summary, p, 9, 50);
+  const int fbits = ReleaseAnswersSketch::FrequencyBits(p.eps);
+  const double resolution = 1.0 / ((1ull << fbits) - 1);
+  for (const auto& attrs : util::AllSubsets(9, 3)) {
+    const core::Itemset t(9, attrs);
+    EXPECT_NEAR(est->EstimateFrequency(t), db_.Frequency(t), resolution);
+  }
+}
+
+TEST_F(ReleaseAnswersTest, SizeIndependentOfN) {
+  core::SketchParams p = params_;
+  EXPECT_EQ(algo_.PredictedSizeBits(10, 9, p),
+            algo_.PredictedSizeBits(1000000, 9, p));
+}
+
+TEST_F(ReleaseAnswersTest, DeterministicBuild) {
+  util::Rng r1(4), r2(400);
+  EXPECT_EQ(algo_.Build(db_, params_, r1), algo_.Build(db_, params_, r2));
+}
+
+TEST(ReleaseAnswersEdgeTest, K1StoresPerAttributeFrequencies) {
+  core::Database db(4, 3);
+  db.Set(0, 0, true);
+  db.Set(1, 0, true);
+  db.Set(2, 1, true);
+  ReleaseAnswersSketch algo;
+  core::SketchParams p;
+  p.k = 1;
+  p.eps = 0.01;
+  p.answer = core::Answer::kEstimator;
+  util::Rng rng(5);
+  const auto summary = algo.Build(db, p, rng);
+  const auto est = algo.LoadEstimator(summary, p, 3, 4);
+  EXPECT_NEAR(est->EstimateFrequency(core::Itemset(3, {0})), 0.5, 0.005);
+  EXPECT_NEAR(est->EstimateFrequency(core::Itemset(3, {1})), 0.25, 0.005);
+  EXPECT_NEAR(est->EstimateFrequency(core::Itemset(3, {2})), 0.0, 0.005);
+}
+
+}  // namespace
+}  // namespace ifsketch::sketch

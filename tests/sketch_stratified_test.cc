@@ -1,0 +1,111 @@
+#include "sketch/stratified_sample.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "util/stats.h"
+
+namespace ifsketch::sketch {
+namespace {
+
+TEST(StratifiedTest, RoundTripAndRange) {
+  util::Rng rng(1);
+  const core::Database db = data::UniformRandom(1000, 12, 0.4, rng);
+  StratifiedSampler sampler(4);
+  const auto summary = sampler.Build(db, 400, rng);
+  const auto est = sampler.Load(summary, 12);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double f = est->EstimateFrequency(
+        core::Itemset(12, {rng.UniformInt(12)}));
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(StratifiedTest, UnbiasedOnAverage) {
+  util::Rng rng(2);
+  const core::Database db =
+      data::PowerLawBaskets(3000, 14, 1.0, 0.4, 2, 3, 0.2, rng);
+  StratifiedSampler sampler(4);
+  const core::Itemset t(14, {0, 1});
+  const double truth = db.Frequency(t);
+  util::RunningStat estimates;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto summary = sampler.Build(db, 500, rng);
+    estimates.Add(sampler.Load(summary, 14)->EstimateFrequency(t));
+  }
+  EXPECT_NEAR(estimates.Mean(), truth, 0.02);
+}
+
+TEST(StratifiedTest, SingleStratumMatchesUniformBehavior) {
+  util::Rng rng(3);
+  const core::Database db =
+      data::PlantedItemsets(2000, 10, {{{2, 5}, 0.3}}, 0.1, rng);
+  StratifiedSampler sampler(1);
+  const core::Itemset t(10, {2, 5});
+  util::RunningStat err;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto summary = sampler.Build(db, 600, rng);
+    err.Add(std::fabs(sampler.Load(summary, 10)->EstimateFrequency(t) -
+                      db.Frequency(t)));
+  }
+  EXPECT_LT(err.Mean(), 0.05);
+}
+
+TEST(StratifiedTest, HelpsOnHeterogeneousRows) {
+  // Database with two very different row populations: mostly-empty rows
+  // and dense rows carrying the queried itemset. Stratification pins the
+  // rare dense stratum's weight exactly, shrinking variance.
+  util::Rng rng(4);
+  core::Database db(5000, 16);
+  for (std::size_t i = 0; i < 5000; ++i) {
+    if (i % 50 == 0) {
+      for (std::size_t j = 0; j < 12; ++j) db.Set(i, j, true);
+    } else if (rng.Bernoulli(0.3)) {
+      db.Set(i, rng.UniformInt(16), true);
+    }
+  }
+  const core::Itemset t(16, {0, 1, 2, 3});
+  const double truth = db.Frequency(t);
+  StratifiedSampler stratified(8);
+  StratifiedSampler uniform(1);
+  util::RunningStat err_strat, err_unif;
+  for (int trial = 0; trial < 60; ++trial) {
+    {
+      const auto s = stratified.Build(db, 300, rng);
+      err_strat.Add(
+          std::fabs(stratified.Load(s, 16)->EstimateFrequency(t) - truth));
+    }
+    {
+      const auto s = uniform.Build(db, 300, rng);
+      err_unif.Add(
+          std::fabs(uniform.Load(s, 16)->EstimateFrequency(t) - truth));
+    }
+  }
+  EXPECT_LT(err_strat.Mean(), err_unif.Mean());
+}
+
+TEST(StratifiedTest, EveryNonEmptyStratumRepresented) {
+  // Two clearly separated popcount populations; both must appear in the
+  // summary even with a tiny budget.
+  util::Rng rng(5);
+  core::Database db(100, 8);
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (i < 50) {
+      db.Set(i, 0, true);  // popcount 1
+    } else {
+      for (std::size_t j = 0; j < 8; ++j) db.Set(i, j, true);  // popcount 8
+    }
+  }
+  StratifiedSampler sampler(2);
+  const auto summary = sampler.Build(db, 4, rng);
+  const auto est = sampler.Load(summary, 8);
+  // The dense stratum has weight 0.5 and all its rows contain {0..7}.
+  EXPECT_NEAR(est->EstimateFrequency(core::Itemset(8, {0, 1, 2, 3, 4, 5, 6, 7})),
+              0.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace ifsketch::sketch

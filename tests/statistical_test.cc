@@ -1,0 +1,121 @@
+// Statistical verification: distributional properties the experiment
+// conclusions implicitly rely on, checked with chi-square / moment tests
+// at generous thresholds (seeded, so deterministic).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "dp/private_answers.h"
+#include "sketch/subsample.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace ifsketch {
+namespace {
+
+TEST(StatisticalTest, UniformIntChiSquare) {
+  util::Rng rng(101);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  double counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformInt(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (double c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 15 degrees of freedom: 99.9th percentile ~ 37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(StatisticalTest, UniformDoubleMoments) {
+  util::Rng rng(102);
+  util::RunningStat s;
+  for (int i = 0; i < 100000; ++i) s.Add(rng.UniformDouble());
+  EXPECT_NEAR(s.Mean(), 0.5, 0.005);
+  EXPECT_NEAR(s.Variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(StatisticalTest, GaussianTailMass) {
+  util::Rng rng(103);
+  int beyond2 = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (std::fabs(rng.Gaussian()) > 2.0) ++beyond2;
+  }
+  // P(|N(0,1)| > 2) = 4.55%.
+  EXPECT_NEAR(static_cast<double>(beyond2) / kDraws, 0.0455, 0.004);
+}
+
+TEST(StatisticalTest, SubsampleVarianceMatchesBinomialPrediction) {
+  // The Lemma 9 analysis treats the sample frequency as a binomial mean;
+  // its empirical variance must match p(1-p)/s.
+  util::Rng rng(104);
+  const core::Database db =
+      data::PlantedItemsets(5000, 10, {{{1, 4}, 0.3}}, 0.05, rng);
+  const core::Itemset t(10, {1, 4});
+  const double p = db.Frequency(t);
+  core::SketchParams params;
+  params.k = 2;
+  params.eps = 0.05;
+  params.delta = 0.1;
+  params.scope = core::Scope::kForEach;
+  params.answer = core::Answer::kEstimator;
+  sketch::SubsampleSketch algo;
+  const double s =
+      static_cast<double>(sketch::SubsampleSketch::SampleCount(params, 10));
+  util::RunningStat stat;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto summary = algo.Build(db, params, rng);
+    const auto est = algo.LoadEstimator(summary, params, 10, 5000);
+    stat.Add(est->EstimateFrequency(t));
+  }
+  const double predicted_var = p * (1.0 - p) / s;
+  EXPECT_NEAR(stat.Mean(), p, 4.0 * std::sqrt(predicted_var / 300.0) + 1e-3);
+  EXPECT_NEAR(stat.Variance(), predicted_var, 0.35 * predicted_var);
+}
+
+TEST(StatisticalTest, LaplaceQuantiles) {
+  util::Rng rng(105);
+  const double b = 1.0;
+  std::vector<double> draws;
+  draws.reserve(50000);
+  for (int i = 0; i < 50000; ++i) {
+    draws.push_back(dp::SampleLaplace(b, rng));
+  }
+  // Median 0; quartiles at +/- b*ln2.
+  EXPECT_NEAR(util::Quantile(draws, 0.5), 0.0, 0.02);
+  EXPECT_NEAR(util::Quantile(draws, 0.75), b * std::log(2.0), 0.03);
+  EXPECT_NEAR(util::Quantile(draws, 0.25), -b * std::log(2.0), 0.03);
+}
+
+TEST(StatisticalTest, RandomBitsRunsTest) {
+  // Crude runs test on the PRNG's bit stream: the number of 01/10
+  // transitions in N bits is ~ N/2 +/- O(sqrt(N)).
+  util::Rng rng(106);
+  const util::BitVector bits = rng.RandomBits(100000);
+  std::size_t runs = 0;
+  for (std::size_t i = 1; i < bits.size(); ++i) {
+    if (bits.Get(i) != bits.Get(i - 1)) ++runs;
+  }
+  EXPECT_NEAR(static_cast<double>(runs), 50000.0, 700.0);
+}
+
+TEST(StatisticalTest, PlantedFrequencyConcentration) {
+  // Generator sanity: the planted frequency concentrates around its
+  // parameter across independent databases.
+  util::Rng rng(107);
+  util::RunningStat f;
+  for (int trial = 0; trial < 40; ++trial) {
+    const core::Database db =
+        data::PlantedItemsets(2000, 12, {{{3, 8}, 0.25}}, 0.02, rng);
+    f.Add(db.Frequency(core::Itemset(12, {3, 8})));
+  }
+  EXPECT_NEAR(f.Mean(), 0.25, 0.02);
+  EXPECT_LT(f.StdDev(), 0.02);
+}
+
+}  // namespace
+}  // namespace ifsketch

@@ -1,0 +1,88 @@
+#include "stream/count_min.h"
+
+#include <gtest/gtest.h>
+
+namespace ifsketch::stream {
+namespace {
+
+TEST(CountMinTest, NeverUndercounts) {
+  util::Rng rng(1);
+  CountMin cm(64, 4, rng);
+  std::uint64_t truth[50] = {};
+  util::Rng stream(2);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t item = stream.UniformInt(50);
+    cm.Observe(item);
+    ++truth[item];
+  }
+  for (std::uint64_t item = 0; item < 50; ++item) {
+    EXPECT_GE(cm.Estimate(item), truth[item]) << item;
+  }
+}
+
+TEST(CountMinTest, OvercountBounded) {
+  util::Rng rng(3);
+  const std::size_t w = 256;
+  CountMin cm(w, 5, rng);
+  std::uint64_t truth[100] = {};
+  util::Rng stream(4);
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const std::uint64_t item = stream.UniformInt(100);
+    cm.Observe(item);
+    ++truth[item];
+  }
+  // Expected per-row collision mass ~ N/w; with depth 5 the min is very
+  // likely within a few times that.
+  const std::uint64_t slack = 8 * kN / w;
+  for (std::uint64_t item = 0; item < 100; ++item) {
+    EXPECT_LE(cm.Estimate(item), truth[item] + slack) << item;
+  }
+}
+
+TEST(CountMinTest, WeightedUpdates) {
+  util::Rng rng(5);
+  CountMin cm(128, 4, rng);
+  cm.Observe(7, 100);
+  cm.Observe(9, 3);
+  EXPECT_GE(cm.Estimate(7), 100u);
+  EXPECT_EQ(cm.items_seen(), 103u);
+}
+
+TEST(CountMinTest, UnseenItemUsuallyZeroInSparseSketch) {
+  util::Rng rng(6);
+  CountMin cm(1024, 4, rng);
+  for (std::uint64_t i = 0; i < 10; ++i) cm.Observe(i, 5);
+  // With 10 occupied cells in 1024-wide rows, an unseen item collides in
+  // all 4 rows with tiny probability.
+  int zero = 0;
+  for (std::uint64_t probe = 1000; probe < 1100; ++probe) {
+    if (cm.Estimate(probe) == 0) ++zero;
+  }
+  EXPECT_GE(zero, 90);
+}
+
+TEST(CountMinTest, SizeIndependentOfUniverse) {
+  util::Rng rng(7);
+  CountMin a(128, 4, rng);
+  CountMin b(128, 4, rng);
+  a.Observe(3);
+  b.Observe(0xffffffffffffffffULL);
+  EXPECT_EQ(a.SizeBits(), b.SizeBits());
+}
+
+TEST(CountMinTest, DeterministicGivenSeeds) {
+  util::Rng r1(8), r2(8);
+  CountMin a(64, 3, r1);
+  CountMin b(64, 3, r2);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    a.Observe(i * 17);
+    b.Observe(i * 17);
+  }
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Estimate(i * 17), b.Estimate(i * 17));
+  }
+}
+
+}  // namespace
+}  // namespace ifsketch::stream

@@ -1,0 +1,103 @@
+#include "stream/misra_gries.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace ifsketch::stream {
+namespace {
+
+TEST(MisraGriesTest, ExactWhenFewDistinctItems) {
+  MisraGries mg(10);
+  for (int i = 0; i < 7; ++i) mg.Observe(3);
+  for (int i = 0; i < 4; ++i) mg.Observe(5);
+  EXPECT_EQ(mg.Estimate(3), 7u);
+  EXPECT_EQ(mg.Estimate(5), 4u);
+  EXPECT_EQ(mg.Estimate(9), 0u);
+  EXPECT_EQ(mg.items_seen(), 11u);
+}
+
+TEST(MisraGriesTest, UndercountBoundedByNOverC) {
+  // Adversarial-ish stream: one heavy item among many distinct light ones.
+  MisraGries mg(9);  // c=9 -> error <= N/10
+  std::uint64_t true_heavy = 0;
+  std::uint64_t n = 0;
+  for (int round = 0; round < 100; ++round) {
+    mg.Observe(1000);  // the heavy item
+    ++true_heavy;
+    ++n;
+    for (int j = 0; j < 9; ++j) {
+      mg.Observe(static_cast<std::size_t>(round * 9 + j));
+      ++n;
+    }
+  }
+  const std::uint64_t est = mg.Estimate(1000);
+  EXPECT_LE(est, true_heavy);
+  EXPECT_GE(est + mg.MaxError(), true_heavy);
+  EXPECT_EQ(mg.MaxError(), n / 10);
+}
+
+TEST(MisraGriesTest, NeverOvercounts) {
+  util::Rng rng(1);
+  MisraGries mg(5);
+  std::uint64_t truth[20] = {};
+  for (int i = 0; i < 2000; ++i) {
+    const auto item = static_cast<std::size_t>(rng.UniformInt(20));
+    mg.Observe(item);
+    ++truth[item];
+  }
+  for (std::size_t item = 0; item < 20; ++item) {
+    EXPECT_LE(mg.Estimate(item), truth[item]) << item;
+    EXPECT_GE(mg.Estimate(item) + mg.MaxError(), truth[item]) << item;
+  }
+}
+
+TEST(MisraGriesTest, HeavyHittersFound) {
+  util::Rng rng(2);
+  MisraGries mg(20);  // eps = 1/21
+  // Item 0 makes up ~30% of the stream; the rest is spread thin.
+  std::uint64_t n = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      mg.Observe(0);
+    } else {
+      mg.Observe(1 + rng.UniformInt(500));
+    }
+    ++n;
+  }
+  const auto heavy = mg.HeavyHitters(n / 5);
+  ASSERT_EQ(heavy.size(), 1u);
+  EXPECT_EQ(heavy[0], 0u);
+}
+
+TEST(MisraGriesTest, ObserveRowStreamsAttributes) {
+  util::Rng rng(3);
+  const core::Database db =
+      data::PowerLawBaskets(2000, 30, 1.2, 0.6, 0, 0, 0.0, rng);
+  MisraGries mg(15);
+  std::uint64_t total_items = 0;
+  for (std::size_t i = 0; i < db.num_rows(); ++i) {
+    mg.ObserveRow(db.Row(i));
+    total_items += db.Row(i).Count();
+  }
+  EXPECT_EQ(mg.items_seen(), total_items);
+  // The most popular attribute must survive as a heavy hitter.
+  const std::uint64_t true_count =
+      db.SupportCount(core::Itemset(30, {0}));
+  EXPECT_GE(mg.Estimate(0) + mg.MaxError(), true_count);
+  EXPECT_GT(mg.Estimate(0), 0u);
+}
+
+TEST(MisraGriesTest, SizeIsCountersNotUniverse) {
+  // The heavy-hitters summary does NOT pay the Omega(d/eps) itemset
+  // price: its size depends only on the counter budget.
+  MisraGries small(10);
+  MisraGries large(10);
+  // Feed streams over wildly different universes.
+  for (std::size_t i = 0; i < 1000; ++i) small.Observe(i % 8);
+  for (std::size_t i = 0; i < 1000; ++i) large.Observe(i * 1000003);
+  EXPECT_EQ(small.SizeBits(), large.SizeBits());
+}
+
+}  // namespace
+}  // namespace ifsketch::stream

@@ -1,0 +1,145 @@
+#include "util/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ifsketch::util {
+namespace {
+
+TEST(BitVectorTest, DefaultIsEmpty) {
+  BitVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.Count(), 0u);
+}
+
+TEST(BitVectorTest, ConstructedZeroed) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.Count(), 0u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.Get(i));
+}
+
+TEST(BitVectorTest, SetAndGetAcrossWordBoundaries) {
+  BitVector v(200);
+  for (std::size_t i : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 199u}) {
+    v.Set(i, true);
+    EXPECT_TRUE(v.Get(i)) << i;
+  }
+  EXPECT_EQ(v.Count(), 8u);
+  v.Set(64, false);
+  EXPECT_FALSE(v.Get(64));
+  EXPECT_EQ(v.Count(), 7u);
+}
+
+TEST(BitVectorTest, FlipTogglesBit) {
+  BitVector v(70);
+  v.Flip(69);
+  EXPECT_TRUE(v.Get(69));
+  v.Flip(69);
+  EXPECT_FALSE(v.Get(69));
+}
+
+TEST(BitVectorTest, ClearZeroesEverything) {
+  BitVector v = BitVector::FromString("11111111");
+  v.Clear();
+  EXPECT_EQ(v.Count(), 0u);
+  EXPECT_EQ(v.size(), 8u);
+}
+
+TEST(BitVectorTest, FromStringRoundTrip) {
+  const std::string s = "1010011101";
+  BitVector v = BitVector::FromString(s);
+  EXPECT_EQ(v.ToString(), s);
+  EXPECT_EQ(v.Count(), 6u);
+}
+
+TEST(BitVectorTest, ContainsSubsetSemantics) {
+  const BitVector big = BitVector::FromString("11011");
+  EXPECT_TRUE(big.Contains(BitVector::FromString("10010")));
+  EXPECT_TRUE(big.Contains(BitVector::FromString("00000")));
+  EXPECT_TRUE(big.Contains(big));
+  EXPECT_FALSE(big.Contains(BitVector::FromString("00100")));
+}
+
+TEST(BitVectorTest, HammingDistance) {
+  const BitVector a = BitVector::FromString("110010");
+  const BitVector b = BitVector::FromString("011010");
+  EXPECT_EQ(a.HammingDistance(b), 2u);
+  EXPECT_EQ(a.HammingDistance(a), 0u);
+}
+
+TEST(BitVectorTest, AndCountIsIntersectionSize) {
+  const BitVector a = BitVector::FromString("11100");
+  const BitVector b = BitVector::FromString("01110");
+  EXPECT_EQ(a.AndCount(b), 2u);
+}
+
+TEST(BitVectorTest, BitwiseOperators) {
+  const BitVector a = BitVector::FromString("1100");
+  const BitVector b = BitVector::FromString("1010");
+  EXPECT_EQ((a & b).ToString(), "1000");
+  EXPECT_EQ((a | b).ToString(), "1110");
+  EXPECT_EQ((a ^ b).ToString(), "0110");
+}
+
+TEST(BitVectorTest, EqualityRequiresSizeAndContent) {
+  EXPECT_EQ(BitVector::FromString("101"), BitVector::FromString("101"));
+  EXPECT_FALSE(BitVector::FromString("101") == BitVector::FromString("1010"));
+  EXPECT_FALSE(BitVector::FromString("101") == BitVector::FromString("100"));
+}
+
+TEST(BitVectorTest, ConcatPreservesBothParts) {
+  const BitVector a = BitVector::FromString("101");
+  const BitVector b = BitVector::FromString("0110");
+  EXPECT_EQ(a.Concat(b).ToString(), "1010110");
+}
+
+TEST(BitVectorTest, SliceExtractsRange) {
+  const BitVector v = BitVector::FromString("110101101");
+  EXPECT_EQ(v.Slice(2, 4).ToString(), "0101");
+  EXPECT_EQ(v.Slice(0, 9).ToString(), "110101101");
+  EXPECT_EQ(v.Slice(8, 1).ToString(), "1");
+  EXPECT_EQ(v.Slice(3, 0).size(), 0u);
+}
+
+TEST(BitVectorTest, SetBitsListsAscendingIndices) {
+  BitVector v(150);
+  v.Set(3, true);
+  v.Set(64, true);
+  v.Set(149, true);
+  const std::vector<std::size_t> expected = {3, 64, 149};
+  EXPECT_EQ(v.SetBits(), expected);
+}
+
+TEST(BitVectorTest, ConcatSliceRoundTripRandom) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t la = rng.UniformInt(100);
+    const std::size_t lb = rng.UniformInt(100);
+    const BitVector a = rng.RandomBits(la);
+    const BitVector b = rng.RandomBits(lb);
+    const BitVector joined = a.Concat(b);
+    EXPECT_EQ(joined.Slice(0, la), a);
+    EXPECT_EQ(joined.Slice(la, lb), b);
+  }
+}
+
+TEST(BitVectorTest, CountMatchesSetBitsSizeRandom) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BitVector v = rng.RandomBits(1 + rng.UniformInt(300));
+    EXPECT_EQ(v.Count(), v.SetBits().size());
+  }
+}
+
+TEST(BitVectorTest, XorSelfIsZeroRandom) {
+  Rng rng(13);
+  const BitVector v = rng.RandomBits(257);
+  EXPECT_EQ((v ^ v).Count(), 0u);
+  EXPECT_EQ(v.HammingDistance(v), 0u);
+}
+
+}  // namespace
+}  // namespace ifsketch::util

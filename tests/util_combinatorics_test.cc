@@ -1,0 +1,135 @@
+#include "util/combinatorics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace ifsketch::util {
+namespace {
+
+TEST(BinomialTest, SmallValues) {
+  EXPECT_EQ(Binomial(0, 0), 1u);
+  EXPECT_EQ(Binomial(5, 0), 1u);
+  EXPECT_EQ(Binomial(5, 5), 1u);
+  EXPECT_EQ(Binomial(5, 2), 10u);
+  EXPECT_EQ(Binomial(10, 3), 120u);
+  EXPECT_EQ(Binomial(52, 5), 2598960u);
+}
+
+TEST(BinomialTest, KGreaterThanNIsZero) {
+  EXPECT_EQ(Binomial(3, 4), 0u);
+  EXPECT_EQ(Binomial(0, 1), 0u);
+}
+
+TEST(BinomialTest, PascalIdentity) {
+  for (std::uint64_t n = 1; n < 40; ++n) {
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(Binomial(n, k), Binomial(n - 1, k - 1) + Binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(BinomialTest, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(Binomial(200, 100), kBinomialInf);
+  EXPECT_EQ(Binomial(1000, 500), kBinomialInf);
+}
+
+TEST(LogBinomialTest, MatchesExactForSmall) {
+  for (std::uint64_t n = 1; n < 30; ++n) {
+    for (std::uint64_t k = 0; k <= n; ++k) {
+      EXPECT_NEAR(LogBinomial(n, k),
+                  std::log(static_cast<double>(Binomial(n, k))), 1e-9);
+    }
+  }
+}
+
+TEST(SubsetRankTest, UnrankRankRoundTrip) {
+  for (const auto& [n, k] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {6, 3}, {8, 2}, {10, 4}, {12, 1}, {7, 7}}) {
+    const std::uint64_t total = Binomial(n, k);
+    for (std::uint64_t rank = 0; rank < total; ++rank) {
+      const auto subset = UnrankSubset(rank, n, k);
+      ASSERT_EQ(subset.size(), k);
+      EXPECT_EQ(RankSubset(subset, n), rank);
+    }
+  }
+}
+
+TEST(SubsetRankTest, UnrankProducesValidSubsets) {
+  for (std::uint64_t rank = 0; rank < Binomial(9, 4); ++rank) {
+    const auto subset = UnrankSubset(rank, 9, 4);
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+      EXPECT_LT(subset[i], 9u);
+      if (i > 0) {
+        EXPECT_GT(subset[i], subset[i - 1]);
+      }
+    }
+  }
+}
+
+TEST(SubsetRankTest, RankZeroIsPrefix) {
+  const auto subset = UnrankSubset(0, 10, 3);
+  EXPECT_EQ(subset, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(NextSubsetTest, EnumerationMatchesColexRank) {
+  std::vector<std::size_t> subset = {0, 1, 2};
+  std::uint64_t rank = 0;
+  do {
+    EXPECT_EQ(RankSubset(subset, 8), rank);
+    EXPECT_EQ(UnrankSubset(rank, 8, 3), subset);
+    ++rank;
+  } while (NextSubset(subset, 8));
+  EXPECT_EQ(rank, Binomial(8, 3));
+  // After wrapping, the subset is back at the first one.
+  EXPECT_EQ(subset, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(AllSubsetsTest, CountsAndUniqueness) {
+  const auto all = AllSubsets(7, 3);
+  EXPECT_EQ(all.size(), Binomial(7, 3));
+  std::set<std::vector<std::size_t>> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), all.size());
+}
+
+TEST(AllSubsetsTest, EdgeCases) {
+  EXPECT_EQ(AllSubsets(5, 0).size(), 1u);  // the empty set
+  EXPECT_EQ(AllSubsets(5, 6).size(), 0u);
+  EXPECT_EQ(AllSubsets(4, 4).size(), 1u);
+}
+
+TEST(Log2Test, FloorAndCeil) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(FloorLog2(1025), 10);
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1025), 11);
+}
+
+TEST(IteratedLogTest, KnownValues) {
+  EXPECT_NEAR(IteratedLog2(256.0, 1), 8.0, 1e-12);
+  EXPECT_NEAR(IteratedLog2(256.0, 2), 3.0, 1e-12);
+  EXPECT_NEAR(IteratedLog2(256.0, 3), std::log2(3.0), 1e-12);
+  // Clamped at 1 once the value drops below 2.
+  EXPECT_EQ(IteratedLog2(256.0, 10), 1.0);
+  EXPECT_EQ(IteratedLog2(1.5, 1), 1.0);
+}
+
+TEST(IteratedLogTest, MonotoneInQ) {
+  const double x = 1e12;
+  double prev = IteratedLog2(x, 0);
+  for (int q = 1; q < 6; ++q) {
+    const double cur = IteratedLog2(x, q);
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace ifsketch::util

@@ -1,0 +1,128 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/combinatorics.h"
+#include "util/random.h"
+
+namespace ifsketch::util {
+namespace {
+
+TEST(RunningStatTest, EmptyDefaults) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+}
+
+TEST(RunningStatTest, KnownSequence) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.Mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.Min(), 2.0);
+  EXPECT_EQ(s.Max(), 9.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(3.5);
+  EXPECT_EQ(s.Mean(), 3.5);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_NEAR(Quantile(v, 0.5), 3.0, 1e-12);
+  EXPECT_NEAR(Quantile(v, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(Quantile(v, 1.0), 5.0, 1e-12);
+  EXPECT_NEAR(Quantile(v, 0.25), 2.0, 1e-12);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_NEAR(Quantile(v, 0.3), 3.0, 1e-12);
+}
+
+TEST(SampleCountTest, IndicatorScalesInverseEps) {
+  const std::size_t a = IndicatorSampleCount(0.1, 0.05);
+  const std::size_t b = IndicatorSampleCount(0.05, 0.05);
+  EXPECT_NEAR(static_cast<double>(b) / static_cast<double>(a), 2.0, 0.05);
+}
+
+TEST(SampleCountTest, EstimatorScalesInverseEpsSquared) {
+  const std::size_t a = EstimatorSampleCount(0.1, 0.05);
+  const std::size_t b = EstimatorSampleCount(0.05, 0.05);
+  EXPECT_NEAR(static_cast<double>(b) / static_cast<double>(a), 4.0, 0.05);
+}
+
+TEST(SampleCountTest, EstimatorExactFormula) {
+  // ceil(ln(2/delta) / (2 eps^2))
+  const double expected = std::ceil(std::log(2.0 / 0.01) / (2.0 * 0.01));
+  EXPECT_EQ(EstimatorSampleCount(0.1, 0.01),
+            static_cast<std::size_t>(expected));
+}
+
+TEST(SampleCountTest, ForAllExceedsForEach) {
+  EXPECT_GT(ForAllIndicatorSampleCount(0.1, 0.05, 100, 3),
+            IndicatorSampleCount(0.1, 0.05));
+  EXPECT_GT(ForAllEstimatorSampleCount(0.1, 0.05, 100, 3),
+            EstimatorSampleCount(0.1, 0.05));
+}
+
+TEST(SampleCountTest, ForAllGrowsWithK) {
+  // log C(d,k) grows with k (k << d/2), so the union bound needs more
+  // samples.
+  std::size_t prev = 0;
+  for (std::size_t k = 1; k <= 6; ++k) {
+    const std::size_t s = ForAllIndicatorSampleCount(0.1, 0.05, 1000, k);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(SampleCountTest, ForAllHandlesHugeBinomials) {
+  // C(10^6, 20) overflows any integer type; log-space must survive.
+  const std::size_t s = ForAllEstimatorSampleCount(0.01, 0.05, 1000000, 20);
+  EXPECT_GT(s, EstimatorSampleCount(0.01, 0.05));
+  EXPECT_LT(s, std::size_t{100000000});
+}
+
+TEST(SampleCountTest, MatchesLemma9LogFactor) {
+  // For-All indicator should be ~ log(C(d,k)/delta)/log(1/delta') larger.
+  const double eps = 0.05, delta = 0.05;
+  const double expect_ratio =
+      (std::log(2.0) + LogBinomial(200, 4) - std::log(delta)) /
+      std::log(2.0 / delta);
+  const double ratio =
+      static_cast<double>(ForAllIndicatorSampleCount(eps, delta, 200, 4)) /
+      static_cast<double>(IndicatorSampleCount(eps, delta));
+  EXPECT_NEAR(ratio, expect_ratio, 0.05 * expect_ratio);
+}
+
+// Empirical check of the Chernoff-derived counts: a Bernoulli(p) mean of
+// EstimatorSampleCount(eps, delta) samples misses by more than eps in
+// well under a delta fraction of trials.
+TEST(SampleCountTest, EstimatorCountEmpiricallySufficient) {
+  Rng rng(99);
+  const double eps = 0.1, delta = 0.1, p = 0.35;
+  const std::size_t s = EstimatorSampleCount(eps, delta);
+  int failures = 0;
+  constexpr int kTrials = 400;
+  for (int t = 0; t < kTrials; ++t) {
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < s; ++i) {
+      if (rng.Bernoulli(p)) ++hits;
+    }
+    const double mean = static_cast<double>(hits) / static_cast<double>(s);
+    if (std::fabs(mean - p) > eps) ++failures;
+  }
+  EXPECT_LE(failures, static_cast<int>(kTrials * delta));
+}
+
+}  // namespace
+}  // namespace ifsketch::util

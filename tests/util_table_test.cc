@@ -1,0 +1,47 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ifsketch::util {
+namespace {
+
+TEST(TableTest, RendersTitleHeaderAndRows) {
+  Table t("demo", {"a", "bb"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"333", "4"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAligned) {
+  Table t("align", {"x", "y"});
+  t.AddRow({"long-cell", "1"});
+  const std::string out = t.Render();
+  // Every rendered line between rules must have equal length.
+  std::size_t expected = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t nl = out.find('\n', pos);
+    const std::string line = out.substr(pos, nl - pos);
+    if (!line.empty() && (line[0] == '|' || line[0] == '+')) {
+      if (expected == 0) expected = line.size();
+      EXPECT_EQ(line.size(), expected) << line;
+    }
+    pos = nl + 1;
+  }
+}
+
+TEST(TableTest, FmtDouble) {
+  EXPECT_EQ(Table::Fmt(1.5), "1.5");
+  EXPECT_EQ(Table::Fmt(0.333333333, 3), "0.333");
+}
+
+TEST(TableTest, FmtIntegers) {
+  EXPECT_EQ(Table::Fmt(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::Fmt(std::int64_t{-7}), "-7");
+}
+
+}  // namespace
+}  // namespace ifsketch::util
