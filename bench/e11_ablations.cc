@@ -15,9 +15,9 @@
 
 #include "ecc/block_code.h"
 #include "ecc/concatenated.h"
+#include "engine.h"
 #include "lowerbound/thm15.h"
-#include "sketch/importance_sample.h"
-#include "sketch/subsample.h"
+#include "util/check.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -44,8 +44,6 @@ void ImportanceVsUniform() {
   p.delta = 0.05;
   p.scope = core::Scope::kForEach;
   p.answer = core::Answer::kEstimator;
-  sketch::SubsampleSketch uniform;
-  sketch::ImportanceSampleSketch weighted;
   const std::vector<std::vector<std::size_t>> queries = {
       {2, 5, 8, 11, 14}, {2, 5, 8}, {0}, {1, 3}};
   for (const auto& attrs : queries) {
@@ -53,16 +51,13 @@ void ImportanceVsUniform() {
     const double truth = db.Frequency(t);
     util::RunningStat u_err, w_err;
     for (int trial = 0; trial < 40; ++trial) {
-      {
-        const auto s = uniform.Build(db, p, rng);
-        const auto est = uniform.LoadEstimator(s, p, 16, db.num_rows());
-        u_err.Add(std::fabs(est->EstimateFrequency(t) - truth));
-      }
-      {
-        const auto s = weighted.Build(db, p, rng);
-        const auto est = weighted.LoadEstimator(s, p, 16, db.num_rows());
-        w_err.Add(std::fabs(est->EstimateFrequency(t) - truth));
-      }
+      // Both algorithms are addressed by registry name: the ablation is
+      // literally a one-string swap through the Engine facade.
+      const auto uniform = Engine::Build(db, "SUBSAMPLE", p, rng);
+      const auto weighted = Engine::Build(db, "IMPORTANCE-SAMPLE", p, rng);
+      IFSKETCH_CHECK(uniform.has_value() && weighted.has_value());
+      u_err.Add(std::fabs(uniform->estimate(t) - truth));
+      w_err.Add(std::fabs(weighted->estimate(t) - truth));
     }
     table.AddRow({t.ToString(), util::Table::Fmt(truth),
                   util::Table::Fmt(u_err.Mean()),

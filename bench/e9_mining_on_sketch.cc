@@ -9,8 +9,7 @@
 #include <cstdio>
 
 #include "data/generators.h"
-#include "mining/apriori.h"
-#include "sketch/subsample.h"
+#include "engine.h"
 #include "util/random.h"
 #include "util/table.h"
 
@@ -36,7 +35,6 @@ void Sweep() {
        "recall"});
   std::printf("reference: %zu frequent itemsets in the full database\n",
               reference.size());
-  sketch::SubsampleSketch algo;
   for (const double eps : {0.01, 0.02, 0.04, 0.08, 0.16, 0.32}) {
     core::SketchParams p;
     p.k = 3;
@@ -44,15 +42,14 @@ void Sweep() {
     p.delta = 0.05;
     p.scope = core::Scope::kForAll;
     p.answer = core::Answer::kEstimator;
-    const auto summary = algo.Build(db, p, rng);
-    const auto est = algo.LoadEstimator(summary, p, d, db.num_rows());
-    const auto mined = mining::MineWithEstimator(*est, d, opt);
+    const auto engine = Engine::Build(db, "SUBSAMPLE", p, rng);
+    const auto mined = engine->mine(opt);
     const auto q = mining::CompareMinedSets(reference, mined);
     table.AddRow({util::Table::Fmt(eps),
-                  util::Table::Fmt(std::uint64_t{summary.size()}),
-                  util::Table::Fmt(100.0 *
-                                   static_cast<double>(summary.size()) /
-                                   static_cast<double>(db.PayloadBits())),
+                  util::Table::Fmt(std::uint64_t{engine->summary_bits()}),
+                  util::Table::Fmt(
+                      100.0 * static_cast<double>(engine->summary_bits()) /
+                      static_cast<double>(db.PayloadBits())),
                   util::Table::Fmt(std::uint64_t{q.mined_count}),
                   util::Table::Fmt(q.Precision()),
                   util::Table::Fmt(q.Recall())});

@@ -10,8 +10,7 @@
 #include <cstdio>
 
 #include "data/generators.h"
-#include "sketch/envelope.h"
-#include "sketch/subsample.h"
+#include "engine.h"
 #include "util/random.h"
 #include "util/table.h"
 
@@ -42,43 +41,50 @@ int main() {
   params.scope = core::Scope::kForAll;
   params.answer = core::Answer::kEstimator;
 
-  const auto envelope =
-      sketch::NaiveEnvelope(db.num_rows(), db.num_columns(), params);
+  const auto engine = Engine::Build(db, "SUBSAMPLE", params, rng);
+  if (!engine.has_value()) {
+    std::fprintf(stderr, "SUBSAMPLE is not registered?\n");
+    return 1;
+  }
+  const auto envelope = engine->envelope();
   std::printf("release options (bits): full-data=%zu all-answers=%zu "
               "sample=%zu\n",
               envelope.release_db_bits, envelope.release_answers_bits,
               envelope.subsample_bits);
 
-  sketch::SubsampleSketch algo;
-  const util::BitVector summary = algo.Build(db, params, rng);
-  const auto est =
-      algo.LoadEstimator(summary, params, db.num_columns(), db.num_rows());
-
   // A downstream user reconstructs a 3-way marginal: age x income x sex
-  // (cells = one category from each attribute group).
-  util::Table table("3-way marginal (age-bucket 0/1 x income 0/1 x sex)",
-                    {"cell", "true count", "released estimate"});
+  // (cells = one category from each attribute group). The eight cell
+  // queries go through one batched estimate_many call.
+  std::vector<core::Itemset> cells;
+  std::vector<std::string> names;
   for (std::size_t age = 0; age < 2; ++age) {
     for (std::size_t income = 0; income < 2; ++income) {
       for (std::size_t sex = 0; sex < 2; ++sex) {
-        const core::Itemset cell(db.num_columns(),
-                                 {age, 5 + income, 16 + sex});
-        const double truth = db.Frequency(cell);
-        const double released = est->EstimateFrequency(cell);
+        cells.emplace_back(db.num_columns(),
+                           std::vector<std::size_t>{age, 5 + income,
+                                                    16 + sex});
         char name[32];
         std::snprintf(name, sizeof(name), "(%zu,%zu,%zu)", age, income,
                       sex);
-        table.AddRow({name,
-                      util::Table::Fmt(truth * population, 8),
-                      util::Table::Fmt(released * population, 8)});
+        names.emplace_back(name);
       }
     }
+  }
+  std::vector<double> released;
+  engine->estimate_many(cells, &released);
+
+  util::Table table("3-way marginal (age-bucket 0/1 x income 0/1 x sex)",
+                    {"cell", "true count", "released estimate"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    table.AddRow({names[i],
+                  util::Table::Fmt(db.Frequency(cells[i]) * population, 8),
+                  util::Table::Fmt(released[i] * population, 8)});
   }
   table.Print();
   std::printf("summary: %zu bits = %.4f%% of the raw table; every 3-way "
               "marginal cell within +/-%.0f persons\n",
-              summary.size(),
-              100.0 * static_cast<double>(summary.size()) /
+              engine->summary_bits(),
+              100.0 * static_cast<double>(engine->summary_bits()) /
                   static_cast<double>(db.PayloadBits()),
               params.eps * population);
   return 0;

@@ -1,13 +1,20 @@
 // ifsketch_cli: sketch databases from the command line.
 //
-// A minimal end-to-end tool over the library's file formats:
+// An end-to-end tool over the ifsketch::Engine facade:
 //   ifsketch_cli gen    <out.txt> <n> <d>              synthesize demo data
-//   ifsketch_cli sketch <db.txt> <out.sk> <k> <eps>    build a SUBSAMPLE
+//   ifsketch_cli sketch <db.txt> <out.sk> <k> <eps> [--algo NAME]
+//                                                      build a sketch
+//   ifsketch_cli info   <in.sk>                        envelope report
 //   ifsketch_cli query  <in.sk> <attr> [attr...]       estimate one itemset
 //   ifsketch_cli mine   <in.sk> <min_freq> <max_size>  Apriori on the sketch
 //
-// Databases are transaction-format text (see data/io.h); sketches are
-// self-describing IFSK files (see sketch/sketch_file.h).
+// `sketch --algo` accepts any registered algorithm name (RELEASE-DB,
+// RELEASE-ANSWERS, SUBSAMPLE, SUBSAMPLE-WOR, IMPORTANCE-SAMPLE, or a
+// composite like "MEDIAN-BOOST(SUBSAMPLE)"); the default is SUBSAMPLE.
+// `query`, `mine` and `info` never need an algorithm argument -- the IFSK
+// file names its producer and the registry resolves it. Databases are
+// transaction-format text (see data/io.h); sketches are self-describing
+// IFSK files (see sketch/sketch_file.h).
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,9 +23,7 @@
 
 #include "data/generators.h"
 #include "data/io.h"
-#include "mining/apriori.h"
-#include "sketch/sketch_file.h"
-#include "sketch/subsample.h"
+#include "engine.h"
 #include "util/random.h"
 
 namespace {
@@ -29,10 +34,25 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  ifsketch_cli gen    <out.txt> <n> <d>\n"
-               "  ifsketch_cli sketch <db.txt> <out.sk> <k> <eps>\n"
+               "  ifsketch_cli sketch <db.txt> <out.sk> <k> <eps> "
+               "[--algo NAME]\n"
+               "  ifsketch_cli info   <in.sk>\n"
                "  ifsketch_cli query  <in.sk> <attr> [attr...]\n"
-               "  ifsketch_cli mine   <in.sk> <min_freq> <max_size>\n");
+               "  ifsketch_cli mine   <in.sk> <min_freq> <max_size>\n"
+               "\nregistered algorithms (for --algo):\n");
+  for (const auto& name : Engine::KnownAlgorithms()) {
+    std::fprintf(stderr, "  %s\n", name.c_str());
+  }
   return 2;
+}
+
+int UnknownAlgorithm(const std::string& name) {
+  std::fprintf(stderr, "error: unknown algorithm \"%s\"\n", name.c_str());
+  std::fprintf(stderr, "registered algorithms:\n");
+  for (const auto& known : Engine::KnownAlgorithms()) {
+    std::fprintf(stderr, "  %s\n", known.c_str());
+  }
+  return 1;
 }
 
 int Gen(const std::string& path, std::size_t n, std::size_t d) {
@@ -49,78 +69,138 @@ int Gen(const std::string& path, std::size_t n, std::size_t d) {
 }
 
 int Sketch(const std::string& db_path, const std::string& out_path,
-           std::size_t k, double eps) {
+           std::size_t k, double eps, const std::string& algo_name) {
   const auto db = data::LoadTransactionsFile(db_path);
   if (!db.has_value()) {
     std::fprintf(stderr, "error: cannot read %s\n", db_path.c_str());
     return 1;
   }
-  sketch::SubsampleSketch algo;
-  sketch::SketchFile file;
-  file.algorithm = algo.name();
-  file.params.k = k;
-  file.params.eps = eps;
-  file.params.delta = 0.05;
-  file.params.scope = core::Scope::kForAll;
-  file.params.answer = core::Answer::kEstimator;
-  file.n = db->num_rows();
-  file.d = db->num_columns();
+  core::SketchParams params;
+  params.k = k;
+  params.eps = eps;
+  params.delta = 0.05;
+  params.scope = core::Scope::kForAll;
+  params.answer = core::Answer::kEstimator;
+  if (!core::ValidSketchParams(params)) {
+    std::fprintf(stderr,
+                 "error: invalid parameters (need k >= 1 and eps in "
+                 "(0, 1]; got k=%zu, eps=%g)\n",
+                 k, eps);
+    return 1;
+  }
   util::Rng rng(987654321);
-  file.summary = algo.Build(*db, file.params, rng);
-  if (!sketch::SaveSketchFile(out_path, file)) {
+  const auto engine = Engine::Build(*db, algo_name, params, rng);
+  if (!engine.has_value()) return UnknownAlgorithm(algo_name);
+  if (!engine->Save(out_path)) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::printf("sketched %zu x %zu database (%zu bits) into %zu bits "
+  std::printf("%s sketched %zu x %zu database (%zu bits) into %zu bits "
               "(%.2f%%): %s\n",
-              file.n, file.d, file.n * file.d, file.summary.size(),
-              100.0 * static_cast<double>(file.summary.size()) /
-                  static_cast<double>(file.n * file.d),
+              engine->algorithm().c_str(), engine->n(), engine->d(),
+              engine->n() * engine->d(), engine->summary_bits(),
+              100.0 * static_cast<double>(engine->summary_bits()) /
+                  static_cast<double>(engine->n() * engine->d()),
               out_path.c_str());
+  return 0;
+}
+
+/// Reopens a sketch file through the registry, reporting load and
+/// resolution failures distinctly (corrupt file vs unknown producer).
+std::optional<Engine> OpenOrReport(const std::string& sk_path) {
+  const auto file = sketch::LoadSketchFile(sk_path);
+  if (!file.has_value()) {
+    std::fprintf(stderr, "error: cannot read %s (missing or not a valid "
+                 "IFSK sketch file)\n",
+                 sk_path.c_str());
+    return std::nullopt;
+  }
+  auto engine = Engine::FromFile(*file);
+  if (!engine.has_value()) {
+    if (sketch::ResolveAlgorithm(*file) == nullptr) {
+      UnknownAlgorithm(file->algorithm);
+    } else {
+      std::fprintf(stderr,
+                   "error: %s: summary payload does not match what %s "
+                   "would emit for this shape (corrupt or tampered "
+                   "file)\n",
+                   sk_path.c_str(), file->algorithm.c_str());
+    }
+    return std::nullopt;
+  }
+  return engine;
+}
+
+int Info(const std::string& sk_path) {
+  const auto engine = OpenOrReport(sk_path);
+  if (!engine.has_value()) return 1;
+  std::printf("%s", engine->info().c_str());
   return 0;
 }
 
 int Query(const std::string& sk_path,
           const std::vector<std::size_t>& attrs) {
-  const auto file = sketch::LoadSketchFile(sk_path);
-  if (!file.has_value()) {
-    std::fprintf(stderr, "error: cannot read %s\n", sk_path.c_str());
-    return 1;
-  }
+  const auto engine = OpenOrReport(sk_path);
+  if (!engine.has_value()) return 1;
   for (std::size_t a : attrs) {
-    if (a >= file->d) {
+    if (a >= engine->d()) {
       std::fprintf(stderr, "error: attribute %zu out of range (d=%zu)\n",
-                   a, file->d);
+                   a, engine->d());
       return 1;
     }
   }
-  sketch::SubsampleSketch algo;
-  const auto est =
-      algo.LoadEstimator(file->summary, file->params, file->d, file->n);
-  const core::Itemset t(file->d, attrs);
-  std::printf("f%s ~= %.5f  (+/- %.4f with prob %.2f)\n",
-              t.ToString().c_str(), est->EstimateFrequency(t),
-              file->params.eps, 1.0 - file->params.delta);
+  const core::Itemset t(engine->d(), attrs);
+  if (!engine->supports_query_size(t.size())) {
+    std::fprintf(stderr,
+                 "error: %s only answers %zu-itemset queries (this one "
+                 "has %zu attributes)\n",
+                 engine->algorithm().c_str(), engine->params().k, t.size());
+    return 1;
+  }
+  if (engine->params().answer == core::Answer::kIndicator) {
+    // Indicator-flavored summaries carry threshold bits, not
+    // frequencies; answer with the bit they do carry.
+    std::printf("f%s %s %g  (indicator sketch, prob %.2f, via %s)\n",
+                t.ToString().c_str(),
+                engine->is_frequent(t) ? ">" : "<=", engine->params().eps,
+                1.0 - engine->params().delta, engine->algorithm().c_str());
+    return 0;
+  }
+  std::printf("f%s ~= %.5f  (+/- %.4f with prob %.2f, via %s)\n",
+              t.ToString().c_str(), engine->estimate(t),
+              engine->params().eps, 1.0 - engine->params().delta,
+              engine->algorithm().c_str());
   return 0;
 }
 
 int Mine(const std::string& sk_path, double min_freq,
          std::size_t max_size) {
-  const auto file = sketch::LoadSketchFile(sk_path);
-  if (!file.has_value()) {
-    std::fprintf(stderr, "error: cannot read %s\n", sk_path.c_str());
+  const auto engine = OpenOrReport(sk_path);
+  if (!engine.has_value()) return 1;
+  if (engine->params().answer != core::Answer::kEstimator) {
+    std::fprintf(stderr,
+                 "error: mining needs frequency estimates, but this is "
+                 "an indicator-flavored sketch (threshold bits only)\n");
     return 1;
   }
-  sketch::SubsampleSketch algo;
-  const auto est =
-      algo.LoadEstimator(file->summary, file->params, file->d, file->n);
   mining::AprioriOptions opt;
   opt.min_frequency = min_freq;
   opt.max_size = max_size;
-  const auto mined = mining::MineWithEstimator(*est, file->d, opt);
-  std::printf("%zu frequent itemsets at threshold %.3f (from the sketch "
-              "only):\n",
-              mined.size(), min_freq);
+  for (std::size_t size = 1; size <= max_size; ++size) {
+    if (!engine->supports_query_size(size)) {
+      std::fprintf(stderr,
+                   "error: %s only answers %zu-itemset queries; mining "
+                   "needs every size 1..%zu (use a sample-based sketch, "
+                   "e.g. SUBSAMPLE or RELEASE-DB)\n",
+                   engine->algorithm().c_str(), engine->params().k,
+                   max_size);
+      return 1;
+    }
+  }
+  const auto mined = engine->mine(opt);
+  std::printf("%zu frequent itemsets at threshold %.3f (from the %s "
+              "sketch only):\n",
+              mined.size(), min_freq, engine->algorithm().c_str());
   for (const auto& fi : mined) {
     std::printf("  %-24s %.4f\n", fi.itemset.ToString().c_str(),
                 fi.frequency);
@@ -131,9 +211,21 @@ int Mine(const std::string& sk_path, double min_freq,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return Usage();
-  const std::string& cmd = args[0];
+  const std::string cmd = args[0];
+
+  // Extract the one recognized flag wherever it appears.
+  std::string algo_name = "SUBSAMPLE";
+  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
+    if (args[i] == "--algo") {
+      algo_name = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      break;
+    }
+  }
+
   if (cmd == "gen" && args.size() == 4) {
     return Gen(args[1], std::strtoull(args[2].c_str(), nullptr, 10),
                std::strtoull(args[3].c_str(), nullptr, 10));
@@ -141,7 +233,10 @@ int main(int argc, char** argv) {
   if (cmd == "sketch" && args.size() == 5) {
     return Sketch(args[1], args[2],
                   std::strtoull(args[3].c_str(), nullptr, 10),
-                  std::strtod(args[4].c_str(), nullptr));
+                  std::strtod(args[4].c_str(), nullptr), algo_name);
+  }
+  if (cmd == "info" && args.size() == 2) {
+    return Info(args[1]);
   }
   if (cmd == "query" && args.size() >= 3) {
     std::vector<std::size_t> attrs;

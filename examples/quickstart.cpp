@@ -1,16 +1,16 @@
 // Quickstart: build a database, sketch it, query itemset frequencies.
 //
-// Demonstrates the three naive sketches of §2 of the paper and the
-// envelope selector, on a small synthetic market-basket database.
+// Demonstrates the Engine facade end to end on a small synthetic
+// market-basket database: pick an algorithm by name, inspect the
+// Theorem 12 envelope, save/reopen the sketch, and answer queries both
+// one at a time and in bulk.
 
 #include <cstdio>
+#include <string>
 
 #include "core/validate.h"
 #include "data/generators.h"
-#include "sketch/envelope.h"
-#include "sketch/release_answers.h"
-#include "sketch/release_db.h"
-#include "sketch/subsample.h"
+#include "engine.h"
 #include "util/random.h"
 
 int main() {
@@ -31,34 +31,46 @@ int main() {
   params.scope = core::Scope::kForAll;
   params.answer = core::Answer::kEstimator;
 
-  // Theorem 12's envelope: which naive sketch is smallest here?
-  const auto envelope =
-      sketch::NaiveEnvelope(db.num_rows(), db.num_columns(), params);
-  std::printf(
-      "envelope: RELEASE-DB=%zu  RELEASE-ANSWERS=%zu  SUBSAMPLE=%zu "
-      "-> winner %s\n",
-      envelope.release_db_bits, envelope.release_answers_bits,
-      envelope.subsample_bits, envelope.winner.c_str());
+  // Build the SUBSAMPLE sketch (the paper's optimal algorithm) by name.
+  const auto engine = Engine::Build(db, "SUBSAMPLE", params, rng);
+  if (!engine.has_value()) {
+    std::fprintf(stderr, "SUBSAMPLE is not registered?\n");
+    return 1;
+  }
 
-  // Build the SUBSAMPLE sketch (the paper's optimal algorithm).
-  sketch::SubsampleSketch algo;
-  const util::BitVector summary = algo.Build(db, params, rng);
-  std::printf("subsample summary: %zu bits (%.1f%% of the database)\n",
-              summary.size(),
-              100.0 * static_cast<double>(summary.size()) /
-                  static_cast<double>(db.PayloadBits()));
+  // info() prints the parameters plus the Theorem 12 envelope: which
+  // naive sketch is smallest for this shape, and how this one compares.
+  std::printf("%s", engine->info().c_str());
+
+  // Round-trip through a file: any process can reopen the sketch and
+  // query it knowing nothing but the path.
+  const std::string path = "/tmp/ifsketch_quickstart.sk";
+  if (!engine->Save(path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  const auto reopened = Engine::Open(path);
+  if (!reopened.has_value()) {
+    std::fprintf(stderr, "cannot reopen %s\n", path.c_str());
+    return 1;
+  }
 
   // Query it: the sketch answers without touching the database.
-  const auto estimator =
-      algo.LoadEstimator(summary, params, db.num_columns(), db.num_rows());
+  std::vector<core::Itemset> queries;
   for (const auto& attrs :
        {std::vector<std::size_t>{0}, {0, 1}, {0, 1, 2}, {5, 9, 17}}) {
-    const core::Itemset t(db.num_columns(), attrs);
-    std::printf("  f%-12s truth=%.4f  sketch=%.4f\n", t.ToString().c_str(),
-                db.Frequency(t), estimator->EstimateFrequency(t));
+    queries.emplace_back(db.num_columns(), attrs);
+  }
+  std::vector<double> answers;
+  reopened->estimate_many(queries, &answers);  // one shared column scan
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    std::printf("  f%-12s truth=%.4f  sketch=%.4f\n",
+                queries[i].ToString().c_str(), db.Frequency(queries[i]),
+                answers[i]);
   }
 
   // Verify the For-All contract on a random sample of itemsets.
+  const auto estimator = sketch::LoadEstimator(reopened->file());
   const auto report =
       core::ValidateEstimatorSampled(db, *estimator, 3, params.eps,
                                      2000, rng);

@@ -22,6 +22,30 @@ std::size_t ColumnStore::SupportCount(const Itemset& t) const {
   return acc.Count();
 }
 
+void ColumnStore::SupportCounts(const std::vector<Itemset>& ts,
+                                std::vector<std::size_t>* counts) const {
+  counts->resize(ts.size());
+  util::BitVector acc;
+  for (std::size_t q = 0; q < ts.size(); ++q) {
+    const Itemset& t = ts[q];
+    IFSKETCH_CHECK_EQ(t.universe(), columns_.size());
+    const auto attrs = t.Attributes();
+    if (attrs.empty()) {
+      (*counts)[q] = n_;
+    } else if (attrs.size() == 1) {
+      (*counts)[q] = columns_[attrs[0]].Count();
+    } else if (attrs.size() == 2) {
+      (*counts)[q] = columns_[attrs[0]].AndCount(columns_[attrs[1]]);
+    } else {
+      acc = columns_[attrs[0]];
+      for (std::size_t i = 1; i < attrs.size(); ++i) {
+        acc &= columns_[attrs[i]];
+      }
+      (*counts)[q] = acc.Count();
+    }
+  }
+}
+
 double ColumnStore::Frequency(const Itemset& t) const {
   if (n_ == 0) return 0.0;
   return static_cast<double>(SupportCount(t)) / static_cast<double>(n_);

@@ -27,6 +27,13 @@ class ColumnStore {
   /// Rows containing T, by ANDing T's columns.
   std::size_t SupportCount(const Itemset& t) const;
 
+  /// Batched SupportCount: counts[i] = SupportCount(ts[i]). One AND
+  /// accumulator is reused across the whole batch, so per-query
+  /// allocations vanish and 1- and 2-attribute queries reduce to plain
+  /// popcounts of the stored columns.
+  void SupportCounts(const std::vector<Itemset>& ts,
+                     std::vector<std::size_t>* counts) const;
+
   /// f_T(D), identical to Database::Frequency on the source data.
   double Frequency(const Itemset& t) const;
 

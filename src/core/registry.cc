@@ -1,0 +1,61 @@
+#include "core/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ifsketch::core {
+
+void SketchRegistry::Register(const std::string& name, Factory factory) {
+  IFSKETCH_CHECK(!name.empty());
+  IFSKETCH_CHECK(factory != nullptr);
+  factories_[name] = std::move(factory);
+}
+
+void SketchRegistry::RegisterCombinator(const std::string& name,
+                                        Combinator combinator) {
+  IFSKETCH_CHECK(!name.empty());
+  IFSKETCH_CHECK(combinator != nullptr);
+  combinators_[name] = std::move(combinator);
+}
+
+bool SketchRegistry::Contains(const std::string& name) const {
+  // Cheapest correct answer: attempt the resolution. Composite names need
+  // their inner name validated recursively anyway.
+  return Create(name) != nullptr;
+}
+
+std::unique_ptr<SketchAlgorithm> SketchRegistry::Create(
+    const std::string& name) const {
+  const auto plain = factories_.find(name);
+  if (plain != factories_.end()) return plain->second();
+
+  // Composite "OUTER(INNER)": the outer name is everything before the
+  // first '(', the inner name everything up to the matching final ')'.
+  const std::size_t open = name.find('(');
+  if (open == std::string::npos || name.back() != ')') return nullptr;
+  const auto combinator = combinators_.find(name.substr(0, open));
+  if (combinator == combinators_.end()) return nullptr;
+  auto inner = Create(name.substr(open + 1, name.size() - open - 2));
+  if (inner == nullptr) return nullptr;
+  return combinator->second(std::move(inner));
+}
+
+std::vector<std::string> SketchRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size() + combinators_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  for (const auto& [name, combinator] : combinators_) {
+    names.push_back(name + "(...)");
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+SketchRegistry& SketchRegistry::Default() {
+  static SketchRegistry* registry = new SketchRegistry;
+  return *registry;
+}
+
+}  // namespace ifsketch::core

@@ -1,0 +1,69 @@
+// Algorithm name -> factory registry.
+//
+// A serialized summary (sketch/sketch_file.h) carries its producer's
+// name() string; this registry is the inverse map, turning that string
+// back into a live SketchAlgorithm so any valid IFSK file can be reopened
+// and queried without the caller hardcoding a concrete class. Two kinds
+// of entries exist:
+//   - plain algorithms, keyed by exact name ("SUBSAMPLE", "RELEASE-DB");
+//   - combinators, keyed by the prefix of a "NAME(INNER)" composite
+//     ("MEDIAN-BOOST(SUBSAMPLE)"): the inner name is resolved recursively
+//     and handed to the combinator's factory.
+//
+// The process-wide instance is SketchRegistry::Default(). The sketch
+// layer populates it with the built-in algorithms via
+// sketch::RegisterBuiltinAlgorithms() (see sketch/builtin_algorithms.h);
+// callers can add their own entries next to the built-ins.
+#ifndef IFSKETCH_CORE_REGISTRY_H_
+#define IFSKETCH_CORE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sketch.h"
+
+namespace ifsketch::core {
+
+/// Maps algorithm names to factories; resolves "NAME(INNER)" composites.
+class SketchRegistry {
+ public:
+  /// Builds a fresh instance of a plain algorithm.
+  using Factory = std::function<std::unique_ptr<SketchAlgorithm>()>;
+
+  /// Wraps an already-resolved inner algorithm (e.g. MEDIAN-BOOST).
+  using Combinator = std::function<std::unique_ptr<SketchAlgorithm>(
+      std::unique_ptr<SketchAlgorithm> inner)>;
+
+  /// Registers a plain algorithm. `factory().name()` must equal `name`
+  /// so files written by the instance resolve back to this entry.
+  /// Re-registering a name replaces the previous entry.
+  void Register(const std::string& name, Factory factory);
+
+  /// Registers a combinator answering for every "name(INNER)" composite.
+  void RegisterCombinator(const std::string& name, Combinator combinator);
+
+  /// Whether Create(name) would succeed.
+  bool Contains(const std::string& name) const;
+
+  /// Instantiates the algorithm registered under `name`, resolving
+  /// "NAME(INNER)" recursively. Returns nullptr for unknown or malformed
+  /// names -- callers own the error report (see Engine::Open).
+  std::unique_ptr<SketchAlgorithm> Create(const std::string& name) const;
+
+  /// Registered names, sorted; combinators are listed as "NAME(...)".
+  std::vector<std::string> Names() const;
+
+  /// The process-wide registry.
+  static SketchRegistry& Default();
+
+ private:
+  std::map<std::string, Factory> factories_;
+  std::map<std::string, Combinator> combinators_;
+};
+
+}  // namespace ifsketch::core
+
+#endif  // IFSKETCH_CORE_REGISTRY_H_

@@ -1,6 +1,14 @@
 #include "core/sketch.h"
 
+#include <cmath>
+
 namespace ifsketch::core {
+
+bool ValidSketchParams(const SketchParams& params) {
+  return params.k >= 1 && std::isfinite(params.eps) && params.eps > 0.0 &&
+         params.eps <= 1.0 && std::isfinite(params.delta) &&
+         params.delta > 0.0 && params.delta < 1.0;
+}
 
 const char* ToString(Scope scope) {
   switch (scope) {
@@ -20,6 +28,32 @@ const char* ToString(Answer answer) {
       return "estimator";
   }
   return "?";
+}
+
+void FrequencyEstimator::EstimateMany(const std::vector<Itemset>& ts,
+                                      std::vector<double>* answers) const {
+  answers->resize(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    (*answers)[i] = EstimateFrequency(ts[i]);
+  }
+}
+
+void FrequencyIndicator::AreFrequent(const std::vector<Itemset>& ts,
+                                     std::vector<bool>* answers) const {
+  answers->resize(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    (*answers)[i] = IsFrequent(ts[i]);
+  }
+}
+
+void ThresholdIndicator::AreFrequent(const std::vector<Itemset>& ts,
+                                     std::vector<bool>* answers) const {
+  std::vector<double> estimates;
+  estimator_->EstimateMany(ts, &estimates);
+  answers->resize(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    (*answers)[i] = estimates[i] >= threshold_;
+  }
 }
 
 std::unique_ptr<FrequencyIndicator> SketchAlgorithm::LoadIndicator(

@@ -1,4 +1,5 @@
-// The four itemset sketching problems (Definitions 1-4) as interfaces.
+// The four itemset sketching problems (Definitions 1-4) as interfaces,
+// and the registry that makes every algorithm a first-class citizen.
 //
 // A sketch is a pair (S, Q): a randomized sketching algorithm S producing
 // a bit-string summary, and a deterministic query procedure Q. We model S
@@ -7,11 +8,33 @@
 // IsFrequent / EstimateFrequency pair. The "for all" vs "for each"
 // distinction is a property of the *guarantee*, carried in SketchParams,
 // because algorithms like SUBSAMPLE pick their size from it (Lemma 9).
+//
+// Public API layering (outermost first):
+//   ifsketch::Engine (engine.h)     -- one object that builds, saves,
+//                                      reopens and queries any sketch.
+//   core::SketchRegistry (registry.h) -- algorithm name -> factory; lets a
+//                                      serialized summary be resolved back
+//                                      to its (S, Q) pair by name alone.
+//   core::SketchAlgorithm (below)   -- the per-algorithm (S, Q) contract.
+//
+// Most callers should go through Engine:
+//   auto eng = ifsketch::Engine::Build(db, "SUBSAMPLE", params, rng);
+//   eng.Save("out.sk");
+//   auto again = ifsketch::Engine::Open("out.sk");  // algorithm resolved
+//   double f = again->estimate(itemset);            // from the file itself
+//
+// Query-side views answer one itemset at a time (EstimateFrequency /
+// IsFrequent) or in bulk (EstimateMany / AreFrequent). The batched entry
+// points are semantically identical to a loop of scalar calls -- answers
+// are bit-for-bit the same -- but concrete estimators override them to
+// amortize shared work (e.g. transposing a sample into a column store
+// once per batch instead of scanning rows per query).
 #ifndef IFSKETCH_CORE_SKETCH_H_
 #define IFSKETCH_CORE_SKETCH_H_
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/database.h"
 #include "core/itemset.h"
@@ -44,6 +67,11 @@ struct SketchParams {
   Answer answer = Answer::kEstimator;
 };
 
+/// Whether the parameters are usable: k >= 1, eps in (0, 1], delta in
+/// (0, 1), all finite. Shared by the writers and readers of the sketch
+/// file format so nothing serializable is unloadable and vice versa.
+bool ValidSketchParams(const SketchParams& params);
+
 /// Query-side view of an estimator summary (Definitions 2 and 4).
 class FrequencyEstimator {
  public:
@@ -51,6 +79,13 @@ class FrequencyEstimator {
 
   /// Q(S, T): an approximation of f_T(D) in [0, 1].
   virtual double EstimateFrequency(const Itemset& t) const = 0;
+
+  /// Batched Q: answers every query in `ts`, writing answers[i] for ts[i].
+  /// Must return exactly the values EstimateFrequency would, query by
+  /// query; overrides only share work, never change answers. The default
+  /// is the scalar loop.
+  virtual void EstimateMany(const std::vector<Itemset>& ts,
+                            std::vector<double>* answers) const;
 };
 
 /// Query-side view of an indicator summary (Definitions 1 and 3).
@@ -60,6 +95,11 @@ class FrequencyIndicator {
 
   /// Q(S, T): true asserts f_T > eps/2; false asserts f_T <= eps.
   virtual bool IsFrequent(const Itemset& t) const = 0;
+
+  /// Batched Q: answers[i] = IsFrequent(ts[i]), with the same
+  /// answers-identical contract as FrequencyEstimator::EstimateMany.
+  virtual void AreFrequent(const std::vector<Itemset>& ts,
+                           std::vector<bool>* answers) const;
 };
 
 /// Adapts an estimator into an indicator by thresholding at 3eps/4
@@ -73,6 +113,10 @@ class ThresholdIndicator : public FrequencyIndicator {
   bool IsFrequent(const Itemset& t) const override {
     return estimator_->EstimateFrequency(t) >= threshold_;
   }
+
+  /// Forwards to the wrapped estimator's batched path, then thresholds.
+  void AreFrequent(const std::vector<Itemset>& ts,
+                   std::vector<bool>* answers) const override;
 
  private:
   std::unique_ptr<FrequencyEstimator> estimator_;
@@ -89,6 +133,8 @@ class SketchAlgorithm {
   virtual ~SketchAlgorithm() = default;
 
   /// Human-readable algorithm name ("RELEASE-DB", "SUBSAMPLE", ...).
+  /// Also the registry key: SketchRegistry::Create(name()) must rebuild
+  /// an equivalent algorithm for every registered implementation.
   virtual std::string name() const = 0;
 
   /// S(D, k, eps, delta): serializes a summary of `db`.
@@ -111,6 +157,19 @@ class SketchAlgorithm {
   /// must match what Build() actually emits.
   virtual std::size_t PredictedSizeBits(std::size_t n, std::size_t d,
                                         const SketchParams& params) const = 0;
+
+  /// Whether the query views can answer itemsets of cardinality `size`.
+  /// The definitions only promise answers for k-itemsets; sample-based
+  /// summaries answer any size (the sample is a database), but
+  /// RELEASE-ANSWERS stores exactly the C(d,k) size-k answers and cannot
+  /// answer anything else. Callers that query off-k sizes (e.g. Apriori
+  /// levels 1..k) must check this first.
+  virtual bool SupportsQuerySize(std::size_t size,
+                                 const SketchParams& params) const {
+    (void)size;
+    (void)params;
+    return true;
+  }
 };
 
 }  // namespace ifsketch::core

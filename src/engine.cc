@@ -1,0 +1,135 @@
+#include "engine.h"
+
+#include <cstdio>
+
+#include "sketch/builtin_algorithms.h"
+#include "util/check.h"
+
+namespace ifsketch {
+
+std::optional<Engine> Engine::Build(const core::Database& db,
+                                    const std::string& algorithm,
+                                    const core::SketchParams& params,
+                                    util::Rng& rng) {
+  if (!core::ValidSketchParams(params)) return std::nullopt;
+  auto algo = sketch::BuiltinRegistry().Create(algorithm);
+  if (algo == nullptr) return std::nullopt;
+
+  sketch::SketchFile file;
+  file.algorithm = algo->name();
+  file.params = params;
+  file.n = db.num_rows();
+  file.d = db.num_columns();
+  file.summary = algo->Build(db, params, rng);
+  return Engine(std::move(file),
+                std::shared_ptr<const core::SketchAlgorithm>(std::move(algo)));
+}
+
+std::optional<Engine> Engine::Open(const std::string& path) {
+  auto file = sketch::LoadSketchFile(path);
+  if (!file.has_value()) return std::nullopt;
+  return FromFile(*std::move(file));
+}
+
+std::optional<Engine> Engine::FromFile(sketch::SketchFile file) {
+  auto algo = sketch::ResolveAlgorithm(file);
+  if (algo == nullptr) return std::nullopt;
+  // A header can be well-formed while its payload is not the algorithm's:
+  // Build() contractually emits exactly PredictedSizeBits, so anything
+  // else would only abort later inside a loader CHECK. Reject it here.
+  if (file.summary.size() !=
+      algo->PredictedSizeBits(file.n, file.d, file.params)) {
+    return std::nullopt;
+  }
+  return Engine(std::move(file),
+                std::shared_ptr<const core::SketchAlgorithm>(std::move(algo)));
+}
+
+bool Engine::Save(const std::string& path) const {
+  return sketch::SaveSketchFile(path, file_);
+}
+
+std::vector<std::string> Engine::KnownAlgorithms() {
+  return sketch::BuiltinRegistry().Names();
+}
+
+const core::FrequencyEstimator& Engine::estimator() const {
+  if (estimator_ == nullptr) {
+    // The estimator view only exists for estimator-flavored summaries
+    // (e.g. RELEASE-ANSWERS stores single decision bits otherwise).
+    IFSKETCH_CHECK(file_.params.answer == core::Answer::kEstimator);
+    estimator_ = algo_->LoadEstimator(file_.summary, file_.params, file_.d,
+                                      file_.n);
+  }
+  return *estimator_;
+}
+
+const core::FrequencyIndicator& Engine::indicator() const {
+  if (indicator_ == nullptr) {
+    indicator_ = algo_->LoadIndicator(file_.summary, file_.params, file_.d,
+                                      file_.n);
+  }
+  return *indicator_;
+}
+
+bool Engine::supports_query_size(std::size_t size) const {
+  return algo_->SupportsQuerySize(size, file_.params);
+}
+
+double Engine::estimate(const core::Itemset& t) const {
+  return estimator().EstimateFrequency(t);
+}
+
+void Engine::estimate_many(const std::vector<core::Itemset>& ts,
+                           std::vector<double>* answers) const {
+  estimator().EstimateMany(ts, answers);
+}
+
+bool Engine::is_frequent(const core::Itemset& t) const {
+  return indicator().IsFrequent(t);
+}
+
+void Engine::are_frequent(const std::vector<core::Itemset>& ts,
+                          std::vector<bool>* answers) const {
+  indicator().AreFrequent(ts, answers);
+}
+
+std::vector<mining::FrequentItemset> Engine::mine(
+    const mining::AprioriOptions& options) const {
+  // Apriori queries every level 1..max_size; an algorithm that only
+  // answers size-k queries (RELEASE-ANSWERS) cannot drive it.
+  for (std::size_t size = 1; size <= options.max_size; ++size) {
+    IFSKETCH_CHECK(supports_query_size(size));
+  }
+  return mining::MineWithEstimatorBatched(estimator(), file_.d, options);
+}
+
+sketch::EnvelopeReport Engine::envelope() const {
+  return sketch::NaiveEnvelope(file_.n, file_.d, file_.params);
+}
+
+std::string Engine::info() const {
+  const sketch::EnvelopeReport env = envelope();
+  char buffer[640];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "algorithm:  %s\n"
+      "guarantee:  %s %s  (k=%zu, eps=%g, delta=%g)\n"
+      "database:   n=%zu rows, d=%zu attributes (%zu bits)\n"
+      "summary:    %zu bits (%.4f%% of the database)\n"
+      "envelope:   RELEASE-DB=%zu  RELEASE-ANSWERS=%zu  SUBSAMPLE=%zu\n"
+      "            Theorem-12 winner for this shape: %s (%zu bits)\n",
+      file_.algorithm.c_str(), core::ToString(file_.params.scope),
+      core::ToString(file_.params.answer), file_.params.k, file_.params.eps,
+      file_.params.delta, file_.n, file_.d, file_.n * file_.d,
+      file_.summary.size(),
+      file_.n * file_.d == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(file_.summary.size()) /
+                static_cast<double>(file_.n * file_.d),
+      env.release_db_bits, env.release_answers_bits, env.subsample_bits,
+      env.winner.c_str(), env.winner_bits);
+  return buffer;
+}
+
+}  // namespace ifsketch

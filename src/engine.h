@@ -1,0 +1,128 @@
+// ifsketch::Engine -- the library's front door.
+//
+// The paper studies pairs (S, Q); everything else in this repo is the
+// machinery behind one such pair. Engine packages the whole lifecycle so
+// callers never hardcode a concrete algorithm class:
+//
+//   util::Rng rng(7);
+//   auto eng = ifsketch::Engine::Build(db, "SUBSAMPLE", params, rng);
+//   eng->Save("basket.sk");
+//   ...
+//   auto again = ifsketch::Engine::Open("basket.sk");   // any IFSK file;
+//   double f  = again->estimate(itemset);               // algorithm comes
+//   auto fs   = again->mine(mining_options);            // from the file
+//
+// Build resolves the algorithm name through core::SketchRegistry (so
+// "MEDIAN-BOOST(SUBSAMPLE)" works as well as the five plain built-ins),
+// Open re-resolves the name stored in the file, and the query methods
+// lazily materialize the estimator/indicator views. estimate_many routes
+// through the batched query path (core::FrequencyEstimator::EstimateMany)
+// which shares column scans across the batch; mine() batches each Apriori
+// level the same way.
+#ifndef IFSKETCH_ENGINE_H_
+#define IFSKETCH_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/itemset.h"
+#include "core/sketch.h"
+#include "mining/apriori.h"
+#include "sketch/envelope.h"
+#include "sketch/sketch_file.h"
+#include "util/random.h"
+
+namespace ifsketch {
+
+/// Facade over build / save / open / query for any registered algorithm.
+class Engine {
+ public:
+  /// Sketches `db` with the named algorithm. Returns nullopt when the
+  /// registry cannot resolve `algorithm` (see KnownAlgorithms()).
+  static std::optional<Engine> Build(const core::Database& db,
+                                     const std::string& algorithm,
+                                     const core::SketchParams& params,
+                                     util::Rng& rng);
+
+  /// Reopens a saved sketch, resolving the algorithm recorded in the
+  /// file. Returns nullopt when the file is unreadable/malformed or its
+  /// algorithm is not registered.
+  static std::optional<Engine> Open(const std::string& path);
+
+  /// Adopts an already-loaded file (the in-memory equivalent of Open).
+  static std::optional<Engine> FromFile(sketch::SketchFile file);
+
+  /// Writes the sketch as an IFSK file. Returns false on I/O failure.
+  bool Save(const std::string& path) const;
+
+  /// Names the default registry resolves, for error messages and --help.
+  static std::vector<std::string> KnownAlgorithms();
+
+  // ----------------------------------------------------------- metadata
+  const std::string& algorithm() const { return file_.algorithm; }
+  const core::SketchParams& params() const { return file_.params; }
+  std::size_t n() const { return file_.n; }
+  std::size_t d() const { return file_.d; }
+  std::size_t summary_bits() const { return file_.summary.size(); }
+  const sketch::SketchFile& file() const { return file_; }
+
+  // ------------------------------------------------------------ queries
+  /// Whether this sketch can answer queries of cardinality `size`.
+  /// Sample-backed algorithms answer any size; RELEASE-ANSWERS only
+  /// answers exactly params().k. Querying an unsupported size is a
+  /// contract violation (the views abort rather than alias into a wrong
+  /// answer), so gate on this for user-supplied query sizes.
+  bool supports_query_size(std::size_t size) const;
+
+  /// Q(S, T) as a frequency estimate. Requires an estimator-flavored
+  /// sketch (params().answer == Answer::kEstimator) and a supported
+  /// query size.
+  double estimate(const core::Itemset& t) const;
+
+  /// Batched estimate; answers[i] corresponds to ts[i]. Same requirement
+  /// and bit-identical to per-query estimate() calls.
+  void estimate_many(const std::vector<core::Itemset>& ts,
+                     std::vector<double>* answers) const;
+
+  /// Q(S, T) as a threshold bit (works for both answer flavors).
+  bool is_frequent(const core::Itemset& t) const;
+
+  /// Batched is_frequent.
+  void are_frequent(const std::vector<core::Itemset>& ts,
+                    std::vector<bool>* answers) const;
+
+  /// Apriori over the sketch, batching each candidate level through
+  /// estimate_many. Requires an estimator-flavored sketch that supports
+  /// every query size 1..options.max_size (see supports_query_size).
+  std::vector<mining::FrequentItemset> mine(
+      const mining::AprioriOptions& options) const;
+
+  // --------------------------------------------------------------- info
+  /// The Theorem 12 envelope for this sketch's shape and parameters.
+  sketch::EnvelopeReport envelope() const;
+
+  /// Multi-line human-readable report: algorithm, parameters, shape,
+  /// summary size, and the envelope comparison.
+  std::string info() const;
+
+ private:
+  Engine(sketch::SketchFile file,
+         std::shared_ptr<const core::SketchAlgorithm> algo)
+      : file_(std::move(file)), algo_(std::move(algo)) {}
+
+  const core::FrequencyEstimator& estimator() const;
+  const core::FrequencyIndicator& indicator() const;
+
+  sketch::SketchFile file_;
+  std::shared_ptr<const core::SketchAlgorithm> algo_;
+  // Query views are deserialized on first use and cached.
+  mutable std::shared_ptr<const core::FrequencyEstimator> estimator_;
+  mutable std::shared_ptr<const core::FrequencyIndicator> indicator_;
+};
+
+}  // namespace ifsketch
+
+#endif  // IFSKETCH_ENGINE_H_

@@ -80,6 +80,56 @@ std::vector<FrequentItemset> MineFrequentItemsets(
   return results;
 }
 
+std::vector<FrequentItemset> MineFrequentItemsetsBatched(
+    std::size_t d, const BatchFrequencyFn& frequency,
+    const AprioriOptions& options) {
+  std::vector<FrequentItemset> results;
+  std::vector<double> answers;
+
+  // Level 1: every singleton in one batch.
+  std::vector<core::Itemset> queries;
+  queries.reserve(d);
+  for (std::size_t a = 0; a < d; ++a) queries.emplace_back(d, Attrs{a});
+  frequency(queries, &answers);
+  std::vector<Attrs> level;
+  for (std::size_t a = 0; a < d; ++a) {
+    if (answers[a] >= options.min_frequency) {
+      level.push_back({a});
+      results.push_back({queries[a], answers[a]});
+    }
+  }
+
+  // Levels 2..max_size: generate all pruned candidates, then one batch.
+  for (std::size_t size = 2;
+       size <= options.max_size && !level.empty() &&
+       results.size() < options.max_results;
+       ++size) {
+    const std::set<Attrs> previous(level.begin(), level.end());
+    std::vector<Attrs> candidates;
+    queries.clear();
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      for (std::size_t j = i + 1; j < level.size(); ++j) {
+        Attrs candidate = Join(level[i], level[j]);
+        if (candidate.empty()) continue;
+        if (!AllSubsetsFrequent(candidate, previous)) continue;
+        queries.emplace_back(d, candidate);
+        candidates.push_back(std::move(candidate));
+      }
+    }
+    frequency(queries, &answers);
+    std::vector<Attrs> next;
+    for (std::size_t i = 0;
+         i < candidates.size() && results.size() < options.max_results; ++i) {
+      if (answers[i] >= options.min_frequency) {
+        results.push_back({queries[i], answers[i]});
+        next.push_back(std::move(candidates[i]));
+      }
+    }
+    level = std::move(next);
+  }
+  return results;
+}
+
 std::vector<FrequentItemset> MineDatabase(const core::Database& db,
                                           const AprioriOptions& options) {
   return MineFrequentItemsets(
@@ -94,6 +144,18 @@ std::vector<FrequentItemset> MineWithEstimator(
       d,
       [&estimator](const core::Itemset& t) {
         return estimator.EstimateFrequency(t);
+      },
+      options);
+}
+
+std::vector<FrequentItemset> MineWithEstimatorBatched(
+    const core::FrequencyEstimator& estimator, std::size_t d,
+    const AprioriOptions& options) {
+  return MineFrequentItemsetsBatched(
+      d,
+      [&estimator](const std::vector<core::Itemset>& ts,
+                   std::vector<double>* answers) {
+        estimator.EstimateMany(ts, answers);
       },
       options);
 }

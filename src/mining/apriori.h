@@ -34,10 +34,25 @@ struct AprioriOptions {
 /// Frequency oracle abstraction: exact (database) or sketched.
 using FrequencyFn = std::function<double(const core::Itemset&)>;
 
+/// Batched frequency oracle: answers[i] = frequency of ts[i]. Must agree
+/// with the scalar oracle query by query (see
+/// core::FrequencyEstimator::EstimateMany).
+using BatchFrequencyFn = std::function<void(const std::vector<core::Itemset>&,
+                                            std::vector<double>*)>;
+
 /// Runs Apriori against an arbitrary frequency oracle over universe d.
 /// Results are sorted by (size, colex rank of attributes).
 std::vector<FrequentItemset> MineFrequentItemsets(
     std::size_t d, const FrequencyFn& frequency,
+    const AprioriOptions& options);
+
+/// Level-batched Apriori: generates each level's surviving candidates
+/// first, then evaluates them through one `frequency` call. With a
+/// batch-optimized estimator (EstimateMany) this shares the bit-vector
+/// scans across the whole level. Mines the same itemsets as
+/// MineFrequentItemsets over an agreeing scalar oracle.
+std::vector<FrequentItemset> MineFrequentItemsetsBatched(
+    std::size_t d, const BatchFrequencyFn& frequency,
     const AprioriOptions& options);
 
 /// Convenience: exact mining on a database.
@@ -46,6 +61,12 @@ std::vector<FrequentItemset> MineDatabase(const core::Database& db,
 
 /// Convenience: approximate mining through an estimator summary.
 std::vector<FrequentItemset> MineWithEstimator(
+    const core::FrequencyEstimator& estimator, std::size_t d,
+    const AprioriOptions& options);
+
+/// Like MineWithEstimator but through the estimator's batched path
+/// (one EstimateMany call per Apriori level).
+std::vector<FrequentItemset> MineWithEstimatorBatched(
     const core::FrequencyEstimator& estimator, std::size_t d,
     const AprioriOptions& options);
 

@@ -1,0 +1,40 @@
+#include "sketch/builtin_algorithms.h"
+
+#include <memory>
+#include <mutex>
+
+#include "sketch/importance_sample.h"
+#include "sketch/median_boost.h"
+#include "sketch/release_answers.h"
+#include "sketch/release_db.h"
+#include "sketch/subsample.h"
+
+namespace ifsketch::sketch {
+
+void RegisterBuiltinAlgorithms(core::SketchRegistry& registry) {
+  registry.Register("RELEASE-DB",
+                    [] { return std::make_unique<ReleaseDbSketch>(); });
+  registry.Register("RELEASE-ANSWERS",
+                    [] { return std::make_unique<ReleaseAnswersSketch>(); });
+  registry.Register("SUBSAMPLE",
+                    [] { return std::make_unique<SubsampleSketch>(); });
+  registry.Register("SUBSAMPLE-WOR", [] {
+    return std::make_unique<SubsampleWithoutReplacementSketch>();
+  });
+  registry.Register("IMPORTANCE-SAMPLE", [] {
+    return std::make_unique<ImportanceSampleSketch>();
+  });
+  registry.RegisterCombinator(
+      "MEDIAN-BOOST", [](std::unique_ptr<core::SketchAlgorithm> inner) {
+        return std::make_unique<MedianBoostSketch>(std::move(inner));
+      });
+}
+
+core::SketchRegistry& BuiltinRegistry() {
+  static std::once_flag once;
+  std::call_once(once,
+                 [] { RegisterBuiltinAlgorithms(core::SketchRegistry::Default()); });
+  return core::SketchRegistry::Default();
+}
+
+}  // namespace ifsketch::sketch

@@ -1,0 +1,24 @@
+// Registration of the library's sketch algorithms into a SketchRegistry.
+//
+// core::SketchRegistry cannot depend on the concrete algorithms (they
+// live above core in the layering), so this is where the built-ins are
+// wired in: RELEASE-DB, RELEASE-ANSWERS, SUBSAMPLE, SUBSAMPLE-WOR,
+// IMPORTANCE-SAMPLE, and the MEDIAN-BOOST(inner) combinator.
+#ifndef IFSKETCH_SKETCH_BUILTIN_ALGORITHMS_H_
+#define IFSKETCH_SKETCH_BUILTIN_ALGORITHMS_H_
+
+#include "core/registry.h"
+
+namespace ifsketch::sketch {
+
+/// Adds every built-in algorithm to `registry` (overwriting same-name
+/// entries, so calling twice is harmless).
+void RegisterBuiltinAlgorithms(core::SketchRegistry& registry);
+
+/// The default registry, with built-ins guaranteed registered. All
+/// resolution paths (Engine::Open, ResolveAlgorithm) funnel through this.
+core::SketchRegistry& BuiltinRegistry();
+
+}  // namespace ifsketch::sketch
+
+#endif  // IFSKETCH_SKETCH_BUILTIN_ALGORITHMS_H_

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/column_store.h"
 #include "sketch/subsample.h"
 #include "util/bitio.h"
 #include "util/check.h"
@@ -12,6 +13,13 @@ namespace {
 /// Horvitz-Thompson estimator over weighted samples: with q_i
 /// proportional to w(r_i), E[(1/s) sum I{T in r_i} * mean_w / w(r_i)]
 /// = f_T, where mean_w = W/n is carried in the summary.
+///
+/// Batched queries amortize two pieces of work over the batch: the
+/// per-row coefficients mean_w / w(r_i) (one weight evaluation per row
+/// instead of one per hit) and a ColumnStore transpose that finds each
+/// query's hit rows by ANDing columns. Hits are accumulated in ascending
+/// row order with the same per-row terms, so the floating-point sum -- and
+/// therefore the answer -- is bit-identical to the scalar loop.
 class HtEstimator : public core::FrequencyEstimator {
  public:
   HtEstimator(core::Database sample, double mean_weight,
@@ -32,10 +40,45 @@ class HtEstimator : public core::FrequencyEstimator {
     return est < 0.0 ? 0.0 : (est > 1.0 ? 1.0 : est);
   }
 
+  void EstimateMany(const std::vector<core::Itemset>& ts,
+                    std::vector<double>* answers) const override {
+    const std::size_t s = sample_.num_rows();
+    if (s == 0) {
+      answers->assign(ts.size(), 0.0);
+      return;
+    }
+    if (columns_ == nullptr) {
+      columns_ = std::make_unique<core::ColumnStore>(sample_);
+      coefficients_.resize(s);
+      for (std::size_t i = 0; i < s; ++i) {
+        coefficients_[i] = mean_weight_ / weight_(sample_.Row(i));
+      }
+    }
+    answers->resize(ts.size());
+    util::BitVector hits;
+    for (std::size_t q = 0; q < ts.size(); ++q) {
+      const auto attrs = ts[q].Attributes();
+      double acc = 0.0;
+      if (attrs.empty()) {
+        for (std::size_t i = 0; i < s; ++i) acc += coefficients_[i];
+      } else {
+        hits = columns_->Column(attrs[0]);
+        for (std::size_t i = 1; i < attrs.size(); ++i) {
+          hits &= columns_->Column(attrs[i]);
+        }
+        for (std::size_t i : hits.SetBits()) acc += coefficients_[i];
+      }
+      const double est = acc / static_cast<double>(s);
+      (*answers)[q] = est < 0.0 ? 0.0 : (est > 1.0 ? 1.0 : est);
+    }
+  }
+
  private:
   core::Database sample_;
   double mean_weight_;
   ImportanceSampleSketch::WeightFn weight_;
+  mutable std::unique_ptr<core::ColumnStore> columns_;   // built on demand
+  mutable std::vector<double> coefficients_;  // mean_w / w(r_i), same order
 };
 
 }  // namespace

@@ -10,7 +10,10 @@
 namespace ifsketch::sketch {
 namespace {
 
-/// Answers with the median over the loaded copies.
+/// Answers with the median over the loaded copies. Batched queries are
+/// forwarded to each copy's batched path (so e.g. a SUBSAMPLE inner copy
+/// transposes its sample once for the whole batch); the median of the
+/// same per-copy values is the same answer, scalar or batched.
 class MedianEstimator : public core::FrequencyEstimator {
  public:
   explicit MedianEstimator(
@@ -24,6 +27,24 @@ class MedianEstimator : public core::FrequencyEstimator {
     std::nth_element(answers.begin(), answers.begin() + answers.size() / 2,
                      answers.end());
     return answers[answers.size() / 2];
+  }
+
+  void EstimateMany(const std::vector<core::Itemset>& ts,
+                    std::vector<double>* answers) const override {
+    std::vector<std::vector<double>> per_copy(copies_.size());
+    for (std::size_t c = 0; c < copies_.size(); ++c) {
+      copies_[c]->EstimateMany(ts, &per_copy[c]);
+    }
+    answers->resize(ts.size());
+    std::vector<double> column(copies_.size());
+    for (std::size_t q = 0; q < ts.size(); ++q) {
+      for (std::size_t c = 0; c < copies_.size(); ++c) {
+        column[c] = per_copy[c][q];
+      }
+      std::nth_element(column.begin(), column.begin() + column.size() / 2,
+                       column.end());
+      (*answers)[q] = column[column.size() / 2];
+    }
   }
 
  private:
@@ -100,6 +121,11 @@ std::size_t MedianBoostSketch::PredictedSizeBits(
     std::size_t n, std::size_t d, const core::SketchParams& params) const {
   return CopyCount(params, d) *
          inner_->PredictedSizeBits(n, d, InnerParams(params));
+}
+
+bool MedianBoostSketch::SupportsQuerySize(
+    std::size_t size, const core::SketchParams& params) const {
+  return inner_->SupportsQuerySize(size, InnerParams(params));
 }
 
 }  // namespace ifsketch::sketch

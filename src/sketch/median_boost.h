@@ -36,6 +36,10 @@ class MedianBoostSketch : public core::SketchAlgorithm {
   std::size_t PredictedSizeBits(std::size_t n, std::size_t d,
                                 const core::SketchParams& params) const override;
 
+  /// Delegates to the inner algorithm (a copy answers what it answers).
+  bool SupportsQuerySize(std::size_t size,
+                         const core::SketchParams& params) const override;
+
   /// Number of inner copies for the given parameters:
   /// ceil(copies_scale * 10 * ln(C(d,k)/delta)), odd (so medians are
   /// well-defined single answers) and at least 1.

@@ -19,13 +19,18 @@ std::uint64_t NumItemsets(std::size_t d, std::size_t k) {
   return c;
 }
 
-/// Looks answers up by the queried itemset's colex rank.
+/// Looks answers up by the queried itemset's colex rank. Only size-k
+/// queries exist in the table; an off-k itemset's rank would alias into
+/// some other itemset's slot and return its answer, so the size is
+/// checked loudly (callers gate on SupportsQuerySize).
 class AnswerTableEstimator : public core::FrequencyEstimator {
  public:
-  AnswerTableEstimator(std::vector<double> answers, std::size_t d)
-      : answers_(std::move(answers)), d_(d) {}
+  AnswerTableEstimator(std::vector<double> answers, std::size_t d,
+                       std::size_t k)
+      : answers_(std::move(answers)), d_(d), k_(k) {}
 
   double EstimateFrequency(const core::Itemset& t) const override {
+    IFSKETCH_CHECK_EQ(t.size(), k_);
     const std::uint64_t rank = util::RankSubset(t.Attributes(), d_);
     IFSKETCH_CHECK_LT(rank, answers_.size());
     return answers_[rank];
@@ -34,14 +39,16 @@ class AnswerTableEstimator : public core::FrequencyEstimator {
  private:
   std::vector<double> answers_;
   std::size_t d_;
+  std::size_t k_;
 };
 
 class AnswerTableIndicator : public core::FrequencyIndicator {
  public:
-  AnswerTableIndicator(util::BitVector bits, std::size_t d)
-      : bits_(std::move(bits)), d_(d) {}
+  AnswerTableIndicator(util::BitVector bits, std::size_t d, std::size_t k)
+      : bits_(std::move(bits)), d_(d), k_(k) {}
 
   bool IsFrequent(const core::Itemset& t) const override {
+    IFSKETCH_CHECK_EQ(t.size(), k_);
     const std::uint64_t rank = util::RankSubset(t.Attributes(), d_);
     IFSKETCH_CHECK_LT(rank, bits_.size());
     return bits_.Get(rank);
@@ -50,6 +57,7 @@ class AnswerTableIndicator : public core::FrequencyIndicator {
  private:
   util::BitVector bits_;
   std::size_t d_;
+  std::size_t k_;
 };
 
 }  // namespace
@@ -95,7 +103,8 @@ std::unique_ptr<core::FrequencyEstimator> ReleaseAnswersSketch::LoadEstimator(
   for (std::uint64_t i = 0; i < count; ++i) {
     answers[i] = r.ReadQuantized(fbits);
   }
-  return std::make_unique<AnswerTableEstimator>(std::move(answers), d);
+  return std::make_unique<AnswerTableEstimator>(std::move(answers), d,
+                                                params.k);
 }
 
 std::unique_ptr<core::FrequencyIndicator> ReleaseAnswersSketch::LoadIndicator(
@@ -106,7 +115,7 @@ std::unique_ptr<core::FrequencyIndicator> ReleaseAnswersSketch::LoadIndicator(
   }
   const std::uint64_t count = NumItemsets(d, params.k);
   IFSKETCH_CHECK_EQ(summary.size(), count);
-  return std::make_unique<AnswerTableIndicator>(summary, d);
+  return std::make_unique<AnswerTableIndicator>(summary, d, params.k);
 }
 
 std::size_t ReleaseAnswersSketch::PredictedSizeBits(

@@ -32,6 +32,13 @@ class ReleaseAnswersSketch : public core::SketchAlgorithm {
   std::size_t PredictedSizeBits(std::size_t n, std::size_t d,
                                 const core::SketchParams& params) const override;
 
+  /// Only the C(d,k) size-k answers exist; any other query size would
+  /// alias into the wrong table slot.
+  bool SupportsQuerySize(std::size_t size,
+                         const core::SketchParams& params) const override {
+    return size == params.k;
+  }
+
   /// Bits of precision per stored frequency: ceil(log2(1/eps)) + 1, so the
   /// quantization error is at most eps/2 < eps.
   static int FrequencyBits(double eps);

@@ -1,12 +1,16 @@
 #include "sketch/release_db.h"
 
+#include "core/column_store.h"
 #include "util/bitio.h"
 #include "util/check.h"
 
 namespace ifsketch::sketch {
 namespace {
 
-/// Queries the decoded database exactly.
+/// Queries the decoded database exactly. Batched queries go through a
+/// lazily-built ColumnStore so the row scans are shared across the batch;
+/// counts are exact either way, so answers match the scalar path bit for
+/// bit.
 class ExactEstimator : public core::FrequencyEstimator {
  public:
   explicit ExactEstimator(core::Database db) : db_(std::move(db)) {}
@@ -15,8 +19,27 @@ class ExactEstimator : public core::FrequencyEstimator {
     return db_.Frequency(t);
   }
 
+  void EstimateMany(const std::vector<core::Itemset>& ts,
+                    std::vector<double>* answers) const override {
+    if (db_.num_rows() == 0) {
+      answers->assign(ts.size(), 0.0);
+      return;
+    }
+    if (columns_ == nullptr) {
+      columns_ = std::make_unique<core::ColumnStore>(db_);
+    }
+    std::vector<std::size_t> counts;
+    columns_->SupportCounts(ts, &counts);
+    answers->resize(ts.size());
+    const double n = static_cast<double>(db_.num_rows());
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      (*answers)[i] = static_cast<double>(counts[i]) / n;
+    }
+  }
+
  private:
   core::Database db_;
+  mutable std::unique_ptr<core::ColumnStore> columns_;  // built on demand
 };
 
 }  // namespace

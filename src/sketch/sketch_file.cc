@@ -3,8 +3,11 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <vector>
+
+#include "sketch/builtin_algorithms.h"
 
 namespace ifsketch::sketch {
 namespace {
@@ -26,6 +29,10 @@ bool GetRaw(std::istream& in, T& value) {
 }  // namespace
 
 bool WriteSketch(std::ostream& out, const SketchFile& file) {
+  // Refuse to emit a file ReadSketch would reject: nothing serializable
+  // may be unloadable. The name length must fit its u16 header field.
+  if (!core::ValidSketchParams(file.params)) return false;
+  if (file.algorithm.size() > 0xffff) return false;
   out.write(kMagic, 4);
   PutRaw<std::uint16_t>(out, kVersion);
   PutRaw<std::uint16_t>(out,
@@ -74,8 +81,19 @@ std::optional<SketchFile> ReadSketch(std::istream& in) {
       !GetRaw(in, bits)) {
     return std::nullopt;
   }
+  // Enum bytes must name a real enumerator; a corrupt byte would otherwise
+  // smuggle an invalid Scope/Answer into SketchParams and misconfigure
+  // every downstream loader.
   if (scope > 1 || answer > 1) return std::nullopt;
+  // A bit count within 7 of 2^64 would overflow the byte-count
+  // computation below and skip the payload read entirely.
+  if (bits >= std::numeric_limits<std::uint64_t>::max() - 7) {
+    return std::nullopt;
+  }
+  // Parameter sanity: k is a cardinality, eps/delta are probabilities the
+  // query procedures divide by and take logs of.
   file.params.k = k;
+  if (!core::ValidSketchParams(file.params)) return std::nullopt;
   file.params.scope = scope == 0 ? core::Scope::kForAll
                                  : core::Scope::kForEach;
   file.params.answer =
@@ -83,9 +101,22 @@ std::optional<SketchFile> ReadSketch(std::istream& in) {
   file.n = static_cast<std::size_t>(n);
   file.d = static_cast<std::size_t>(d);
 
-  std::vector<char> bytes((bits + 7) / 8);
-  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!in && bits > 0) return std::nullopt;
+  // Read the payload in bounded chunks: a corrupt bit count must fail with
+  // nullopt once the stream runs dry, not attempt one giant allocation.
+  const std::uint64_t num_bytes = (bits + 7) / 8;
+  std::vector<char> bytes;
+  bytes.reserve(static_cast<std::size_t>(
+      num_bytes < (std::uint64_t{1} << 20) ? num_bytes : (1 << 20)));
+  constexpr std::uint64_t kChunk = 64 * 1024;
+  char chunk[kChunk];
+  for (std::uint64_t got = 0; got < num_bytes;) {
+    const std::uint64_t want =
+        num_bytes - got < kChunk ? num_bytes - got : kChunk;
+    in.read(chunk, static_cast<std::streamsize>(want));
+    if (static_cast<std::uint64_t>(in.gcount()) != want) return std::nullopt;
+    bytes.insert(bytes.end(), chunk, chunk + want);
+    got += want;
+  }
   file.summary = util::BitVector(static_cast<std::size_t>(bits));
   for (std::size_t i = 0; i < bits; ++i) {
     if ((bytes[i / 8] >> (i % 8)) & 1) file.summary.Set(i, true);
@@ -103,6 +134,25 @@ std::optional<SketchFile> LoadSketchFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   return ReadSketch(in);
+}
+
+std::unique_ptr<core::SketchAlgorithm> ResolveAlgorithm(
+    const SketchFile& file) {
+  return BuiltinRegistry().Create(file.algorithm);
+}
+
+std::unique_ptr<core::FrequencyEstimator> LoadEstimator(
+    const SketchFile& file) {
+  const auto algo = ResolveAlgorithm(file);
+  if (algo == nullptr) return nullptr;
+  return algo->LoadEstimator(file.summary, file.params, file.d, file.n);
+}
+
+std::unique_ptr<core::FrequencyIndicator> LoadIndicator(
+    const SketchFile& file) {
+  const auto algo = ResolveAlgorithm(file);
+  if (algo == nullptr) return nullptr;
+  return algo->LoadIndicator(file.summary, file.params, file.d, file.n);
 }
 
 }  // namespace ifsketch::sketch

@@ -7,10 +7,18 @@
 //   magic "IFSK", version u16, algorithm-name (u16 length + bytes),
 //   k u32, eps f64, delta f64, scope u8, answer u8, n u64, d u64,
 //   bit-count u64, payload bytes (LSB-first within each byte).
+//
+// ReadSketch validates every header field (magic, version, enum bytes,
+// parameter ranges) and returns nullopt on anything malformed. The
+// carried algorithm name is what makes files self-describing: pass a
+// loaded SketchFile to ResolveAlgorithm() to get the producing
+// SketchAlgorithm back from the registry, or use Engine::Open (engine.h)
+// which does the whole load-resolve-query wiring in one call.
 #ifndef IFSKETCH_SKETCH_SKETCH_FILE_H_
 #define IFSKETCH_SKETCH_SKETCH_FILE_H_
 
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -37,6 +45,19 @@ std::optional<SketchFile> ReadSketch(std::istream& in);
 /// File-path conveniences.
 bool SaveSketchFile(const std::string& path, const SketchFile& file);
 std::optional<SketchFile> LoadSketchFile(const std::string& path);
+
+/// Resolves `file.algorithm` through the built-in registry back to a live
+/// algorithm, so the file can be queried without knowing its producer.
+/// Returns nullptr for names no registry entry answers to.
+std::unique_ptr<core::SketchAlgorithm> ResolveAlgorithm(
+    const SketchFile& file);
+
+/// Resolve + LoadEstimator / LoadIndicator in one step; nullptr when the
+/// algorithm cannot be resolved.
+std::unique_ptr<core::FrequencyEstimator> LoadEstimator(
+    const SketchFile& file);
+std::unique_ptr<core::FrequencyIndicator> LoadIndicator(
+    const SketchFile& file);
 
 }  // namespace ifsketch::sketch
 

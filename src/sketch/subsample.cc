@@ -1,5 +1,6 @@
 #include "sketch/subsample.h"
 
+#include "core/column_store.h"
 #include "util/bitio.h"
 #include "util/check.h"
 #include "util/stats.h"
@@ -7,7 +8,11 @@
 namespace ifsketch::sketch {
 namespace {
 
-/// Evaluates queries on the decoded sample.
+/// Evaluates queries on the decoded sample. Scalar queries scan the
+/// sample row by row; batched queries transpose it into a ColumnStore
+/// once (amortized over the batch) and answer each query as a popcount
+/// of ANDed columns. Both paths count the same rows, so answers are
+/// bit-identical.
 class SampleEstimator : public core::FrequencyEstimator {
  public:
   explicit SampleEstimator(core::Database sample)
@@ -17,8 +22,27 @@ class SampleEstimator : public core::FrequencyEstimator {
     return sample_.Frequency(t);
   }
 
+  void EstimateMany(const std::vector<core::Itemset>& ts,
+                    std::vector<double>* answers) const override {
+    if (sample_.num_rows() == 0) {
+      answers->assign(ts.size(), 0.0);
+      return;
+    }
+    if (columns_ == nullptr) {
+      columns_ = std::make_unique<core::ColumnStore>(sample_);
+    }
+    std::vector<std::size_t> counts;
+    columns_->SupportCounts(ts, &counts);
+    answers->resize(ts.size());
+    const double n = static_cast<double>(sample_.num_rows());
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      (*answers)[i] = static_cast<double>(counts[i]) / n;
+    }
+  }
+
  private:
   core::Database sample_;
+  mutable std::unique_ptr<core::ColumnStore> columns_;  // built on demand
 };
 
 /// Indicator decision rule: declare frequent iff the sample frequency is
@@ -26,14 +50,24 @@ class SampleEstimator : public core::FrequencyEstimator {
 class SampleIndicator : public core::FrequencyIndicator {
  public:
   SampleIndicator(core::Database sample, double eps)
-      : sample_(std::move(sample)), eps_(eps) {}
+      : estimator_(std::move(sample)), eps_(eps) {}
 
   bool IsFrequent(const core::Itemset& t) const override {
-    return sample_.Frequency(t) >= 0.75 * eps_;
+    return estimator_.EstimateFrequency(t) >= 0.75 * eps_;
+  }
+
+  void AreFrequent(const std::vector<core::Itemset>& ts,
+                   std::vector<bool>* answers) const override {
+    std::vector<double> estimates;
+    estimator_.EstimateMany(ts, &estimates);
+    answers->resize(ts.size());
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      (*answers)[i] = estimates[i] >= 0.75 * eps_;
+    }
   }
 
  private:
-  core::Database sample_;
+  SampleEstimator estimator_;
   double eps_;
 };
 

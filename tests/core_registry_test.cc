@@ -1,0 +1,140 @@
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "data/generators.h"
+#include "sketch/builtin_algorithms.h"
+#include "sketch/sketch_file.h"
+#include "util/random.h"
+
+namespace ifsketch {
+namespace {
+
+core::SketchParams SmallParams() {
+  core::SketchParams p;
+  p.k = 2;
+  p.eps = 0.2;
+  p.delta = 0.1;
+  p.scope = core::Scope::kForEach;
+  p.answer = core::Answer::kEstimator;
+  return p;
+}
+
+TEST(SketchRegistryTest, BuiltinsAreRegistered) {
+  core::SketchRegistry& registry = sketch::BuiltinRegistry();
+  for (const char* name :
+       {"RELEASE-DB", "RELEASE-ANSWERS", "SUBSAMPLE", "SUBSAMPLE-WOR",
+        "IMPORTANCE-SAMPLE", "MEDIAN-BOOST(SUBSAMPLE)"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+    const auto algo = registry.Create(name);
+    ASSERT_NE(algo, nullptr) << name;
+    EXPECT_EQ(algo->name(), name);
+  }
+}
+
+TEST(SketchRegistryTest, UnknownNamesResolveToNull) {
+  core::SketchRegistry& registry = sketch::BuiltinRegistry();
+  for (const char* name :
+       {"", "NO-SUCH-ALGORITHM", "subsample", "MEDIAN-BOOST",
+        "MEDIAN-BOOST()", "MEDIAN-BOOST(NO-SUCH)", "NO-SUCH(SUBSAMPLE)",
+        "MEDIAN-BOOST(SUBSAMPLE"}) {
+    EXPECT_EQ(registry.Create(name), nullptr) << name;
+    EXPECT_FALSE(registry.Contains(name)) << name;
+  }
+}
+
+TEST(SketchRegistryTest, NestedCompositeResolves) {
+  const auto algo = sketch::BuiltinRegistry().Create(
+      "MEDIAN-BOOST(MEDIAN-BOOST(SUBSAMPLE))");
+  ASSERT_NE(algo, nullptr);
+  EXPECT_EQ(algo->name(), "MEDIAN-BOOST(MEDIAN-BOOST(SUBSAMPLE))");
+}
+
+TEST(SketchRegistryTest, NamesListsPlainAndCombinatorEntries) {
+  const auto names = sketch::BuiltinRegistry().Names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "SUBSAMPLE"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "MEDIAN-BOOST(...)"),
+            names.end());
+}
+
+TEST(SketchRegistryTest, CustomRegistrationAndOverride) {
+  core::SketchRegistry registry;
+  sketch::RegisterBuiltinAlgorithms(registry);
+  ASSERT_TRUE(registry.Contains("SUBSAMPLE"));
+  // Re-registration replaces: point SUBSAMPLE at RELEASE-DB's factory.
+  registry.Register("SUBSAMPLE", [] {
+    return sketch::BuiltinRegistry().Create("RELEASE-DB");
+  });
+  EXPECT_EQ(registry.Create("SUBSAMPLE")->name(), "RELEASE-DB");
+}
+
+// The registry's whole purpose: every registered algorithm round-trips
+// through the file format and resolves back to a queryable estimator
+// whose summary is exactly PredictedSizeBits long.
+class RegistryRoundTripTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(RegistryRoundTripTest, BuildWriteReadResolveLoad) {
+  const std::string name = GetParam();
+  util::Rng rng(20160625);
+  const std::size_t n = 400, d = 10;
+  const core::Database db = data::UniformRandom(n, d, 0.4, rng);
+  const core::SketchParams params = SmallParams();
+
+  const auto algo = sketch::BuiltinRegistry().Create(name);
+  ASSERT_NE(algo, nullptr);
+
+  sketch::SketchFile file;
+  file.algorithm = algo->name();
+  file.params = params;
+  file.n = n;
+  file.d = d;
+  file.summary = algo->Build(db, params, rng);
+  EXPECT_EQ(file.summary.size(), algo->PredictedSizeBits(n, d, params))
+      << name << " emitted a different size than it predicts";
+
+  std::stringstream stream;
+  ASSERT_TRUE(sketch::WriteSketch(stream, file));
+  const auto back = sketch::ReadSketch(stream);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->algorithm, name);
+  EXPECT_EQ(back->summary, file.summary);
+
+  // Resolution recovers the producer from the name alone.
+  const auto resolved = sketch::ResolveAlgorithm(*back);
+  ASSERT_NE(resolved, nullptr) << name;
+  EXPECT_EQ(resolved->name(), name);
+  EXPECT_EQ(back->summary.size(),
+            resolved->PredictedSizeBits(back->n, back->d, back->params));
+
+  const auto estimator = sketch::LoadEstimator(*back);
+  ASSERT_NE(estimator, nullptr);
+  // The reloaded estimator answers sensibly (within the trivial bounds;
+  // accuracy itself is each algorithm's own test suite's job).
+  const core::Itemset t(d, {1, 4});
+  const double f = estimator->EstimateFrequency(t);
+  EXPECT_GE(f, 0.0);
+  EXPECT_LE(f, 1.0);
+  EXPECT_NEAR(f, db.Frequency(t), 3 * params.eps);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuiltins, RegistryRoundTripTest,
+                         testing::Values("RELEASE-DB", "RELEASE-ANSWERS",
+                                         "SUBSAMPLE", "SUBSAMPLE-WOR",
+                                         "IMPORTANCE-SAMPLE",
+                                         "MEDIAN-BOOST(SUBSAMPLE)"),
+                         [](const auto& info) {
+                           std::string safe = info.param;
+                           for (char& c : safe) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return safe;
+                         });
+
+}  // namespace
+}  // namespace ifsketch

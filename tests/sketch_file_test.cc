@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "data/generators.h"
@@ -92,6 +95,100 @@ TEST(SketchFileTest, FileRoundTrip) {
   const auto back = LoadSketchFile(path);
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->summary, file.summary);
+}
+
+// Header layout (see sketch_file.cc): magic 4, version 2, name-length 2,
+// name L, k 4, eps 8, delta 8, scope 1, answer 1, n 8, d 8, bits 8.
+// For algorithm "SUBSAMPLE" (L=9): k@17, eps@21, scope@37, answer@38,
+// bits@55.
+std::string SerializedFile(util::Rng& rng) {
+  const SketchFile file = MakeFile(rng);
+  EXPECT_EQ(file.algorithm.size(), 9u);
+  std::stringstream stream;
+  EXPECT_TRUE(WriteSketch(stream, file));
+  return stream.str();
+}
+
+TEST(SketchFileTest, RejectsOutOfRangeScopeByte) {
+  util::Rng rng(5);
+  std::string data = SerializedFile(rng);
+  ASSERT_EQ(static_cast<unsigned char>(data[37]) & 0xfe, 0);  // sanity
+  for (const unsigned char bad : {2, 7, 255}) {
+    data[37] = static_cast<char>(bad);
+    std::stringstream corrupt(data);
+    EXPECT_FALSE(ReadSketch(corrupt).has_value()) << int{bad};
+  }
+}
+
+TEST(SketchFileTest, RejectsOutOfRangeAnswerByte) {
+  util::Rng rng(6);
+  std::string data = SerializedFile(rng);
+  for (const unsigned char bad : {2, 128}) {
+    data[38] = static_cast<char>(bad);
+    std::stringstream corrupt(data);
+    EXPECT_FALSE(ReadSketch(corrupt).has_value()) << int{bad};
+  }
+}
+
+TEST(SketchFileTest, RejectsZeroK) {
+  util::Rng rng(7);
+  std::string data = SerializedFile(rng);
+  data[17] = data[18] = data[19] = data[20] = 0;
+  std::stringstream corrupt(data);
+  EXPECT_FALSE(ReadSketch(corrupt).has_value());
+}
+
+TEST(SketchFileTest, RejectsNonFiniteOrOutOfRangeEps) {
+  util::Rng rng(8);
+  const std::string data = SerializedFile(rng);
+  const auto with_eps = [&data](double eps) {
+    std::string patched = data;
+    std::memcpy(&patched[21], &eps, sizeof(eps));
+    return patched;
+  };
+  for (const double bad :
+       {std::nan(""), std::numeric_limits<double>::infinity(), -0.5, 0.0,
+        1.5}) {
+    std::stringstream corrupt(with_eps(bad));
+    EXPECT_FALSE(ReadSketch(corrupt).has_value()) << bad;
+  }
+  std::stringstream fine(with_eps(0.25));
+  EXPECT_TRUE(ReadSketch(fine).has_value());
+}
+
+TEST(SketchFileTest, RejectsAbsurdBitCountWithoutAllocating) {
+  util::Rng rng(9);
+  std::string data = SerializedFile(rng);
+  // Claim ~2^60 payload bits with only a few real payload bytes behind
+  // them: must fail cleanly (and not try a 2^57-byte allocation). The
+  // all-ones count additionally probes the (bits + 7) / 8 overflow.
+  for (const std::uint64_t huge :
+       {std::uint64_t{1} << 60, ~std::uint64_t{0}, ~std::uint64_t{0} - 6}) {
+    std::string patched = data;
+    std::memcpy(&patched[55], &huge, sizeof(huge));
+    std::stringstream corrupt(patched);
+    EXPECT_FALSE(ReadSketch(corrupt).has_value()) << huge;
+  }
+}
+
+TEST(SketchFileTest, WriteRefusesOversizedAlgorithmName) {
+  util::Rng rng(11);
+  SketchFile file = MakeFile(rng);
+  file.algorithm.assign(70000, 'x');  // would truncate the u16 length
+  std::stringstream stream;
+  EXPECT_FALSE(WriteSketch(stream, file));
+}
+
+TEST(SketchFileTest, WriteRefusesParamsReadWouldReject) {
+  util::Rng rng(10);
+  SketchFile file = MakeFile(rng);
+  file.params.k = 0;
+  std::stringstream stream;
+  EXPECT_FALSE(WriteSketch(stream, file));
+  file.params.k = 2;
+  file.params.eps = 0.0;
+  std::stringstream stream2;
+  EXPECT_FALSE(WriteSketch(stream2, file));
 }
 
 TEST(SketchFileTest, ZeroBitSummary) {
