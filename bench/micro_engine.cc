@@ -1,20 +1,41 @@
 // Microbenchmarks: the Engine facade's batched query path vs N scalar
-// calls.
+// calls, now with a threads x batch-size sweep.
 //
-// The headline pair is BM_EngineScalar10k vs BM_EngineBatched10k: the
-// same 10,000 random 3-itemset queries against the same SUBSAMPLE
-// sketch, answered by a loop of estimate() (per-query row scans of the
-// decoded sample) vs one estimate_many() (one sample transpose shared
-// by the batch, then a popcount of ANDed columns per query). Answers
-// are bit-identical; only the work-sharing differs. The batched path
-// is expected to win by well over the 1.5x acceptance bar.
+// Two modes:
+//
+//   micro_engine [gbench flags]      Google Benchmark registrations
+//                                    (BM_EngineScalar10k vs
+//                                    BM_EngineBatched10k etc).
+//   micro_engine --json [out.json] [--threads 1,2,4,8] [--batch 1000,10000]
+//                                    machine-readable perf sweep.
+//
+// The --json mode emits one JSON array with the stable schema
+//   {"kernel": str, "threads": int, "batch": int, "ns_per_query": float}
+// so successive PRs can diff perf (see BENCH_*.json in CI artifacts).
+// Kernels:
+//   scalar        loop of engine.estimate() over the batch (threads
+//                 reported as 1: the scalar path never touches the pool)
+//   batched       one engine.estimate_many() over the batch, fanned out
+//                 across the default thread pool
+//   mine_scalar   full Apriori run through the scalar oracle; batch is 0
+//                 and ns_per_query is per full mine() call
+//   mine_batched  full Apriori run through the level-batched,
+//                 prefix-sharing driver; same reporting as mine_scalar
+//
+// Answers are bit-identical across every kernel pairing and thread
+// count; only the work-sharing differs.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "data/generators.h"
 #include "engine.h"
+#include "util/thread_pool.h"
 #include "util/random.h"
 
 namespace {
@@ -46,11 +67,11 @@ const Engine& SharedEngine() {
   return *engine;
 }
 
-std::vector<core::Itemset> Queries() {
+std::vector<core::Itemset> Queries(std::size_t count) {
   util::Rng rng(72);
   std::vector<core::Itemset> queries;
-  queries.reserve(kQueries);
-  for (std::size_t i = 0; i < kQueries; ++i) {
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
     core::Itemset t(kColumns);
     while (t.size() < 3) {
       t.Add(static_cast<std::size_t>(rng.UniformInt(kColumns)));
@@ -60,9 +81,11 @@ std::vector<core::Itemset> Queries() {
   return queries;
 }
 
+// ------------------------------------------------- Google Benchmark mode
+
 void BM_EngineScalar10k(benchmark::State& state) {
   const Engine& engine = SharedEngine();
-  const auto queries = Queries();
+  const auto queries = Queries(kQueries);
   std::vector<double> answers(queries.size());
   for (auto _ : state) {
     for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -75,9 +98,12 @@ void BM_EngineScalar10k(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineScalar10k)->Unit(benchmark::kMillisecond);
 
+// The batched path at several pool sizes; Arg is the thread count.
 void BM_EngineBatched10k(benchmark::State& state) {
+  util::ThreadPool::SetDefaultThreadCount(
+      static_cast<std::size_t>(state.range(0)));
   const Engine& engine = SharedEngine();
-  const auto queries = Queries();
+  const auto queries = Queries(kQueries);
   std::vector<double> answers;
   for (auto _ : state) {
     engine.estimate_many(queries, &answers);
@@ -85,8 +111,14 @@ void BM_EngineBatched10k(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(queries.size()));
+  util::ThreadPool::SetDefaultThreadCount(0);
 }
-BENCHMARK(BM_EngineBatched10k)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineBatched10k)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 // Batched mining: the same Apriori run, scalar oracle vs level-batched.
 void BM_EngineMineScalar(benchmark::State& state) {
@@ -113,4 +145,148 @@ void BM_EngineMineBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineMineBatched)->Unit(benchmark::kMillisecond);
 
+// ------------------------------------------------------ JSON sweep mode
+
+struct SweepRow {
+  std::string kernel;
+  std::size_t threads;
+  std::size_t batch;
+  double ns_per_query;
+};
+
+// Times `body` (one "run" answering `per_run` queries) until at least
+// ~100ms or 3 runs have elapsed, after one warmup, and returns ns per
+// query.
+template <typename Body>
+double TimeNsPerQuery(std::size_t per_run, const Body& body) {
+  using Clock = std::chrono::steady_clock;
+  body();  // warmup: view materialization, page faults
+  std::size_t runs = 0;
+  const auto start = Clock::now();
+  auto elapsed = start - start;
+  while (runs < 3 ||
+         elapsed < std::chrono::milliseconds(100)) {
+    body();
+    ++runs;
+    elapsed = Clock::now() - start;
+  }
+  const double total_ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count());
+  return total_ns / static_cast<double>(runs) /
+         static_cast<double>(per_run == 0 ? 1 : per_run);
+}
+
+std::vector<std::size_t> ParseList(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t next = csv.find(',', pos);
+    if (next == std::string::npos) next = csv.size();
+    const std::string token = csv.substr(pos, next - pos);
+    const long v = std::strtol(token.c_str(), nullptr, 10);
+    if (v > 0) out.push_back(static_cast<std::size_t>(v));
+    pos = next + 1;
+  }
+  return out;
+}
+
+int RunJsonSweep(const std::string& out_path,
+                 const std::vector<std::size_t>& thread_counts,
+                 const std::vector<std::size_t>& batch_sizes) {
+  const Engine& engine = SharedEngine();
+  std::vector<SweepRow> rows;
+
+  for (std::size_t batch : batch_sizes) {
+    const auto queries = Queries(batch);
+    std::vector<double> answers(batch);
+    // Scalar baseline: never touches the pool, so report it once.
+    const double scalar_ns = TimeNsPerQuery(batch, [&] {
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        answers[i] = engine.estimate(queries[i]);
+      }
+    });
+    rows.push_back({"scalar", 1, batch, scalar_ns});
+    for (std::size_t threads : thread_counts) {
+      util::ThreadPool::SetDefaultThreadCount(threads);
+      const double ns = TimeNsPerQuery(
+          batch, [&] { engine.estimate_many(queries, &answers); });
+      rows.push_back({"batched", threads, batch, ns});
+    }
+  }
+
+  mining::AprioriOptions opt;
+  opt.min_frequency = 0.05;
+  opt.max_size = 3;
+  const auto estimator = sketch::LoadEstimator(engine.file());
+  util::ThreadPool::SetDefaultThreadCount(1);
+  rows.push_back({"mine_scalar", 1, 0,
+                  TimeNsPerQuery(0, [&] {
+                    benchmark::DoNotOptimize(mining::MineWithEstimator(
+                        *estimator, kColumns, opt));
+                  })});
+  for (std::size_t threads : thread_counts) {
+    util::ThreadPool::SetDefaultThreadCount(threads);
+    rows.push_back({"mine_batched", threads, 0, TimeNsPerQuery(0, [&] {
+                      benchmark::DoNotOptimize(engine.mine(opt));
+                    })});
+  }
+  util::ThreadPool::SetDefaultThreadCount(0);
+
+  std::FILE* out =
+      out_path.empty() ? stdout : std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "  {\"kernel\": \"%s\", \"threads\": %zu, \"batch\": %zu, "
+                 "\"ns_per_query\": %.1f}%s\n",
+                 rows[i].kernel.c_str(), rows[i].threads, rows[i].batch,
+                 rows[i].ns_per_query, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string out_path;
+  std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  std::vector<std::size_t> batch_sizes = {1000, 10000};
+
+  // Strip the sweep flags; everything left goes to Google Benchmark.
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') out_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      thread_counts = ParseList(argv[++i]);
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch_sizes = ParseList(argv[++i]);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (json) {
+    if (thread_counts.empty() || batch_sizes.empty()) {
+      std::fprintf(stderr, "error: --threads/--batch need positive values\n");
+      return 2;
+    }
+    return RunJsonSweep(out_path, thread_counts, batch_sizes);
+  }
+  int gb_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&gb_argc, passthrough.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -25,6 +25,7 @@
 #include "data/io.h"
 #include "engine.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -39,6 +40,13 @@ int Usage() {
                "  ifsketch_cli info   <in.sk>\n"
                "  ifsketch_cli query  <in.sk> <attr> [attr...]\n"
                "  ifsketch_cli mine   <in.sk> <min_freq> <max_size>\n"
+               "\nflags:\n"
+               "  --algo NAME     sketching algorithm for `sketch` "
+               "(default SUBSAMPLE)\n"
+               "  --threads N     thread-pool size for batched queries "
+               "and mining\n"
+               "                  (default: IFSKETCH_THREADS env var, "
+               "else all cores)\n"
                "\nregistered algorithms (for --algo):\n");
   for (const auto& name : Engine::KnownAlgorithms()) {
     std::fprintf(stderr, "  %s\n", name.c_str());
@@ -215,14 +223,37 @@ int main(int argc, char** argv) {
   if (args.empty()) return Usage();
   const std::string cmd = args[0];
 
-  // Extract the one recognized flag wherever it appears.
+  // Extract the recognized flags wherever they appear.
   std::string algo_name = "SUBSAMPLE";
-  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
+  for (std::size_t i = 1; i + 1 < args.size();) {
     if (args[i] == "--algo") {
       algo_name = args[i + 1];
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-      break;
+    } else if (args[i] == "--threads") {
+      char* end = nullptr;
+      const long threads = std::strtol(args[i + 1].c_str(), &end, 10);
+      if (threads <= 0 || threads > 4096 || end == nullptr || *end != '\0') {
+        std::fprintf(stderr,
+                     "error: --threads needs a positive count (got \"%s\")\n",
+                     args[i + 1].c_str());
+        return 2;
+      }
+      util::ThreadPool::SetDefaultThreadCount(
+          static_cast<std::size_t>(threads));
+    } else {
+      ++i;
+      continue;
+    }
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+               args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+  }
+  // Anything flag-shaped still left is a typo or a flag missing its
+  // value; reject it rather than letting strtoull parse it as 0 (which
+  // would silently query attribute 0).
+  for (const std::string& a : args) {
+    if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unrecognized or valueless flag \"%s\"\n",
+                   a.c_str());
+      return 2;
     }
   }
 

@@ -1,48 +1,134 @@
 #include "core/column_store.h"
 
+#include <bit>
+#include <cstdint>
+
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace ifsketch::core {
+namespace {
+
+// Minimum queries per ParallelFor chunk. A query is a handful of passes
+// over n/64 words; batches below this are cheaper answered inline than
+// scheduled.
+constexpr std::size_t kSupportGrain = 32;
+
+}  // namespace
 
 ColumnStore::ColumnStore(const Database& db) : n_(db.num_rows()) {
-  columns_.reserve(db.num_columns());
-  for (std::size_t j = 0; j < db.num_columns(); ++j) {
-    columns_.push_back(db.Column(j));
+  columns_.assign(db.num_columns(), util::BitVector(n_));
+  // One pass over the row words; each set bit scatters into its column.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto& words = db.Row(i).words();
+    for (std::size_t wi = 0; wi < words.size(); ++wi) {
+      std::uint64_t w = words[wi];
+      while (w != 0) {
+        const std::size_t j =
+            wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+        columns_[j].Set(i, true);
+        w &= w - 1;
+      }
+    }
   }
+}
+
+ColumnStore::ColumnStore(std::size_t n, std::vector<util::BitVector> columns)
+    : n_(n), columns_(std::move(columns)) {
+  for (const auto& c : columns_) {
+    IFSKETCH_CHECK_EQ(c.size(), n_);
+  }
+}
+
+ColumnStore ColumnStore::FromRowMajorBits(const util::BitVector& bits,
+                                          std::size_t d) {
+  IFSKETCH_CHECK_GT(d, 0u);
+  IFSKETCH_CHECK_EQ(bits.size() % d, 0u);
+  const std::size_t n = bits.size() / d;
+  std::vector<util::BitVector> columns(d, util::BitVector(n));
+  const auto& words = bits.words();
+  for (std::size_t wi = 0; wi < words.size(); ++wi) {
+    std::uint64_t w = words[wi];
+    while (w != 0) {
+      const std::size_t bit =
+          wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+      columns[bit % d].Set(bit / d, true);
+      w &= w - 1;
+    }
+  }
+  return ColumnStore(n, std::move(columns));
 }
 
 std::size_t ColumnStore::SupportCount(const Itemset& t) const {
   IFSKETCH_CHECK_EQ(t.universe(), columns_.size());
   const auto attrs = t.Attributes();
   if (attrs.empty()) return n_;
-  util::BitVector acc = columns_[attrs[0]];
-  for (std::size_t i = 1; i < attrs.size(); ++i) {
-    acc &= columns_[attrs[i]];
-  }
-  return acc.Count();
+  if (attrs.size() == 1) return columns_[attrs[0]].Count();
+  std::vector<const util::BitVector*> operands;
+  operands.reserve(attrs.size());
+  for (std::size_t a : attrs) operands.push_back(&columns_[a]);
+  return util::BitVector::AndCountMany(operands);
 }
 
 void ColumnStore::SupportCounts(const std::vector<Itemset>& ts,
                                 std::vector<std::size_t>* counts) const {
   counts->resize(ts.size());
-  util::BitVector acc;
-  for (std::size_t q = 0; q < ts.size(); ++q) {
-    const Itemset& t = ts[q];
+  // Universe checks hoisted out of the counting kernel: one cheap
+  // pre-pass keeps the hot loop free of per-query validation.
+  for (const Itemset& t : ts) {
     IFSKETCH_CHECK_EQ(t.universe(), columns_.size());
-    const auto attrs = t.Attributes();
+  }
+  std::size_t* out = counts->data();
+  util::ThreadPool::Default().ParallelFor(
+      0, ts.size(), kSupportGrain,
+      [this, &ts, out](std::size_t first, std::size_t last) {
+        CountRange(ts, first, last, out);
+      });
+}
+
+void ColumnStore::CountRange(const std::vector<Itemset>& ts,
+                             std::size_t first, std::size_t last,
+                             std::size_t* counts) const {
+  // Chunk-local prefix accumulator: `prefix` is the AND of all but the
+  // last attribute of the query in `prefix_attrs` (empty = no cached
+  // prefix). Chunk boundaries only forgo a reuse opportunity; every
+  // path computes the exact same popcount.
+  util::BitVector prefix;
+  std::vector<std::size_t> prefix_attrs;
+  std::vector<const util::BitVector*> operands;
+  std::vector<std::size_t> attrs;
+  std::vector<std::size_t> next_attrs;
+  if (first < last) attrs = ts[first].Attributes();
+  for (std::size_t q = first; q < last; ++q) {
+    const bool has_next = q + 1 < last;
+    if (has_next) next_attrs = ts[q + 1].Attributes();
     if (attrs.empty()) {
-      (*counts)[q] = n_;
+      counts[q] = n_;
     } else if (attrs.size() == 1) {
-      (*counts)[q] = columns_[attrs[0]].Count();
+      counts[q] = columns_[attrs[0]].Count();
     } else if (attrs.size() == 2) {
-      (*counts)[q] = columns_[attrs[0]].AndCount(columns_[attrs[1]]);
-    } else {
-      acc = columns_[attrs[0]];
-      for (std::size_t i = 1; i < attrs.size(); ++i) {
-        acc &= columns_[attrs[i]];
+      counts[q] = columns_[attrs[0]].AndCount(columns_[attrs[1]]);
+    } else if (SharesAprioriPrefix(prefix_attrs, attrs)) {
+      // Sibling of the query that built `prefix`: one fused AND-popcount.
+      counts[q] = prefix.AndCount(columns_[attrs.back()]);
+    } else if (has_next && SharesAprioriPrefix(attrs, next_attrs)) {
+      // Head of a sibling run: materialize the prefix once, then this
+      // query and each sibling cost one column AND each.
+      prefix = columns_[attrs[0]];
+      for (std::size_t i = 1; i + 1 < attrs.size(); ++i) {
+        prefix &= columns_[attrs[i]];
       }
-      (*counts)[q] = acc.Count();
+      prefix_attrs = attrs;
+      counts[q] = prefix.AndCount(columns_[attrs.back()]);
+    } else {
+      // Isolated query: fused multi-operand kernel, single pass, no
+      // accumulator materialized.
+      operands.clear();
+      for (std::size_t a : attrs) operands.push_back(&columns_[a]);
+      counts[q] = util::BitVector::AndCountMany(operands);
+      prefix_attrs.clear();
     }
+    attrs.swap(next_attrs);
   }
 }
 

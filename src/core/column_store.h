@@ -6,6 +6,24 @@
 // one n-bit column per attribute and compute support as the popcount of
 // the word-parallel AND of T's columns -- O(n/64 * |T|) instead of
 // O(n * d/64).
+//
+// SupportCounts is the hot path behind every batched sketch query
+// (EstimateMany / AreFrequent / Apriori levels). It layers three
+// optimizations on the naive per-query loop, none of which changes a
+// single count:
+//   1. Fan-out: the batch is split into contiguous chunks run on
+//      util::ThreadPool::Default(); each query writes only its own
+//      result slot, so answers are deterministic at any thread count.
+//   2. Fused kernels: an isolated q-attribute query is answered by
+//      util::BitVector::AndCountMany -- one pass over the column words,
+//      popcounting while ANDing, no materialized accumulator.
+//   3. Prefix sharing: consecutive queries that agree on all but their
+//      last attribute (exactly how the Apriori driver emits candidate
+//      levels) reuse one materialized (q-1)-prefix accumulator, so a
+//      run of siblings costs ~one column AND each instead of q-1.
+//
+// All methods are const and safe to call concurrently once the store is
+// constructed.
 #ifndef IFSKETCH_CORE_COLUMN_STORE_H_
 #define IFSKETCH_CORE_COLUMN_STORE_H_
 
@@ -15,11 +33,37 @@
 
 namespace ifsketch::core {
 
-/// Immutable column-major copy of a database, for fast frequency queries.
+/// The Apriori sibling relation: true when `a` and `b` have the same
+/// cardinality and agree on every attribute but their last, so they can
+/// share one (|a|-1)-prefix AND accumulator. Both vectors must be
+/// ascending attribute lists (Itemset::Attributes() order).
+inline bool SharesAprioriPrefix(const std::vector<std::size_t>& a,
+                                const std::vector<std::size_t>& b) {
+  if (a.size() != b.size() || a.empty()) return false;
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+/// Immutable column-major view of a database, for fast frequency queries.
 class ColumnStore {
  public:
-  /// Transposes `db` (O(n*d)).
+  /// Transposes `db` in one pass over its row words (O(n*d) bit work,
+  /// unavoidable when starting from rows).
   explicit ColumnStore(const Database& db);
+
+  /// Adopts already-transposed columns without copying: O(d) moves.
+  /// Every column must be `n` bits.
+  ColumnStore(std::size_t n, std::vector<util::BitVector> columns);
+
+  /// Decodes a row-major bit string (bits.size() / d rows of d bits --
+  /// the payload layout of RELEASE-DB and the sample summaries)
+  /// straight into columns, skipping the intermediate row Database a
+  /// decode-then-transpose would materialize. Preconditions: d > 0,
+  /// bits.size() divisible by d.
+  static ColumnStore FromRowMajorBits(const util::BitVector& bits,
+                                      std::size_t d);
 
   std::size_t num_rows() const { return n_; }
   std::size_t num_columns() const { return columns_.size(); }
@@ -27,10 +71,9 @@ class ColumnStore {
   /// Rows containing T, by ANDing T's columns.
   std::size_t SupportCount(const Itemset& t) const;
 
-  /// Batched SupportCount: counts[i] = SupportCount(ts[i]). One AND
-  /// accumulator is reused across the whole batch, so per-query
-  /// allocations vanish and 1- and 2-attribute queries reduce to plain
-  /// popcounts of the stored columns.
+  /// Batched SupportCount: counts[i] = SupportCount(ts[i]), bit-identical
+  /// to the scalar loop. Runs on the default thread pool and shares
+  /// prefix accumulators across adjacent queries (see file comment).
   void SupportCounts(const std::vector<Itemset>& ts,
                      std::vector<std::size_t>* counts) const;
 
@@ -43,6 +86,12 @@ class ColumnStore {
   }
 
  private:
+  // Serial kernel behind SupportCounts: answers queries [first, last)
+  // into counts[first..last). Chunk-local state only, so chunks can run
+  // concurrently.
+  void CountRange(const std::vector<Itemset>& ts, std::size_t first,
+                  std::size_t last, std::size_t* counts) const;
+
   std::size_t n_;
   std::vector<util::BitVector> columns_;
 };

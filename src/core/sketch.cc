@@ -2,7 +2,17 @@
 
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace ifsketch::core {
+namespace {
+
+// Minimum queries per chunk for the default batched paths. Scalar
+// EstimateFrequency/IsFrequent calls scan whole summaries, so even small
+// chunks amortize the scheduling cost.
+constexpr std::size_t kBatchGrain = 8;
+
+}  // namespace
 
 bool ValidSketchParams(const SketchParams& params) {
   return params.k >= 1 && std::isfinite(params.eps) && params.eps > 0.0 &&
@@ -33,17 +43,30 @@ const char* ToString(Answer answer) {
 void FrequencyEstimator::EstimateMany(const std::vector<Itemset>& ts,
                                       std::vector<double>* answers) const {
   answers->resize(ts.size());
-  for (std::size_t i = 0; i < ts.size(); ++i) {
-    (*answers)[i] = EstimateFrequency(ts[i]);
-  }
+  double* out = answers->data();
+  util::ThreadPool::Default().ParallelFor(
+      0, ts.size(), kBatchGrain,
+      [this, &ts, out](std::size_t first, std::size_t last) {
+        for (std::size_t i = first; i < last; ++i) {
+          out[i] = EstimateFrequency(ts[i]);
+        }
+      });
 }
 
 void FrequencyIndicator::AreFrequent(const std::vector<Itemset>& ts,
                                      std::vector<bool>* answers) const {
-  answers->resize(ts.size());
-  for (std::size_t i = 0; i < ts.size(); ++i) {
-    (*answers)[i] = IsFrequent(ts[i]);
-  }
+  // std::vector<bool> packs bits, so concurrent writes to distinct
+  // indices race; collect into bytes and copy once at the end.
+  std::vector<char> bits(ts.size());
+  char* out = bits.data();
+  util::ThreadPool::Default().ParallelFor(
+      0, ts.size(), kBatchGrain,
+      [this, &ts, out](std::size_t first, std::size_t last) {
+        for (std::size_t i = first; i < last; ++i) {
+          out[i] = IsFrequent(ts[i]) ? 1 : 0;
+        }
+      });
+  answers->assign(bits.begin(), bits.end());
 }
 
 void ThresholdIndicator::AreFrequent(const std::vector<Itemset>& ts,

@@ -28,7 +28,17 @@
 // points are semantically identical to a loop of scalar calls -- answers
 // are bit-for-bit the same -- but concrete estimators override them to
 // amortize shared work (e.g. transposing a sample into a column store
-// once per batch instead of scanning rows per query).
+// once at load time and answering each query as a popcount of ANDed
+// columns).
+//
+// Threading contract: loaded views must be immutable -- every query
+// method is const and safe to call concurrently, with no lazily-built
+// mutable caches. The default EstimateMany/AreFrequent (and the
+// column-store overrides) fan batches out across
+// util::ThreadPool::Default(); each query writes only its own answer
+// slot, so batched answers stay bit-identical to the scalar loop at any
+// thread count. Implementations of EstimateFrequency/IsFrequent
+// therefore must be safe to call from multiple threads at once.
 #ifndef IFSKETCH_CORE_SKETCH_H_
 #define IFSKETCH_CORE_SKETCH_H_
 

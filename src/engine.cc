@@ -54,22 +54,22 @@ std::vector<std::string> Engine::KnownAlgorithms() {
 }
 
 const core::FrequencyEstimator& Engine::estimator() const {
-  if (estimator_ == nullptr) {
+  std::call_once(views_->estimator_once, [this] {
     // The estimator view only exists for estimator-flavored summaries
     // (e.g. RELEASE-ANSWERS stores single decision bits otherwise).
     IFSKETCH_CHECK(file_.params.answer == core::Answer::kEstimator);
-    estimator_ = algo_->LoadEstimator(file_.summary, file_.params, file_.d,
-                                      file_.n);
-  }
-  return *estimator_;
+    views_->estimator = algo_->LoadEstimator(file_.summary, file_.params,
+                                             file_.d, file_.n);
+  });
+  return *views_->estimator;
 }
 
 const core::FrequencyIndicator& Engine::indicator() const {
-  if (indicator_ == nullptr) {
-    indicator_ = algo_->LoadIndicator(file_.summary, file_.params, file_.d,
-                                      file_.n);
-  }
-  return *indicator_;
+  std::call_once(views_->indicator_once, [this] {
+    views_->indicator = algo_->LoadIndicator(file_.summary, file_.params,
+                                             file_.d, file_.n);
+  });
+  return *views_->indicator;
 }
 
 bool Engine::supports_query_size(std::size_t size) const {

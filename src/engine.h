@@ -19,10 +19,22 @@
 // through the batched query path (core::FrequencyEstimator::EstimateMany)
 // which shares column scans across the batch; mine() batches each Apriori
 // level the same way.
+//
+// Threading contract: every query method is const and safe to call from
+// any number of threads concurrently on one Engine. Lazy view
+// materialization is guarded by std::call_once, and the built-in views
+// are immutable once loaded. Batched queries (estimate_many,
+// are_frequent, mine) additionally fan each batch out across
+// util::ThreadPool::Default(); answers are bit-identical to the serial
+// scalar loop at every thread count. Size the pool with
+// util::ThreadPool::SetDefaultThreadCount (or the IFSKETCH_THREADS
+// environment variable) from configuration code, before queries are in
+// flight. Save/Build/Open are not synchronized against each other.
 #ifndef IFSKETCH_ENGINE_H_
 #define IFSKETCH_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -109,18 +121,31 @@ class Engine {
   std::string info() const;
 
  private:
+  // Lazily-materialized query views plus their once-flags. Heap-held so
+  // Engine stays movable (std::once_flag is neither movable nor
+  // copyable); shared so copies of an Engine share the deserialized
+  // views (they are pure functions of the immutable file contents).
+  struct ViewCache {
+    std::once_flag estimator_once;
+    std::once_flag indicator_once;
+    std::shared_ptr<const core::FrequencyEstimator> estimator;
+    std::shared_ptr<const core::FrequencyIndicator> indicator;
+  };
+
   Engine(sketch::SketchFile file,
          std::shared_ptr<const core::SketchAlgorithm> algo)
-      : file_(std::move(file)), algo_(std::move(algo)) {}
+      : file_(std::move(file)),
+        algo_(std::move(algo)),
+        views_(std::make_shared<ViewCache>()) {}
 
   const core::FrequencyEstimator& estimator() const;
   const core::FrequencyIndicator& indicator() const;
 
   sketch::SketchFile file_;
   std::shared_ptr<const core::SketchAlgorithm> algo_;
-  // Query views are deserialized on first use and cached.
-  mutable std::shared_ptr<const core::FrequencyEstimator> estimator_;
-  mutable std::shared_ptr<const core::FrequencyIndicator> indicator_;
+  // Query views are deserialized on first use (std::call_once, so
+  // concurrent first queries are safe) and cached.
+  std::shared_ptr<ViewCache> views_;
 };
 
 }  // namespace ifsketch

@@ -100,10 +100,18 @@ std::vector<FrequentItemset> MineFrequentItemsetsBatched(
   }
 
   // Levels 2..max_size: generate all pruned candidates, then one batch.
+  // `level` is kept sorted, so the i-major join order below emits each
+  // level's candidates grouped by their (size-1)-prefix: every candidate
+  // joined from level[i] is level[i] + {x} with x > level[i].back(), and
+  // consecutive candidates share the prefix level[i]. The batched
+  // evaluators exploit exactly this adjacency (ColumnStore::SupportCounts
+  // prefix sharing) to answer a run of siblings with ~one column AND
+  // each instead of size-1.
   for (std::size_t size = 2;
        size <= options.max_size && !level.empty() &&
        results.size() < options.max_results;
        ++size) {
+    std::sort(level.begin(), level.end());
     const std::set<Attrs> previous(level.begin(), level.end());
     std::vector<Attrs> candidates;
     queries.clear();

@@ -47,10 +47,12 @@ std::vector<FrequentItemset> MineFrequentItemsets(
     const AprioriOptions& options);
 
 /// Level-batched Apriori: generates each level's surviving candidates
-/// first, then evaluates them through one `frequency` call. With a
-/// batch-optimized estimator (EstimateMany) this shares the bit-vector
-/// scans across the whole level. Mines the same itemsets as
-/// MineFrequentItemsets over an agreeing scalar oracle.
+/// first, then evaluates them through one `frequency` call. Candidates
+/// are emitted grouped by their (size-1)-prefix, so batch evaluators
+/// that share prefix AND-accumulators across adjacent sibling queries
+/// (ColumnStore::SupportCounts) answer a level of C candidates with
+/// ~one column AND per candidate instead of size-1. Mines the same
+/// itemsets as MineFrequentItemsets over an agreeing scalar oracle.
 std::vector<FrequentItemset> MineFrequentItemsetsBatched(
     std::size_t d, const BatchFrequencyFn& frequency,
     const AprioriOptions& options);

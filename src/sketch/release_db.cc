@@ -7,39 +7,38 @@
 namespace ifsketch::sketch {
 namespace {
 
-/// Queries the decoded database exactly. Batched queries go through a
-/// lazily-built ColumnStore so the row scans are shared across the batch;
-/// counts are exact either way, so answers match the scalar path bit for
-/// bit.
+/// Queries the decoded database exactly, through a column store built
+/// once at load time. Counts are exact integers on either layout, so
+/// scalar and batched answers are bit-identical; with no lazily-built
+/// cache the view is immutable after construction and safe for
+/// concurrent queries. Batched queries fan out across the default
+/// thread pool inside ColumnStore::SupportCounts.
 class ExactEstimator : public core::FrequencyEstimator {
  public:
-  explicit ExactEstimator(core::Database db) : db_(std::move(db)) {}
+  explicit ExactEstimator(core::ColumnStore columns)
+      : columns_(std::move(columns)) {}
 
   double EstimateFrequency(const core::Itemset& t) const override {
-    return db_.Frequency(t);
+    return columns_.Frequency(t);
   }
 
   void EstimateMany(const std::vector<core::Itemset>& ts,
                     std::vector<double>* answers) const override {
-    if (db_.num_rows() == 0) {
+    if (columns_.num_rows() == 0) {
       answers->assign(ts.size(), 0.0);
       return;
     }
-    if (columns_ == nullptr) {
-      columns_ = std::make_unique<core::ColumnStore>(db_);
-    }
     std::vector<std::size_t> counts;
-    columns_->SupportCounts(ts, &counts);
+    columns_.SupportCounts(ts, &counts);
     answers->resize(ts.size());
-    const double n = static_cast<double>(db_.num_rows());
+    const double n = static_cast<double>(columns_.num_rows());
     for (std::size_t i = 0; i < ts.size(); ++i) {
       (*answers)[i] = static_cast<double>(counts[i]) / n;
     }
   }
 
  private:
-  core::Database db_;
-  mutable std::unique_ptr<core::ColumnStore> columns_;  // built on demand
+  core::ColumnStore columns_;
 };
 
 }  // namespace
@@ -57,7 +56,11 @@ util::BitVector ReleaseDbSketch::Build(const core::Database& db,
 std::unique_ptr<core::FrequencyEstimator> ReleaseDbSketch::LoadEstimator(
     const util::BitVector& summary, const core::SketchParams& /*params*/,
     std::size_t d, std::size_t n) const {
-  return std::make_unique<ExactEstimator>(Decode(summary, d, n));
+  // The summary is the row-major database itself; decode straight into
+  // columns (no intermediate row database) and adopt them in O(d).
+  IFSKETCH_CHECK_EQ(summary.size(), n * d);
+  return std::make_unique<ExactEstimator>(
+      core::ColumnStore::FromRowMajorBits(summary, d));
 }
 
 std::size_t ReleaseDbSketch::PredictedSizeBits(

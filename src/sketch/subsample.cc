@@ -8,49 +8,47 @@
 namespace ifsketch::sketch {
 namespace {
 
-/// Evaluates queries on the decoded sample. Scalar queries scan the
-/// sample row by row; batched queries transpose it into a ColumnStore
-/// once (amortized over the batch) and answer each query as a popcount
-/// of ANDed columns. Both paths count the same rows, so answers are
-/// bit-identical.
+/// Evaluates queries on the decoded sample through a column store built
+/// once at load time. Support counts are exact integers whether computed
+/// by a row scan or a popcount of ANDed columns, so scalar and batched
+/// answers are bit-identical -- and with no lazily-built cache, the view
+/// is immutable after construction and safe to query from any number of
+/// threads concurrently. Batched queries additionally fan out across the
+/// default thread pool inside ColumnStore::SupportCounts.
 class SampleEstimator : public core::FrequencyEstimator {
  public:
-  explicit SampleEstimator(core::Database sample)
-      : sample_(std::move(sample)) {}
+  explicit SampleEstimator(core::ColumnStore columns)
+      : columns_(std::move(columns)) {}
 
   double EstimateFrequency(const core::Itemset& t) const override {
-    return sample_.Frequency(t);
+    return columns_.Frequency(t);
   }
 
   void EstimateMany(const std::vector<core::Itemset>& ts,
                     std::vector<double>* answers) const override {
-    if (sample_.num_rows() == 0) {
+    if (columns_.num_rows() == 0) {
       answers->assign(ts.size(), 0.0);
       return;
     }
-    if (columns_ == nullptr) {
-      columns_ = std::make_unique<core::ColumnStore>(sample_);
-    }
     std::vector<std::size_t> counts;
-    columns_->SupportCounts(ts, &counts);
+    columns_.SupportCounts(ts, &counts);
     answers->resize(ts.size());
-    const double n = static_cast<double>(sample_.num_rows());
+    const double n = static_cast<double>(columns_.num_rows());
     for (std::size_t i = 0; i < ts.size(); ++i) {
       (*answers)[i] = static_cast<double>(counts[i]) / n;
     }
   }
 
  private:
-  core::Database sample_;
-  mutable std::unique_ptr<core::ColumnStore> columns_;  // built on demand
+  core::ColumnStore columns_;
 };
 
 /// Indicator decision rule: declare frequent iff the sample frequency is
 /// at least 3eps/4, the midpoint of the (eps/2, eps] uncertainty band.
 class SampleIndicator : public core::FrequencyIndicator {
  public:
-  SampleIndicator(core::Database sample, double eps)
-      : estimator_(std::move(sample)), eps_(eps) {}
+  SampleIndicator(core::ColumnStore columns, double eps)
+      : estimator_(std::move(columns)), eps_(eps) {}
 
   bool IsFrequent(const core::Itemset& t) const override {
     return estimator_.EstimateFrequency(t) >= 0.75 * eps_;
@@ -118,14 +116,17 @@ core::Database SubsampleSketch::DecodeSample(const util::BitVector& summary,
 std::unique_ptr<core::FrequencyEstimator> SubsampleSketch::LoadEstimator(
     const util::BitVector& summary, const core::SketchParams& /*params*/,
     std::size_t d, std::size_t /*n*/) const {
-  return std::make_unique<SampleEstimator>(DecodeSample(summary, d));
+  // The summary is row-major sample bits; decode straight into columns
+  // (no intermediate row database) and adopt them in O(d).
+  return std::make_unique<SampleEstimator>(
+      core::ColumnStore::FromRowMajorBits(summary, d));
 }
 
 std::unique_ptr<core::FrequencyIndicator> SubsampleSketch::LoadIndicator(
     const util::BitVector& summary, const core::SketchParams& params,
     std::size_t d, std::size_t /*n*/) const {
-  return std::make_unique<SampleIndicator>(DecodeSample(summary, d),
-                                           params.eps);
+  return std::make_unique<SampleIndicator>(
+      core::ColumnStore::FromRowMajorBits(summary, d), params.eps);
 }
 
 std::size_t SubsampleSketch::PredictedSizeBits(

@@ -51,6 +51,24 @@ std::size_t BitVector::AndCount(const BitVector& other) const {
   return c;
 }
 
+std::size_t BitVector::AndCountMany(const BitVector* const* operands,
+                                    std::size_t count) {
+  IFSKETCH_CHECK_GE(count, 1u);
+  const BitVector& first = *operands[0];
+  for (std::size_t j = 1; j < count; ++j) {
+    IFSKETCH_CHECK_EQ(first.size_, operands[j]->size_);
+  }
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < first.words_.size(); ++i) {
+    std::uint64_t w = first.words_[i];
+    for (std::size_t j = 1; j < count; ++j) {
+      w &= operands[j]->words_[i];
+    }
+    c += std::popcount(w);
+  }
+  return c;
+}
+
 BitVector& BitVector::operator&=(const BitVector& other) {
   IFSKETCH_CHECK_EQ(size_, other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];

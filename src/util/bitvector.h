@@ -66,6 +66,22 @@ class BitVector {
   /// Precondition: same size.
   std::size_t AndCount(const BitVector& other) const;
 
+  /// Popcount of the AND of all `count` operands, fused into a single
+  /// pass over the words: each word is ANDed across the operands in a
+  /// register and popcounted immediately, with no materialized
+  /// accumulator vector. Equivalent to folding operator&= over the
+  /// operands and calling Count(), at one memory pass instead of
+  /// count-1. Preconditions: count >= 1, all operands non-null and the
+  /// same size.
+  static std::size_t AndCountMany(const BitVector* const* operands,
+                                  std::size_t count);
+
+  /// Convenience overload over a vector of operand pointers.
+  static std::size_t AndCountMany(
+      const std::vector<const BitVector*>& operands) {
+    return AndCountMany(operands.data(), operands.size());
+  }
+
   /// In-place bitwise operations. Precondition: same size.
   BitVector& operator&=(const BitVector& other);
   BitVector& operator|=(const BitVector& other);

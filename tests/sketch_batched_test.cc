@@ -14,6 +14,7 @@
 #include "mining/apriori.h"
 #include "sketch/builtin_algorithms.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace ifsketch {
 namespace {
@@ -127,6 +128,67 @@ TEST(ColumnStoreBatchTest, SupportCountsMatchesScalar) {
     EXPECT_EQ(store.SupportCount(queries[i]), counts[i]) << i;
     EXPECT_EQ(db.SupportCount(queries[i]), counts[i]) << i;
   }
+}
+
+// An Apriori-level-shaped batch (runs of queries sharing their
+// (k-1)-prefix, interleaved with isolated queries) exercises every path
+// of the prefix-sharing kernel; counts must match the scalar fold at
+// every thread count.
+TEST(ColumnStoreBatchTest, PrefixSharedLevelMatchesScalarAtEveryThreadCount) {
+  util::Rng rng(17);
+  const std::size_t d = 16;
+  const core::Database db = data::UniformRandom(700, d, 0.4, rng);
+  const core::ColumnStore store(db);
+
+  std::vector<core::Itemset> queries;
+  // Sibling runs {0,1,x}, {0,2,x}, {5,6,7,x} -- heads materialize a
+  // prefix, siblings reuse it.
+  for (std::size_t x = 2; x < d; ++x) {
+    queries.emplace_back(d, std::vector<std::size_t>{0, 1, x});
+  }
+  for (std::size_t x = 3; x < d; ++x) {
+    queries.emplace_back(d, std::vector<std::size_t>{0, 2, x});
+  }
+  // Isolated queries between runs take the fused AndCountMany path and
+  // must invalidate the cached prefix.
+  queries.emplace_back(d, std::vector<std::size_t>{3, 9, 11, 14});
+  for (std::size_t x = 8; x < d; ++x) {
+    queries.emplace_back(d, std::vector<std::size_t>{5, 6, 7, x});
+  }
+  queries.emplace_back(d);  // empty
+  queries.emplace_back(d, std::vector<std::size_t>{4});
+  queries.emplace_back(d, std::vector<std::size_t>{4, 10});
+
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    util::ThreadPool::SetDefaultThreadCount(threads);
+    std::vector<std::size_t> counts;
+    store.SupportCounts(queries, &counts);
+    ASSERT_EQ(counts.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(db.SupportCount(queries[i]), counts[i])
+          << "query " << i << " at " << threads << " threads";
+    }
+  }
+  util::ThreadPool::SetDefaultThreadCount(0);
+}
+
+TEST(ColumnStoreBatchTest, AdoptedColumnsMatchTransposedStore) {
+  util::Rng rng(18);
+  const std::size_t d = 11;
+  const core::Database db = data::UniformRandom(300, d, 0.5, rng);
+  std::vector<util::BitVector> columns;
+  columns.reserve(d);
+  for (std::size_t j = 0; j < d; ++j) columns.push_back(db.Column(j));
+  // O(d) adopting constructor vs O(n*d) transpose: same store.
+  const core::ColumnStore adopted(db.num_rows(), std::move(columns));
+  const core::ColumnStore transposed(db);
+  ASSERT_EQ(adopted.num_rows(), transposed.num_rows());
+  ASSERT_EQ(adopted.num_columns(), transposed.num_columns());
+  const auto queries = MixedQueries(d, rng);
+  std::vector<std::size_t> a, b;
+  adopted.SupportCounts(queries, &a);
+  transposed.SupportCounts(queries, &b);
+  EXPECT_EQ(a, b);
 }
 
 TEST(BatchedMiningTest, BatchedMinerMatchesScalarMiner) {

@@ -1,0 +1,100 @@
+// util::ThreadPool: the chunked ParallelFor must cover ranges exactly
+// once with contiguous chunks, at any pool size, including concurrent
+// loops issued from many caller threads at once.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace ifsketch {
+namespace {
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    util::ThreadPool pool(threads);
+    const std::size_t n = 10013;  // not a multiple of any chunk size
+    std::vector<std::atomic<int>> visits(n);
+    pool.ParallelFor(0, n, /*grain=*/7,
+                     [&](std::size_t first, std::size_t last) {
+                       ASSERT_LT(first, last);
+                       ASSERT_LE(last, n);
+                       for (std::size_t i = first; i < last; ++i) {
+                         visits[i].fetch_add(1);
+                       }
+                     });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << " at " << threads
+                                     << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndTinyRanges) {
+  util::ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(5, 5, 1, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+
+  std::vector<int> one(1, 0);
+  pool.ParallelFor(0, 1, 64,
+                   [&](std::size_t first, std::size_t last) {
+                     for (std::size_t i = first; i < last; ++i) one[i] = 7;
+                   });
+  EXPECT_EQ(one[0], 7);
+}
+
+TEST(ThreadPoolTest, SmallRangesRunInline) {
+  // A range below one grain must execute as a single chunk (on the
+  // caller), regardless of pool size.
+  util::ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  pool.ParallelFor(0, 10, /*grain=*/32,
+                   [&](std::size_t first, std::size_t last) {
+                     EXPECT_EQ(first, 0u);
+                     EXPECT_EQ(last, 10u);
+                     chunks.fetch_add(1);
+                   });
+  EXPECT_EQ(chunks.load(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentLoopsFromManyCallers) {
+  util::ThreadPool pool(4);
+  constexpr std::size_t kCallers = 6;
+  constexpr std::size_t kN = 4096;
+  std::vector<std::vector<std::size_t>> results(kCallers,
+                                                std::vector<std::size_t>(kN));
+  std::vector<std::thread> callers;
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.ParallelFor(0, kN, 16, [&, c](std::size_t first, std::size_t last) {
+        for (std::size_t i = first; i < last; ++i) {
+          results[c][i] = c * kN + i;
+        }
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(results[c][i], c * kN + i);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, DefaultPoolResizes) {
+  util::ThreadPool::SetDefaultThreadCount(3);
+  EXPECT_EQ(util::ThreadPool::DefaultThreadCount(), 3u);
+  EXPECT_EQ(util::ThreadPool::Default().thread_count(), 3u);
+  util::ThreadPool::SetDefaultThreadCount(1);
+  EXPECT_EQ(util::ThreadPool::Default().thread_count(), 1u);
+  util::ThreadPool::SetDefaultThreadCount(0);  // back to auto
+  EXPECT_GE(util::ThreadPool::DefaultThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace ifsketch
