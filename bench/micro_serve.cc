@@ -1,0 +1,271 @@
+// micro_serve: serving overhead on the perf trajectory.
+//
+//   micro_serve --json [out.json] [--clients 1,2,4,8] [--batch 1000]
+//               [--rounds 50]
+//
+// Compares direct Engine::estimate_many calls against the same batches
+// served through the wire protocol over an in-process loopback transport
+// (serve/transport.h) -- the full encode/frame/dispatch/route/coalesce/
+// decode path minus the kernel, with no socket noise -- at 1/2/4/8
+// concurrent clients. Each served client owns one connection into a
+// dedicated ServeConnection thread; all connections share one Router, so
+// concurrent clients exercise the cross-client coalescing path.
+//
+// Emits the repo's stable bench schema
+//   {"kernel": str, "threads": int, "batch": int, "ns_per_query": float}
+// where `threads` is the number of concurrent clients:
+//   direct           C threads calling engine.estimate_many directly
+//   served_loopback  C protocol clients through the loopback server
+// Answers are bit-identical between the two kernels (asserted on every
+// run); only the serving layer differs.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generators.h"
+#include "engine.h"
+#include "serve/client.h"
+#include "serve/pod.h"
+#include "serve/router.h"
+#include "serve/server.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ifsketch;
+
+constexpr std::size_t kRows = 50000;
+constexpr std::size_t kColumns = 64;
+constexpr char kSketchName[] = "bench";
+
+core::SketchParams Params() {
+  core::SketchParams p;
+  p.k = 3;
+  p.eps = 0.05;
+  p.delta = 0.05;
+  p.scope = core::Scope::kForAll;
+  p.answer = core::Answer::kEstimator;
+  return p;
+}
+
+/// Per-client query batch as raw attribute lists (what the client sends)
+/// plus the equivalent Itemsets (what the direct kernel consumes).
+struct ClientBatch {
+  std::vector<std::vector<std::uint32_t>> wire;
+  std::vector<core::Itemset> itemsets;
+};
+
+ClientBatch MakeBatch(std::size_t count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ClientBatch batch;
+  batch.wire.reserve(count);
+  batch.itemsets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    core::Itemset t(kColumns);
+    while (t.size() < 3) {
+      t.Add(static_cast<std::size_t>(rng.UniformInt(kColumns)));
+    }
+    std::vector<std::uint32_t> attrs;
+    for (std::size_t a : t.Attributes()) {
+      attrs.push_back(static_cast<std::uint32_t>(a));
+    }
+    batch.wire.push_back(std::move(attrs));
+    batch.itemsets.push_back(std::move(t));
+  }
+  return batch;
+}
+
+double ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+std::vector<std::size_t> ParseList(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t next = csv.find(',', pos);
+    if (next == std::string::npos) next = csv.size();
+    const long v = std::strtol(csv.substr(pos, next - pos).c_str(),
+                               nullptr, 10);
+    if (v > 0) out.push_back(static_cast<std::size_t>(v));
+    pos = next + 1;
+  }
+  return out;
+}
+
+struct Row {
+  std::string kernel;
+  std::size_t clients;
+  std::size_t batch;
+  double ns_per_query;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::size_t> client_counts = {1, 2, 4, 8};
+  std::vector<std::size_t> batch_sizes = {1000};
+  std::size_t rounds = 50;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') out_path = argv[++i];
+    } else if (arg == "--clients" && i + 1 < argc) {
+      client_counts = ParseList(argv[++i]);
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch_sizes = ParseList(argv[++i]);
+    } else if (arg == "--rounds" && i + 1 < argc) {
+      rounds = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: micro_serve --json [out.json] [--clients "
+                   "1,2,4,8] [--batch 1000] [--rounds 50]\n");
+      return 2;
+    }
+  }
+  (void)json;  // the sweep always runs; --json only redirects output
+  if (client_counts.empty() || batch_sizes.empty() || rounds == 0) {
+    std::fprintf(stderr, "error: --clients/--batch/--rounds need "
+                         "positive values\n");
+    return 2;
+  }
+
+  // One sketch, saved to disk so the pod serves exactly what a real
+  // deployment would (the file is the hand-off boundary).
+  util::Rng rng(71);
+  const core::Database db =
+      data::PowerLawBaskets(kRows, kColumns, 1.0, 0.5, 4, 3, 0.2, rng);
+  auto built = Engine::Build(db, "SUBSAMPLE", Params(), rng);
+  if (!built.has_value()) {
+    std::fprintf(stderr, "error: Engine::Build failed\n");
+    return 1;
+  }
+  const Engine& engine = *built;
+  const std::string sketch_path = "micro_serve_tmp.ifsk";
+  if (!engine.Save(sketch_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", sketch_path.c_str());
+    return 1;
+  }
+  serve::Router router({std::make_shared<serve::SketchPod>()});
+  router.AddSketch(kSketchName, sketch_path);
+  router.Acquire(kSketchName);  // warm: load + view materialization
+
+  std::vector<Row> rows;
+  for (std::size_t batch : batch_sizes) {
+    for (std::size_t clients : client_counts) {
+      std::vector<ClientBatch> batches;
+      for (std::size_t c = 0; c < clients; ++c) {
+        batches.push_back(MakeBatch(batch, 100 + c));
+      }
+
+      // Reference answers once per client batch (also the warmup).
+      std::vector<std::vector<double>> expected(clients);
+      for (std::size_t c = 0; c < clients; ++c) {
+        engine.estimate_many(batches[c].itemsets, &expected[c]);
+      }
+
+      // -- direct: C threads of engine.estimate_many, no serving layer.
+      {
+        const auto start = std::chrono::steady_clock::now();
+        std::vector<std::thread> threads;
+        for (std::size_t c = 0; c < clients; ++c) {
+          threads.emplace_back([&, c] {
+            std::vector<double> answers;
+            for (std::size_t r = 0; r < rounds; ++r) {
+              engine.estimate_many(batches[c].itemsets, &answers);
+            }
+          });
+        }
+        for (auto& t : threads) t.join();
+        rows.push_back({"direct", clients, batch,
+                        ElapsedNs(start) /
+                            static_cast<double>(clients * batch * rounds)});
+      }
+
+      // -- served: the same batches through protocol + loopback + router.
+      {
+        std::vector<std::unique_ptr<serve::Transport>> client_ends;
+        std::vector<std::thread> server_threads;
+        for (std::size_t c = 0; c < clients; ++c) {
+          auto [client_end, server_end] =
+              serve::LoopbackTransport::CreatePair();
+          client_ends.push_back(std::move(client_end));
+          server_threads.emplace_back(
+              [&router, t = std::move(server_end)]() mutable {
+                serve::ServeConnection(router, *t);
+              });
+        }
+        // Construct the protocol clients (and record each one's final
+        // answers) outside the timed region: the timer should cover the
+        // serving path only, not client setup or verification.
+        std::vector<std::unique_ptr<serve::SketchClient>> protocol_clients;
+        for (std::size_t c = 0; c < clients; ++c) {
+          protocol_clients.push_back(std::make_unique<serve::SketchClient>(
+              std::move(client_ends[c])));
+        }
+        std::atomic<bool> failed{false};
+        std::vector<std::vector<double>> served(clients);
+        const auto start = std::chrono::steady_clock::now();
+        std::vector<std::thread> threads;
+        for (std::size_t c = 0; c < clients; ++c) {
+          threads.emplace_back([&, c] {
+            for (std::size_t r = 0; r < rounds; ++r) {
+              auto answers = protocol_clients[c]->EstimateMany(
+                  kSketchName, batches[c].wire);
+              if (!answers.has_value()) {
+                failed.store(true);
+                return;
+              }
+              if (r + 1 == rounds) served[c] = *std::move(answers);
+            }
+          });
+        }
+        for (auto& t : threads) t.join();
+        const double ns = ElapsedNs(start) /
+                          static_cast<double>(clients * batch * rounds);
+        protocol_clients.clear();  // hang up -> server EOF
+        for (auto& t : server_threads) t.join();
+        for (std::size_t c = 0; c < clients; ++c) {
+          if (failed.load() || served[c] != expected[c]) {
+            std::fprintf(stderr,
+                         "error: served answers diverged from direct "
+                         "estimate_many\n");
+            return 1;
+          }
+        }
+        rows.push_back({"served_loopback", clients, batch, ns});
+      }
+    }
+  }
+  std::remove(sketch_path.c_str());
+
+  std::FILE* out =
+      out_path.empty() ? stdout : std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "  {\"kernel\": \"%s\", \"threads\": %zu, \"batch\": %zu, "
+                 "\"ns_per_query\": %.1f}%s\n",
+                 rows[i].kernel.c_str(), rows[i].clients, rows[i].batch,
+                 rows[i].ns_per_query, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  if (out != stdout) std::fclose(out);
+  return 0;
+}

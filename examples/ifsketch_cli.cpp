@@ -18,12 +18,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "data/generators.h"
 #include "data/io.h"
 #include "engine.h"
+#include "sketch/sketch_file.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -113,14 +115,34 @@ int Sketch(const std::string& db_path, const std::string& out_path,
   return 0;
 }
 
-/// Reopens a sketch file through the registry, reporting load and
-/// resolution failures distinctly (corrupt file vs unknown producer).
-std::optional<Engine> OpenOrReport(const std::string& sk_path) {
-  const auto file = sketch::LoadSketchFile(sk_path);
-  if (!file.has_value()) {
-    std::fprintf(stderr, "error: cannot read %s (missing or not a valid "
-                 "IFSK sketch file)\n",
+// Exit codes for sketch-opening failures, so scripts can tell a wrong
+// path (retry with the right one) from a damaged file (re-sketch):
+//   3  file missing / unreadable
+//   4  file readable but not a valid IFSK sketch (malformed, unknown
+//      producer, or payload/shape mismatch)
+constexpr int kExitNotFound = 3;
+constexpr int kExitMalformed = 4;
+
+/// Reopens a sketch file through the registry, reporting each failure
+/// stage distinctly: missing file, malformed bytes, unknown producer,
+/// corrupt payload. On nullopt, *exit_code holds the exit status.
+std::optional<Engine> OpenOrReport(const std::string& sk_path,
+                                   int* exit_code) {
+  std::ifstream in(sk_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s (no such file or not "
+                 "readable)\n",
                  sk_path.c_str());
+    *exit_code = kExitNotFound;
+    return std::nullopt;
+  }
+  const auto file = sketch::ReadSketch(in);
+  if (!file.has_value()) {
+    std::fprintf(stderr,
+                 "error: %s is not a valid IFSK sketch file (malformed "
+                 "or truncated)\n",
+                 sk_path.c_str());
+    *exit_code = kExitMalformed;
     return std::nullopt;
   }
   auto engine = Engine::FromFile(*file);
@@ -134,22 +156,26 @@ std::optional<Engine> OpenOrReport(const std::string& sk_path) {
                    "file)\n",
                    sk_path.c_str(), file->algorithm.c_str());
     }
+    *exit_code = kExitMalformed;
     return std::nullopt;
   }
+  *exit_code = 0;
   return engine;
 }
 
 int Info(const std::string& sk_path) {
-  const auto engine = OpenOrReport(sk_path);
-  if (!engine.has_value()) return 1;
+  int exit_code = 0;
+  const auto engine = OpenOrReport(sk_path, &exit_code);
+  if (!engine.has_value()) return exit_code;
   std::printf("%s", engine->info().c_str());
   return 0;
 }
 
 int Query(const std::string& sk_path,
           const std::vector<std::size_t>& attrs) {
-  const auto engine = OpenOrReport(sk_path);
-  if (!engine.has_value()) return 1;
+  int exit_code = 0;
+  const auto engine = OpenOrReport(sk_path, &exit_code);
+  if (!engine.has_value()) return exit_code;
   for (std::size_t a : attrs) {
     if (a >= engine->d()) {
       std::fprintf(stderr, "error: attribute %zu out of range (d=%zu)\n",
@@ -183,8 +209,9 @@ int Query(const std::string& sk_path,
 
 int Mine(const std::string& sk_path, double min_freq,
          std::size_t max_size) {
-  const auto engine = OpenOrReport(sk_path);
-  if (!engine.has_value()) return 1;
+  int exit_code = 0;
+  const auto engine = OpenOrReport(sk_path, &exit_code);
+  if (!engine.has_value()) return exit_code;
   if (engine->params().answer != core::Answer::kEstimator) {
     std::fprintf(stderr,
                  "error: mining needs frequency estimates, but this is "

@@ -1,0 +1,170 @@
+// ifsketch_client: query a running ifsketch_server.
+//
+//   ifsketch_client --port P info  <name>
+//   ifsketch_client --port P query <name> <attr> [attr...]
+//   ifsketch_client --port P batch <name>        (queries on stdin)
+//
+// `query` prints the same line ifsketch_cli prints for a direct local
+// query of the same sketch file -- served answers are bit-identical to
+// direct Engine queries, and the CI smoke test diffs the two outputs.
+// `batch` reads one query per stdin line (ascending attribute indices,
+// space-separated) and prints one estimate per line; the whole batch
+// travels in a single request frame and is answered by one fused Engine
+// call server-side.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/itemset.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace ifsketch;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ifsketch_client --port P info  <name>\n"
+               "  ifsketch_client --port P query <name> <attr> [attr...]\n"
+               "  ifsketch_client --port P batch <name>   "
+               "(one query per stdin line)\n");
+  return 2;
+}
+
+int ServerError(const serve::SketchClient& client) {
+  std::fprintf(stderr, "error: %s\n", client.last_error().c_str());
+  // Mirror ifsketch_cli's exit-code split: unknown name / bad query are
+  // caller mistakes (1); transport or server trouble is 4.
+  switch (client.last_status()) {
+    case serve::Status::kUnknownSketch:
+    case serve::Status::kUnsupportedQuery:
+    case serve::Status::kBadRequest:
+      return 1;
+    default:
+      return 4;
+  }
+}
+
+int Info(serve::SketchClient& client, const std::string& name) {
+  const auto info = client.Info(name);
+  if (!info.has_value()) return ServerError(client);
+  std::printf("algorithm:  %s\n"
+              "guarantee:  %s %s  (k=%u, eps=%g, delta=%g)\n"
+              "database:   n=%llu rows, d=%llu attributes\n"
+              "summary:    %llu bits\n",
+              info->algorithm.c_str(),
+              info->scope == 0 ? "FOR-ALL" : "FOR-EACH",
+              info->answer == 0 ? "INDICATOR" : "ESTIMATOR", info->k,
+              info->eps, info->delta,
+              static_cast<unsigned long long>(info->n),
+              static_cast<unsigned long long>(info->d),
+              static_cast<unsigned long long>(info->summary_bits));
+  return 0;
+}
+
+int Query(serve::SketchClient& client, const std::string& name,
+          const std::vector<std::uint32_t>& attrs) {
+  // Fetch the sketch's context first: the printed line needs d (for the
+  // itemset rendering), eps/delta and the algorithm name.
+  const auto info = client.Info(name);
+  if (!info.has_value()) return ServerError(client);
+  for (std::uint32_t a : attrs) {
+    if (a >= info->d) {
+      std::fprintf(stderr, "error: attribute %u out of range (d=%llu)\n",
+                   a, static_cast<unsigned long long>(info->d));
+      return 1;
+    }
+  }
+  core::Itemset t(static_cast<std::size_t>(info->d));
+  for (std::uint32_t a : attrs) t.Add(a);
+
+  if (info->answer == 0) {
+    const auto bits = client.AreFrequent(name, {attrs});
+    if (!bits.has_value()) return ServerError(client);
+    std::printf("f%s %s %g  (indicator sketch, prob %.2f, via %s)\n",
+                t.ToString().c_str(), (*bits)[0] ? ">" : "<=", info->eps,
+                1.0 - info->delta, info->algorithm.c_str());
+    return 0;
+  }
+  const auto answers = client.EstimateMany(name, {attrs});
+  if (!answers.has_value()) return ServerError(client);
+  std::printf("f%s ~= %.5f  (+/- %.4f with prob %.2f, via %s)\n",
+              t.ToString().c_str(), (*answers)[0], info->eps,
+              1.0 - info->delta, info->algorithm.c_str());
+  return 0;
+}
+
+int Batch(serve::SketchClient& client, const std::string& name) {
+  std::vector<std::vector<std::uint32_t>> queries;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::vector<std::uint32_t> attrs;
+    const char* p = line.c_str();
+    char* end = nullptr;
+    for (;;) {
+      const unsigned long v = std::strtoul(p, &end, 10);
+      if (end == p) break;
+      attrs.push_back(static_cast<std::uint32_t>(v));
+      p = end;
+    }
+    if (!attrs.empty()) queries.push_back(std::move(attrs));
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "error: no queries on stdin\n");
+    return 1;
+  }
+  const auto answers = client.EstimateMany(name, queries);
+  if (!answers.has_value()) return ServerError(client);
+  for (double a : *answers) std::printf("%.17g\n", a);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::size_t port = 0;
+  for (std::size_t i = 0; i + 1 < args.size();) {
+    if (args[i] == "--port") {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(args[i + 1].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || v == 0 || v > 65535) {
+        return Usage();
+      }
+      port = static_cast<std::size_t>(v);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else {
+      ++i;
+    }
+  }
+  if (port == 0 || args.size() < 2) return Usage();
+
+  auto transport = serve::TcpConnect(static_cast<std::uint16_t>(port));
+  if (transport == nullptr) {
+    std::fprintf(stderr, "error: cannot connect to 127.0.0.1:%zu\n", port);
+    return 4;
+  }
+  serve::SketchClient client(std::move(transport));
+
+  const std::string& cmd = args[0];
+  const std::string& name = args[1];
+  if (cmd == "info" && args.size() == 2) return Info(client, name);
+  if (cmd == "query" && args.size() >= 3) {
+    std::vector<std::uint32_t> attrs;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(args[i].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') return Usage();
+      attrs.push_back(static_cast<std::uint32_t>(v));
+    }
+    return Query(client, name, attrs);
+  }
+  if (cmd == "batch" && args.size() == 2) return Batch(client, name);
+  return Usage();
+}

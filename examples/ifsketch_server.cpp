@@ -1,0 +1,190 @@
+// ifsketch_server: serve IFSK sketch files over loopback TCP.
+//
+//   ifsketch_server --sketch NAME=PATH [--sketch NAME=PATH ...]
+//                   [--port P] [--pods N] [--budget BYTES]
+//                   [--threads T] [--max-conns C]
+//
+// Registers each NAME=PATH on its owning shard (serve/router.h routes by
+// name hash across N pods), listens on 127.0.0.1:P (0 = ephemeral), and
+// serves the wire protocol (serve/protocol.h) with one thread per
+// accepted connection; concurrent requests for the same sketch coalesce
+// into fused Engine batches in the router. Sketch files load on first
+// use and stay resident under the per-pod byte budget (LRU eviction).
+//
+// Prints exactly one "listening on <port>" line to stdout once the
+// socket is bound, so scripts (CI smoke) can scrape the ephemeral port.
+// --max-conns exits after serving C connections (also for scripts);
+// the default serves until killed. Answers are bit-identical to querying
+// the same files locally with ifsketch_cli.
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/pod.h"
+#include "serve/router.h"
+#include "serve/server.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace ifsketch;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ifsketch_server --sketch NAME=PATH [--sketch NAME=PATH ...]\n"
+      "                       [--port P] [--pods N] [--budget BYTES]\n"
+      "                       [--threads T] [--max-conns C]\n"
+      "\n"
+      "  --sketch NAME=PATH  register an IFSK file under NAME "
+      "(repeatable)\n"
+      "  --port P            TCP port on 127.0.0.1 (default 0 = "
+      "ephemeral)\n"
+      "  --pods N            shard count (default 1)\n"
+      "  --budget BYTES      per-pod resident byte budget (default "
+      "unlimited)\n"
+      "  --threads T         query thread-pool size (default: "
+      "IFSKETCH_THREADS, else all cores)\n"
+      "  --max-conns C       exit after serving C connections (default: "
+      "serve forever)\n");
+  return 2;
+}
+
+bool ParseSize(const std::string& s, std::size_t* out) {
+  // strtoull silently wraps negatives ("-1" -> ULLONG_MAX, which would
+  // alias kUnlimited); only plain digits are a size.
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::pair<std::string, std::string>> sketches;
+  std::size_t port = 0;
+  std::size_t pods = 1;
+  std::size_t budget = serve::SketchPod::kUnlimited;
+  std::size_t max_conns = 0;  // 0 = unlimited
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--sketch" && has_value) {
+      const std::string spec = argv[++i];
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::fprintf(stderr, "error: --sketch needs NAME=PATH (got %s)\n",
+                     spec.c_str());
+        return 2;
+      }
+      sketches.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--port" && has_value) {
+      if (!ParseSize(argv[++i], &port) || port > 65535) return Usage();
+    } else if (arg == "--pods" && has_value) {
+      if (!ParseSize(argv[++i], &pods) || pods == 0 || pods > 1024) {
+        return Usage();
+      }
+    } else if (arg == "--budget" && has_value) {
+      if (!ParseSize(argv[++i], &budget) || budget == 0) return Usage();
+    } else if (arg == "--threads" && has_value) {
+      std::size_t threads = 0;
+      if (!ParseSize(argv[++i], &threads) || threads == 0 ||
+          threads > 4096) {
+        return Usage();
+      }
+      util::ThreadPool::SetDefaultThreadCount(threads);
+    } else if (arg == "--max-conns" && has_value) {
+      if (!ParseSize(argv[++i], &max_conns) || max_conns == 0) {
+        return Usage();
+      }
+    } else {
+      return Usage();
+    }
+  }
+  if (sketches.empty()) return Usage();
+
+  std::vector<std::shared_ptr<serve::SketchPod>> pod_vec;
+  pod_vec.reserve(pods);
+  for (std::size_t i = 0; i < pods; ++i) {
+    pod_vec.push_back(std::make_shared<serve::SketchPod>(budget));
+  }
+  serve::Router router(std::move(pod_vec));
+  for (const auto& [name, path] : sketches) {
+    if (!router.AddSketch(name, path)) {
+      std::fprintf(stderr, "error: duplicate sketch name \"%s\"\n",
+                   name.c_str());
+      return 1;
+    }
+    // Load eagerly so a bad path fails at startup, not at first query.
+    if (router.Acquire(name) == nullptr) {
+      std::fprintf(stderr,
+                   "error: cannot open %s (missing or not a valid IFSK "
+                   "sketch file)\n",
+                   path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "serving \"%s\" from %s on shard %zu\n",
+                 name.c_str(), path.c_str(), router.ShardOf(name));
+  }
+
+  serve::TcpListener listener;
+  if (!listener.Listen(static_cast<std::uint16_t>(port))) {
+    std::fprintf(stderr, "error: cannot listen on 127.0.0.1:%zu\n", port);
+    return 1;
+  }
+  std::printf("listening on %u\n", listener.port());
+  std::fflush(stdout);
+
+  // Connection threads are detached and tracked by a counter rather
+  // than collected in a vector: the serve-forever mode must not grow a
+  // handle per connection ever accepted. The final wait keeps `router`
+  // (and this frame) alive until the last connection drains.
+  std::mutex conn_mu;
+  std::condition_variable conn_cv;
+  std::size_t active_conns = 0;
+  for (std::size_t served = 0; max_conns == 0 || served < max_conns;
+       ++served) {
+    auto transport = listener.Accept();
+    if (transport == nullptr) break;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu);
+      ++active_conns;
+    }
+    std::thread([&, t = std::move(transport)]() mutable {
+      serve::ServeConnection(router, *t);
+      std::lock_guard<std::mutex> lock(conn_mu);
+      --active_conns;
+      conn_cv.notify_all();
+    }).detach();
+  }
+  {
+    std::unique_lock<std::mutex> lock(conn_mu);
+    conn_cv.wait(lock, [&] { return active_conns == 0; });
+  }
+
+  for (const auto& pod : router.pods()) {
+    for (const auto& s : pod->stats()) {
+      std::fprintf(stderr,
+                   "stats %s: hits=%llu loads=%llu evictions=%llu "
+                   "queries=%llu resident=%zuB\n",
+                   s.name.c_str(), static_cast<unsigned long long>(s.hits),
+                   static_cast<unsigned long long>(s.loads),
+                   static_cast<unsigned long long>(s.evictions),
+                   static_cast<unsigned long long>(s.queries),
+                   s.resident_bytes);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "serve/client.h"
+
+namespace ifsketch::serve {
+
+std::optional<Frame> SketchClient::RoundTrip(Opcode opcode,
+                                             const std::string& body,
+                                             Opcode expected_reply) {
+  last_error_.clear();
+  last_status_ = Status::kOk;
+  if (poisoned_ || transport_ == nullptr) {
+    last_error_ = "connection is closed";
+    return std::nullopt;
+  }
+  std::string wire;
+  if (!EncodeFrame(opcode, 0, body, &wire)) {
+    // Local limit, nothing sent: the connection is still healthy.
+    last_error_ = "request exceeds the frame size limit";
+    return std::nullopt;
+  }
+  if (!transport_->WriteAll(wire.data(), wire.size())) {
+    poisoned_ = true;
+    last_error_ = "send failed (peer closed the connection)";
+    return std::nullopt;
+  }
+  Frame reply;
+  if (ReadFrame(*transport_, &reply) != ReadResult::kFrame) {
+    poisoned_ = true;
+    last_error_ = "no reply (peer closed or sent a malformed frame)";
+    return std::nullopt;
+  }
+  if (reply.header.opcode == Opcode::kError) {
+    last_status_ = static_cast<Status>(reply.header.status);
+    const auto message = DecodeErrorMessage(reply.body);
+    last_error_ = message.has_value() ? *message : "server error";
+    return std::nullopt;
+  }
+  if (reply.header.opcode != expected_reply) {
+    poisoned_ = true;
+    last_error_ = "unexpected reply opcode";
+    return std::nullopt;
+  }
+  return reply;
+}
+
+std::optional<std::vector<double>> SketchClient::EstimateMany(
+    const std::string& sketch,
+    const std::vector<std::vector<std::uint32_t>>& queries) {
+  QueryRequest request;
+  request.sketch = sketch;
+  request.queries = queries;
+  std::string body;
+  if (!EncodeQueryRequest(request, &body)) {
+    last_error_ = "request exceeds protocol limits";
+    last_status_ = Status::kOk;  // local failure, not a server verdict
+    return std::nullopt;
+  }
+  const auto reply =
+      RoundTrip(Opcode::kEstimate, body, Opcode::kEstimateReply);
+  if (!reply.has_value()) return std::nullopt;
+  auto answers = DecodeEstimateReply(reply->body);
+  if (!answers.has_value() || answers->size() != queries.size()) {
+    poisoned_ = true;
+    last_error_ = "undecodable estimate reply";
+    return std::nullopt;
+  }
+  return answers;
+}
+
+std::optional<std::vector<bool>> SketchClient::AreFrequent(
+    const std::string& sketch,
+    const std::vector<std::vector<std::uint32_t>>& queries) {
+  QueryRequest request;
+  request.sketch = sketch;
+  request.queries = queries;
+  std::string body;
+  if (!EncodeQueryRequest(request, &body)) {
+    last_error_ = "request exceeds protocol limits";
+    last_status_ = Status::kOk;  // local failure, not a server verdict
+    return std::nullopt;
+  }
+  const auto reply =
+      RoundTrip(Opcode::kAreFrequent, body, Opcode::kAreFrequentReply);
+  if (!reply.has_value()) return std::nullopt;
+  auto answers = DecodeAreFrequentReply(reply->body);
+  if (!answers.has_value() || answers->size() != queries.size()) {
+    poisoned_ = true;
+    last_error_ = "undecodable are-frequent reply";
+    return std::nullopt;
+  }
+  return answers;
+}
+
+std::optional<SketchInfo> SketchClient::Info(const std::string& sketch) {
+  std::string body;
+  if (!EncodeInfoRequest(sketch, &body)) {
+    last_error_ = "sketch name exceeds protocol limits";
+    last_status_ = Status::kOk;  // local failure, not a server verdict
+    return std::nullopt;
+  }
+  const auto reply = RoundTrip(Opcode::kInfo, body, Opcode::kInfoReply);
+  if (!reply.has_value()) return std::nullopt;
+  auto info = DecodeInfoReply(reply->body);
+  if (!info.has_value()) {
+    poisoned_ = true;
+    last_error_ = "undecodable info reply";
+    return std::nullopt;
+  }
+  return info;
+}
+
+}  // namespace ifsketch::serve

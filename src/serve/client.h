@@ -1,0 +1,69 @@
+// SketchClient: the request/reply side of the wire protocol.
+//
+// Wraps any Transport (a TcpConnect socket or one end of a
+// LoopbackTransport pair) and speaks one request at a time: encode,
+// send, read exactly one reply frame, decode. A kError reply surfaces as
+// nullopt with the server's status/message in last_error(); a transport
+// or framing failure poisons the client (every later call fails fast),
+// matching the server's own no-resync rule.
+//
+// Not thread-safe: one client per connection per thread. Open several
+// connections for concurrency -- the server coalesces them (see
+// serve/router.h).
+#ifndef IFSKETCH_SERVE_CLIENT_H_
+#define IFSKETCH_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/transport.h"
+
+namespace ifsketch::serve {
+
+/// Blocking protocol client over an owned transport.
+class SketchClient {
+ public:
+  explicit SketchClient(std::unique_ptr<Transport> transport)
+      : transport_(std::move(transport)) {}
+
+  /// Batched frequency estimates for `queries` (each a list of ascending
+  /// attribute indices) against the named sketch. nullopt on any error;
+  /// see last_error() / last_status().
+  std::optional<std::vector<double>> EstimateMany(
+      const std::string& sketch,
+      const std::vector<std::vector<std::uint32_t>>& queries);
+
+  /// Batched threshold bits; same shape as EstimateMany.
+  std::optional<std::vector<bool>> AreFrequent(
+      const std::string& sketch,
+      const std::vector<std::vector<std::uint32_t>>& queries);
+
+  /// The served sketch's public context (algorithm, params, shape).
+  std::optional<SketchInfo> Info(const std::string& sketch);
+
+  /// Human-readable reason for the last nullopt return.
+  const std::string& last_error() const { return last_error_; }
+
+  /// Server status of the last kError reply (kOk when the failure was
+  /// local: transport closed, undecodable reply).
+  Status last_status() const { return last_status_; }
+
+ private:
+  /// Sends `body` under `opcode` and reads one reply, which must be
+  /// `expected_reply` or kError. nullopt (with last_error_ set) else.
+  std::optional<Frame> RoundTrip(Opcode opcode, const std::string& body,
+                                 Opcode expected_reply);
+
+  std::unique_ptr<Transport> transport_;
+  bool poisoned_ = false;
+  std::string last_error_;
+  Status last_status_ = Status::kOk;
+};
+
+}  // namespace ifsketch::serve
+
+#endif  // IFSKETCH_SERVE_CLIENT_H_

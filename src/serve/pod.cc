@@ -1,0 +1,129 @@
+#include "serve/pod.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ifsketch::serve {
+
+bool SketchPod::AddSketch(const std::string& name, const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_.emplace(name, Entry{path, nullptr, 0, 0, 0, 0, 0, 0})
+      .second;
+}
+
+std::shared_ptr<const Engine> SketchPod::Acquire(const std::string& name) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) return nullptr;
+  Entry& entry = it->second;
+  entry.last_used = ++lru_clock_;
+  if (entry.engine != nullptr) {
+    ++entry.hits;
+    return entry.engine;
+  }
+
+  // Open outside the lock: file I/O and payload validation can be slow,
+  // and other names must stay servable meanwhile. The slot is re-checked
+  // after reacquiring in case a concurrent Acquire won the race.
+  const std::string path = entry.path;
+  lock.unlock();
+  auto opened = Engine::Open(path);
+  lock.lock();
+  it = catalog_.find(name);
+  if (it == catalog_.end()) return nullptr;
+  Entry& slot = it->second;
+  if (slot.engine != nullptr) {
+    ++slot.hits;
+    return slot.engine;
+  }
+  if (!opened.has_value()) return nullptr;
+
+  auto engine = std::make_shared<const Engine>(*std::move(opened));
+  const std::size_t bytes = (engine->summary_bits() + 7) / 8;
+  // Make room first; the incoming sketch is not resident yet, so it can
+  // never be its own victim. A sketch bigger than the whole budget gets
+  // everything evicted and is then admitted alone.
+  if (byte_budget_ != kUnlimited) {
+    EvictToFitLocked(bytes <= byte_budget_ ? byte_budget_ - bytes : 0);
+  }
+  slot.engine = std::move(engine);
+  slot.bytes = bytes;
+  slot.last_used = ++lru_clock_;
+  ++slot.loads;
+  resident_bytes_ += bytes;
+  return slot.engine;
+}
+
+bool SketchPod::Knows(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_.count(name) > 0;
+}
+
+std::vector<std::string> SketchPod::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(catalog_.size());
+  for (const auto& [name, entry] : catalog_) names.push_back(name);
+  return names;
+}
+
+void SketchPod::CountQueries(const std::string& name, std::uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = catalog_.find(name);
+  if (it != catalog_.end()) it->second.queries += count;
+}
+
+std::vector<SketchStats> SketchPod::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SketchStats> out;
+  out.reserve(catalog_.size());
+  for (const auto& [name, entry] : catalog_) {
+    SketchStats s;
+    s.name = name;
+    s.hits = entry.hits;
+    s.loads = entry.loads;
+    s.evictions = entry.evictions;
+    s.queries = entry.queries;
+    s.resident = entry.engine != nullptr;
+    s.resident_bytes = s.resident ? entry.bytes : 0;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::size_t SketchPod::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+void SketchPod::SetByteBudget(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  byte_budget_ = bytes;
+  if (byte_budget_ != kUnlimited) EvictToFitLocked(byte_budget_);
+}
+
+std::size_t SketchPod::byte_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return byte_budget_;
+}
+
+void SketchPod::EvictToFitLocked(std::size_t budget) {
+  while (resident_bytes_ > budget) {
+    Entry* victim = nullptr;
+    for (auto& [name, entry] : catalog_) {
+      if (entry.engine == nullptr) continue;
+      if (victim == nullptr || entry.last_used < victim->last_used) {
+        victim = &entry;
+      }
+    }
+    if (victim == nullptr) return;  // nothing evictable remains
+    // In-flight queries hold their own shared_ptr; this only drops the
+    // pod's reference, so the engine is destroyed once they finish.
+    victim->engine.reset();
+    resident_bytes_ -= victim->bytes;
+    victim->bytes = 0;
+    ++victim->evictions;
+  }
+}
+
+}  // namespace ifsketch::serve

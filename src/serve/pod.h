@@ -1,0 +1,107 @@
+// SketchPod: a multi-tenant host for many named sketches.
+//
+// One pod owns a name -> IFSK-path catalog and materializes Engine
+// instances on demand (Engine::Open on first Acquire), holding them
+// resident under an LRU + byte-budget admission policy. The byte budget
+// is accounted in summary payload bytes (summary_bits/8 per sketch) --
+// the dominant, size-predictable term; the derived query views are a
+// small multiple of it. Loading a sketch that would push the pod over
+// budget first evicts least-recently-acquired residents; a sketch larger
+// than the whole budget is still admitted, alone, after everything else
+// is evicted (refusing it would make the pod unable to serve that name
+// at all).
+//
+// Eviction only drops the pod's reference. Acquire hands out
+// shared_ptr<const Engine>, so queries already in flight on an evicted
+// sketch finish safely on their own reference; the next Acquire reloads
+// from the catalog path. All catalog/LRU/stat state is mutex-guarded;
+// queries themselves run outside the lock on the shared Engine (whose
+// query surface is const-thread-safe, see engine.h).
+#ifndef IFSKETCH_SERVE_POD_H_
+#define IFSKETCH_SERVE_POD_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine.h"
+
+namespace ifsketch::serve {
+
+/// Per-sketch counters, snapshot via SketchPod::stats().
+struct SketchStats {
+  std::string name;
+  std::uint64_t hits = 0;       ///< Acquire calls served by a resident engine
+  std::uint64_t loads = 0;      ///< Engine::Open calls (misses that loaded)
+  std::uint64_t evictions = 0;  ///< times the budget pushed it out
+  std::uint64_t queries = 0;    ///< individual query answers served
+  std::size_t resident_bytes = 0;  ///< 0 when not resident
+  bool resident = false;
+};
+
+/// Hosts many named sketches behind one byte budget.
+class SketchPod {
+ public:
+  /// No eviction until a budget is set.
+  static constexpr std::size_t kUnlimited = static_cast<std::size_t>(-1);
+
+  explicit SketchPod(std::size_t byte_budget = kUnlimited)
+      : byte_budget_(byte_budget) {}
+
+  /// Registers `name` as servable from the IFSK file at `path`. The file
+  /// is not opened until first Acquire. False if the name is taken.
+  bool AddSketch(const std::string& name, const std::string& path);
+
+  /// The engine for `name`, loading (and evicting) as needed. nullptr
+  /// when the name is unregistered or its file fails to open -- callers
+  /// distinguish the two with Knows().
+  std::shared_ptr<const Engine> Acquire(const std::string& name);
+
+  /// Whether `name` is in the catalog (resident or not).
+  bool Knows(const std::string& name) const;
+
+  /// Registered names, sorted (catalog order, not residency).
+  std::vector<std::string> Names() const;
+
+  /// Adds `count` served answers to `name`'s query counter.
+  void CountQueries(const std::string& name, std::uint64_t count);
+
+  /// Per-sketch counters, sorted by name.
+  std::vector<SketchStats> stats() const;
+
+  /// Total summary bytes currently resident.
+  std::size_t resident_bytes() const;
+
+  /// Re-budgets the pod, evicting LRU residents to fit immediately.
+  void SetByteBudget(std::size_t bytes);
+  std::size_t byte_budget() const;
+
+ private:
+  struct Entry {
+    std::string path;
+    std::shared_ptr<const Engine> engine;  // null when not resident
+    std::size_t bytes = 0;                 // resident summary bytes
+    std::uint64_t last_used = 0;           // LRU tick of last Acquire
+    std::uint64_t hits = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t queries = 0;
+  };
+
+  /// Evicts least-recently-used residents until resident bytes fit
+  /// `budget`. Caller holds mu_.
+  void EvictToFitLocked(std::size_t budget);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> catalog_;
+  std::size_t byte_budget_;
+  std::size_t resident_bytes_ = 0;
+  std::uint64_t lru_clock_ = 0;
+};
+
+}  // namespace ifsketch::serve
+
+#endif  // IFSKETCH_SERVE_POD_H_

@@ -1,0 +1,239 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace ifsketch::serve {
+namespace {
+
+template <typename T>
+void PutRaw(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutRaw<std::uint16_t>(out, static_cast<std::uint16_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+/// Bounds-checked cursor over a body buffer: every Get advances only on
+/// success, so a decoder can bail at the first short read.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  bool Get(T& value) {
+    if (data_.size() - pos_ < sizeof(T)) return false;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool GetString(std::string& value) {
+    std::uint16_t len = 0;
+    if (!Get(len) || data_.size() - pos_ < len) return false;
+    value.assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool Done() const { return pos_ == data_.size(); }
+
+  std::size_t Remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+bool KnownOpcode(std::uint8_t byte) {
+  switch (static_cast<Opcode>(byte)) {
+    case Opcode::kEstimate:
+    case Opcode::kAreFrequent:
+    case Opcode::kInfo:
+    case Opcode::kEstimateReply:
+    case Opcode::kAreFrequentReply:
+    case Opcode::kInfoReply:
+    case Opcode::kError:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EncodeFrame(Opcode opcode, std::uint8_t status, std::string_view body,
+                 std::string* out) {
+  if (body.size() > kMaxBodyBytes) return false;
+  out->append(kFrameMagic, sizeof(kFrameMagic));
+  PutRaw<std::uint16_t>(out, kProtocolVersion);
+  PutRaw<std::uint8_t>(out, static_cast<std::uint8_t>(opcode));
+  PutRaw<std::uint8_t>(out, status);
+  PutRaw<std::uint32_t>(out, static_cast<std::uint32_t>(body.size()));
+  out->append(body.data(), body.size());
+  return true;
+}
+
+bool EncodeQueryRequest(const QueryRequest& request, std::string* body) {
+  if (request.sketch.size() > 0xffff) return false;
+  if (request.queries.size() > kMaxQueriesPerRequest) return false;
+  PutString(body, request.sketch);
+  PutRaw<std::uint32_t>(body,
+                        static_cast<std::uint32_t>(request.queries.size()));
+  for (const auto& attrs : request.queries) {
+    if (attrs.size() > 0xffff) return false;
+    PutRaw<std::uint16_t>(body, static_cast<std::uint16_t>(attrs.size()));
+    for (std::uint32_t attr : attrs) PutRaw<std::uint32_t>(body, attr);
+  }
+  return true;
+}
+
+void EncodeEstimateReply(const std::vector<double>& answers,
+                         std::string* body) {
+  PutRaw<std::uint32_t>(body, static_cast<std::uint32_t>(answers.size()));
+  for (double a : answers) PutRaw<double>(body, a);
+}
+
+void EncodeAreFrequentReply(const std::vector<bool>& answers,
+                            std::string* body) {
+  PutRaw<std::uint32_t>(body, static_cast<std::uint32_t>(answers.size()));
+  // Pack bits LSB-first, the same order the IFSK payload uses.
+  std::string bytes((answers.size() + 7) / 8, '\0');
+  for (std::size_t i = 0; i < answers.size(); ++i) {
+    if (answers[i]) bytes[i / 8] |= static_cast<char>(1 << (i % 8));
+  }
+  body->append(bytes);
+}
+
+bool EncodeInfoRequest(std::string_view sketch, std::string* body) {
+  if (sketch.size() > 0xffff) return false;
+  PutString(body, sketch);
+  return true;
+}
+
+void EncodeInfoReply(const SketchInfo& info, std::string* body) {
+  PutString(body, info.algorithm);
+  PutRaw<std::uint32_t>(body, info.k);
+  PutRaw<double>(body, info.eps);
+  PutRaw<double>(body, info.delta);
+  PutRaw<std::uint8_t>(body, info.scope);
+  PutRaw<std::uint8_t>(body, info.answer);
+  PutRaw<std::uint64_t>(body, info.n);
+  PutRaw<std::uint64_t>(body, info.d);
+  PutRaw<std::uint64_t>(body, info.summary_bits);
+}
+
+void EncodeError(Status status, std::string_view message, std::string* out) {
+  // Error messages are diagnostic, not data: truncate rather than fail.
+  if (message.size() > 0xffff) message = message.substr(0, 0xffff);
+  std::string body;
+  PutString(&body, message);
+  EncodeFrame(Opcode::kError, static_cast<std::uint8_t>(status), body, out);
+}
+
+std::optional<FrameHeader> DecodeFrameHeader(const char* data,
+                                             std::size_t size) {
+  if (size != kFrameHeaderBytes) return std::nullopt;
+  if (std::memcmp(data, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return std::nullopt;
+  }
+  std::uint16_t version = 0;
+  std::memcpy(&version, data + 4, sizeof(version));
+  if (version != kProtocolVersion) return std::nullopt;
+  const std::uint8_t opcode = static_cast<std::uint8_t>(data[6]);
+  if (!KnownOpcode(opcode)) return std::nullopt;
+  FrameHeader header;
+  header.opcode = static_cast<Opcode>(opcode);
+  header.status = static_cast<std::uint8_t>(data[7]);
+  std::memcpy(&header.body_length, data + 8, sizeof(header.body_length));
+  if (header.body_length > kMaxBodyBytes) return std::nullopt;
+  return header;
+}
+
+std::optional<QueryRequest> DecodeQueryRequest(std::string_view body) {
+  Reader in(body);
+  QueryRequest request;
+  std::uint32_t count = 0;
+  if (!in.GetString(request.sketch) || !in.Get(count)) return std::nullopt;
+  if (count > kMaxQueriesPerRequest) return std::nullopt;
+  // Bound the declared count by the bytes actually present (every query
+  // costs at least its u16 attribute count) before sizing anything from
+  // it -- a tiny frame must not provoke a megabyte reserve.
+  if (count > in.Remaining() / 2) return std::nullopt;
+  request.queries.reserve(count);
+  for (std::uint32_t q = 0; q < count; ++q) {
+    std::uint16_t attrs = 0;
+    if (!in.Get(attrs)) return std::nullopt;
+    std::vector<std::uint32_t> query(attrs);
+    for (std::uint16_t a = 0; a < attrs; ++a) {
+      if (!in.Get(query[a])) return std::nullopt;
+    }
+    request.queries.push_back(std::move(query));
+  }
+  if (!in.Done()) return std::nullopt;
+  return request;
+}
+
+std::optional<std::vector<double>> DecodeEstimateReply(
+    std::string_view body) {
+  Reader in(body);
+  std::uint32_t count = 0;
+  if (!in.Get(count) || count > kMaxQueriesPerRequest) return std::nullopt;
+  // The body is exactly `count` raw doubles; check before allocating.
+  if (in.Remaining() != static_cast<std::size_t>(count) * sizeof(double)) {
+    return std::nullopt;
+  }
+  std::vector<double> answers(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!in.Get(answers[i])) return std::nullopt;
+  }
+  return answers;
+}
+
+std::optional<std::vector<bool>> DecodeAreFrequentReply(
+    std::string_view body) {
+  Reader in(body);
+  std::uint32_t count = 0;
+  if (!in.Get(count) || count > kMaxQueriesPerRequest) return std::nullopt;
+  // The body is exactly the packed bit bytes; check before allocating.
+  if (in.Remaining() != (static_cast<std::size_t>(count) + 7) / 8) {
+    return std::nullopt;
+  }
+  std::vector<bool> answers(count);
+  std::uint8_t byte = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (i % 8 == 0 && !in.Get(byte)) return std::nullopt;
+    answers[i] = (byte >> (i % 8)) & 1;
+  }
+  return answers;
+}
+
+std::optional<std::string> DecodeInfoRequest(std::string_view body) {
+  Reader in(body);
+  std::string sketch;
+  if (!in.GetString(sketch) || !in.Done()) return std::nullopt;
+  return sketch;
+}
+
+std::optional<SketchInfo> DecodeInfoReply(std::string_view body) {
+  Reader in(body);
+  SketchInfo info;
+  if (!in.GetString(info.algorithm) || !in.Get(info.k) ||
+      !in.Get(info.eps) || !in.Get(info.delta) || !in.Get(info.scope) ||
+      !in.Get(info.answer) || !in.Get(info.n) || !in.Get(info.d) ||
+      !in.Get(info.summary_bits) || !in.Done()) {
+    return std::nullopt;
+  }
+  // Enum bytes must name a real enumerator (same rule as ReadSketch).
+  if (info.scope > 1 || info.answer > 1) return std::nullopt;
+  return info;
+}
+
+std::optional<std::string> DecodeErrorMessage(std::string_view body) {
+  Reader in(body);
+  std::string message;
+  if (!in.GetString(message) || !in.Done()) return std::nullopt;
+  return message;
+}
+
+}  // namespace ifsketch::serve

@@ -1,0 +1,155 @@
+// The ifsketch wire protocol: versioned, length-prefixed binary frames.
+//
+// The serving subsystem (serve/pod.h, serve/router.h, serve/server.h)
+// speaks one frame format over any byte transport (serve/transport.h) --
+// the same codec drives the TCP server and the in-process loopback pair
+// the tests and benches use. Framing:
+//
+//   frame   := header || body
+//   header  := magic   u32   "IFSP" (bytes 'I','F','S','P')
+//              version u16   = 1
+//              opcode  u8    (see Opcode)
+//              status  u8    (0 on requests; Status on kError responses)
+//              length  u32   body byte count, <= kMaxBodyBytes
+//   body    := opcode-specific payload (layouts below)
+//
+// All integers are written with the same raw host-endian discipline as
+// the IFSK sketch file format (sketch/sketch_file.h): little-endian on
+// every platform this repo targets. Strings are u16 length + bytes;
+// itemsets travel as u16 attribute count + ascending u32 attribute
+// indices (the universe size d is server-side state, carried by the
+// sketch itself and reported by kInfo).
+//
+// Body layouts:
+//   kEstimate / kAreFrequent (requests):
+//       name   string        target sketch (pod-registered name)
+//       count  u32           number of queries, <= kMaxQueriesPerRequest
+//       count x { attrs u16, attr u32 x attrs }
+//   kEstimateReply:   count u32, answer f64 x count
+//   kAreFrequentReply: count u32, bits packed LSB-first, (count+7)/8 bytes
+//   kInfo (request):  name string
+//   kInfoReply:       algorithm string, k u32, eps f64, delta f64,
+//                     scope u8, answer u8, n u64, d u64, summary_bits u64
+//   kError:           header.status = Status, body = message string
+//
+// Decoding follows the ReadSketch validate-everything discipline: every
+// header field is checked (magic, version, known opcode, length cap)
+// before any body byte is read, a reader consumes exactly header.length
+// body bytes and never trusts a declared count without bounding it, and
+// a body must be fully consumed -- trailing bytes are a malformed frame.
+// Codec functions are pure buffer transforms with no transport
+// dependency; serve/transport.h adds ReadFrame/WriteFrame over a
+// Transport.
+#ifndef IFSKETCH_SERVE_PROTOCOL_H_
+#define IFSKETCH_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ifsketch::serve {
+
+inline constexpr char kFrameMagic[4] = {'I', 'F', 'S', 'P'};
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+/// Upper bound on a frame body; a declared length beyond this is
+/// malformed (rejected before any allocation or body read).
+inline constexpr std::uint32_t kMaxBodyBytes = 16u << 20;
+/// Upper bound on queries fused into one request frame.
+inline constexpr std::uint32_t kMaxQueriesPerRequest = 1u << 20;
+
+/// Frame kinds. Requests have the high bit clear, replies set it; kError
+/// answers any request whose dispatch fails.
+enum class Opcode : std::uint8_t {
+  kEstimate = 0x01,
+  kAreFrequent = 0x02,
+  kInfo = 0x03,
+  kEstimateReply = 0x81,
+  kAreFrequentReply = 0x82,
+  kInfoReply = 0x83,
+  kError = 0xff,
+};
+
+/// Why a request failed; carried in the kError frame's header.status.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kUnknownSketch = 1,   ///< name not registered on any pod
+  kBadRequest = 2,      ///< body undecodable or limits exceeded
+  kUnsupportedQuery = 3,///< wrong answer flavor / query size / attr range
+  kInternal = 4,        ///< sketch registered but unloadable, etc.
+};
+
+/// Validated frame header (magic/version already checked and dropped).
+struct FrameHeader {
+  Opcode opcode = Opcode::kError;
+  std::uint8_t status = 0;
+  std::uint32_t body_length = 0;
+};
+
+/// A decoded frame: header plus exactly header.body_length body bytes.
+struct Frame {
+  FrameHeader header;
+  std::string body;
+};
+
+/// One batched query request (kEstimate or kAreFrequent): the target
+/// sketch name and each query's ascending attribute indices.
+struct QueryRequest {
+  std::string sketch;
+  std::vector<std::vector<std::uint32_t>> queries;
+};
+
+/// kInfoReply payload: the served sketch's public context.
+struct SketchInfo {
+  std::string algorithm;
+  std::uint32_t k = 0;
+  double eps = 0.0;
+  double delta = 0.0;
+  std::uint8_t scope = 0;   // 0 = for-all, 1 = for-each
+  std::uint8_t answer = 0;  // 0 = indicator, 1 = estimator
+  std::uint64_t n = 0;
+  std::uint64_t d = 0;
+  std::uint64_t summary_bits = 0;
+};
+
+// ------------------------------------------------------------- encoding
+
+/// Appends a complete frame (header + body) to `out`. Returns false when
+/// the body exceeds kMaxBodyBytes (nothing is appended).
+bool EncodeFrame(Opcode opcode, std::uint8_t status, std::string_view body,
+                 std::string* out);
+
+/// Body encoders. EncodeQueryRequest returns false when the request
+/// exceeds protocol limits (name > 64 KiB, too many queries, a query
+/// with > 65535 attributes).
+bool EncodeQueryRequest(const QueryRequest& request, std::string* body);
+void EncodeEstimateReply(const std::vector<double>& answers,
+                         std::string* body);
+void EncodeAreFrequentReply(const std::vector<bool>& answers,
+                            std::string* body);
+bool EncodeInfoRequest(std::string_view sketch, std::string* body);
+void EncodeInfoReply(const SketchInfo& info, std::string* body);
+void EncodeError(Status status, std::string_view message, std::string* out);
+
+// ------------------------------------------------------------- decoding
+
+/// Parses and validates a 12-byte header buffer: magic, version, known
+/// opcode, body length cap. nullopt on anything malformed.
+std::optional<FrameHeader> DecodeFrameHeader(const char* data,
+                                             std::size_t size);
+
+/// Body decoders; each consumes the entire body and returns nullopt on
+/// truncation, limit violations, or trailing bytes.
+std::optional<QueryRequest> DecodeQueryRequest(std::string_view body);
+std::optional<std::vector<double>> DecodeEstimateReply(std::string_view body);
+std::optional<std::vector<bool>> DecodeAreFrequentReply(
+    std::string_view body);
+std::optional<std::string> DecodeInfoRequest(std::string_view body);
+std::optional<SketchInfo> DecodeInfoReply(std::string_view body);
+std::optional<std::string> DecodeErrorMessage(std::string_view body);
+
+}  // namespace ifsketch::serve
+
+#endif  // IFSKETCH_SERVE_PROTOCOL_H_

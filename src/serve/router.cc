@@ -1,0 +1,222 @@
+#include "serve/router.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace ifsketch::serve {
+namespace {
+
+/// FNV-1a, 64-bit: stable across platforms, processes and restarts, so
+/// shard assignment is a pure function of the name.
+std::uint64_t Fnv1a64(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Router::Router(std::vector<std::shared_ptr<SketchPod>> pods)
+    : pods_(std::move(pods)) {
+  IFSKETCH_CHECK(!pods_.empty());
+  for (const auto& pod : pods_) IFSKETCH_CHECK(pod != nullptr);
+}
+
+std::size_t Router::ShardOf(const std::string& name) const {
+  return static_cast<std::size_t>(Fnv1a64(name) % pods_.size());
+}
+
+SketchPod& Router::PodFor(const std::string& name) {
+  return *pods_[ShardOf(name)];
+}
+
+bool Router::AddSketch(const std::string& name, const std::string& path) {
+  return PodFor(name).AddSketch(name, path);
+}
+
+std::shared_ptr<const Engine> Router::Acquire(const std::string& name) {
+  return PodFor(name).Acquire(name);
+}
+
+RouteStatus Router::EstimateMany(const std::string& name,
+                                 const std::vector<core::Itemset>& ts,
+                                 std::vector<double>* answers) {
+  return Route(name, nullptr, ts, answers, nullptr);
+}
+
+RouteStatus Router::AreFrequent(const std::string& name,
+                                const std::vector<core::Itemset>& ts,
+                                std::vector<bool>* answers) {
+  return Route(name, nullptr, ts, nullptr, answers);
+}
+
+RouteStatus Router::EstimateMany(const std::string& name,
+                                 std::shared_ptr<const Engine> engine,
+                                 const std::vector<core::Itemset>& ts,
+                                 std::vector<double>* answers) {
+  return Route(name, std::move(engine), ts, answers, nullptr);
+}
+
+RouteStatus Router::AreFrequent(const std::string& name,
+                                std::shared_ptr<const Engine> engine,
+                                const std::vector<core::Itemset>& ts,
+                                std::vector<bool>* answers) {
+  return Route(name, std::move(engine), ts, nullptr, answers);
+}
+
+CoalesceStats Router::coalesce_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+Router::Slot& Router::SlotFor(const std::string& name) {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  return slots_[name];  // std::map nodes are address-stable
+}
+
+RouteStatus Router::Route(const std::string& name,
+                          std::shared_ptr<const Engine> engine,
+                          const std::vector<core::Itemset>& ts,
+                          std::vector<double>* estimates,
+                          std::vector<bool>* bits) {
+  SketchPod& pod = PodFor(name);
+  // Slots live forever once created (their addresses must stay stable
+  // for waiting clients), so refuse to mint one for a name the shard
+  // does not even catalog -- otherwise a peer cycling through made-up
+  // names would grow slots_ without bound. A pre-acquired engine is
+  // proof of cataloging.
+  if (engine == nullptr && !pod.Knows(name)) {
+    return RouteStatus::kUnknownSketch;
+  }
+  Slot& slot = SlotFor(name);
+  Pending self;
+  self.ts = &ts;
+  self.estimates = estimates;
+  self.bits = bits;
+  self.engine = std::move(engine);
+
+  std::unique_lock<std::mutex> lock(slot.mu);
+  if (slot.busy) {
+    // A batch is in flight: queue up and let its leader fuse us into the
+    // next one. Answers and status are written before `done` is set, and
+    // both sides synchronize on slot.mu.
+    slot.queue.push_back(&self);
+    slot.cv.wait(lock, [&self] { return self.done; });
+    return self.status;
+  }
+
+  // Leader: nothing in flight, so execute immediately (and alone -- a
+  // lone request must not wait for company that may never come).
+  slot.busy = true;
+  lock.unlock();
+  RunFused(name, pod, {&self}, estimates != nullptr);
+
+  // Drain whatever queued while the batch ran, as fused batches, until
+  // the queue is empty; then hand the slot back.
+  lock.lock();
+  while (!slot.queue.empty()) {
+    std::vector<Pending*> drained;
+    drained.swap(slot.queue);
+    lock.unlock();
+    std::vector<Pending*> fused_estimates;
+    std::vector<Pending*> fused_bits;
+    for (Pending* p : drained) {
+      (p->estimates != nullptr ? fused_estimates : fused_bits).push_back(p);
+    }
+    if (!fused_estimates.empty()) RunFused(name, pod, fused_estimates, true);
+    if (!fused_bits.empty()) RunFused(name, pod, fused_bits, false);
+    lock.lock();
+    for (Pending* p : drained) p->done = true;
+    slot.cv.notify_all();
+  }
+  slot.busy = false;
+  return self.status;
+}
+
+void Router::RunFused(const std::string& name, SketchPod& pod,
+                      const std::vector<Pending*>& batch,
+                      bool estimator_flavor) {
+  // Requests that arrived with a pre-acquired engine use it; the rest
+  // share one Acquire. Any live engine for the name answers
+  // identically (reloads deserialize the same file).
+  std::shared_ptr<const Engine> fallback;
+  bool fallback_tried = false;
+
+  // Per-request validation: a request with any unanswerable query fails
+  // whole (never partially) and is excluded from the fused batch, so one
+  // bad client cannot abort the engine for everyone else.
+  std::vector<Pending*> runnable;
+  std::vector<core::Itemset> fused;
+  const Engine* exec = nullptr;
+  for (Pending* p : batch) {
+    const Engine* engine = p->engine.get();
+    if (engine == nullptr) {
+      if (!fallback_tried) {
+        fallback = pod.Acquire(name);
+        fallback_tried = true;
+      }
+      engine = fallback.get();
+    }
+    if (engine == nullptr) {
+      p->status = pod.Knows(name) ? RouteStatus::kLoadFailed
+                                  : RouteStatus::kUnknownSketch;
+      continue;
+    }
+    bool ok = !estimator_flavor ||
+              engine->params().answer == core::Answer::kEstimator;
+    for (const core::Itemset& t : *p->ts) {
+      if (t.universe() != engine->d() ||
+          !engine->supports_query_size(t.size())) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      p->status = RouteStatus::kUnsupportedQuery;
+      continue;
+    }
+    runnable.push_back(p);
+    exec = engine;
+    fused.insert(fused.end(), p->ts->begin(), p->ts->end());
+  }
+  if (!runnable.empty()) {
+    // One engine call answers every runnable request. Batched kernels
+    // are bit-identical per answer slot whatever the batch composition,
+    // so each scattered slice equals the request's serial answer.
+    if (estimator_flavor) {
+      std::vector<double> answers;
+      exec->estimate_many(fused, &answers);
+      std::size_t offset = 0;
+      for (Pending* p : runnable) {
+        p->estimates->assign(answers.begin() + static_cast<std::ptrdiff_t>(offset),
+                             answers.begin() + static_cast<std::ptrdiff_t>(
+                                                   offset + p->ts->size()));
+        p->status = RouteStatus::kOk;
+        offset += p->ts->size();
+      }
+    } else {
+      std::vector<bool> answers;
+      exec->are_frequent(fused, &answers);
+      std::size_t offset = 0;
+      for (Pending* p : runnable) {
+        p->bits->assign(answers.begin() + static_cast<std::ptrdiff_t>(offset),
+                        answers.begin() + static_cast<std::ptrdiff_t>(
+                                              offset + p->ts->size()));
+        p->status = RouteStatus::kOk;
+        offset += p->ts->size();
+      }
+    }
+    pod.CountQueries(name, fused.size());
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.batches;
+  stats_.requests += batch.size();
+  if (runnable.size() > 1) stats_.fused += runnable.size();
+}
+
+}  // namespace ifsketch::serve

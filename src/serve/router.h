@@ -1,0 +1,151 @@
+// Router: deterministic name -> shard routing with request coalescing.
+//
+// The front door over N SketchPods. Routing is a pure function of the
+// sketch name (FNV-1a 64-bit hash mod pod count), so every client, every
+// server thread, and every restart agrees on which pod owns a name --
+// no routing table to synchronize or persist.
+//
+// Coalescing: concurrent requests against the same sketch are fused into
+// one batched Engine call. Each sketch name has a group-commit slot: the
+// first arriving request becomes the leader and executes immediately;
+// requests arriving while a batch is in flight queue up, and when the
+// leader finishes it drains the whole queue as ONE fused
+// estimate_many/are_frequent batch (which fans out on the existing
+// ThreadPool), scattering the answer slices back to the waiting clients.
+// Fusion is answer-preserving by construction: the batched query kernels
+// are bit-identical per answer slot regardless of batch composition (see
+// core/sketch.h), so a fused answer equals the per-client serial answer.
+//
+// Serial traffic never waits: with no batch in flight a request executes
+// immediately, alone.
+#ifndef IFSKETCH_SERVE_ROUTER_H_
+#define IFSKETCH_SERVE_ROUTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/pod.h"
+
+namespace ifsketch::serve {
+
+/// How a routed query batch fared (mirrors protocol Status, minus
+/// transport concerns).
+enum class RouteStatus {
+  kOk,
+  kUnknownSketch,     ///< no pod's catalog has the name
+  kLoadFailed,        ///< cataloged but the IFSK file would not open
+  kUnsupportedQuery,  ///< wrong answer flavor or unsupported query size
+};
+
+/// Coalescing counters, snapshot via Router::coalesce_stats().
+struct CoalesceStats {
+  std::uint64_t batches = 0;   ///< Engine batch calls issued
+  std::uint64_t requests = 0;  ///< client requests those batches served
+  std::uint64_t fused = 0;     ///< requests that shared a batch with others
+};
+
+/// Routes named-sketch requests across pods, fusing concurrent batches.
+class Router {
+ public:
+  explicit Router(std::vector<std::shared_ptr<SketchPod>> pods);
+
+  /// The shard (pod index) that owns `name`: FNV1a64(name) % pods.
+  std::size_t ShardOf(const std::string& name) const;
+
+  /// The owning pod itself.
+  SketchPod& PodFor(const std::string& name);
+
+  /// Registers a sketch file on its owning shard (catalog only; loaded
+  /// on first use). False if the name is already registered there.
+  bool AddSketch(const std::string& name, const std::string& path);
+
+  /// Acquires the engine for metadata/validation (open-on-demand via the
+  /// owning pod). nullptr when unknown or unloadable.
+  std::shared_ptr<const Engine> Acquire(const std::string& name);
+
+  /// Batched estimate through the owning pod, coalescing with concurrent
+  /// callers on the same name. `ts` must already be validated against
+  /// the sketch (universe d, supported sizes, estimator flavor) -- use
+  /// Acquire for the checks; invalid batches fail kUnsupportedQuery.
+  RouteStatus EstimateMany(const std::string& name,
+                           const std::vector<core::Itemset>& ts,
+                           std::vector<double>* answers);
+
+  /// Batched threshold queries; same coalescing and contract.
+  RouteStatus AreFrequent(const std::string& name,
+                          const std::vector<core::Itemset>& ts,
+                          std::vector<bool>* answers);
+
+  /// Overloads taking the engine the caller already holds from
+  /// Acquire(name): the serving loop validates and routes with a single
+  /// pod acquire per request. Any live engine for the name works --
+  /// reloads of one file answer identically.
+  RouteStatus EstimateMany(const std::string& name,
+                           std::shared_ptr<const Engine> engine,
+                           const std::vector<core::Itemset>& ts,
+                           std::vector<double>* answers);
+  RouteStatus AreFrequent(const std::string& name,
+                          std::shared_ptr<const Engine> engine,
+                          const std::vector<core::Itemset>& ts,
+                          std::vector<bool>* answers);
+
+  std::size_t pod_count() const { return pods_.size(); }
+  const std::vector<std::shared_ptr<SketchPod>>& pods() const {
+    return pods_;
+  }
+
+  CoalesceStats coalesce_stats() const;
+
+ private:
+  /// One waiting client request inside a coalescing slot.
+  struct Pending {
+    const std::vector<core::Itemset>* ts = nullptr;
+    std::vector<double>* estimates = nullptr;   // exactly one of these
+    std::vector<bool>* bits = nullptr;          // two is non-null
+    std::shared_ptr<const Engine> engine;       // pre-acquired, or null
+    RouteStatus status = RouteStatus::kOk;
+    bool done = false;
+  };
+
+  /// Group-commit state for one sketch name. Estimate and indicator
+  /// requests coalesce in the same queue; the drain step splits them
+  /// into (at most) one fused batch per flavor.
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool busy = false;
+    std::vector<Pending*> queue;
+  };
+
+  RouteStatus Route(const std::string& name,
+                    std::shared_ptr<const Engine> engine,
+                    const std::vector<core::Itemset>& ts,
+                    std::vector<double>* estimates,
+                    std::vector<bool>* bits);
+
+  /// Executes one fused batch for every request in `batch` (all the same
+  /// flavor), writing each request's slice and status.
+  void RunFused(const std::string& name, SketchPod& pod,
+                const std::vector<Pending*>& batch, bool estimator_flavor);
+
+  Slot& SlotFor(const std::string& name);
+
+  std::vector<std::shared_ptr<SketchPod>> pods_;
+
+  std::mutex slots_mu_;
+  // Node-stable map: Slot addresses must survive concurrent SlotFor
+  // calls (slots are created on first use and never removed).
+  std::map<std::string, Slot> slots_;
+
+  mutable std::mutex stats_mu_;
+  CoalesceStats stats_;
+};
+
+}  // namespace ifsketch::serve
+
+#endif  // IFSKETCH_SERVE_ROUTER_H_

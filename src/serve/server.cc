@@ -1,0 +1,285 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ifsketch::serve {
+namespace {
+
+Status ToProtocolStatus(RouteStatus status) {
+  switch (status) {
+    case RouteStatus::kOk:
+      return Status::kOk;
+    case RouteStatus::kUnknownSketch:
+      return Status::kUnknownSketch;
+    case RouteStatus::kLoadFailed:
+      return Status::kInternal;
+    case RouteStatus::kUnsupportedQuery:
+      return Status::kUnsupportedQuery;
+  }
+  return Status::kInternal;
+}
+
+bool SendError(Transport& transport, Status status,
+               std::string_view message) {
+  std::string wire;
+  EncodeError(status, message, &wire);
+  return transport.WriteAll(wire.data(), wire.size());
+}
+
+/// Turns a decoded query request into Itemsets over the target sketch's
+/// universe, handing back the acquired engine so routing can reuse it
+/// (one pod acquire per request). False (with an error already sent)
+/// when the name is unknown, the file will not load, or any attribute
+/// is out of range.
+bool PrepareQueries(Router& router, Transport& transport,
+                    const QueryRequest& request,
+                    std::vector<core::Itemset>* ts,
+                    std::shared_ptr<const Engine>* engine_out) {
+  auto engine = router.Acquire(request.sketch);
+  if (engine == nullptr) {
+    if (router.PodFor(request.sketch).Knows(request.sketch)) {
+      SendError(transport, Status::kInternal,
+                "sketch \"" + request.sketch + "\" failed to load");
+    } else {
+      SendError(transport, Status::kUnknownSketch,
+                "unknown sketch \"" + request.sketch + "\"");
+    }
+    return false;
+  }
+  const std::size_t d = engine->d();
+  ts->reserve(request.queries.size());
+  for (const auto& attrs : request.queries) {
+    core::Itemset t(d);
+    for (std::uint32_t attr : attrs) {
+      if (attr >= d) {
+        SendError(transport, Status::kUnsupportedQuery,
+                  "attribute out of range for sketch \"" + request.sketch +
+                      "\"");
+        return false;
+      }
+      t.Add(attr);
+    }
+    if (!engine->supports_query_size(t.size())) {
+      SendError(transport, Status::kUnsupportedQuery,
+                "query size unsupported by sketch \"" + request.sketch +
+                    "\"");
+      return false;
+    }
+    ts->push_back(std::move(t));
+  }
+  *engine_out = std::move(engine);
+  return true;
+}
+
+bool HandleEstimate(Router& router, Transport& transport,
+                    std::string_view body) {
+  const auto request = DecodeQueryRequest(body);
+  if (!request.has_value()) {
+    return SendError(transport, Status::kBadRequest,
+                     "undecodable estimate request");
+  }
+  std::vector<core::Itemset> ts;
+  std::shared_ptr<const Engine> engine;
+  if (!PrepareQueries(router, transport, *request, &ts, &engine)) {
+    return true;
+  }
+  std::vector<double> answers;
+  const RouteStatus status = router.EstimateMany(
+      request->sketch, std::move(engine), ts, &answers);
+  if (status != RouteStatus::kOk) {
+    return SendError(transport, ToProtocolStatus(status),
+                     "estimate failed for sketch \"" + request->sketch +
+                         "\" (indicator-flavored sketch?)");
+  }
+  std::string reply;
+  EncodeEstimateReply(answers, &reply);
+  return WriteFrame(transport, Opcode::kEstimateReply, 0, reply);
+}
+
+bool HandleAreFrequent(Router& router, Transport& transport,
+                       std::string_view body) {
+  const auto request = DecodeQueryRequest(body);
+  if (!request.has_value()) {
+    return SendError(transport, Status::kBadRequest,
+                     "undecodable are-frequent request");
+  }
+  std::vector<core::Itemset> ts;
+  std::shared_ptr<const Engine> engine;
+  if (!PrepareQueries(router, transport, *request, &ts, &engine)) {
+    return true;
+  }
+  std::vector<bool> answers;
+  const RouteStatus status = router.AreFrequent(
+      request->sketch, std::move(engine), ts, &answers);
+  if (status != RouteStatus::kOk) {
+    return SendError(transport, ToProtocolStatus(status),
+                     "are-frequent failed for sketch \"" + request->sketch +
+                         "\"");
+  }
+  std::string reply;
+  EncodeAreFrequentReply(answers, &reply);
+  return WriteFrame(transport, Opcode::kAreFrequentReply, 0, reply);
+}
+
+bool HandleInfo(Router& router, Transport& transport,
+                std::string_view body) {
+  const auto name = DecodeInfoRequest(body);
+  if (!name.has_value()) {
+    return SendError(transport, Status::kBadRequest,
+                     "undecodable info request");
+  }
+  const auto engine = router.Acquire(*name);
+  if (engine == nullptr) {
+    if (router.PodFor(*name).Knows(*name)) {
+      return SendError(transport, Status::kInternal,
+                       "sketch \"" + *name + "\" failed to load");
+    }
+    return SendError(transport, Status::kUnknownSketch,
+                     "unknown sketch \"" + *name + "\"");
+  }
+  SketchInfo info;
+  info.algorithm = engine->algorithm();
+  info.k = static_cast<std::uint32_t>(engine->params().k);
+  info.eps = engine->params().eps;
+  info.delta = engine->params().delta;
+  info.scope = engine->params().scope == core::Scope::kForAll ? 0 : 1;
+  info.answer =
+      engine->params().answer == core::Answer::kIndicator ? 0 : 1;
+  info.n = engine->n();
+  info.d = engine->d();
+  info.summary_bits = engine->summary_bits();
+  std::string reply;
+  EncodeInfoReply(info, &reply);
+  return WriteFrame(transport, Opcode::kInfoReply, 0, reply);
+}
+
+}  // namespace
+
+void ServeConnection(Router& router, Transport& transport) {
+  for (;;) {
+    Frame frame;
+    switch (ReadFrame(transport, &frame)) {
+      case ReadResult::kEof:
+        return;
+      case ReadResult::kMalformed:
+        // Framing is gone (bad header or short body): report once and
+        // hang up -- there is no boundary to resynchronize on.
+        SendError(transport, Status::kBadRequest, "malformed frame");
+        transport.CloseWrite();
+        return;
+      case ReadResult::kFrame:
+        break;
+    }
+    bool alive = true;
+    switch (frame.header.opcode) {
+      case Opcode::kEstimate:
+        alive = HandleEstimate(router, transport, frame.body);
+        break;
+      case Opcode::kAreFrequent:
+        alive = HandleAreFrequent(router, transport, frame.body);
+        break;
+      case Opcode::kInfo:
+        alive = HandleInfo(router, transport, frame.body);
+        break;
+      default:
+        // Reply opcodes are valid frames but not valid *requests*; the
+        // frame was fully consumed, so the connection survives.
+        alive = SendError(transport, Status::kBadRequest,
+                          "frame opcode is not a request");
+        break;
+    }
+    if (!alive) return;  // peer went away mid-reply
+  }
+}
+
+FdTransport::~FdTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool FdTransport::WriteAll(const void* data, std::size_t size) {
+  const char* bytes = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_, bytes + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool FdTransport::ReadAll(void* data, std::size_t size) {
+  char* bytes = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, bytes + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void FdTransport::CloseWrite() { ::shutdown(fd_, SHUT_WR); }
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool TcpListener::Listen(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 64) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  return true;
+}
+
+std::unique_ptr<Transport> TcpListener::Accept() {
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return nullptr;
+  return std::make_unique<FdTransport>(client);
+}
+
+std::unique_ptr<Transport> TcpConnect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  return std::make_unique<FdTransport>(fd);
+}
+
+}  // namespace ifsketch::serve

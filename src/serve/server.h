@@ -1,0 +1,75 @@
+// The serving loop: protocol dispatch over a Transport, plus TCP glue.
+//
+// ServeConnection is the whole server behavior for one connection and is
+// transport-independent: the TCP binary (examples/ifsketch_server.cpp)
+// runs it over an accepted socket, the tests and benches run the very
+// same loop over a LoopbackTransport pair. Request frames dispatch
+// through a shared Router (coalescing across connections happens there);
+// malformed frames are answered with a kError frame where framing
+// permits and the connection is closed where it does not (a bad header
+// loses frame sync, so resynchronization is impossible by design --
+// length-prefixed framing has no frame boundary markers to hunt for).
+//
+// The TCP pieces are deliberately minimal: a blocking accept loop is all
+// a pod front end needs, concurrency comes from one thread per accepted
+// connection plus the coalescing router behind them.
+#ifndef IFSKETCH_SERVE_SERVER_H_
+#define IFSKETCH_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/router.h"
+#include "serve/transport.h"
+
+namespace ifsketch::serve {
+
+/// Serves one connection to completion: reads frames, dispatches through
+/// `router`, writes replies. Returns when the peer closes cleanly or a
+/// malformed frame forces the connection down. Safe to run on many
+/// threads against one Router.
+void ServeConnection(Router& router, Transport& transport);
+
+/// Transport over an open file descriptor (socket); owns and closes it.
+class FdTransport : public Transport {
+ public:
+  explicit FdTransport(int fd) : fd_(fd) {}
+  ~FdTransport() override;
+
+  bool WriteAll(const void* data, std::size_t size) override;
+  bool ReadAll(void* data, std::size_t size) override;
+  void CloseWrite() override;
+
+ private:
+  int fd_;
+};
+
+/// Blocking loopback TCP listener.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port; see port()).
+  bool Listen(std::uint16_t port);
+
+  /// The bound port (after a successful Listen).
+  std::uint16_t port() const { return port_; }
+
+  /// Accepts one connection; nullptr on error/shutdown.
+  std::unique_ptr<Transport> Accept();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port`; nullptr on failure.
+std::unique_ptr<Transport> TcpConnect(std::uint16_t port);
+
+}  // namespace ifsketch::serve
+
+#endif  // IFSKETCH_SERVE_SERVER_H_

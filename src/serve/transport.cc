@@ -1,0 +1,113 @@
+#include "serve/transport.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+namespace ifsketch::serve {
+
+ReadResult ReadFrame(Transport& transport, Frame* frame) {
+  char header[kFrameHeaderBytes];
+  // Peek the first byte separately so a peer that closed between frames
+  // reads as kEof, while one that died mid-header reads as kMalformed.
+  if (!transport.ReadAll(header, 1)) return ReadResult::kEof;
+  if (!transport.ReadAll(header + 1, kFrameHeaderBytes - 1)) {
+    return ReadResult::kMalformed;
+  }
+  const auto parsed = DecodeFrameHeader(header, kFrameHeaderBytes);
+  if (!parsed.has_value()) return ReadResult::kMalformed;
+  frame->header = *parsed;
+  frame->body.resize(parsed->body_length);
+  if (parsed->body_length > 0 &&
+      !transport.ReadAll(frame->body.data(), parsed->body_length)) {
+    return ReadResult::kMalformed;
+  }
+  return ReadResult::kFrame;
+}
+
+bool WriteFrame(Transport& transport, Opcode opcode, std::uint8_t status,
+                std::string_view body) {
+  std::string wire;
+  if (!EncodeFrame(opcode, status, body, &wire)) return false;
+  return transport.WriteAll(wire.data(), wire.size());
+}
+
+/// FIFO byte queue with blocking reads; closing wakes pending readers.
+class LoopbackChannel {
+ public:
+  bool Write(const void* data, std::size_t size) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return false;
+    const char* bytes = static_cast<const char*>(data);
+    buffer_.insert(buffer_.end(), bytes, bytes + size);
+    cv_.notify_all();
+    return true;
+  }
+
+  bool Read(void* data, std::size_t size) {
+    std::unique_lock<std::mutex> lock(mu_);
+    char* bytes = static_cast<char*>(data);
+    std::size_t got = 0;
+    while (got < size) {
+      cv_.wait(lock, [this] { return !buffer_.empty() || closed_; });
+      if (buffer_.empty()) return false;  // closed and drained
+      const std::size_t take =
+          std::min(size - got, buffer_.size());
+      std::copy(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(take), bytes + got);
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(take));
+      got += take;
+    }
+    return true;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<char> buffer_;
+  bool closed_ = false;
+};
+
+LoopbackTransport::LoopbackTransport(std::shared_ptr<LoopbackChannel> read,
+                                     std::shared_ptr<LoopbackChannel> write)
+    : read_(std::move(read)), write_(std::move(write)) {}
+
+LoopbackTransport::~LoopbackTransport() {
+  // Dropping an end hangs up both directions it touches, so a peer
+  // blocked in ReadAll unblocks instead of waiting forever.
+  write_->Close();
+  read_->Close();
+}
+
+std::pair<std::unique_ptr<LoopbackTransport>,
+          std::unique_ptr<LoopbackTransport>>
+LoopbackTransport::CreatePair() {
+  auto a_to_b = std::make_shared<LoopbackChannel>();
+  auto b_to_a = std::make_shared<LoopbackChannel>();
+  std::unique_ptr<LoopbackTransport> a(
+      new LoopbackTransport(b_to_a, a_to_b));
+  std::unique_ptr<LoopbackTransport> b(
+      new LoopbackTransport(a_to_b, b_to_a));
+  return {std::move(a), std::move(b)};
+}
+
+bool LoopbackTransport::WriteAll(const void* data, std::size_t size) {
+  return write_->Write(data, size);
+}
+
+bool LoopbackTransport::ReadAll(void* data, std::size_t size) {
+  return read_->Read(data, size);
+}
+
+void LoopbackTransport::CloseWrite() { write_->Close(); }
+
+}  // namespace ifsketch::serve

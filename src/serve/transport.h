@@ -1,0 +1,89 @@
+// Byte transports the wire protocol runs over.
+//
+// serve/protocol.h defines pure buffer codecs; this header supplies the
+// byte-stream abstraction underneath them, so the identical frames drive
+// a TCP socket (serve/server.h wraps an fd in FdTransport) and the
+// in-process loopback pair the tests and benches use. ReadFrame /
+// WriteFrame are the only frame I/O in the subsystem: ReadFrame reads
+// exactly one validated header and then exactly header.body_length body
+// bytes -- never more -- so a malformed frame cannot make the server
+// over-read into the next frame.
+#ifndef IFSKETCH_SERVE_TRANSPORT_H_
+#define IFSKETCH_SERVE_TRANSPORT_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "serve/protocol.h"
+
+namespace ifsketch::serve {
+
+/// A blocking, reliable, ordered byte stream (one direction per method).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Writes all `size` bytes; false on a closed/failed peer.
+  virtual bool WriteAll(const void* data, std::size_t size) = 0;
+
+  /// Reads exactly `size` bytes; false on EOF or error before `size`
+  /// bytes arrive. A clean EOF at offset 0 also returns false -- callers
+  /// that care use ReadFrame's distinction below.
+  virtual bool ReadAll(void* data, std::size_t size) = 0;
+
+  /// Signals end-of-stream to the peer's reads; further writes fail.
+  virtual void CloseWrite() = 0;
+};
+
+/// Result of ReadFrame: distinguishes a clean end-of-stream (peer closed
+/// between frames) from a protocol violation (bad header, short body).
+enum class ReadResult {
+  kFrame,      ///< `frame` holds a complete validated frame
+  kEof,        ///< stream ended cleanly before any header byte
+  kMalformed,  ///< bad magic/version/opcode/length or truncated frame
+};
+
+/// Reads one frame. Consumes exactly kFrameHeaderBytes + body_length
+/// bytes on success and never reads past the declared body length.
+ReadResult ReadFrame(Transport& transport, Frame* frame);
+
+/// Encodes and writes one frame; false when the body is over-long or the
+/// transport fails.
+bool WriteFrame(Transport& transport, Opcode opcode, std::uint8_t status,
+                std::string_view body);
+
+/// One direction of an in-process connection: a bounded-unbounded byte
+/// queue with blocking reads. Shared by the two LoopbackTransport ends.
+class LoopbackChannel;
+
+/// In-process Transport: two channels cross-wired so that one end's
+/// writes are the other end's reads. Drives the protocol (and the whole
+/// server dispatch loop) in tests and benches without sockets.
+class LoopbackTransport : public Transport {
+ public:
+  /// A connected pair: frames written to `first` are read by `second`
+  /// and vice versa.
+  static std::pair<std::unique_ptr<LoopbackTransport>,
+                   std::unique_ptr<LoopbackTransport>>
+  CreatePair();
+
+  ~LoopbackTransport() override;
+
+  bool WriteAll(const void* data, std::size_t size) override;
+  bool ReadAll(void* data, std::size_t size) override;
+  void CloseWrite() override;
+
+ private:
+  LoopbackTransport(std::shared_ptr<LoopbackChannel> read,
+                    std::shared_ptr<LoopbackChannel> write);
+
+  std::shared_ptr<LoopbackChannel> read_;
+  std::shared_ptr<LoopbackChannel> write_;
+};
+
+}  // namespace ifsketch::serve
+
+#endif  // IFSKETCH_SERVE_TRANSPORT_H_

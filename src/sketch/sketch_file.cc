@@ -55,6 +55,10 @@ bool WriteSketch(std::ostream& out, const SketchFile& file) {
     if (file.summary.Get(i)) bytes[i / 8] |= static_cast<char>(1 << (i % 8));
   }
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  // Push everything through to the sink before reporting success: a full
+  // disk often only surfaces at flush time, and returning true on a
+  // short write would leave a truncated, unreadable .ifsk behind.
+  out.flush();
   return static_cast<bool>(out);
 }
 
@@ -127,7 +131,11 @@ std::optional<SketchFile> ReadSketch(std::istream& in) {
 bool SaveSketchFile(const std::string& path, const SketchFile& file) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
-  return WriteSketch(out, file);
+  if (!WriteSketch(out, file)) return false;
+  // close() is the last point the filesystem can report a failed write;
+  // Engine::Save surfaces this result to its caller.
+  out.close();
+  return !out.fail();
 }
 
 std::optional<SketchFile> LoadSketchFile(const std::string& path) {

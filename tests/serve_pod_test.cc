@@ -1,0 +1,224 @@
+// SketchPod: open-on-demand loading, LRU + byte-budget admission, stats,
+// and eviction safety while queries are in flight (run under
+// -fsanitize=thread by the CI tsan job).
+
+#include "serve/pod.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generators.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace ifsketch::serve {
+namespace {
+
+core::SketchParams Params(std::size_t k = 2) {
+  core::SketchParams p;
+  p.k = k;
+  p.eps = 0.1;
+  p.delta = 0.1;
+  p.scope = core::Scope::kForEach;
+  p.answer = core::Answer::kEstimator;
+  return p;
+}
+
+/// Builds a sketch of an n x d database and saves it under TempDir.
+std::string MakeSketchFile(const std::string& stem, std::size_t n,
+                           std::size_t d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const core::Database db = data::UniformRandom(n, d, 0.4, rng);
+  auto engine = Engine::Build(db, "SUBSAMPLE", Params(), rng);
+  EXPECT_TRUE(engine.has_value());
+  const std::string path = testing::TempDir() + "/" + stem + ".ifsk";
+  EXPECT_TRUE(engine->Save(path));
+  return path;
+}
+
+std::size_t ResidentBytesOf(const std::string& path) {
+  const auto engine = Engine::Open(path);
+  EXPECT_TRUE(engine.has_value());
+  return (engine->summary_bits() + 7) / 8;
+}
+
+const SketchStats& StatsFor(const std::vector<SketchStats>& all,
+                            const std::string& name) {
+  for (const auto& s : all) {
+    if (s.name == name) return s;
+  }
+  ADD_FAILURE() << "no stats for " << name;
+  static SketchStats none;
+  return none;
+}
+
+TEST(SketchPodTest, OpensOnDemandAndCountsHits) {
+  SketchPod pod;
+  const std::string path = MakeSketchFile("pod_a", 300, 10, 1);
+  ASSERT_TRUE(pod.AddSketch("a", path));
+  EXPECT_FALSE(pod.AddSketch("a", path));  // duplicate name
+  EXPECT_TRUE(pod.Knows("a"));
+  EXPECT_FALSE(pod.Knows("b"));
+  EXPECT_EQ(pod.resident_bytes(), 0u);  // catalog only, nothing loaded
+
+  const auto engine = pod.Acquire("a");
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->algorithm(), "SUBSAMPLE");
+  EXPECT_GT(pod.resident_bytes(), 0u);
+  ASSERT_NE(pod.Acquire("a"), nullptr);  // resident now
+
+  const auto stats = pod.stats();
+  const SketchStats& a = StatsFor(stats, "a");
+  EXPECT_EQ(a.loads, 1u);
+  EXPECT_EQ(a.hits, 1u);  // second Acquire
+  EXPECT_EQ(a.evictions, 0u);
+  EXPECT_TRUE(a.resident);
+  EXPECT_EQ(a.resident_bytes, pod.resident_bytes());
+
+  EXPECT_EQ(pod.Acquire("missing"), nullptr);
+}
+
+TEST(SketchPodTest, AcquireFailsOnUnreadableFile) {
+  SketchPod pod;
+  ASSERT_TRUE(pod.AddSketch("ghost", testing::TempDir() + "/ghost.ifsk"));
+  EXPECT_EQ(pod.Acquire("ghost"), nullptr);
+  EXPECT_TRUE(pod.Knows("ghost"));  // cataloged, just unloadable
+  EXPECT_EQ(pod.resident_bytes(), 0u);
+}
+
+TEST(SketchPodTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  const std::string pa = MakeSketchFile("pod_lru_a", 400, 10, 2);
+  const std::string pb = MakeSketchFile("pod_lru_b", 400, 10, 3);
+  const std::string pc = MakeSketchFile("pod_lru_c", 400, 10, 4);
+  const std::size_t each = ResidentBytesOf(pa);
+  ASSERT_EQ(ResidentBytesOf(pb), each);  // same shape => same size
+
+  // Budget fits exactly two residents.
+  SketchPod pod(2 * each);
+  ASSERT_TRUE(pod.AddSketch("a", pa));
+  ASSERT_TRUE(pod.AddSketch("b", pb));
+  ASSERT_TRUE(pod.AddSketch("c", pc));
+
+  ASSERT_NE(pod.Acquire("a"), nullptr);
+  ASSERT_NE(pod.Acquire("b"), nullptr);
+  EXPECT_EQ(pod.resident_bytes(), 2 * each);
+
+  // Touch a so b is the LRU victim when c loads.
+  ASSERT_NE(pod.Acquire("a"), nullptr);
+  ASSERT_NE(pod.Acquire("c"), nullptr);
+  EXPECT_EQ(pod.resident_bytes(), 2 * each);
+  {
+    const auto stats = pod.stats();
+    EXPECT_TRUE(StatsFor(stats, "a").resident);
+    EXPECT_FALSE(StatsFor(stats, "b").resident);
+    EXPECT_TRUE(StatsFor(stats, "c").resident);
+    EXPECT_EQ(StatsFor(stats, "b").evictions, 1u);
+    EXPECT_EQ(StatsFor(stats, "b").resident_bytes, 0u);
+  }
+
+  // Reacquiring b reloads it (loads=2) and evicts a (LRU after c's use).
+  ASSERT_NE(pod.Acquire("b"), nullptr);
+  {
+    const auto stats = pod.stats();
+    EXPECT_FALSE(StatsFor(stats, "a").resident);
+    EXPECT_EQ(StatsFor(stats, "a").evictions, 1u);
+    EXPECT_EQ(StatsFor(stats, "b").loads, 2u);
+    EXPECT_TRUE(StatsFor(stats, "c").resident);
+  }
+}
+
+TEST(SketchPodTest, OverBudgetSketchIsAdmittedAlone) {
+  const std::string pa = MakeSketchFile("pod_big_a", 300, 10, 5);
+  const std::string pb = MakeSketchFile("pod_big_b", 300, 10, 6);
+  const std::size_t each = ResidentBytesOf(pa);
+
+  // Budget smaller than one sketch: each load evicts the other, but the
+  // name still serves.
+  SketchPod pod(each / 2);
+  ASSERT_TRUE(pod.AddSketch("a", pa));
+  ASSERT_TRUE(pod.AddSketch("b", pb));
+  ASSERT_NE(pod.Acquire("a"), nullptr);
+  EXPECT_EQ(pod.resident_bytes(), each);  // over budget, admitted alone
+  ASSERT_NE(pod.Acquire("b"), nullptr);
+  const auto stats = pod.stats();
+  EXPECT_FALSE(StatsFor(stats, "a").resident);
+  EXPECT_TRUE(StatsFor(stats, "b").resident);
+}
+
+TEST(SketchPodTest, SetByteBudgetEvictsImmediately) {
+  const std::string pa = MakeSketchFile("pod_reb_a", 300, 10, 7);
+  const std::string pb = MakeSketchFile("pod_reb_b", 300, 10, 8);
+  SketchPod pod;  // unlimited
+  ASSERT_TRUE(pod.AddSketch("a", pa));
+  ASSERT_TRUE(pod.AddSketch("b", pb));
+  ASSERT_NE(pod.Acquire("a"), nullptr);
+  ASSERT_NE(pod.Acquire("b"), nullptr);
+  const std::size_t each = ResidentBytesOf(pa);
+  EXPECT_EQ(pod.resident_bytes(), 2 * each);
+
+  pod.SetByteBudget(each);
+  EXPECT_EQ(pod.resident_bytes(), each);
+  const auto stats = pod.stats();
+  EXPECT_FALSE(StatsFor(stats, "a").resident);  // a was LRU
+  EXPECT_TRUE(StatsFor(stats, "b").resident);
+}
+
+TEST(SketchPodTest, CountQueriesAccumulates) {
+  SketchPod pod;
+  ASSERT_TRUE(pod.AddSketch("a", MakeSketchFile("pod_q", 200, 8, 9)));
+  pod.CountQueries("a", 5);
+  pod.CountQueries("a", 7);
+  pod.CountQueries("nobody", 100);  // silently ignored
+  EXPECT_EQ(StatsFor(pod.stats(), "a").queries, 12u);
+}
+
+// Queries keep answering correctly while the budget thrashes engines in
+// and out under them: an acquired shared_ptr outlives its eviction, and
+// answers from a reloaded engine are bit-identical (same file).
+TEST(SketchPodTest, EvictionWhileQueriesInFlightIsSafe) {
+  const std::string pa = MakeSketchFile("pod_flight_a", 500, 10, 10);
+  const std::string pb = MakeSketchFile("pod_flight_b", 500, 10, 11);
+  const std::size_t each = ResidentBytesOf(pa);
+  SketchPod pod(each);  // exactly one resident: every swap evicts
+  ASSERT_TRUE(pod.AddSketch("a", pa));
+  ASSERT_TRUE(pod.AddSketch("b", pb));
+
+  // Reference answers, computed on private engines.
+  const core::Itemset t(10, {1, 3});
+  const double expect_a = Engine::Open(pa)->estimate(t);
+  const double expect_b = Engine::Open(pb)->estimate(t);
+
+  util::ThreadPool::SetDefaultThreadCount(2);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < 6; ++i) {
+    threads.emplace_back([&, i] {
+      const std::string name = (i % 2 == 0) ? "a" : "b";
+      const double expected = (i % 2 == 0) ? expect_a : expect_b;
+      for (int round = 0; round < 25 && !failed.load(); ++round) {
+        const auto engine = pod.Acquire(name);
+        if (engine == nullptr || engine->estimate(t) != expected) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+
+  const auto stats = pod.stats();
+  // The a/b ping-pong forces real evictions (budget holds only one).
+  EXPECT_GT(StatsFor(stats, "a").evictions +
+                StatsFor(stats, "b").evictions,
+            0u);
+  EXPECT_LE(pod.resident_bytes(), each);
+  util::ThreadPool::SetDefaultThreadCount(0);
+}
+
+}  // namespace
+}  // namespace ifsketch::serve

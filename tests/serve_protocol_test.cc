@@ -1,0 +1,229 @@
+// The wire codec under the ReadSketch validate-everything discipline:
+// round trips for every frame kind, and rejection of every malformed
+// shape -- truncated header, oversized declared length, unknown opcode,
+// version mismatch, trailing body bytes (mirrors sketch_file_test's
+// malformed-header cases).
+
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace ifsketch::serve {
+namespace {
+
+std::string EncodedHeader(Opcode opcode, std::uint32_t body_length) {
+  std::string frame;
+  EXPECT_TRUE(EncodeFrame(opcode, 0, std::string(), &frame));
+  // Patch the body length afterwards: EncodeFrame would (correctly)
+  // refuse to declare a length it is not writing.
+  std::memcpy(frame.data() + 8, &body_length, sizeof(body_length));
+  return frame;
+}
+
+TEST(ServeProtocolTest, FrameHeaderRoundTrip) {
+  std::string frame;
+  ASSERT_TRUE(EncodeFrame(Opcode::kEstimate, 0, "abc", &frame));
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + 3);
+  const auto header = DecodeFrameHeader(frame.data(), kFrameHeaderBytes);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->opcode, Opcode::kEstimate);
+  EXPECT_EQ(header->status, 0);
+  EXPECT_EQ(header->body_length, 3u);
+}
+
+TEST(ServeProtocolTest, HeaderRejectsTruncation) {
+  const std::string frame = EncodedHeader(Opcode::kInfo, 0);
+  for (std::size_t len = 0; len < kFrameHeaderBytes; ++len) {
+    EXPECT_FALSE(DecodeFrameHeader(frame.data(), len).has_value()) << len;
+  }
+}
+
+TEST(ServeProtocolTest, HeaderRejectsBadMagic) {
+  std::string frame = EncodedHeader(Opcode::kInfo, 0);
+  frame[0] = 'X';
+  EXPECT_FALSE(DecodeFrameHeader(frame.data(), kFrameHeaderBytes)
+                   .has_value());
+}
+
+TEST(ServeProtocolTest, HeaderRejectsVersionMismatch) {
+  std::string frame = EncodedHeader(Opcode::kInfo, 0);
+  const std::uint16_t bad_version = kProtocolVersion + 1;
+  std::memcpy(frame.data() + 4, &bad_version, sizeof(bad_version));
+  EXPECT_FALSE(DecodeFrameHeader(frame.data(), kFrameHeaderBytes)
+                   .has_value());
+}
+
+TEST(ServeProtocolTest, HeaderRejectsUnknownOpcode) {
+  std::string frame = EncodedHeader(Opcode::kInfo, 0);
+  for (const unsigned char bad : {0x00, 0x04, 0x7f, 0x84, 0xfe}) {
+    frame[6] = static_cast<char>(bad);
+    EXPECT_FALSE(DecodeFrameHeader(frame.data(), kFrameHeaderBytes)
+                     .has_value())
+        << int{bad};
+  }
+}
+
+TEST(ServeProtocolTest, HeaderRejectsOversizedDeclaredLength) {
+  const std::string frame =
+      EncodedHeader(Opcode::kEstimate, kMaxBodyBytes + 1);
+  EXPECT_FALSE(DecodeFrameHeader(frame.data(), kFrameHeaderBytes)
+                   .has_value());
+  // The cap itself is fine -- the limit, not one past it.
+  const std::string at_cap = EncodedHeader(Opcode::kEstimate, kMaxBodyBytes);
+  EXPECT_TRUE(DecodeFrameHeader(at_cap.data(), kFrameHeaderBytes)
+                  .has_value());
+}
+
+TEST(ServeProtocolTest, QueryRequestRoundTrip) {
+  QueryRequest request;
+  request.sketch = "baskets";
+  request.queries = {{0, 3, 7}, {}, {41}};
+  std::string body;
+  ASSERT_TRUE(EncodeQueryRequest(request, &body));
+  const auto back = DecodeQueryRequest(body);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->sketch, request.sketch);
+  EXPECT_EQ(back->queries, request.queries);
+}
+
+TEST(ServeProtocolTest, QueryRequestRejectsTruncationAtEveryLength) {
+  QueryRequest request;
+  request.sketch = "s";
+  request.queries = {{1, 2}, {3}};
+  std::string body;
+  ASSERT_TRUE(EncodeQueryRequest(request, &body));
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(DecodeQueryRequest(body.substr(0, len)).has_value())
+        << len;
+  }
+}
+
+TEST(ServeProtocolTest, QueryRequestRejectsTrailingBytes) {
+  QueryRequest request;
+  request.sketch = "s";
+  request.queries = {{1}};
+  std::string body;
+  ASSERT_TRUE(EncodeQueryRequest(request, &body));
+  body.push_back('\0');
+  EXPECT_FALSE(DecodeQueryRequest(body).has_value());
+}
+
+TEST(ServeProtocolTest, QueryRequestRejectsOverlongBatch) {
+  // A declared count over the cap must be rejected from the count field
+  // alone, before any allocation proportional to it.
+  std::string body;
+  const std::uint16_t name_len = 1;
+  body.append(reinterpret_cast<const char*>(&name_len), 2);
+  body.push_back('s');
+  const std::uint32_t count = kMaxQueriesPerRequest + 1;
+  body.append(reinterpret_cast<const char*>(&count), 4);
+  EXPECT_FALSE(DecodeQueryRequest(body).has_value());
+}
+
+TEST(ServeProtocolTest, DeclaredCountsAreBoundedByActualBodyBytes) {
+  // A few-byte body declaring a huge element count must be rejected
+  // from the count field alone -- decoders size allocations from it.
+  const std::uint32_t big = kMaxQueriesPerRequest;
+  std::string body(reinterpret_cast<const char*>(&big), 4);
+  EXPECT_FALSE(DecodeEstimateReply(body).has_value());
+  EXPECT_FALSE(DecodeAreFrequentReply(body).has_value());
+  std::string request;
+  const std::uint16_t name_len = 1;
+  request.append(reinterpret_cast<const char*>(&name_len), 2);
+  request.push_back('s');
+  request.append(reinterpret_cast<const char*>(&big), 4);
+  request.push_back('\0');  // one spare byte, nowhere near `big` queries
+  EXPECT_FALSE(DecodeQueryRequest(request).has_value());
+}
+
+TEST(ServeProtocolTest, EstimateReplyRoundTrip) {
+  const std::vector<double> answers = {0.0, 0.25, 1.0, 3.14159e-7};
+  std::string body;
+  EncodeEstimateReply(answers, &body);
+  const auto back = DecodeEstimateReply(body);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, answers);
+}
+
+TEST(ServeProtocolTest, AreFrequentReplyRoundTripAllWidths) {
+  // Bit packing boundaries: 0..17 answers cover empty, sub-byte, exact
+  // byte and byte+1 widths.
+  for (std::size_t count = 0; count <= 17; ++count) {
+    std::vector<bool> answers(count);
+    for (std::size_t i = 0; i < count; ++i) answers[i] = (i % 3) == 0;
+    std::string body;
+    EncodeAreFrequentReply(answers, &body);
+    const auto back = DecodeAreFrequentReply(body);
+    ASSERT_TRUE(back.has_value()) << count;
+    EXPECT_EQ(*back, answers) << count;
+  }
+}
+
+TEST(ServeProtocolTest, InfoReplyRoundTrip) {
+  SketchInfo info;
+  info.algorithm = "MEDIAN-BOOST(SUBSAMPLE)";
+  info.k = 3;
+  info.eps = 0.05;
+  info.delta = 0.01;
+  info.scope = 1;
+  info.answer = 1;
+  info.n = 100000;
+  info.d = 64;
+  info.summary_bits = 123456;
+  std::string body;
+  EncodeInfoReply(info, &body);
+  const auto back = DecodeInfoReply(body);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->algorithm, info.algorithm);
+  EXPECT_EQ(back->k, info.k);
+  EXPECT_DOUBLE_EQ(back->eps, info.eps);
+  EXPECT_DOUBLE_EQ(back->delta, info.delta);
+  EXPECT_EQ(back->scope, info.scope);
+  EXPECT_EQ(back->answer, info.answer);
+  EXPECT_EQ(back->n, info.n);
+  EXPECT_EQ(back->d, info.d);
+  EXPECT_EQ(back->summary_bits, info.summary_bits);
+}
+
+TEST(ServeProtocolTest, InfoReplyRejectsBadEnumBytes) {
+  SketchInfo info;
+  info.algorithm = "SUBSAMPLE";
+  std::string body;
+  EncodeInfoReply(info, &body);
+  // scope byte sits right after the name (2 + 9), k (4), eps (8),
+  // delta (8).
+  const std::size_t scope_at = 2 + 9 + 4 + 8 + 8;
+  std::string bad = body;
+  bad[scope_at] = 2;
+  EXPECT_FALSE(DecodeInfoReply(bad).has_value());
+  bad = body;
+  bad[scope_at + 1] = 7;  // answer byte
+  EXPECT_FALSE(DecodeInfoReply(bad).has_value());
+}
+
+TEST(ServeProtocolTest, ErrorRoundTrip) {
+  std::string wire;
+  EncodeError(Status::kUnknownSketch, "no such sketch", &wire);
+  const auto header = DecodeFrameHeader(wire.data(), kFrameHeaderBytes);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->opcode, Opcode::kError);
+  EXPECT_EQ(header->status,
+            static_cast<std::uint8_t>(Status::kUnknownSketch));
+  const auto message =
+      DecodeErrorMessage(wire.substr(kFrameHeaderBytes));
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(*message, "no such sketch");
+}
+
+TEST(ServeProtocolTest, EncodeFrameRefusesOverlongBody) {
+  std::string frame;
+  const std::string body(kMaxBodyBytes + 1, 'x');
+  EXPECT_FALSE(EncodeFrame(Opcode::kEstimate, 0, body, &frame));
+  EXPECT_TRUE(frame.empty());
+}
+
+}  // namespace
+}  // namespace ifsketch::serve

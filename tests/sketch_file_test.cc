@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -189,6 +190,59 @@ TEST(SketchFileTest, WriteRefusesParamsReadWouldReject) {
   file.params.eps = 0.0;
   std::stringstream stream2;
   EXPECT_FALSE(WriteSketch(stream2, file));
+}
+
+// A sink that accepts only `capacity` bytes and then fails -- a tiny
+// full disk observed at write time.
+class BoundedSink : public std::streambuf {
+ public:
+  explicit BoundedSink(std::streamsize capacity) : capacity_(capacity) {}
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (written_ >= capacity_) return traits_type::eof();
+    ++written_;
+    return ch;
+  }
+  std::streamsize xsputn(const char* /*s*/, std::streamsize n) override {
+    const std::streamsize take = std::min(n, capacity_ - written_);
+    written_ += take;
+    return take;
+  }
+
+ private:
+  std::streamsize capacity_;
+  std::streamsize written_ = 0;
+};
+
+// A sink that swallows every byte but rejects the final flush -- a full
+// disk that only surfaces when the buffer is pushed through (the
+// classic ofstream failure mode WriteSketch must not miss).
+class FailOnSyncSink : public std::streambuf {
+ protected:
+  int_type overflow(int_type ch) override { return ch; }
+  std::streamsize xsputn(const char* /*s*/, std::streamsize n) override {
+    return n;
+  }
+  int sync() override { return -1; }
+};
+
+TEST(SketchFileTest, WriteReportsShortWrite) {
+  util::Rng rng(11);
+  const SketchFile file = MakeFile(rng);
+  for (const std::streamsize capacity : {0, 3, 20, 60}) {
+    BoundedSink sink(capacity);
+    std::ostream out(&sink);
+    EXPECT_FALSE(WriteSketch(out, file)) << capacity;
+  }
+}
+
+TEST(SketchFileTest, WriteReportsFailureAtFinalFlush) {
+  util::Rng rng(12);
+  const SketchFile file = MakeFile(rng);
+  FailOnSyncSink sink;
+  std::ostream out(&sink);
+  EXPECT_FALSE(WriteSketch(out, file));
 }
 
 TEST(SketchFileTest, ZeroBitSummary) {
