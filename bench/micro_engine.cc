@@ -7,6 +7,7 @@
 //                                    (BM_EngineScalar10k vs
 //                                    BM_EngineBatched10k etc).
 //   micro_engine --json [out.json] [--threads 1,2,4,8] [--batch 1000,10000]
+//                [--kernel all|scalar,avx2,avx512]
 //                                    machine-readable perf sweep.
 //
 // The --json mode emits one JSON array with the stable schema
@@ -22,8 +23,15 @@
 //   mine_batched  full Apriori run through the level-batched,
 //                 prefix-sharing driver; same reporting as mine_scalar
 //
-// Answers are bit-identical across every kernel pairing and thread
-// count; only the work-sharing differs.
+// --kernel repeats the whole sweep once per SIMD dispatch tier
+// (util/kernels.h), with each row's kernel field suffixed "@tier", e.g.
+// "batched@avx2"; "all" expands to every tier this build+CPU supports,
+// and unsupported names in an explicit list are skipped with a warning.
+// Without --kernel, rows keep their unsuffixed names and run on the
+// default dispatch (IFSKETCH_KERNEL env or CPUID best).
+//
+// Answers are bit-identical across every kernel pairing, dispatch tier
+// and thread count; only the work-sharing differs.
 
 #include <benchmark/benchmark.h>
 
@@ -35,6 +43,7 @@
 
 #include "data/generators.h"
 #include "engine.h"
+#include "util/kernels.h"
 #include "util/thread_pool.h"
 #include "util/random.h"
 
@@ -192,12 +201,13 @@ std::vector<std::size_t> ParseList(const std::string& csv) {
   return out;
 }
 
-int RunJsonSweep(const std::string& out_path,
-                 const std::vector<std::size_t>& thread_counts,
-                 const std::vector<std::size_t>& batch_sizes) {
+// One full sweep on the currently active dispatch tier; `suffix` is ""
+// (legacy row names) or "@tier" when --kernel is sweeping tiers.
+void SweepOnePass(const std::string& suffix,
+                  const std::vector<std::size_t>& thread_counts,
+                  const std::vector<std::size_t>& batch_sizes,
+                  std::vector<SweepRow>* rows) {
   const Engine& engine = SharedEngine();
-  std::vector<SweepRow> rows;
-
   for (std::size_t batch : batch_sizes) {
     const auto queries = Queries(batch);
     std::vector<double> answers(batch);
@@ -207,12 +217,12 @@ int RunJsonSweep(const std::string& out_path,
         answers[i] = engine.estimate(queries[i]);
       }
     });
-    rows.push_back({"scalar", 1, batch, scalar_ns});
+    rows->push_back({"scalar" + suffix, 1, batch, scalar_ns});
     for (std::size_t threads : thread_counts) {
       util::ThreadPool::SetDefaultThreadCount(threads);
       const double ns = TimeNsPerQuery(
           batch, [&] { engine.estimate_many(queries, &answers); });
-      rows.push_back({"batched", threads, batch, ns});
+      rows->push_back({"batched" + suffix, threads, batch, ns});
     }
   }
 
@@ -221,18 +231,43 @@ int RunJsonSweep(const std::string& out_path,
   opt.max_size = 3;
   const auto estimator = sketch::LoadEstimator(engine.file());
   util::ThreadPool::SetDefaultThreadCount(1);
-  rows.push_back({"mine_scalar", 1, 0,
-                  TimeNsPerQuery(0, [&] {
-                    benchmark::DoNotOptimize(mining::MineWithEstimator(
-                        *estimator, kColumns, opt));
-                  })});
+  rows->push_back({"mine_scalar" + suffix, 1, 0,
+                   TimeNsPerQuery(0, [&] {
+                     benchmark::DoNotOptimize(mining::MineWithEstimator(
+                         *estimator, kColumns, opt));
+                   })});
   for (std::size_t threads : thread_counts) {
     util::ThreadPool::SetDefaultThreadCount(threads);
-    rows.push_back({"mine_batched", threads, 0, TimeNsPerQuery(0, [&] {
-                      benchmark::DoNotOptimize(engine.mine(opt));
-                    })});
+    rows->push_back({"mine_batched" + suffix, threads, 0,
+                     TimeNsPerQuery(0, [&] {
+                       benchmark::DoNotOptimize(engine.mine(opt));
+                     })});
   }
   util::ThreadPool::SetDefaultThreadCount(0);
+}
+
+int RunJsonSweep(const std::string& out_path,
+                 const std::vector<std::size_t>& thread_counts,
+                 const std::vector<std::size_t>& batch_sizes,
+                 const std::vector<std::string>& kernel_tiers) {
+  std::vector<SweepRow> rows;
+  if (kernel_tiers.empty()) {
+    SweepOnePass("", thread_counts, batch_sizes, &rows);
+  } else {
+    for (const std::string& tier : kernel_tiers) {
+      if (!util::SetKernelTier(tier)) {
+        std::fprintf(stderr,
+                     "warning: kernel tier \"%s\" not usable on this "
+                     "build/CPU; skipping\n",
+                     tier.c_str());
+        continue;
+      }
+      SweepOnePass("@" + tier, thread_counts, batch_sizes, &rows);
+    }
+    // Back to auto-dispatch for anything running after the sweep.
+    util::SetKernelTier(
+        util::SupportedKernelTiers().back());
+  }
 
   std::FILE* out =
       out_path.empty() ? stdout : std::fopen(out_path.c_str(), "w");
@@ -253,6 +288,27 @@ int RunJsonSweep(const std::string& out_path,
   return 0;
 }
 
+// Splits a comma-separated tier list; "all" expands to every tier this
+// build+CPU supports.
+std::vector<std::string> ParseKernelList(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t next = csv.find(',', pos);
+    if (next == std::string::npos) next = csv.size();
+    const std::string token = csv.substr(pos, next - pos);
+    if (token == "all") {
+      for (util::KernelTier tier : util::SupportedKernelTiers()) {
+        out.emplace_back(util::KernelTierName(tier));
+      }
+    } else if (!token.empty()) {
+      out.push_back(token);
+    }
+    pos = next + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -260,6 +316,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
   std::vector<std::size_t> batch_sizes = {1000, 10000};
+  std::vector<std::string> kernel_tiers;  // empty = default dispatch
 
   // Strip the sweep flags; everything left goes to Google Benchmark.
   std::vector<char*> passthrough;
@@ -273,6 +330,14 @@ int main(int argc, char** argv) {
       thread_counts = ParseList(argv[++i]);
     } else if (arg == "--batch" && i + 1 < argc) {
       batch_sizes = ParseList(argv[++i]);
+    } else if (arg == "--kernel" && i + 1 < argc) {
+      kernel_tiers = ParseKernelList(argv[++i]);
+      if (kernel_tiers.empty()) {
+        std::fprintf(stderr,
+                     "error: --kernel needs tier names "
+                     "(all|scalar|avx2|avx512)\n");
+        return 2;
+      }
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -282,7 +347,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: --threads/--batch need positive values\n");
       return 2;
     }
-    return RunJsonSweep(out_path, thread_counts, batch_sizes);
+    return RunJsonSweep(out_path, thread_counts, batch_sizes, kernel_tiers);
   }
   int gb_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&gb_argc, passthrough.data());

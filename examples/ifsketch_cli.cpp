@@ -26,6 +26,7 @@
 #include "data/io.h"
 #include "engine.h"
 #include "sketch/sketch_file.h"
+#include "util/kernels.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -49,6 +50,12 @@ int Usage() {
                "and mining\n"
                "                  (default: IFSKETCH_THREADS env var, "
                "else all cores)\n"
+               "  --kernel TIER   bit-kernel dispatch tier: scalar, avx2 "
+               "or avx512\n"
+               "                  (default: IFSKETCH_KERNEL env var, else "
+               "best for this CPU;\n"
+               "                  answers are bit-identical at every "
+               "tier)\n"
                "\nregistered algorithms (for --algo):\n");
   for (const auto& name : Engine::KnownAlgorithms()) {
     std::fprintf(stderr, "  %s\n", name.c_str());
@@ -266,6 +273,17 @@ int main(int argc, char** argv) {
       }
       util::ThreadPool::SetDefaultThreadCount(
           static_cast<std::size_t>(threads));
+    } else if (args[i] == "--kernel") {
+      if (!util::SetKernelTier(args[i + 1])) {
+        std::fprintf(stderr,
+                     "error: kernel tier \"%s\" is unknown or not usable "
+                     "on this build/CPU; usable tiers:\n",
+                     args[i + 1].c_str());
+        for (util::KernelTier tier : util::SupportedKernelTiers()) {
+          std::fprintf(stderr, "  %s\n", util::KernelTierName(tier));
+        }
+        return 2;
+      }
     } else {
       ++i;
       continue;

@@ -16,7 +16,11 @@
 //      result slot, so answers are deterministic at any thread count.
 //   2. Fused kernels: an isolated q-attribute query is answered by
 //      util::BitVector::AndCountMany -- one pass over the column words,
-//      popcounting while ANDing, no materialized accumulator.
+//      popcounting while ANDing, no materialized accumulator. All the
+//      word-level work (Count / AndCount / AndCountMany / the prefix
+//      &=) runs on the runtime-dispatched SIMD tier in util/kernels.h,
+//      so SupportCounts inherits AVX2/AVX-512 popcount for free, with
+//      counts bit-identical at every tier.
 //   3. Prefix sharing: consecutive queries that agree on all but their
 //      last attribute (exactly how the Apriori driver emits candidate
 //      levels) reuse one materialized (q-1)-prefix accumulator, so a

@@ -1,8 +1,10 @@
 #include "util/bitvector.h"
 
+#include <array>
 #include <bit>
 
 #include "util/check.h"
+#include "util/kernels.h"
 
 namespace ifsketch::util {
 
@@ -20,9 +22,7 @@ void BitVector::Clear() {
 }
 
 std::size_t BitVector::Count() const {
-  std::size_t c = 0;
-  for (std::uint64_t w : words_) c += std::popcount(w);
-  return c;
+  return ActiveKernels().popcount_words(words_.data(), words_.size());
 }
 
 bool BitVector::Contains(const BitVector& other) const {
@@ -44,34 +44,39 @@ std::size_t BitVector::HammingDistance(const BitVector& other) const {
 
 std::size_t BitVector::AndCount(const BitVector& other) const {
   IFSKETCH_CHECK_EQ(size_, other.size_);
-  std::size_t c = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    c += std::popcount(words_[i] & other.words_[i]);
-  }
-  return c;
+  return ActiveKernels().and_count(words_.data(), other.words_.data(),
+                                   words_.size());
 }
 
 std::size_t BitVector::AndCountMany(const BitVector* const* operands,
                                     std::size_t count) {
+  // An empty operand list has no well-defined AND width, so it stays a
+  // contract violation; zero-*word* operands are fine (the kernels never
+  // touch a pointer when the word count is 0).
   IFSKETCH_CHECK_GE(count, 1u);
   const BitVector& first = *operands[0];
   for (std::size_t j = 1; j < count; ++j) {
     IFSKETCH_CHECK_EQ(first.size_, operands[j]->size_);
   }
-  std::size_t c = 0;
-  for (std::size_t i = 0; i < first.words_.size(); ++i) {
-    std::uint64_t w = first.words_[i];
-    for (std::size_t j = 1; j < count; ++j) {
-      w &= operands[j]->words_[i];
-    }
-    c += std::popcount(w);
+  // The kernels take raw word streams; gather them on the stack for the
+  // operand counts the query paths actually produce (|T| columns).
+  std::array<const std::uint64_t*, 16> stack_ptrs;
+  std::vector<const std::uint64_t*> heap_ptrs;
+  const std::uint64_t** ptrs = stack_ptrs.data();
+  if (count > stack_ptrs.size()) {
+    heap_ptrs.resize(count);
+    ptrs = heap_ptrs.data();
   }
-  return c;
+  for (std::size_t j = 0; j < count; ++j) {
+    ptrs[j] = operands[j]->words_.data();
+  }
+  return ActiveKernels().and_count_many(ptrs, count, first.words_.size());
 }
 
 BitVector& BitVector::operator&=(const BitVector& other) {
   IFSKETCH_CHECK_EQ(size_, other.size_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  ActiveKernels().and_into(words_.data(), other.words_.data(),
+                           words_.size());
   return *this;
 }
 

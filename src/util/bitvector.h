@@ -4,6 +4,12 @@
 // are all bit strings; this is the shared representation. The layout is
 // little-endian within each 64-bit word: bit i lives in word i/64 at
 // position i%64.
+//
+// The word-stream operations (Count, AndCount, AndCountMany, operator&=)
+// dispatch through util::BitKernels (util/kernels.h): scalar, AVX2 or
+// AVX-512 implementations selected once at startup by CPUID, overridable
+// via IFSKETCH_KERNEL. Every tier is bit-identical to the scalar
+// reference, so callers never observe the dispatch.
 #ifndef IFSKETCH_UTIL_BITVECTOR_H_
 #define IFSKETCH_UTIL_BITVECTOR_H_
 
@@ -71,8 +77,9 @@ class BitVector {
   /// register and popcounted immediately, with no materialized
   /// accumulator vector. Equivalent to folding operator&= over the
   /// operands and calling Count(), at one memory pass instead of
-  /// count-1. Preconditions: count >= 1, all operands non-null and the
-  /// same size.
+  /// count-1. Preconditions: count >= 1 (an empty operand list has no
+  /// defined AND width and aborts), all operands non-null and the same
+  /// size. Zero-bit operands are valid and count as 0.
   static std::size_t AndCountMany(const BitVector* const* operands,
                                   std::size_t count);
 

@@ -1,0 +1,187 @@
+// AVX2 tier of the BitKernels vtable (see util/kernels.h).
+//
+// Popcount is the Mula/Harley-Seal scheme: per-vector popcounts come from
+// a vpshufb nibble lookup summed with vpsadbw, and streams >= 16 vectors
+// run through a carry-save adder tree that popcounts only every 16th
+// accumulated vector, amortizing the lookup to ~1/16 of the words. The
+// AND-fused entry points reuse the same tree with a loader that ANDs the
+// operand streams register-wise, so a fused and_count_many is one pass at
+// the same per-word cost as a plain popcount.
+//
+// This TU is the only one compiled with -mavx2 (CMake sets the flag per
+// file); when the flag is absent (non-x86, or a compiler without AVX2
+// support) the whole implementation compiles away and the getter returns
+// nullptr. Callers dispatch through it only after a CPUID check, so no
+// AVX2 instruction can execute on a CPU that lacks it.
+
+#include "util/kernels_impl.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstdint>
+
+namespace ifsketch::util::internal {
+namespace {
+
+// Per-byte popcounts of v (each byte 0..8), via the 4-bit lookup table.
+inline __m256i CountBytes(__m256i v) {
+  const __m256i lookup = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                         _mm256_shuffle_epi8(lookup, hi));
+}
+
+// Popcount of v as four lane-wise u64 partial sums.
+inline __m256i PopcountSad(__m256i v) {
+  return _mm256_sad_epu8(CountBytes(v), _mm256_setzero_si256());
+}
+
+// Carry-save adder: (h, l) = full sum of a + b + c, bitwise.
+inline void CSA(__m256i* h, __m256i* l, __m256i a, __m256i b, __m256i c) {
+  const __m256i u = _mm256_xor_si256(a, b);
+  *h = _mm256_or_si256(_mm256_and_si256(a, b), _mm256_and_si256(u, c));
+  *l = _mm256_xor_si256(u, c);
+}
+
+inline std::uint64_t HorizontalSum(__m256i v) {
+  return static_cast<std::uint64_t>(_mm256_extract_epi64(v, 0)) +
+         static_cast<std::uint64_t>(_mm256_extract_epi64(v, 1)) +
+         static_cast<std::uint64_t>(_mm256_extract_epi64(v, 2)) +
+         static_cast<std::uint64_t>(_mm256_extract_epi64(v, 3));
+}
+
+// Harley-Seal popcount over `vectors` 256-bit values, where load(i)
+// produces the i-th vector (a plain load, or the AND of several streams'
+// loads -- the tree is identical either way).
+template <typename Load>
+std::uint64_t HarleySeal(std::size_t vectors, Load load) {
+  __m256i total = _mm256_setzero_si256();
+  __m256i ones = _mm256_setzero_si256();
+  __m256i twos = _mm256_setzero_si256();
+  __m256i fours = _mm256_setzero_si256();
+  __m256i eights = _mm256_setzero_si256();
+  __m256i twos_a, twos_b, fours_a, fours_b, eights_a, eights_b, sixteens;
+
+  std::size_t i = 0;
+  for (; i + 16 <= vectors; i += 16) {
+    CSA(&twos_a, &ones, ones, load(i + 0), load(i + 1));
+    CSA(&twos_b, &ones, ones, load(i + 2), load(i + 3));
+    CSA(&fours_a, &twos, twos, twos_a, twos_b);
+    CSA(&twos_a, &ones, ones, load(i + 4), load(i + 5));
+    CSA(&twos_b, &ones, ones, load(i + 6), load(i + 7));
+    CSA(&fours_b, &twos, twos, twos_a, twos_b);
+    CSA(&eights_a, &fours, fours, fours_a, fours_b);
+    CSA(&twos_a, &ones, ones, load(i + 8), load(i + 9));
+    CSA(&twos_b, &ones, ones, load(i + 10), load(i + 11));
+    CSA(&fours_a, &twos, twos, twos_a, twos_b);
+    CSA(&twos_a, &ones, ones, load(i + 12), load(i + 13));
+    CSA(&twos_b, &ones, ones, load(i + 14), load(i + 15));
+    CSA(&fours_b, &twos, twos, twos_a, twos_b);
+    CSA(&eights_b, &fours, fours, fours_a, fours_b);
+    CSA(&sixteens, &eights, eights, eights_a, eights_b);
+    total = _mm256_add_epi64(total, PopcountSad(sixteens));
+  }
+  // Each counter vector holds bits worth 16/8/4/2/1 x their popcount.
+  total = _mm256_slli_epi64(total, 4);
+  total = _mm256_add_epi64(
+      total, _mm256_slli_epi64(PopcountSad(eights), 3));
+  total = _mm256_add_epi64(
+      total, _mm256_slli_epi64(PopcountSad(fours), 2));
+  total = _mm256_add_epi64(total, _mm256_slli_epi64(PopcountSad(twos), 1));
+  total = _mm256_add_epi64(total, PopcountSad(ones));
+  for (; i < vectors; ++i) {
+    total = _mm256_add_epi64(total, PopcountSad(load(i)));
+  }
+  return HorizontalSum(total);
+}
+
+inline __m256i LoadVec(const std::uint64_t* words, std::size_t vec) {
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(words + 4 * vec));
+}
+
+std::size_t Avx2PopcountWords(const std::uint64_t* words, std::size_t n) {
+  const std::size_t vectors = n / 4;
+  std::size_t c = static_cast<std::size_t>(
+      HarleySeal(vectors, [&](std::size_t i) { return LoadVec(words, i); }));
+  for (std::size_t i = 4 * vectors; i < n; ++i) {
+    c += std::popcount(words[i]);
+  }
+  return c;
+}
+
+std::size_t Avx2AndCount(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t n) {
+  const std::size_t vectors = n / 4;
+  std::size_t c = static_cast<std::size_t>(
+      HarleySeal(vectors, [&](std::size_t i) {
+        return _mm256_and_si256(LoadVec(a, i), LoadVec(b, i));
+      }));
+  for (std::size_t i = 4 * vectors; i < n; ++i) {
+    c += std::popcount(a[i] & b[i]);
+  }
+  return c;
+}
+
+std::size_t Avx2AndCountMany(const std::uint64_t* const* ops,
+                             std::size_t count, std::size_t n) {
+  const std::size_t vectors = n / 4;
+  std::size_t c = static_cast<std::size_t>(
+      HarleySeal(vectors, [&](std::size_t i) {
+        __m256i v = LoadVec(ops[0], i);
+        for (std::size_t j = 1; j < count; ++j) {
+          v = _mm256_and_si256(v, LoadVec(ops[j], i));
+        }
+        return v;
+      }));
+  for (std::size_t i = 4 * vectors; i < n; ++i) {
+    std::uint64_t w = ops[0][i];
+    for (std::size_t j = 1; j < count; ++j) w &= ops[j][i];
+    c += std::popcount(w);
+  }
+  return c;
+}
+
+void Avx2AndInto(std::uint64_t* dst, const std::uint64_t* src,
+                 std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i* d = reinterpret_cast<__m256i*>(dst + i);
+    const __m256i v = _mm256_and_si256(
+        _mm256_loadu_si256(d),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+    _mm256_storeu_si256(d, v);
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+constexpr BitKernels kAvx2Kernels = {
+    "avx2",
+    &Avx2PopcountWords,
+    &Avx2AndCount,
+    &Avx2AndCountMany,
+    &Avx2AndInto,
+};
+
+}  // namespace
+
+const BitKernels* Avx2KernelsOrNull() { return &kAvx2Kernels; }
+
+}  // namespace ifsketch::util::internal
+
+#else  // !defined(__AVX2__)
+
+namespace ifsketch::util::internal {
+
+const BitKernels* Avx2KernelsOrNull() { return nullptr; }
+
+}  // namespace ifsketch::util::internal
+
+#endif  // defined(__AVX2__)

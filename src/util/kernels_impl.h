@@ -1,0 +1,27 @@
+// Internal seam between the dispatcher (kernels.cc) and the per-ISA
+// translation units (kernels_avx2.cc, kernels_avx512.cc).
+//
+// Each variant TU is compiled with its ISA flags (see CMakeLists.txt) and
+// self-gates on the predefined macros those flags imply (__AVX2__,
+// __AVX512VPOPCNTDQ__): when the flags are absent -- non-x86 target, or a
+// compiler that rejected them at configure time -- the getter still links
+// but returns nullptr, so kernels.cc needs no build-system defines to
+// know what it got.
+#ifndef IFSKETCH_UTIL_KERNELS_IMPL_H_
+#define IFSKETCH_UTIL_KERNELS_IMPL_H_
+
+#include "util/kernels.h"
+
+namespace ifsketch::util::internal {
+
+/// The AVX2 vtable, or nullptr when the TU was compiled without -mavx2.
+/// Callers must still check CPU support before dispatching through it.
+const BitKernels* Avx2KernelsOrNull();
+
+/// The AVX-512 (F + VPOPCNTDQ) vtable, or nullptr when compiled without
+/// the avx512 flags. Same CPU-support caveat as above.
+const BitKernels* Avx512KernelsOrNull();
+
+}  // namespace ifsketch::util::internal
+
+#endif  // IFSKETCH_UTIL_KERNELS_IMPL_H_

@@ -1,0 +1,122 @@
+// Golden-file pinning: the checked-in .ifsk sketches under tests/data/
+// must reopen through Engine::Open and reproduce their recorded answers
+// exactly, byte for byte on the doubles.
+//
+// What this protects: the serialized IFSK format, the algorithm loaders,
+// and every kernel/batching layer underneath estimate_many. A format
+// change, a dispatch-tier divergence, or a batching rewrite that shifts
+// any answer bit fails here -- silent drift of serialized results is the
+// one failure mode the live round-trip tests cannot catch.
+//
+// The files are produced by tools/make_golden.cc (build target
+// `make_golden`); the pinned constants, query set and file naming live
+// in tests/golden_spec.h, shared by both sides. Regenerate the goldens
+// ONLY when a PR deliberately changes the format or an algorithm's
+// sampling, and say so in the PR: a kernel or performance change must
+// never need new goldens.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine.h"
+#include "golden_spec.h"
+#include "util/random.h"
+
+namespace ifsketch {
+namespace {
+
+struct GoldenLine {
+  std::string key;   // "a,b,c" ascending attribute list
+  double estimate;
+  bool frequent;
+};
+
+std::vector<GoldenLine> LoadAnswers(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::vector<GoldenLine> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    GoldenLine g;
+    std::string hex;
+    int bit = 0;
+    fields >> g.key >> hex >> bit;
+    EXPECT_FALSE(fields.fail()) << path << ": bad line: " << line;
+    // strtod parses hexfloat ("%a" output) exactly -- no rounding between
+    // the recorded bits and the comparison below.
+    g.estimate = std::strtod(hex.c_str(), nullptr);
+    g.frequent = bit != 0;
+    lines.push_back(g);
+  }
+  return lines;
+}
+
+std::string AttrKey(const core::Itemset& t) {
+  std::string key;
+  for (std::size_t a : t.Attributes()) {
+    if (!key.empty()) key.push_back(',');
+    key += std::to_string(a);
+  }
+  return key;
+}
+
+class GoldenFilesTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenFilesTest, OpenReproducesRecordedAnswers) {
+  const std::string slug = golden::Slug(GetParam());
+  const std::string dir = IFSKETCH_TEST_DATA_DIR;
+  auto engine = Engine::Open(dir + "/" + slug + ".ifsk");
+  ASSERT_TRUE(engine.has_value())
+      << "cannot open golden sketch for " << GetParam()
+      << " (regenerate with the make_golden tool ONLY for a deliberate "
+         "format change)";
+  EXPECT_EQ(engine->algorithm(), GetParam());
+
+  const auto queries = golden::PinnedQueries();
+  const auto golden_lines = LoadAnswers(dir + "/" + slug + ".answers.txt");
+  ASSERT_EQ(golden_lines.size(), queries.size());
+
+  std::vector<double> estimates;
+  engine->estimate_many(queries, &estimates);
+  std::vector<bool> bits;
+  engine->are_frequent(queries, &bits);
+  ASSERT_EQ(estimates.size(), queries.size());
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(golden_lines[i].key, AttrKey(queries[i]))
+        << "query set drifted from the recorded one at line " << i;
+    // Exact double equality: the recorded hexfloat must be reproduced
+    // bit for bit, across kernel dispatch tiers and thread counts.
+    ASSERT_EQ(golden_lines[i].estimate, estimates[i])
+        << GetParam() << " estimate drifted on query "
+        << golden_lines[i].key;
+    ASSERT_EQ(golden_lines[i].frequent, bits[i])
+        << GetParam() << " indicator drifted on query "
+        << golden_lines[i].key;
+  }
+
+  // The scalar entry point must agree with the recorded batch too.
+  ASSERT_EQ(golden_lines[0].estimate, engine->estimate(queries[0]));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, GoldenFilesTest,
+                         testing::ValuesIn(golden::kAlgorithms),
+                         [](const auto& info) {
+                           std::string safe = info.param;
+                           for (char& c : safe) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return safe;
+                         });
+
+}  // namespace
+}  // namespace ifsketch

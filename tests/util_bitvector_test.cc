@@ -134,6 +134,47 @@ TEST(BitVectorTest, CountMatchesSetBitsSizeRandom) {
   }
 }
 
+TEST(BitVectorTest, AndCountManySingleOperandIsCount) {
+  Rng rng(17);
+  const BitVector v = rng.RandomBits(203);
+  const BitVector* ops[1] = {&v};
+  EXPECT_EQ(BitVector::AndCountMany(ops, 1), v.Count());
+}
+
+TEST(BitVectorTest, AndCountManyFoldEquivalenceRandom) {
+  Rng rng(19);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t bits = rng.UniformInt(300);
+    const BitVector a = rng.RandomBits(bits);
+    const BitVector b = rng.RandomBits(bits);
+    const BitVector c = rng.RandomBits(bits);
+    BitVector folded = a;
+    folded &= b;
+    folded &= c;
+    EXPECT_EQ(BitVector::AndCountMany({&a, &b, &c}), folded.Count());
+  }
+}
+
+// Zero-bit vectors are valid operands everywhere: no kernel may touch
+// the (possibly null) word pointer when there are no words.
+TEST(BitVectorTest, ZeroBitOperandsAreValid) {
+  const BitVector a(0);
+  const BitVector b(0);
+  EXPECT_EQ(a.Count(), 0u);
+  EXPECT_EQ(a.AndCount(b), 0u);
+  EXPECT_EQ(BitVector::AndCountMany({&a, &b}), 0u);
+  BitVector acc = a;
+  acc &= b;
+  EXPECT_EQ(acc, a);
+}
+
+// An empty operand *list* has no defined AND width; it must abort, not
+// read through a null operand array.
+TEST(BitVectorDeathTest, AndCountManyEmptyOperandListAborts) {
+  const std::vector<const BitVector*> none;
+  EXPECT_DEATH(BitVector::AndCountMany(none), "");
+}
+
 TEST(BitVectorTest, XorSelfIsZeroRandom) {
   Rng rng(13);
   const BitVector v = rng.RandomBits(257);

@@ -1,0 +1,79 @@
+// Regenerates the golden sketches and pinned answers under tests/data/.
+//
+//   make_golden [out_dir]        (default: tests/data)
+//
+// For every algorithm in the pinned spec (tests/golden_spec.h, shared
+// with tests/golden_files_test.cc) this writes
+//   <slug>.ifsk          Engine::Build over the pinned database, saved
+//   <slug>.answers.txt   one line per pinned query:
+//                          <attr,attr,...> <estimate-hexfloat> <bit>
+//
+// Regenerating is only legitimate when a PR deliberately changes the
+// serialized format or an algorithm's sampling; answers must never drift
+// as a side effect of kernel or batching work.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "../tests/golden_spec.h"
+#include "data/generators.h"
+#include "engine.h"
+#include "util/random.h"
+
+int main(int argc, char** argv) {
+  using namespace ifsketch;
+  const std::string out_dir = argc > 1 ? argv[1] : "tests/data";
+  util::Rng db_rng(golden::kDbSeed);
+  const core::Database db = data::PowerLawBaskets(
+      golden::kRows, golden::kCols, 1.0, 0.5, 4, 3, 0.2, db_rng);
+  const auto queries = golden::PinnedQueries();
+
+  std::size_t index = 0;
+  for (const char* algo : golden::kAlgorithms) {
+    util::Rng rng(golden::kBuildSeed + index);
+    ++index;
+    const auto engine =
+        Engine::Build(db, algo, golden::GoldenParams(), rng);
+    if (!engine.has_value()) {
+      std::fprintf(stderr, "error: cannot build %s\n", algo);
+      return 1;
+    }
+    const std::string slug = golden::Slug(algo);
+    const std::string sk_path = out_dir + "/" + slug + ".ifsk";
+    if (!engine->Save(sk_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", sk_path.c_str());
+      return 1;
+    }
+
+    std::vector<double> estimates;
+    engine->estimate_many(queries, &estimates);
+    std::vector<bool> bits;
+    engine->are_frequent(queries, &bits);
+
+    const std::string ans_path = out_dir + "/" + slug + ".answers.txt";
+    std::FILE* out = std::fopen(ans_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", ans_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "# golden answers v1 for %s\n", algo);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const auto attrs = queries[i].Attributes();
+      std::string key;
+      for (std::size_t a : attrs) {
+        if (!key.empty()) key.push_back(',');
+        key += std::to_string(a);
+      }
+      // %a renders the exact bits of the double; the test parses it back
+      // with strtod, which is exact for hexfloats.
+      std::fprintf(out, "%s %a %d\n", key.c_str(), estimates[i],
+                   bits[i] ? 1 : 0);
+    }
+    std::fclose(out);
+    std::printf("wrote %s (%zu bits) and %s (%zu queries)\n",
+                sk_path.c_str(), engine->summary_bits(), ans_path.c_str(),
+                queries.size());
+  }
+  return 0;
+}
