@@ -1,0 +1,272 @@
+// micro_load: sketch load-path latency on the perf trajectory.
+//
+//   micro_load --json [out.json] [--rounds 200] [--rows 20000] [--cols 64]
+//
+// Measures what PR 5's zero-copy work targets: how long it takes to get
+// from an IFSK file on disk to answered queries, on the mapped path
+// (mmap + in-place validation + borrowed column views) vs the copying
+// path (stream parse + bit unpack + transpose). One SUBSAMPLE and one
+// RELEASE-DB sketch are built and saved once; every row then re-opens
+// those same files, so the page cache is warm and the numbers isolate
+// the software cost of loading (true cold-cache opens depend on the
+// storage stack, not on this code).
+//
+// Emits the repo's stable bench schema
+//   {"kernel": str, "threads": int, "batch": int, "ns_per_query": float}
+// with one row per kernel@path (threads is always 1):
+//   open_cold@mapped/copied    first in-process open + first query
+//                              (includes view materialization); batch=1,
+//                              ns per open
+//   open_warm@mapped/copied    steady-state re-open + one query, the
+//                              pod re-admission cost; batch=1, ns per
+//                              open (the PR targets mapped >= 5x faster)
+//   evict_reload@mapped/copied SketchPod churn: two sketches ping-pong
+//                              through a budget that holds only one, so
+//                              every Acquire evicts (munmaps) and
+//                              reloads; batch=1, ns per Acquire+query
+//   query_steady@mapped/copied batched estimate_many on a held-open
+//                              engine; batch=10000, ns per query --
+//                              mapped and copied must converge here
+//                              (same kernels, only the bytes' owner
+//                              differs), and answers are asserted
+//                              bit-identical between the paths on every
+//                              run.
+// The mapped rows open arena v2 files; the copied rows force
+// Engine::LoadMode::kCopied on the same v2 files (and the evict_reload
+// copied row serves legacy v1 files, the pre-PR-5 configuration).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/generators.h"
+#include "engine.h"
+#include "serve/pod.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ifsketch;
+
+core::SketchParams Params() {
+  core::SketchParams p;
+  p.k = 3;
+  p.eps = 0.05;
+  p.delta = 0.05;
+  p.scope = core::Scope::kForAll;
+  p.answer = core::Answer::kEstimator;
+  return p;
+}
+
+double ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+struct Row {
+  std::string kernel;
+  std::size_t batch;
+  double ns_per_query;
+};
+
+std::vector<core::Itemset> MakeQueries(std::size_t d, std::size_t count) {
+  util::Rng rng(4711);
+  std::vector<core::Itemset> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    core::Itemset t(d);
+    while (t.size() < 3) {
+      t.Add(static_cast<std::size_t>(rng.UniformInt(d)));
+    }
+    queries.push_back(std::move(t));
+  }
+  return queries;
+}
+
+bool Identical(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;  // bitwise-exact doubles
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::size_t rounds = 200;
+  std::size_t rows_n = 20000;
+  std::size_t cols_d = 64;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 < argc && argv[i + 1][0] != '-') out_path = argv[++i];
+    } else if (arg == "--rounds" && i + 1 < argc) {
+      rounds = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--rows" && i + 1 < argc) {
+      rows_n = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--cols" && i + 1 < argc) {
+      cols_d = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: micro_load --json [out.json] [--rounds 200] "
+                   "[--rows 20000] [--cols 64]\n");
+      return 2;
+    }
+  }
+  if (rounds == 0 || rows_n == 0 || cols_d < 4) {
+    std::fprintf(stderr, "error: --rounds/--rows/--cols need sane values\n");
+    return 2;
+  }
+
+  // One big row-major sketch (RELEASE-DB: the database itself, the
+  // worst case for a copying load) saved at both format versions.
+  util::Rng rng(71);
+  const core::Database db =
+      data::PowerLawBaskets(rows_n, cols_d, 1.0, 0.5, 4, 3, 0.2, rng);
+  auto built = Engine::Build(db, "RELEASE-DB", Params(), rng);
+  if (!built.has_value()) {
+    std::fprintf(stderr, "error: Engine::Build failed\n");
+    return 1;
+  }
+  const std::string v2_path = "micro_load_tmp_v2.ifsk";
+  const std::string v2b_path = "micro_load_tmp_v2b.ifsk";
+  const std::string v1_path = "micro_load_tmp_v1.ifsk";
+  const std::string v1b_path = "micro_load_tmp_v1b.ifsk";
+  if (!built->Save(v2_path) || !built->Save(v2b_path) ||
+      !sketch::SaveSketchFile(v1_path, built->file(),
+                              sketch::arena::kVersionLegacy) ||
+      !sketch::SaveSketchFile(v1b_path, built->file(),
+                              sketch::arena::kVersionLegacy)) {
+    std::fprintf(stderr, "error: cannot write bench sketches\n");
+    return 1;
+  }
+
+  const auto probe = MakeQueries(cols_d, 1);
+  const auto batch = MakeQueries(cols_d, 10000);
+  std::vector<double> expected;
+  built->estimate_many(batch, &expected);
+
+  std::vector<Row> rows;
+  double warm_ns[2] = {0.0, 0.0};  // [mapped, copied] for the ratio line
+
+  const Engine::LoadMode modes[2] = {Engine::LoadMode::kMapped,
+                                     Engine::LoadMode::kCopied};
+  const char* suffix[2] = {"@mapped", "@copied"};
+  for (int m = 0; m < 2; ++m) {
+    // -- open_cold: first open in this process (first query included, so
+    // lazy views and, for the mapped path, first page touches count).
+    {
+      const auto start = std::chrono::steady_clock::now();
+      auto engine = Engine::Open(v2_path, modes[m]);
+      if (!engine.has_value() || engine->estimate(probe[0]) < 0.0) {
+        std::fprintf(stderr, "error: cold open failed\n");
+        return 1;
+      }
+      rows.push_back({std::string("open_cold") + suffix[m], 1,
+                      ElapsedNs(start)});
+    }
+
+    // -- open_warm: steady-state re-open + one query per round.
+    {
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t r = 0; r < rounds; ++r) {
+        auto engine = Engine::Open(v2_path, modes[m]);
+        if (!engine.has_value() || engine->estimate(probe[0]) < 0.0) {
+          std::fprintf(stderr, "error: warm open failed\n");
+          return 1;
+        }
+      }
+      const double ns = ElapsedNs(start) / static_cast<double>(rounds);
+      warm_ns[m] = ns;
+      rows.push_back({std::string("open_warm") + suffix[m], 1, ns});
+    }
+
+    // -- evict_reload: pod churn with a budget that holds one sketch.
+    // The mapped row serves the v2 files (Acquire maps them); the copied
+    // row serves v1 files (Acquire's auto mode stream-parses those) --
+    // i.e. exactly the pre-arena serving configuration.
+    {
+      const std::string& pa = m == 0 ? v2_path : v1_path;
+      const std::string& pb = m == 0 ? v2b_path : v1b_path;
+      const auto budget_probe = Engine::Open(pa);
+      if (!budget_probe.has_value()) {
+        std::fprintf(stderr, "error: cannot reopen %s\n", pa.c_str());
+        return 1;
+      }
+      serve::SketchPod pod(budget_probe->resident_bytes());
+      pod.AddSketch("a", pa);
+      pod.AddSketch("b", pb);
+      const std::size_t churn = rounds < 50 ? rounds : 50;
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t r = 0; r < churn; ++r) {
+        const auto engine = pod.Acquire(r % 2 == 0 ? "a" : "b");
+        if (engine == nullptr || engine->estimate(probe[0]) < 0.0) {
+          std::fprintf(stderr, "error: pod churn failed\n");
+          return 1;
+        }
+      }
+      rows.push_back({std::string("evict_reload") + suffix[m], 1,
+                      ElapsedNs(start) / static_cast<double>(churn)});
+    }
+
+    // -- query_steady: batched queries on a held-open engine; answers
+    // must be bit-identical to the built engine's on either path.
+    {
+      auto engine = Engine::Open(v2_path, modes[m]);
+      if (!engine.has_value()) {
+        std::fprintf(stderr, "error: steady open failed\n");
+        return 1;
+      }
+      std::vector<double> answers;
+      engine->estimate_many(batch, &answers);  // warm the views
+      if (!Identical(answers, expected)) {
+        std::fprintf(stderr,
+                     "error: %s answers diverged from the built engine\n",
+                     suffix[m]);
+        return 1;
+      }
+      const std::size_t reps = 10;
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t r = 0; r < reps; ++r) {
+        engine->estimate_many(batch, &answers);
+      }
+      rows.push_back({std::string("query_steady") + suffix[m], batch.size(),
+                      ElapsedNs(start) /
+                          static_cast<double>(reps * batch.size())});
+    }
+  }
+
+  std::remove(v2_path.c_str());
+  std::remove(v2b_path.c_str());
+  std::remove(v1_path.c_str());
+  std::remove(v1b_path.c_str());
+
+  std::fprintf(stderr, "warm re-open: mapped %.0f ns, copied %.0f ns -> %.1fx"
+               " (target >= 5x)\n",
+               warm_ns[0], warm_ns[1],
+               warm_ns[0] > 0.0 ? warm_ns[1] / warm_ns[0] : 0.0);
+
+  std::FILE* out =
+      out_path.empty() ? stdout : std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out,
+                 "  {\"kernel\": \"%s\", \"threads\": 1, \"batch\": %zu, "
+                 "\"ns_per_query\": %.1f}%s\n",
+                 rows[i].kernel.c_str(), rows[i].batch,
+                 rows[i].ns_per_query, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  if (out != stdout) std::fclose(out);
+  return 0;
+}

@@ -56,6 +56,15 @@ int Usage() {
                "best for this CPU;\n"
                "                  answers are bit-identical at every "
                "tier)\n"
+               "  --load MODE     sketch load path: auto (default; "
+               "zero-copy mmap for\n"
+               "                  arena v2 files, stream-copy for v1), "
+               "mapped (require\n"
+               "                  zero-copy), or copied (force the "
+               "copying parser; both\n"
+               "                  paths answer bit-identically -- `info` "
+               "prints which one\n"
+               "                  was used and the file format version)\n"
                "\nregistered algorithms (for --algo):\n");
   for (const auto& name : Engine::KnownAlgorithms()) {
     std::fprintf(stderr, "  %s\n", name.c_str());
@@ -130,9 +139,14 @@ int Sketch(const std::string& db_path, const std::string& out_path,
 constexpr int kExitNotFound = 3;
 constexpr int kExitMalformed = 4;
 
+// How `query`/`info`/`mine` acquire sketch bytes (--load): the zero-copy
+// mapped path, the copying stream parser, or whichever fits the file.
+Engine::LoadMode g_load_mode = Engine::LoadMode::kAuto;
+
 /// Reopens a sketch file through the registry, reporting each failure
-/// stage distinctly: missing file, malformed bytes, unknown producer,
-/// corrupt payload. On nullopt, *exit_code holds the exit status.
+/// stage distinctly: missing file, malformed bytes (with the byte offset
+/// of the first invalid field), unknown producer, corrupt payload. On
+/// nullopt, *exit_code holds the exit status.
 std::optional<Engine> OpenOrReport(const std::string& sk_path,
                                    int* exit_code) {
   std::ifstream in(sk_path, std::ios::binary);
@@ -143,25 +157,18 @@ std::optional<Engine> OpenOrReport(const std::string& sk_path,
     *exit_code = kExitNotFound;
     return std::nullopt;
   }
-  const auto file = sketch::ReadSketch(in);
-  if (!file.has_value()) {
-    std::fprintf(stderr,
-                 "error: %s is not a valid IFSK sketch file (malformed "
-                 "or truncated)\n",
-                 sk_path.c_str());
-    *exit_code = kExitMalformed;
-    return std::nullopt;
-  }
-  auto engine = Engine::FromFile(*file);
+  in.close();
+  std::string error;
+  auto engine = Engine::Open(sk_path, g_load_mode, &error);
   if (!engine.has_value()) {
-    if (sketch::ResolveAlgorithm(*file) == nullptr) {
-      UnknownAlgorithm(file->algorithm);
-    } else {
-      std::fprintf(stderr,
-                   "error: %s: summary payload does not match what %s "
-                   "would emit for this shape (corrupt or tampered "
-                   "file)\n",
-                   sk_path.c_str(), file->algorithm.c_str());
+    // Engine::Open's diagnostic carries the path and, for validation
+    // failures, the byte offset of the first bad field.
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    if (error.find("unknown algorithm") != std::string::npos) {
+      std::fprintf(stderr, "registered algorithms:\n");
+      for (const auto& known : Engine::KnownAlgorithms()) {
+        std::fprintf(stderr, "  %s\n", known.c_str());
+      }
     }
     *exit_code = kExitMalformed;
     return std::nullopt;
@@ -273,6 +280,20 @@ int main(int argc, char** argv) {
       }
       util::ThreadPool::SetDefaultThreadCount(
           static_cast<std::size_t>(threads));
+    } else if (args[i] == "--load") {
+      if (args[i + 1] == "auto") {
+        g_load_mode = Engine::LoadMode::kAuto;
+      } else if (args[i + 1] == "mapped") {
+        g_load_mode = Engine::LoadMode::kMapped;
+      } else if (args[i + 1] == "copied") {
+        g_load_mode = Engine::LoadMode::kCopied;
+      } else {
+        std::fprintf(stderr,
+                     "error: --load must be auto, mapped or copied (got "
+                     "\"%s\")\n",
+                     args[i + 1].c_str());
+        return 2;
+      }
     } else if (args[i] == "--kernel") {
       if (!util::SetKernelTier(args[i + 1])) {
         std::fprintf(stderr,

@@ -20,8 +20,9 @@ ColumnStore::ColumnStore(const Database& db) : n_(db.num_rows()) {
   columns_.assign(db.num_columns(), util::BitVector(n_));
   // One pass over the row words; each set bit scatters into its column.
   for (std::size_t i = 0; i < n_; ++i) {
-    const auto& words = db.Row(i).words();
-    for (std::size_t wi = 0; wi < words.size(); ++wi) {
+    const util::BitVector& row = db.Row(i);
+    const std::uint64_t* words = row.data();
+    for (std::size_t wi = 0; wi < row.num_words(); ++wi) {
       std::uint64_t w = words[wi];
       while (w != 0) {
         const std::size_t j =
@@ -40,14 +41,26 @@ ColumnStore::ColumnStore(std::size_t n, std::vector<util::BitVector> columns)
   }
 }
 
+ColumnStore ColumnStore::FromColumnWords(const std::uint64_t* base,
+                                         std::size_t rows, std::size_t d,
+                                         std::size_t stride_words) {
+  IFSKETCH_CHECK_GE(stride_words, (rows + 63) / 64);
+  std::vector<util::BitVector> columns;
+  columns.reserve(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    columns.push_back(util::BitVector::View(base + j * stride_words, rows));
+  }
+  return ColumnStore(rows, std::move(columns));
+}
+
 ColumnStore ColumnStore::FromRowMajorBits(const util::BitVector& bits,
                                           std::size_t d) {
   IFSKETCH_CHECK_GT(d, 0u);
   IFSKETCH_CHECK_EQ(bits.size() % d, 0u);
   const std::size_t n = bits.size() / d;
   std::vector<util::BitVector> columns(d, util::BitVector(n));
-  const auto& words = bits.words();
-  for (std::size_t wi = 0; wi < words.size(); ++wi) {
+  const std::uint64_t* words = bits.data();
+  for (std::size_t wi = 0; wi < bits.num_words(); ++wi) {
     std::uint64_t w = words[wi];
     while (w != 0) {
       const std::size_t bit =

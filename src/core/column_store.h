@@ -69,6 +69,18 @@ class ColumnStore {
   static ColumnStore FromRowMajorBits(const util::BitVector& bits,
                                       std::size_t d);
 
+  /// View mode: borrows `d` already-transposed columns laid out at
+  /// `stride_words`-word intervals starting at `base` (column j's words
+  /// are base[j*stride .. j*stride + ceil(rows/64))), copying nothing --
+  /// the zero-copy path over an mmap'd arena sketch image
+  /// (sketch/sketch_view.h). The storage must outlive the store, and
+  /// each column's bits beyond `rows` (tail bits and padding words up to
+  /// the stride) must be zero. Queries are bit-identical to an owning
+  /// store of the same columns; the caller keeps the mapping alive.
+  static ColumnStore FromColumnWords(const std::uint64_t* base,
+                                     std::size_t rows, std::size_t d,
+                                     std::size_t stride_words);
+
   std::size_t num_rows() const { return n_; }
   std::size_t num_columns() const { return columns_.size(); }
 

@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "core/column_store.h"
 #include "core/database.h"
 #include "core/itemset.h"
 #include "util/bitvector.h"
@@ -167,6 +168,45 @@ class SketchAlgorithm {
   /// must match what Build() actually emits.
   virtual std::size_t PredictedSizeBits(std::size_t n, std::size_t d,
                                         const SketchParams& params) const = 0;
+
+  /// True when Build()'s payload is one row-major sample of width d --
+  /// summary.size()/d rows of d bits, nothing else -- so that transposing
+  /// the summary at width d yields exactly the columns the loaders query.
+  /// The sketch-file layer uses this to frame a 64-byte-aligned
+  /// column-major arena section next to the payload, and the mapped load
+  /// path to hand those columns to LoadEstimatorFromColumns without
+  /// copying. Algorithms whose payload carries anything besides the raw
+  /// sample rows (header fields, concatenated inner summaries, answer
+  /// tables) must leave this false.
+  virtual bool HasRowMajorPayload(const SketchParams& params) const {
+    (void)params;
+    return false;
+  }
+
+  /// LoadEstimator's zero-copy sibling: builds the estimator view from
+  /// an already-transposed column store over the summary (borrowed from
+  /// an mmap'd arena section, or owned). Called only when
+  /// HasRowMajorPayload(params) is true; `columns` holds exactly the
+  /// transpose of `summary` at width d, and answers must be
+  /// bit-identical to LoadEstimator(summary, ...). The default ignores
+  /// the columns and defers to LoadEstimator, which is always correct --
+  /// override alongside HasRowMajorPayload to actually skip the
+  /// transpose.
+  virtual std::unique_ptr<FrequencyEstimator> LoadEstimatorFromColumns(
+      ColumnStore columns, const util::BitVector& summary,
+      const SketchParams& params, std::size_t d, std::size_t n) const {
+    (void)columns;
+    return LoadEstimator(summary, params, d, n);
+  }
+
+  /// LoadIndicator's zero-copy sibling, same contract as
+  /// LoadEstimatorFromColumns.
+  virtual std::unique_ptr<FrequencyIndicator> LoadIndicatorFromColumns(
+      ColumnStore columns, const util::BitVector& summary,
+      const SketchParams& params, std::size_t d, std::size_t n) const {
+    (void)columns;
+    return LoadIndicator(summary, params, d, n);
+  }
 
   /// Whether the query views can answer itemsets of cardinality `size`.
   /// The definitions only promise answers for k-itemsets; sample-based

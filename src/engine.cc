@@ -1,11 +1,41 @@
 #include "engine.h"
 
 #include <cstdio>
+#include <fstream>
 
 #include "sketch/builtin_algorithms.h"
 #include "util/check.h"
 
 namespace ifsketch {
+namespace {
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+/// The file's IFSK version from its first 6 bytes: a tiny read that
+/// decides mapped-vs-copied without paying for a mapping (or, on the
+/// no-mmap fallback, a whole-file read) that a v1 file would
+/// immediately discard. Returns -1 when the file cannot be opened at
+/// all (distinct from 0 = readable but not IFSK, so kMapped errors can
+/// say which).
+int PeekFileVersion(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return -1;
+  unsigned char head[6];
+  in.read(reinterpret_cast<char*>(head), sizeof(head));
+  if (in.gcount() <= 0) return 0;
+  return sketch::PeekSketchVersion(head,
+                                   static_cast<std::size_t>(in.gcount()));
+}
+
+std::string FormatSketchError(const std::string& path,
+                              const sketch::SketchError& error) {
+  return path + ": byte " + std::to_string(error.offset) + ": " +
+         error.message;
+}
+
+}  // namespace
 
 std::optional<Engine> Engine::Build(const core::Database& db,
                                     const std::string& algorithm,
@@ -25,24 +55,115 @@ std::optional<Engine> Engine::Build(const core::Database& db,
                 std::shared_ptr<const core::SketchAlgorithm>(std::move(algo)));
 }
 
-std::optional<Engine> Engine::Open(const std::string& path) {
-  auto file = sketch::LoadSketchFile(path);
-  if (!file.has_value()) return std::nullopt;
-  return FromFile(*std::move(file));
-}
-
-std::optional<Engine> Engine::FromFile(sketch::SketchFile file) {
+std::optional<Engine> Engine::FromParts(sketch::SketchFile file,
+                                        LoadPath load_path,
+                                        std::string* error) {
   auto algo = sketch::ResolveAlgorithm(file);
-  if (algo == nullptr) return std::nullopt;
+  if (algo == nullptr) {
+    SetError(error, "unknown algorithm \"" + file.algorithm + "\"");
+    return std::nullopt;
+  }
   // A header can be well-formed while its payload is not the algorithm's:
   // Build() contractually emits exactly PredictedSizeBits, so anything
   // else would only abort later inside a loader CHECK. Reject it here.
-  if (file.summary.size() !=
-      algo->PredictedSizeBits(file.n, file.d, file.params)) {
+  const std::size_t predicted =
+      algo->PredictedSizeBits(file.n, file.d, file.params);
+  if (file.summary.size() != predicted) {
+    SetError(error, "summary payload is " +
+                        std::to_string(file.summary.size()) + " bits but " +
+                        file.algorithm + " would emit " +
+                        std::to_string(predicted) +
+                        " for this shape (corrupt or tampered file)");
     return std::nullopt;
   }
-  return Engine(std::move(file),
-                std::shared_ptr<const core::SketchAlgorithm>(std::move(algo)));
+  Engine engine(std::move(file), std::shared_ptr<const core::SketchAlgorithm>(
+                                     std::move(algo)));
+  engine.load_path_ = load_path;
+  return engine;
+}
+
+std::optional<Engine> Engine::Open(const std::string& path, LoadMode mode,
+                                   std::string* error) {
+  if (mode != LoadMode::kCopied) {
+    int version = PeekFileVersion(path);
+    std::shared_ptr<const util::MappedFile> mapping;
+    if (version < 0) {
+      // Unreadable via the tiny peek. Attempt the mapping anyway: if it
+      // also fails we have the real I/O error to report; if a concurrent
+      // writer raced the peek and the file is mappable now, keep the
+      // mapping and classify it from its own bytes.
+      std::string map_error;
+      mapping = util::MappedFile::Open(path, &map_error);
+      if (mapping == nullptr) {
+        if (mode == LoadMode::kMapped) {
+          SetError(error, map_error);
+          return std::nullopt;
+        }
+        // kAuto: fall through to the copying parser's error report.
+      } else {
+        version =
+            sketch::PeekSketchVersion(mapping->data(), mapping->size());
+      }
+    }
+    if (version == sketch::arena::kVersionArena) {
+      if (mapping == nullptr) {
+        std::string map_error;
+        mapping = util::MappedFile::Open(path, &map_error);
+        if (mapping == nullptr) {
+          SetError(error, map_error);
+          return std::nullopt;
+        }
+      }
+      sketch::SketchError view_error;
+      auto view = sketch::ViewSketchImage(mapping->data(), mapping->size(),
+                                          &view_error);
+      if (!view.has_value()) {
+        SetError(error, FormatSketchError(path, view_error));
+        return std::nullopt;
+      }
+      auto engine =
+          FromParts(std::move(view->file), LoadPath::kMapped, error);
+      if (!engine.has_value()) {
+        if (error != nullptr) *error = path + ": " + *error;
+        return std::nullopt;
+      }
+      engine->mapping_ = std::move(mapping);
+      engine->columns_ = view->columns;
+      return engine;
+    }
+    if (mode == LoadMode::kMapped) {
+      SetError(error,
+               version == sketch::arena::kVersionLegacy
+                   ? path + ": legacy v1 file has no arena sections; " +
+                         "mapped load needs v2 (re-save to upgrade)"
+                   : path + ": not a well-formed IFSK file");
+      return std::nullopt;
+    }
+    // v1 (or not IFSK at all, or unreadable): fall through to the
+    // copying parser, which reports precise offsets (or the open error)
+    // for whatever is wrong.
+  }
+
+  sketch::SketchError read_error;
+  auto file = sketch::LoadSketchFile(path, &read_error);
+  if (!file.has_value()) {
+    SetError(error, FormatSketchError(path, read_error));
+    return std::nullopt;
+  }
+  auto engine = FromParts(*std::move(file), LoadPath::kCopied, error);
+  if (!engine.has_value()) {
+    if (error != nullptr) *error = path + ": " + *error;
+    return std::nullopt;
+  }
+  return engine;
+}
+
+std::optional<Engine> Engine::FromFile(sketch::SketchFile file) {
+  // In-memory adoption: never touched disk, so it reports kBuilt unless
+  // the caller's file says it was deserialized (version != 0).
+  const LoadPath path =
+      file.version == 0 ? LoadPath::kBuilt : LoadPath::kCopied;
+  return FromParts(std::move(file), path, nullptr);
 }
 
 bool Engine::Save(const std::string& path) const {
@@ -53,21 +174,44 @@ std::vector<std::string> Engine::KnownAlgorithms() {
   return sketch::BuiltinRegistry().Names();
 }
 
+std::size_t Engine::resident_bytes() const {
+  if (mapping_ != nullptr) return mapping_->size();
+  return (file_.summary.size() + 7) / 8;
+}
+
+core::ColumnStore Engine::BorrowedColumns() const {
+  IFSKETCH_CHECK(columns_.has_value());
+  return core::ColumnStore::FromColumnWords(columns_->words, columns_->rows,
+                                            columns_->d,
+                                            columns_->stride_words);
+}
+
 const core::FrequencyEstimator& Engine::estimator() const {
   std::call_once(views_->estimator_once, [this] {
     // The estimator view only exists for estimator-flavored summaries
     // (e.g. RELEASE-ANSWERS stores single decision bits otherwise).
     IFSKETCH_CHECK(file_.params.answer == core::Answer::kEstimator);
-    views_->estimator = algo_->LoadEstimator(file_.summary, file_.params,
-                                             file_.d, file_.n);
+    if (columns_.has_value() && algo_->HasRowMajorPayload(file_.params)) {
+      // Zero-copy: adopt the mapped column section, no decode pass.
+      views_->estimator = algo_->LoadEstimatorFromColumns(
+          BorrowedColumns(), file_.summary, file_.params, file_.d, file_.n);
+    } else {
+      views_->estimator = algo_->LoadEstimator(file_.summary, file_.params,
+                                               file_.d, file_.n);
+    }
   });
   return *views_->estimator;
 }
 
 const core::FrequencyIndicator& Engine::indicator() const {
   std::call_once(views_->indicator_once, [this] {
-    views_->indicator = algo_->LoadIndicator(file_.summary, file_.params,
-                                             file_.d, file_.n);
+    if (columns_.has_value() && algo_->HasRowMajorPayload(file_.params)) {
+      views_->indicator = algo_->LoadIndicatorFromColumns(
+          BorrowedColumns(), file_.summary, file_.params, file_.d, file_.n);
+    } else {
+      views_->indicator = algo_->LoadIndicator(file_.summary, file_.params,
+                                               file_.d, file_.n);
+    }
   });
   return *views_->indicator;
 }
@@ -110,13 +254,34 @@ sketch::EnvelopeReport Engine::envelope() const {
 
 std::string Engine::info() const {
   const sketch::EnvelopeReport env = envelope();
-  char buffer[640];
+  const char* format =
+      file_.version == sketch::arena::kVersionArena
+          ? "IFSK v2 (arena sections)"
+          : (file_.version == sketch::arena::kVersionLegacy
+                 ? "IFSK v1 (byte-packed)"
+                 : "in-memory (not loaded from a file)");
+  // Distinguish a true mmap from MappedFile's read-whole-file fallback:
+  // both serve zero-copy views over one aligned image, but only the
+  // former shares page-cache residency -- operators confirming zero-copy
+  // should see which they got.
+  const char* path =
+      load_path_ == LoadPath::kMapped
+          ? (mapping_ != nullptr && mapping_->is_mapped()
+                 ? "mapped (zero-copy views over the mmap'd file image)"
+                 : "mapped (zero-copy views over a buffered file image; "
+                   "mmap unavailable)")
+          : (load_path_ == LoadPath::kCopied
+                 ? "copied (stream-parsed into owned memory)"
+                 : "built (never loaded)");
+  char buffer[896];
   std::snprintf(
       buffer, sizeof(buffer),
       "algorithm:  %s\n"
       "guarantee:  %s %s  (k=%zu, eps=%g, delta=%g)\n"
       "database:   n=%zu rows, d=%zu attributes (%zu bits)\n"
       "summary:    %zu bits (%.4f%% of the database)\n"
+      "file:       %s\n"
+      "load path:  %s, %zu resident bytes\n"
       "envelope:   RELEASE-DB=%zu  RELEASE-ANSWERS=%zu  SUBSAMPLE=%zu\n"
       "            Theorem-12 winner for this shape: %s (%zu bits)\n",
       file_.algorithm.c_str(), core::ToString(file_.params.scope),
@@ -127,8 +292,9 @@ std::string Engine::info() const {
           ? 0.0
           : 100.0 * static_cast<double>(file_.summary.size()) /
                 static_cast<double>(file_.n * file_.d),
-      env.release_db_bits, env.release_answers_bits, env.subsample_bits,
-      env.winner.c_str(), env.winner_bits);
+      format, path, resident_bytes(), env.release_db_bits,
+      env.release_answers_bits, env.subsample_bits, env.winner.c_str(),
+      env.winner_bits);
   return buffer;
 }
 

@@ -20,6 +20,18 @@
 // which shares column scans across the batch; mine() batches each Apriori
 // level the same way.
 //
+// Load paths: Open prefers the ZERO-COPY MAPPED path for arena (v2)
+// files -- the file is mmap'd (util::MappedFile), validated in place
+// (sketch/sketch_view.h), and the summary plus any pre-transposed column
+// section are handed to the query views as borrowed, 64-byte-aligned
+// words straight out of the page cache, so opening is O(header + d)
+// instead of O(payload). Legacy v1 files, and callers forcing
+// LoadMode::kCopied, go through the stream parser and own their bits.
+// The two paths answer every query bit-identically; load_path() reports
+// which one an Engine took, resident_bytes() what it pins (mapped image
+// size vs owned summary bytes), and dropping the last reference to a
+// mapped Engine unmaps the file.
+//
 // Threading contract: every query method is const and safe to call from
 // any number of threads concurrently on one Engine. Lazy view
 // materialization is guarded by std::call_once, and the built-in views
@@ -33,6 +45,7 @@
 #ifndef IFSKETCH_ENGINE_H_
 #define IFSKETCH_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -45,6 +58,8 @@
 #include "mining/apriori.h"
 #include "sketch/envelope.h"
 #include "sketch/sketch_file.h"
+#include "sketch/sketch_view.h"
+#include "util/mapped_file.h"
 #include "util/random.h"
 
 namespace ifsketch {
@@ -52,6 +67,20 @@ namespace ifsketch {
 /// Facade over build / save / open / query for any registered algorithm.
 class Engine {
  public:
+  /// How Open acquires the file's bytes.
+  enum class LoadMode {
+    kAuto,    ///< mapped for arena (v2) files, copied for legacy v1
+    kMapped,  ///< require the zero-copy path; fail on v1 files
+    kCopied,  ///< force the stream parser (works for both versions)
+  };
+
+  /// Which path an Engine's bits actually came from.
+  enum class LoadPath {
+    kBuilt,   ///< Build/FromFile: in-memory, never loaded from disk
+    kMapped,  ///< zero-copy views over a MappedFile
+    kCopied,  ///< stream-parsed into owned storage
+  };
+
   /// Sketches `db` with the named algorithm. Returns nullopt when the
   /// registry cannot resolve `algorithm` (see KnownAlgorithms()).
   static std::optional<Engine> Build(const core::Database& db,
@@ -60,14 +89,24 @@ class Engine {
                                      util::Rng& rng);
 
   /// Reopens a saved sketch, resolving the algorithm recorded in the
-  /// file. Returns nullopt when the file is unreadable/malformed or its
-  /// algorithm is not registered.
-  static std::optional<Engine> Open(const std::string& path);
+  /// file; prefers the mapped path per `mode`. Returns nullopt when the
+  /// file is unreadable/malformed or its algorithm is not registered;
+  /// when `error` is non-null it receives a one-line diagnostic naming
+  /// the path and, for validation failures, the byte offset of the
+  /// first bad field.
+  static std::optional<Engine> Open(const std::string& path,
+                                    LoadMode mode = LoadMode::kAuto,
+                                    std::string* error = nullptr);
+  static std::optional<Engine> Open(const std::string& path,
+                                    std::string* error) {
+    return Open(path, LoadMode::kAuto, error);
+  }
 
   /// Adopts an already-loaded file (the in-memory equivalent of Open).
   static std::optional<Engine> FromFile(sketch::SketchFile file);
 
-  /// Writes the sketch as an IFSK file. Returns false on I/O failure.
+  /// Writes the sketch as an IFSK file (arena v2). Returns false on I/O
+  /// failure.
   bool Save(const std::string& path) const;
 
   /// Names the default registry resolves, for error messages and --help.
@@ -80,6 +119,20 @@ class Engine {
   std::size_t d() const { return file_.d; }
   std::size_t summary_bits() const { return file_.summary.size(); }
   const sketch::SketchFile& file() const { return file_; }
+
+  /// Which load path produced this Engine (see LoadPath).
+  LoadPath load_path() const { return load_path_; }
+
+  /// On-disk format version this Engine was loaded from
+  /// (sketch::arena::kVersionLegacy / kVersionArena), or 0 when built
+  /// in memory.
+  std::uint16_t format_version() const { return file_.version; }
+
+  /// Bytes this Engine pins for its summary data: the whole mapped image
+  /// for the mapped path (what eviction releases back to the page
+  /// cache), the owned summary payload bytes otherwise. Serving-layer
+  /// byte budgets (serve::SketchPod) account in these units.
+  std::size_t resident_bytes() const;
 
   // ------------------------------------------------------------ queries
   /// Whether this sketch can answer queries of cardinality `size`.
@@ -117,7 +170,7 @@ class Engine {
   sketch::EnvelopeReport envelope() const;
 
   /// Multi-line human-readable report: algorithm, parameters, shape,
-  /// summary size, and the envelope comparison.
+  /// summary size, file format + load path, and the envelope comparison.
   std::string info() const;
 
  private:
@@ -138,11 +191,28 @@ class Engine {
         algo_(std::move(algo)),
         views_(std::make_shared<ViewCache>()) {}
 
+  /// Resolve + payload-size validation shared by FromFile and both Open
+  /// paths; `error` (optional) receives the reason on nullopt.
+  static std::optional<Engine> FromParts(sketch::SketchFile file,
+                                         LoadPath load_path,
+                                         std::string* error);
+
   const core::FrequencyEstimator& estimator() const;
   const core::FrequencyIndicator& indicator() const;
 
+  /// The borrowed column store over the mapped column section; only
+  /// callable when columns_ is set.
+  core::ColumnStore BorrowedColumns() const;
+
   sketch::SketchFile file_;
   std::shared_ptr<const core::SketchAlgorithm> algo_;
+  // Mapped-path state. `mapping_` keeps the bytes behind file_.summary's
+  // view (and columns_) alive; it is declared before views_ so that when
+  // the last copy of an Engine dies, the cached views are destroyed
+  // before the mapping they may point into.
+  std::shared_ptr<const util::MappedFile> mapping_;
+  std::optional<sketch::ArenaColumns> columns_;
+  LoadPath load_path_ = LoadPath::kBuilt;
   // Query views are deserialized on first use (std::call_once, so
   // concurrent first queries are safe) and cached.
   std::shared_ptr<ViewCache> views_;

@@ -39,7 +39,7 @@ std::shared_ptr<const Engine> SketchPod::Acquire(const std::string& name) {
   if (!opened.has_value()) return nullptr;
 
   auto engine = std::make_shared<const Engine>(*std::move(opened));
-  const std::size_t bytes = (engine->summary_bits() + 7) / 8;
+  const std::size_t bytes = engine->resident_bytes();
   // Make room first; the incoming sketch is not resident yet, so it can
   // never be its own victim. A sketch bigger than the whole budget gets
   // everything evicted and is then admitted alone.

@@ -3,20 +3,25 @@
 // One pod owns a name -> IFSK-path catalog and materializes Engine
 // instances on demand (Engine::Open on first Acquire), holding them
 // resident under an LRU + byte-budget admission policy. The byte budget
-// is accounted in summary payload bytes (summary_bits/8 per sketch) --
-// the dominant, size-predictable term; the derived query views are a
-// small multiple of it. Loading a sketch that would push the pod over
-// budget first evicts least-recently-acquired residents; a sketch larger
-// than the whole budget is still admitted, alone, after everything else
-// is evicted (refusing it would make the pod unable to serve that name
-// at all).
+// is accounted in Engine::resident_bytes(): for mapped (arena v2) loads
+// that is the whole mapped file image -- what eviction actually gives
+// back to the page cache -- and for copied loads the owned summary
+// payload bytes; either way the dominant, size-predictable term (the
+// derived query views are a small multiple of it, and for mapped
+// row-major sketches the views borrow the mapping outright). Loading a
+// sketch that would push the pod over budget first evicts
+// least-recently-acquired residents; a sketch larger than the whole
+// budget is still admitted, alone, after everything else is evicted
+// (refusing it would make the pod unable to serve that name at all).
 //
 // Eviction only drops the pod's reference. Acquire hands out
 // shared_ptr<const Engine>, so queries already in flight on an evicted
-// sketch finish safely on their own reference; the next Acquire reloads
-// from the catalog path. All catalog/LRU/stat state is mutex-guarded;
-// queries themselves run outside the lock on the shared Engine (whose
-// query surface is const-thread-safe, see engine.h).
+// sketch finish safely on their own reference -- for a mapped engine the
+// munmap is deferred the same way, until the last in-flight query
+// releases it; the next Acquire remaps from the catalog path. All
+// catalog/LRU/stat state is mutex-guarded; queries themselves run
+// outside the lock on the shared Engine (whose query surface is
+// const-thread-safe, see engine.h).
 #ifndef IFSKETCH_SERVE_POD_H_
 #define IFSKETCH_SERVE_POD_H_
 
@@ -72,7 +77,8 @@ class SketchPod {
   /// Per-sketch counters, sorted by name.
   std::vector<SketchStats> stats() const;
 
-  /// Total summary bytes currently resident.
+  /// Total bytes currently resident (sum of Engine::resident_bytes over
+  /// loaded engines: mapped image sizes and owned summary bytes).
   std::size_t resident_bytes() const;
 
   /// Re-budgets the pod, evicting LRU residents to fit immediately.

@@ -1,0 +1,246 @@
+// Internal: the IFSK header-field and arena (v2) section-table
+// acceptance rules, shared by the two parsers.
+//
+// The stream parser (sketch_file.cc) and the in-place image validator
+// (sketch_view.cc) read bytes differently but MUST accept exactly the
+// same inputs -- the bidirectional fuzz differential in sketch_view_test
+// enforces it at test time, and keeping every decision (field ranges,
+// enum bytes, kind set, ordering, flags, alignment, word caps, tiling,
+// shape arithmetic, overflow guards) in this one header makes drift
+// impossible by construction. The functions are templated on the cursor
+// type: both cursors expose the same Read/Get/Fail(offset, message)/
+// offset() surface, and Fail returns false so `return cursor.Fail(...)`
+// propagates. Each parser still owns its mechanical half: producing
+// bytes, and checking section padding/tail bits the way its access
+// pattern allows.
+#ifndef IFSKETCH_SKETCH_ARENA_LAYOUT_H_
+#define IFSKETCH_SKETCH_ARENA_LAYOUT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "sketch/sketch_file.h"
+
+namespace ifsketch::sketch::arena_internal {
+
+inline constexpr char kMagic[4] = {'I', 'F', 'S', 'K'};
+
+/// Byte offset of the u16 version field (right after the magic), for
+/// version-policy errors in the callers.
+inline constexpr std::uint64_t kVersionOffset = 4;
+
+// Word counts are later multiplied by 8 and added to offsets; this cap
+// (far above any real sketch) keeps all of that arithmetic overflow-free.
+inline constexpr std::uint64_t kMaxSectionWords = std::uint64_t{1} << 58;
+
+inline std::uint64_t RoundUpToAlign(std::uint64_t offset) {
+  return (offset + (arena::kSectionAlign - 1)) /
+         arena::kSectionAlign * arena::kSectionAlign;
+}
+
+/// Reads and checks the magic, then reads the version. The caller owns
+/// the version-value policy (the stream parser accepts v1 and v2, the
+/// image validator only v2) and reports its own error at kVersionOffset.
+template <typename Cursor>
+bool ReadMagicAndVersion(Cursor& cursor, std::uint16_t* version) {
+  char magic[4];
+  if (!cursor.Read(magic, 4, "magic")) return false;
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return cursor.Fail(0, "bad magic (not an IFSK sketch file)");
+  }
+  return cursor.Get(*version, "version");
+}
+
+/// Reads and validates every header field after the version (algorithm
+/// name through summary bit count), filling `file` (except
+/// file.version) and `bits`. Shared so field ranges and error offsets
+/// can never differ between the parsers.
+template <typename Cursor>
+bool ReadHeaderAfterVersion(Cursor& cursor, SketchFile* file,
+                            std::uint64_t* bits) {
+  std::uint16_t name_len = 0;
+  if (!cursor.Get(name_len, "algorithm name length")) return false;
+  file->algorithm.resize(name_len);
+  if (name_len > 0 &&
+      !cursor.Read(file->algorithm.data(), name_len, "algorithm name")) {
+    return false;
+  }
+
+  std::uint32_t k = 0;
+  std::uint8_t scope = 0, answer = 0;
+  std::uint64_t n = 0, d = 0;
+  const std::uint64_t params_at = cursor.offset();
+  if (!cursor.Get(k, "parameter k") ||
+      !cursor.Get(file->params.eps, "eps") ||
+      !cursor.Get(file->params.delta, "delta")) {
+    return false;
+  }
+  const std::uint64_t scope_at = cursor.offset();
+  if (!cursor.Get(scope, "scope byte")) return false;
+  const std::uint64_t answer_at = cursor.offset();
+  if (!cursor.Get(answer, "answer byte") || !cursor.Get(n, "row count") ||
+      !cursor.Get(d, "column count")) {
+    return false;
+  }
+  const std::uint64_t bits_at = cursor.offset();
+  if (!cursor.Get(*bits, "summary bit count")) return false;
+
+  // Enum bytes must name a real enumerator; a corrupt byte would
+  // otherwise smuggle an invalid Scope/Answer into SketchParams and
+  // misconfigure every downstream loader.
+  if (scope > 1) return cursor.Fail(scope_at, "invalid scope byte");
+  if (answer > 1) return cursor.Fail(answer_at, "invalid answer byte");
+  // Keep every derived size computation wrap-free: the parsers form
+  // (bits+63)/64 words (v2) and (bits+7)/8 bytes (v1), so anything
+  // within 63 of 2^64 would silently wrap to a tiny count and let a
+  // crafted file smuggle a zero-word summary past the shape checks.
+  if (*bits >= std::numeric_limits<std::uint64_t>::max() - 63) {
+    return cursor.Fail(bits_at, "summary bit count out of range");
+  }
+  // Parameter sanity: k is a cardinality, eps/delta are probabilities
+  // the query procedures divide by and take logs of.
+  file->params.k = k;
+  if (!core::ValidSketchParams(file->params)) {
+    return cursor.Fail(params_at, "invalid sketch parameters (k/eps/delta)");
+  }
+  file->params.scope = scope == 0 ? core::Scope::kForAll
+                                  : core::Scope::kForEach;
+  file->params.answer =
+      answer == 0 ? core::Answer::kIndicator : core::Answer::kEstimator;
+  file->n = static_cast<std::size_t>(n);
+  file->d = static_cast<std::size_t>(d);
+  return true;
+}
+
+/// One section-table entry as read from the file (flags carried so the
+/// shared validator can reject nonzero reserved bits).
+struct SectionEntry {
+  std::uint32_t kind = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t words = 0;
+};
+
+/// Reads the section count and raw entry fields (`entries` must hold
+/// arena::kMaxSections). The count range is checked here -- before any
+/// entry read -- so a corrupt count can never drive a huge read loop;
+/// ValidateSectionTable re-checks it with everything else.
+template <typename Cursor>
+bool ReadSectionEntries(Cursor& cursor, std::uint32_t* count,
+                        std::uint64_t* count_at, SectionEntry* entries) {
+  *count_at = cursor.offset();
+  if (!cursor.Get(*count, "section count")) return false;
+  if (*count == 0 || *count > arena::kMaxSections) {
+    return cursor.Fail(*count_at, "section count out of range");
+  }
+  for (std::uint32_t s = 0; s < *count; ++s) {
+    SectionEntry& entry = entries[s];
+    if (!cursor.Get(entry.kind, "section kind") ||
+        !cursor.Get(entry.flags, "section flags") ||
+        !cursor.Get(entry.offset, "section offset") ||
+        !cursor.Get(entry.words, "section word count")) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The validated shape of a v2 body.
+struct ArenaLayout {
+  SectionEntry summary;
+  bool has_columns = false;
+  SectionEntry columns;
+  std::uint64_t rows = 0;        // columns section: bits / d
+  std::uint64_t col_words = 0;   // ceil(rows / 64)
+  std::uint64_t stride = 0;      // arena::ColumnStrideWords(rows)
+  std::uint64_t end_offset = 0;  // first byte past the last section
+};
+
+/// Applies every structural rule to an already-read section table.
+/// `count_at` is the byte offset of the section-count field and
+/// `table_end` the offset just past the table (so per-entry error
+/// offsets can be reconstructed); `bits`/`d` come from the header. On
+/// failure returns false with the offending offset and a static message
+/// in *fail_at / *fail_message.
+inline bool ValidateSectionTable(const SectionEntry* entries,
+                                 std::uint32_t count, std::uint64_t count_at,
+                                 std::uint64_t table_end, std::uint64_t bits,
+                                 std::uint64_t d, ArenaLayout* out,
+                                 std::uint64_t* fail_at,
+                                 const char** fail_message) {
+  const auto fail = [&](std::uint64_t at, const char* message) {
+    *fail_at = at;
+    *fail_message = message;
+    return false;
+  };
+  if (count == 0 || count > arena::kMaxSections) {
+    return fail(count_at, "section count out of range");
+  }
+  std::uint64_t prev_kind = 0;
+  for (std::uint32_t s = 0; s < count; ++s) {
+    const std::uint64_t entry_at =
+        count_at + 4 + s * arena::kSectionEntryBytes;
+    const SectionEntry& entry = entries[s];
+    if (entry.kind != arena::kSummaryWords &&
+        entry.kind != arena::kColumnWords) {
+      return fail(entry_at, "unknown section kind");
+    }
+    if (entry.kind <= prev_kind) {
+      return fail(entry_at, "section kinds not strictly ascending");
+    }
+    prev_kind = entry.kind;
+    if (entry.flags != 0) {
+      return fail(entry_at + 4, "reserved section flags not zero");
+    }
+    if (entry.offset % arena::kSectionAlign != 0) {
+      return fail(entry_at + 8, "section offset not 64-byte aligned");
+    }
+    if (entry.words > kMaxSectionWords) {
+      return fail(entry_at + 16, "section word count out of range");
+    }
+  }
+  if (entries[0].kind != arena::kSummaryWords) {
+    return fail(count_at, "missing summary-words section");
+  }
+
+  // Sections tile the tail of the file exactly: each starts at the first
+  // aligned boundary after its predecessor (the first one after the
+  // table), with only padding (checked zero by the parsers) between.
+  std::uint64_t expected_offset = RoundUpToAlign(table_end);
+  for (std::uint32_t s = 0; s < count; ++s) {
+    if (entries[s].offset != expected_offset) {
+      return fail(count_at, "section offsets do not tile the file");
+    }
+    expected_offset =
+        RoundUpToAlign(entries[s].offset + entries[s].words * 8);
+  }
+
+  out->summary = entries[0];
+  if (out->summary.words != (bits + 63) / 64) {
+    return fail(count_at, "summary word count does not match bit count");
+  }
+  out->has_columns = count > 1;
+  out->end_offset = entries[count - 1].offset + entries[count - 1].words * 8;
+  if (out->has_columns) {
+    out->columns = entries[1];
+    if (d == 0 || bits == 0 || bits % d != 0) {
+      return fail(count_at, "column section requires a row-major payload shape");
+    }
+    out->rows = bits / d;
+    out->col_words = (out->rows + 63) / 64;
+    out->stride =
+        arena::ColumnStrideWords(static_cast<std::size_t>(out->rows));
+    if (out->stride != 0 && d > kMaxSectionWords / out->stride) {
+      return fail(count_at, "column section size overflows");
+    }
+    if (out->columns.words != d * out->stride) {
+      return fail(count_at, "column word count does not match shape");
+    }
+  }
+  return true;
+}
+
+}  // namespace ifsketch::sketch::arena_internal
+
+#endif  // IFSKETCH_SKETCH_ARENA_LAYOUT_H_

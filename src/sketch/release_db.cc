@@ -63,6 +63,32 @@ std::unique_ptr<core::FrequencyEstimator> ReleaseDbSketch::LoadEstimator(
       core::ColumnStore::FromRowMajorBits(summary, d));
 }
 
+std::unique_ptr<core::FrequencyEstimator>
+ReleaseDbSketch::LoadEstimatorFromColumns(core::ColumnStore columns,
+                                          const util::BitVector& summary,
+                                          const core::SketchParams& /*params*/,
+                                          std::size_t d, std::size_t n) const {
+  // Pre-transposed columns (usually borrowed views over an mmap'd arena
+  // section): same exact estimator, no decode pass at all.
+  IFSKETCH_CHECK_EQ(summary.size(), n * d);
+  IFSKETCH_CHECK_EQ(columns.num_columns(), d);
+  IFSKETCH_CHECK_EQ(columns.num_rows(), n);
+  return std::make_unique<ExactEstimator>(std::move(columns));
+}
+
+std::unique_ptr<core::FrequencyIndicator>
+ReleaseDbSketch::LoadIndicatorFromColumns(core::ColumnStore columns,
+                                          const util::BitVector& summary,
+                                          const core::SketchParams& params,
+                                          std::size_t d, std::size_t n) const {
+  // Same composition as SketchAlgorithm::LoadIndicator's default --
+  // threshold the estimator at 0.75*eps -- but over the borrowed
+  // columns, so indicator queries answer identically with no decode.
+  return std::make_unique<core::ThresholdIndicator>(
+      LoadEstimatorFromColumns(std::move(columns), summary, params, d, n),
+      0.75 * params.eps);
+}
+
 std::size_t ReleaseDbSketch::PredictedSizeBits(
     std::size_t n, std::size_t d,
     const core::SketchParams& /*params*/) const {

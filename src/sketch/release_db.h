@@ -23,6 +23,27 @@ class ReleaseDbSketch : public core::SketchAlgorithm {
       const util::BitVector& summary, const core::SketchParams& params,
       std::size_t d, std::size_t n) const override;
 
+  /// The summary is the database verbatim: n rows of d bits, so the
+  /// arena writer frames a column section and the mapped load path
+  /// queries it with no decode (answers remain exact).
+  bool HasRowMajorPayload(const core::SketchParams& params) const override {
+    (void)params;
+    return true;
+  }
+
+  std::unique_ptr<core::FrequencyEstimator> LoadEstimatorFromColumns(
+      core::ColumnStore columns, const util::BitVector& summary,
+      const core::SketchParams& params, std::size_t d,
+      std::size_t n) const override;
+
+  /// Mirrors the base LoadIndicator default (threshold at 0.75*eps) over
+  /// the zero-copy estimator, so mapped indicator queries skip the
+  /// transpose too and stay bit-identical to the copying path.
+  std::unique_ptr<core::FrequencyIndicator> LoadIndicatorFromColumns(
+      core::ColumnStore columns, const util::BitVector& summary,
+      const core::SketchParams& params, std::size_t d,
+      std::size_t n) const override;
+
   std::size_t PredictedSizeBits(std::size_t n, std::size_t d,
                                 const core::SketchParams& params) const override;
 

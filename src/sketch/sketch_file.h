@@ -3,20 +3,62 @@
 // A summary is just a bit string (Definition 5), but shipping one to
 // another process requires carrying the public context: which algorithm,
 // the (k, eps, delta, scope, answer) parameters, and the database shape
-// (n, d). This module defines a small framed file format:
-//   magic "IFSK", version u16, algorithm-name (u16 length + bytes),
-//   k u32, eps f64, delta f64, scope u8, answer u8, n u64, d u64,
-//   bit-count u64, payload bytes (LSB-first within each byte).
+// (n, d). This module defines a small framed file format with two
+// on-disk versions behind one "IFSK" magic:
+//
+//   v1 (legacy, byte-packed):
+//     magic "IFSK", version u16=1, algorithm-name (u16 length + bytes),
+//     k u32, eps f64, delta f64, scope u8, answer u8, n u64, d u64,
+//     bit-count u64, payload bytes (LSB-first within each byte).
+//
+//   v2 (arena, the version WriteSketch emits):
+//     the same header fields, then a section table
+//       section-count u32, then per section:
+//         kind u32, flags u32 (=0), byte-offset u64, word-count u64
+//     followed by the sections themselves, each starting at a byte
+//     offset that is a multiple of 64 (from the file start) and holding
+//     raw little-endian u64 words. Section kinds:
+//       1  summary words: the payload bits packed LSB-first into
+//          ceil(bits/64) words, trailing bits zero -- the exact
+//          in-memory util::BitVector layout, so a mapped file can be
+//          queried through views with no decode (sketch/sketch_view.h).
+//       2  column words: present only when the producing algorithm
+//          declares a row-major payload (SketchAlgorithm::
+//          HasRowMajorPayload): the payload's bits/d rows transposed
+//          into d columns of bits/d bits, each column padded to
+//          arena::ColumnStrideWords(rows) words so every column starts
+//          64-byte aligned -- what ColumnStore::FromColumnWords adopts
+//          with zero copies.
+//     Sections appear in ascending kind order, each at the first
+//     64-byte boundary after its predecessor, padding bytes zero, and
+//     the file ends exactly where the last section ends. Everything is
+//     offset-table addressed, so the image is relocatable: validation
+//     never chases pointers, only bounds-checked offsets.
+//
+//     Trust model of the column section: it is DERIVED data, redundant
+//     with the summary, and WriteSketch guarantees the two agree.
+//     Validators check its structure (shape, alignment, tail bits,
+//     padding) but deliberately not transpose-equality -- that would
+//     cost the O(payload) pass zero-copy loading exists to avoid. A
+//     corrupted column data word is therefore as undetectable as a
+//     flipped payload bit in a v1 file, and since the mapped path
+//     queries the section directly, such corruption shows up in mapped
+//     answers (the copying path re-transposes the summary instead).
+//     Golden files and the CI both-path diffs police producers.
 //
 // ReadSketch validates every header field (magic, version, enum bytes,
-// parameter ranges) and returns nullopt on anything malformed. The
-// carried algorithm name is what makes files self-describing: pass a
-// loaded SketchFile to ResolveAlgorithm() to get the producing
-// SketchAlgorithm back from the registry, or use Engine::Open (engine.h)
-// which does the whole load-resolve-query wiring in one call.
+// parameter ranges, section framing) and returns nullopt on anything
+// malformed -- pass a SketchError to learn what was wrong and the byte
+// offset of the first invalid field. The carried algorithm name is what
+// makes files self-describing: pass a loaded SketchFile to
+// ResolveAlgorithm() to get the producing SketchAlgorithm back from the
+// registry, or use Engine::Open (engine.h) which does the whole
+// load-resolve-query wiring in one call (memory-mapping v2 files for
+// zero-copy loads; ReadSketch here is the copying path).
 #ifndef IFSKETCH_SKETCH_SKETCH_FILE_H_
 #define IFSKETCH_SKETCH_SKETCH_FILE_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <optional>
@@ -27,6 +69,35 @@
 
 namespace ifsketch::sketch {
 
+/// Shared layout constants of the v2 arena framing (used by the writer
+/// here and the in-place validator in sketch_view.h).
+namespace arena {
+
+inline constexpr std::uint16_t kVersionLegacy = 1;
+inline constexpr std::uint16_t kVersionArena = 2;
+
+/// Every section starts at a multiple of this (from the file start), so
+/// a page-aligned mapping makes every section pointer 64-byte aligned --
+/// cache-line and AVX-512-lane aligned for the word kernels.
+inline constexpr std::size_t kSectionAlign = 64;
+
+enum SectionKind : std::uint32_t {
+  kSummaryWords = 1,
+  kColumnWords = 2,
+};
+
+/// Section-table entries are {kind u32, flags u32, offset u64, words u64}.
+inline constexpr std::size_t kSectionEntryBytes = 24;
+inline constexpr std::uint32_t kMaxSections = 4;
+
+/// Words from one column's start to the next in a kColumnWords section:
+/// ceil(rows/64) data words rounded up to a whole 64-byte line.
+inline constexpr std::size_t ColumnStrideWords(std::size_t rows) {
+  return (((rows + 63) / 64) + 7) / 8 * 8;
+}
+
+}  // namespace arena
+
 /// Everything needed to reload and query a summary.
 struct SketchFile {
   std::string algorithm;
@@ -34,17 +105,36 @@ struct SketchFile {
   std::size_t n = 0;
   std::size_t d = 0;
   util::BitVector summary;
+  /// Format version this was read from (arena::kVersionLegacy or
+  /// arena::kVersionArena); 0 for in-memory files never deserialized.
+  /// Informational only -- WriteSketch takes the version to emit
+  /// explicitly.
+  std::uint16_t version = 0;
 };
 
-/// Serializes to a binary stream. Returns false on I/O failure.
-bool WriteSketch(std::ostream& out, const SketchFile& file);
+/// What was malformed and where: `offset` is the byte offset (from the
+/// start of the stream/image) of the first field that failed validation.
+struct SketchError {
+  std::string message;
+  std::uint64_t offset = 0;
+};
 
-/// Parses a stream written by WriteSketch; nullopt on malformed input.
-std::optional<SketchFile> ReadSketch(std::istream& in);
+/// Serializes to a binary stream at the given format version (callers
+/// pass arena::kVersionLegacy to produce v1 files for compatibility
+/// tests). Returns false on I/O failure or an unwritable version.
+bool WriteSketch(std::ostream& out, const SketchFile& file,
+                 std::uint16_t version = arena::kVersionArena);
+
+/// Parses a stream written by WriteSketch (either version); nullopt on
+/// malformed input, with the reason and offset in *error when provided.
+std::optional<SketchFile> ReadSketch(std::istream& in,
+                                     SketchError* error = nullptr);
 
 /// File-path conveniences.
-bool SaveSketchFile(const std::string& path, const SketchFile& file);
-std::optional<SketchFile> LoadSketchFile(const std::string& path);
+bool SaveSketchFile(const std::string& path, const SketchFile& file,
+                    std::uint16_t version = arena::kVersionArena);
+std::optional<SketchFile> LoadSketchFile(const std::string& path,
+                                         SketchError* error = nullptr);
 
 /// Resolves `file.algorithm` through the built-in registry back to a live
 /// algorithm, so the file can be queried without knowing its producer.

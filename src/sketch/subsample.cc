@@ -129,6 +129,30 @@ std::unique_ptr<core::FrequencyIndicator> SubsampleSketch::LoadIndicator(
       core::ColumnStore::FromRowMajorBits(summary, d), params.eps);
 }
 
+std::unique_ptr<core::FrequencyEstimator>
+SubsampleSketch::LoadEstimatorFromColumns(core::ColumnStore columns,
+                                          const util::BitVector& summary,
+                                          const core::SketchParams& /*params*/,
+                                          std::size_t d,
+                                          std::size_t /*n*/) const {
+  // Pre-transposed columns (usually borrowed views over an mmap'd arena
+  // section): same estimator, no decode pass at all.
+  IFSKETCH_CHECK_EQ(columns.num_columns(), d);
+  IFSKETCH_CHECK_EQ(columns.num_rows() * d, summary.size());
+  return std::make_unique<SampleEstimator>(std::move(columns));
+}
+
+std::unique_ptr<core::FrequencyIndicator>
+SubsampleSketch::LoadIndicatorFromColumns(core::ColumnStore columns,
+                                          const util::BitVector& summary,
+                                          const core::SketchParams& params,
+                                          std::size_t d,
+                                          std::size_t /*n*/) const {
+  IFSKETCH_CHECK_EQ(columns.num_columns(), d);
+  IFSKETCH_CHECK_EQ(columns.num_rows() * d, summary.size());
+  return std::make_unique<SampleIndicator>(std::move(columns), params.eps);
+}
+
 std::size_t SubsampleSketch::PredictedSizeBits(
     std::size_t /*n*/, std::size_t d, const core::SketchParams& params) const {
   return SampleCount(params, d) * d;

@@ -31,6 +31,24 @@ class SubsampleSketch : public core::SketchAlgorithm {
       const util::BitVector& summary, const core::SketchParams& params,
       std::size_t d, std::size_t n) const override;
 
+  /// The summary is exactly s rows of d bits, so the arena writer frames
+  /// a column section and the mapped load path adopts it with no
+  /// transpose (answers bit-identical to the decoding loaders above).
+  bool HasRowMajorPayload(const core::SketchParams& params) const override {
+    (void)params;
+    return true;
+  }
+
+  std::unique_ptr<core::FrequencyEstimator> LoadEstimatorFromColumns(
+      core::ColumnStore columns, const util::BitVector& summary,
+      const core::SketchParams& params, std::size_t d,
+      std::size_t n) const override;
+
+  std::unique_ptr<core::FrequencyIndicator> LoadIndicatorFromColumns(
+      core::ColumnStore columns, const util::BitVector& summary,
+      const core::SketchParams& params, std::size_t d,
+      std::size_t n) const override;
+
   std::size_t PredictedSizeBits(std::size_t n, std::size_t d,
                                 const core::SketchParams& params) const override;
 

@@ -10,6 +10,14 @@
 // AVX-512 implementations selected once at startup by CPUID, overridable
 // via IFSKETCH_KERNEL. Every tier is bit-identical to the scalar
 // reference, so callers never observe the dispatch.
+//
+// A BitVector either OWNS its words (the default: every constructor and
+// every copy allocates) or is a VIEW borrowing caller-managed words
+// (BitVector::View) -- the zero-copy hand-off used by the mmap-backed
+// sketch loading path to run kernels straight out of the page cache.
+// Views answer every const query exactly like an owning vector of the
+// same bits; copying a view materializes an owning deep copy (so value
+// semantics never dangle); mutating a view aborts.
 #ifndef IFSKETCH_UTIL_BITVECTOR_H_
 #define IFSKETCH_UTIL_BITVECTOR_H_
 
@@ -17,6 +25,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "util/check.h"
 
 namespace ifsketch::util {
 
@@ -27,33 +37,68 @@ class BitVector {
 
   /// Creates a vector of `size` bits, all zero.
   explicit BitVector(std::size_t size)
-      : size_(size), words_((size + 63) / 64, 0) {}
+      : size_(size), words_((size + 63) / 64, 0), data_(words_.data()) {}
+
+  /// A read-only view of `bits` bits borrowing `words` (same layout as an
+  /// owning vector: bit i in word i/64 at position i%64). The storage
+  /// must outlive the view, hold (bits+63)/64 readable words, and keep
+  /// any bits past `bits` in the last word zero -- word-level kernels
+  /// (Count, AndCount, operator==) trust that invariant. `words` may be
+  /// null only when bits == 0.
+  static BitVector View(const std::uint64_t* words, std::size_t bits);
+
+  // Value semantics with one asymmetry: copying always produces an
+  // OWNING vector (a copy of a view deep-copies the viewed words, so the
+  // copy's lifetime is independent of the mapping it came from). Moves
+  // preserve view-ness.
+  BitVector(const BitVector& other);
+  BitVector& operator=(const BitVector& other);
+  BitVector(BitVector&& other) noexcept;
+  BitVector& operator=(BitVector&& other) noexcept;
+  ~BitVector() = default;
 
   /// Creates a vector from a string of '0'/'1' characters (test helper).
   static BitVector FromString(const std::string& bits);
 
+  /// Adopts an already-packed word vector as an owning BitVector of
+  /// `bits` bits without copying. words.size() must be (bits+63)/64;
+  /// bits beyond `bits` in the last word are zeroed to restore the
+  /// trailing-zero invariant.
+  static BitVector AdoptWords(std::vector<std::uint64_t>&& words,
+                              std::size_t bits);
+
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Whether this vector borrows its words (see View).
+  bool is_view() const { return view_; }
+
+  /// Raw word storage, (size()+63)/64 words; trailing bits beyond size()
+  /// are zero. Null only when size() == 0.
+  const std::uint64_t* data() const { return data_; }
+  std::size_t num_words() const { return (size_ + 63) / 64; }
+
   /// Returns bit `i`. Precondition: i < size().
   bool Get(std::size_t i) const {
-    return (words_[i >> 6] >> (i & 63)) & 1u;
+    return (data_[i >> 6] >> (i & 63)) & 1u;
   }
 
-  /// Sets bit `i` to `value`. Precondition: i < size().
+  /// Sets bit `i` to `value`. Precondition: i < size() and not a view.
   void Set(std::size_t i, bool value) {
     const std::uint64_t mask = std::uint64_t{1} << (i & 63);
     if (value) {
-      words_[i >> 6] |= mask;
+      MutableWords()[i >> 6] |= mask;
     } else {
-      words_[i >> 6] &= ~mask;
+      MutableWords()[i >> 6] &= ~mask;
     }
   }
 
-  /// Flips bit `i`. Precondition: i < size().
-  void Flip(std::size_t i) { words_[i >> 6] ^= std::uint64_t{1} << (i & 63); }
+  /// Flips bit `i`. Precondition: i < size() and not a view.
+  void Flip(std::size_t i) {
+    MutableWords()[i >> 6] ^= std::uint64_t{1} << (i & 63);
+  }
 
-  /// Sets all bits to zero.
+  /// Sets all bits to zero. Precondition: not a view.
   void Clear();
 
   /// Number of set bits.
@@ -89,7 +134,8 @@ class BitVector {
     return AndCountMany(operands.data(), operands.size());
   }
 
-  /// In-place bitwise operations. Precondition: same size.
+  /// In-place bitwise operations. Precondition: same size; *this is not
+  /// a view (the right-hand side may be).
   BitVector& operator&=(const BitVector& other);
   BitVector& operator|=(const BitVector& other);
   BitVector& operator^=(const BitVector& other);
@@ -107,9 +153,7 @@ class BitVector {
     return a;
   }
 
-  friend bool operator==(const BitVector& a, const BitVector& b) {
-    return a.size_ == b.size_ && a.words_ == b.words_;
-  }
+  friend bool operator==(const BitVector& a, const BitVector& b);
 
   /// Concatenation: the bits of `other` appended after the bits of *this.
   BitVector Concat(const BitVector& other) const;
@@ -123,16 +167,21 @@ class BitVector {
   /// '0'/'1' rendering (test/debug helper).
   std::string ToString() const;
 
-  /// Raw word storage (read-only); trailing bits beyond size() are zero.
-  const std::vector<std::uint64_t>& words() const { return words_; }
-
  private:
-  // Zeroes the unused high bits of the last word so that word-level
-  // comparisons and popcounts are exact.
-  void MaskTail();
+  // The single mutation gate: every writing path goes through here, so a
+  // view (whose words_ is empty and whose bytes may be a shared, literally
+  // read-only mapping) can never be written through. Inline, because
+  // per-bit writers (Set/Flip) sit in O(n*d) transpose and decode loops
+  // where an out-of-line call per bit would dominate.
+  std::uint64_t* MutableWords() {
+    IFSKETCH_CHECK(!view_);
+    return words_.data();
+  }
 
   std::size_t size_ = 0;
-  std::vector<std::uint64_t> words_;
+  std::vector<std::uint64_t> words_;  // empty for views
+  const std::uint64_t* data_ = nullptr;  // words_.data() or borrowed
+  bool view_ = false;
 };
 
 }  // namespace ifsketch::util

@@ -107,6 +107,47 @@ TEST_P(GoldenFilesTest, OpenReproducesRecordedAnswers) {
   ASSERT_EQ(golden_lines[0].estimate, engine->estimate(queries[0]));
 }
 
+// The arena (v2) golden -- the same RELEASE-DB summary as
+// release_db.ifsk, framed with aligned word sections -- must decode to
+// the SAME recorded answers through BOTH load paths: the zero-copy
+// mapped path (views straight over the file image, columns adopted from
+// the column section) and the copying stream parser. This pins the v2
+// serialization and the mapped/copied equivalence to the checked-in
+// bytes; the v1 goldens above keep pinning the legacy path.
+TEST(GoldenFilesTest, ArenaGoldenBitIdenticalOnBothLoadPaths) {
+  const std::string dir = IFSKETCH_TEST_DATA_DIR;
+  const auto queries = golden::PinnedQueries();
+  const auto golden_lines = LoadAnswers(dir + "/release_db.answers.txt");
+  ASSERT_EQ(golden_lines.size(), queries.size());
+
+  for (const Engine::LoadMode mode :
+       {Engine::LoadMode::kMapped, Engine::LoadMode::kCopied}) {
+    std::string error;
+    auto engine = Engine::Open(dir + "/release_db_v2.ifsk", mode, &error);
+    ASSERT_TRUE(engine.has_value()) << error;
+    EXPECT_EQ(engine->algorithm(), "RELEASE-DB");
+    EXPECT_EQ(engine->format_version(), sketch::arena::kVersionArena);
+    EXPECT_EQ(engine->load_path(), mode == Engine::LoadMode::kMapped
+                                       ? Engine::LoadPath::kMapped
+                                       : Engine::LoadPath::kCopied);
+
+    std::vector<double> estimates;
+    engine->estimate_many(queries, &estimates);
+    std::vector<bool> bits;
+    engine->are_frequent(queries, &bits);
+    ASSERT_EQ(estimates.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(golden_lines[i].estimate, estimates[i])
+          << "v2 estimate drifted from the v1 recording on query "
+          << golden_lines[i].key;
+      ASSERT_EQ(golden_lines[i].frequent, bits[i])
+          << "v2 indicator drifted from the v1 recording on query "
+          << golden_lines[i].key;
+    }
+    ASSERT_EQ(golden_lines[0].estimate, engine->estimate(queries[0]));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, GoldenFilesTest,
                          testing::ValuesIn(golden::kAlgorithms),
                          [](const auto& info) {

@@ -43,7 +43,9 @@ std::string MakeSketchFile(const std::string& stem, std::size_t n,
 std::size_t ResidentBytesOf(const std::string& path) {
   const auto engine = Engine::Open(path);
   EXPECT_TRUE(engine.has_value());
-  return (engine->summary_bits() + 7) / 8;
+  // The pod accounts what an engine actually pins: the whole mapped
+  // image for mapped (arena v2) loads, owned summary bytes otherwise.
+  return engine->resident_bytes();
 }
 
 const SketchStats& StatsFor(const std::vector<SketchStats>& all,
@@ -213,6 +215,75 @@ TEST(SketchPodTest, EvictionWhileQueriesInFlightIsSafe) {
 
   const auto stats = pod.stats();
   // The a/b ping-pong forces real evictions (budget holds only one).
+  EXPECT_GT(StatsFor(stats, "a").evictions +
+                StatsFor(stats, "b").evictions,
+            0u);
+  EXPECT_LE(pod.resident_bytes(), each);
+  util::ThreadPool::SetDefaultThreadCount(0);
+}
+
+// The mapped-load variant of the in-flight eviction stress: pods now
+// hold mmap-backed engines (arena v2 files open through the zero-copy
+// path), so eviction drops the pod's reference to a MAPPING, and the
+// munmap must be deferred by the shared_ptr hand-out until every query
+// in flight on the evicted engine has finished reading the mapped words.
+// Run under TSan by the CI tsan job; a use-after-munmap would crash
+// outright.
+TEST(SketchPodTest, MappedEvictionWhileQueriesInFlightIsSafe) {
+  const std::string pa = MakeSketchFile("pod_map_a", 600, 12, 20);
+  const std::string pb = MakeSketchFile("pod_map_b", 600, 12, 21);
+
+  // Confirm the pod really serves mapped engines (the files are arena
+  // v2, so Acquire's Engine::Open takes the zero-copy path).
+  {
+    const auto probe = Engine::Open(pa);
+    ASSERT_TRUE(probe.has_value());
+    ASSERT_EQ(probe->load_path(), Engine::LoadPath::kMapped);
+  }
+
+  const std::size_t each = ResidentBytesOf(pa);
+  SketchPod pod(each);  // exactly one resident: every swap evicts a mapping
+  ASSERT_TRUE(pod.AddSketch("a", pa));
+  ASSERT_TRUE(pod.AddSketch("b", pb));
+
+  // Reference answers on private engines, batched and scalar.
+  const std::vector<core::Itemset> queries = {
+      core::Itemset(12, {1, 3}), core::Itemset(12, {0, 2, 5}),
+      core::Itemset(12, {4}), core::Itemset(12, {2, 3, 7})};
+  std::vector<double> expect_a, expect_b;
+  Engine::Open(pa)->estimate_many(queries, &expect_a);
+  Engine::Open(pb)->estimate_many(queries, &expect_b);
+
+  util::ThreadPool::SetDefaultThreadCount(2);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < 6; ++i) {
+    threads.emplace_back([&, i] {
+      const std::string name = (i % 2 == 0) ? "a" : "b";
+      const std::vector<double>& expected =
+          (i % 2 == 0) ? expect_a : expect_b;
+      std::vector<double> answers;
+      for (int round = 0; round < 25 && !failed.load(); ++round) {
+        // Hold the engine across a batched query while other threads
+        // force evictions; the mapping must stay valid until `engine`
+        // goes out of scope.
+        const auto engine = pod.Acquire(name);
+        if (engine == nullptr) {
+          failed.store(true);
+          return;
+        }
+        engine->estimate_many(queries, &answers);
+        if (answers != expected) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+
+  const auto stats = pod.stats();
   EXPECT_GT(StatsFor(stats, "a").evictions +
                 StatsFor(stats, "b").evictions,
             0u);

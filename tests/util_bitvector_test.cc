@@ -182,5 +182,76 @@ TEST(BitVectorTest, XorSelfIsZeroRandom) {
   EXPECT_EQ(v.HammingDistance(v), 0u);
 }
 
+// ---- views: borrowed words must answer every const query exactly like
+// an owning vector of the same bits (the zero-copy load path depends on
+// this equivalence, at every word count including partial tail words).
+
+TEST(BitVectorViewTest, ViewAnswersLikeOwnedAtEveryLength) {
+  Rng rng(99);
+  for (const std::size_t bits : {0u, 1u, 63u, 64u, 65u, 128u, 257u, 1000u}) {
+    const BitVector owned = rng.RandomBits(bits);
+    const BitVector view = BitVector::View(owned.data(), bits);
+    ASSERT_TRUE(view.is_view());
+    ASSERT_EQ(view.size(), bits);
+    EXPECT_EQ(view.Count(), owned.Count());
+    EXPECT_EQ(view, owned);
+    EXPECT_EQ(owned, view);
+    for (std::size_t i = 0; i < bits; ++i) {
+      ASSERT_EQ(view.Get(i), owned.Get(i)) << i;
+    }
+    const BitVector other = rng.RandomBits(bits);
+    EXPECT_EQ(view.AndCount(other), owned.AndCount(other));
+    EXPECT_EQ(view.HammingDistance(other), owned.HammingDistance(other));
+    EXPECT_EQ(view.SetBits(), owned.SetBits());
+    const std::vector<const BitVector*> operands = {&view, &other};
+    const std::vector<const BitVector*> operands_owned = {&owned, &other};
+    EXPECT_EQ(BitVector::AndCountMany(operands),
+              BitVector::AndCountMany(operands_owned));
+  }
+}
+
+TEST(BitVectorViewTest, CopyingAViewMaterializesAnIndependentOwner) {
+  Rng rng(7);
+  BitVector owned = rng.RandomBits(300);
+  const BitVector view = BitVector::View(owned.data(), 300);
+
+  BitVector copy = view;  // deep copy, no longer borrows
+  EXPECT_FALSE(copy.is_view());
+  EXPECT_EQ(copy, owned);
+  EXPECT_NE(copy.data(), view.data());
+
+  // Mutating the copy is legal and leaves the viewed storage untouched.
+  const bool bit = copy.Get(5);
+  copy.Flip(5);
+  EXPECT_EQ(owned.Get(5), bit);
+
+  // Copy-assignment materializes too (the CountRange prefix pattern:
+  // `prefix = columns[a]; prefix &= columns[b];` must work when the
+  // columns are borrowed views).
+  BitVector prefix;
+  prefix = view;
+  prefix &= owned;
+  EXPECT_EQ(prefix, owned);
+}
+
+TEST(BitVectorViewTest, MoveKeepsBorrowedWordsAlive) {
+  Rng rng(21);
+  const BitVector owned = rng.RandomBits(150);
+  BitVector view = BitVector::View(owned.data(), 150);
+  const BitVector moved = std::move(view);
+  EXPECT_TRUE(moved.is_view());
+  EXPECT_EQ(moved, owned);
+}
+
+TEST(BitVectorViewDeathTest, MutatingAViewAborts) {
+  const BitVector owned(128);
+  BitVector view = BitVector::View(owned.data(), 128);
+  EXPECT_DEATH(view.Set(3, true), "");
+  EXPECT_DEATH(view.Flip(3), "");
+  EXPECT_DEATH(view.Clear(), "");
+  BitVector other(128);
+  EXPECT_DEATH(view &= other, "");
+}
+
 }  // namespace
 }  // namespace ifsketch::util

@@ -5,8 +5,18 @@
 // For every algorithm in the pinned spec (tests/golden_spec.h, shared
 // with tests/golden_files_test.cc) this writes
 //   <slug>.ifsk          Engine::Build over the pinned database, saved
+//                        at format v1 (byte-packed) -- deliberately
+//                        pinned to the legacy version so the v1 read
+//                        path keeps golden coverage forever, and so
+//                        regeneration reproduces the checked-in bytes
+//                        exactly
 //   <slug>.answers.txt   one line per pinned query:
 //                          <attr,attr,...> <estimate-hexfloat> <bit>
+// plus, for the first algorithm only,
+//   <slug>_v2.ifsk       the same summary framed at arena v2 (aligned
+//                        word sections; sketch_file.h) -- the golden for
+//                        the zero-copy mapped load path, which must
+//                        answer bit-identically to the v1 file
 //
 // Regenerating is only legitimate when a PR deliberately changes the
 // serialized format or an algorithm's sampling; answers must never drift
@@ -41,9 +51,19 @@ int main(int argc, char** argv) {
     }
     const std::string slug = golden::Slug(algo);
     const std::string sk_path = out_dir + "/" + slug + ".ifsk";
-    if (!engine->Save(sk_path)) {
+    if (!sketch::SaveSketchFile(sk_path, engine->file(),
+                                sketch::arena::kVersionLegacy)) {
       std::fprintf(stderr, "error: cannot write %s\n", sk_path.c_str());
       return 1;
+    }
+    if (index == 1) {  // first algorithm: also the arena-v2 golden
+      const std::string v2_path = out_dir + "/" + slug + "_v2.ifsk";
+      if (!sketch::SaveSketchFile(v2_path, engine->file())) {
+        std::fprintf(stderr, "error: cannot write %s\n", v2_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s (arena v2, same summary bits)\n",
+                  v2_path.c_str());
     }
 
     std::vector<double> estimates;
