@@ -3,6 +3,8 @@
 //   ifsketch_client --port P info  <name>
 //   ifsketch_client --port P query <name> <attr> [attr...]
 //   ifsketch_client --port P batch <name>        (queries on stdin)
+//   ifsketch_client --port P refresh <name>
+//   ifsketch_client --port P subscribe <name> <min_epoch> [timeout_ms]
 //
 // `query` prints the same line ifsketch_cli prints for a direct local
 // query of the same sketch file -- served answers are bit-identical to
@@ -11,6 +13,12 @@
 // space-separated) and prints one estimate per line; the whole batch
 // travels in a single request frame and is answered by one fused Engine
 // call server-side.
+//
+// `refresh` reports the snapshot a stream sketch currently serves;
+// `subscribe` blocks until the epoch exceeds min_epoch (default timeout
+// 30 s) and exits 0 only when the advance was observed, so shell
+// pipelines can wait for a publish: the CI ingest smoke does exactly
+// that.
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,7 +40,10 @@ int Usage() {
                "  ifsketch_client --port P info  <name>\n"
                "  ifsketch_client --port P query <name> <attr> [attr...]\n"
                "  ifsketch_client --port P batch <name>   "
-               "(one query per stdin line)\n");
+               "(one query per stdin line)\n"
+               "  ifsketch_client --port P refresh <name>\n"
+               "  ifsketch_client --port P subscribe <name> <min_epoch>"
+               " [timeout_ms]\n");
   return 2;
 }
 
@@ -96,6 +107,30 @@ int Query(serve::SketchClient& client, const std::string& name,
   std::printf("f%s ~= %.5f  (+/- %.4f with prob %.2f, via %s)\n",
               t.ToString().c_str(), (*answers)[0], info->eps,
               1.0 - info->delta, info->algorithm.c_str());
+  return 0;
+}
+
+int Refresh(serve::SketchClient& client, const std::string& name) {
+  const auto state = client.Refresh(name);
+  if (!state.has_value()) return ServerError(client);
+  std::printf("epoch %llu  rows_seen %llu\n",
+              static_cast<unsigned long long>(state->epoch),
+              static_cast<unsigned long long>(state->rows_seen));
+  return 0;
+}
+
+int Subscribe(serve::SketchClient& client, const std::string& name,
+              std::uint64_t min_epoch, std::uint32_t timeout_ms) {
+  const auto state = client.Subscribe(name, min_epoch, timeout_ms);
+  if (!state.has_value()) return ServerError(client);
+  std::printf("epoch %llu  rows_seen %llu\n",
+              static_cast<unsigned long long>(state->epoch),
+              static_cast<unsigned long long>(state->rows_seen));
+  if (state->epoch <= min_epoch) {
+    std::fprintf(stderr, "error: timed out waiting for epoch > %llu\n",
+                 static_cast<unsigned long long>(min_epoch));
+    return 1;
+  }
   return 0;
 }
 
@@ -166,5 +201,21 @@ int main(int argc, char** argv) {
     return Query(client, name, attrs);
   }
   if (cmd == "batch" && args.size() == 2) return Batch(client, name);
+  if (cmd == "refresh" && args.size() == 2) return Refresh(client, name);
+  if (cmd == "subscribe" && (args.size() == 3 || args.size() == 4)) {
+    char* end = nullptr;
+    const unsigned long long epoch = std::strtoull(args[2].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return Usage();
+    unsigned long timeout_ms = 30000;
+    if (args.size() == 4) {
+      timeout_ms = std::strtoul(args[3].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' ||
+          timeout_ms > serve::kMaxSubscribeTimeoutMs) {
+        return Usage();
+      }
+    }
+    return Subscribe(client, name, static_cast<std::uint64_t>(epoch),
+                     static_cast<std::uint32_t>(timeout_ms));
+  }
   return Usage();
 }

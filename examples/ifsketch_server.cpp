@@ -3,6 +3,9 @@
 //   ifsketch_server --sketch NAME=PATH [--sketch NAME=PATH ...]
 //                   [--port P] [--pods N] [--budget BYTES]
 //                   [--threads T] [--max-conns C]
+//                   [--ingest NAME [--ingest-file PATH] [--ingest-algo A]
+//                    [--ingest-every N] [--ingest-save PATH]
+//                    [--ingest-k K] [--ingest-eps E]]
 //
 // Registers each NAME=PATH on its owning shard (serve/router.h routes by
 // name hash across N pods), listens on 127.0.0.1:P (0 = ephemeral), and
@@ -10,6 +13,16 @@
 // accepted connection; concurrent requests for the same sketch coalesce
 // into fused Engine batches in the router. Sketch files load on first
 // use and stay resident under the per-pod byte budget (LRU eviction).
+//
+// --ingest NAME additionally serves a live stream sketch: transaction
+// rows (the data/io.h text format: first line d, then one row of
+// space-separated attribute indices per line) are read from
+// --ingest-file (default stdin) and fed through the ingest subsystem
+// (src/ingest/), which publishes a snapshot to the pod every
+// --ingest-every rows plus a final one at EOF; clients follow along
+// with the refresh/subscribe opcodes. --ingest-save writes the last
+// published snapshot to an IFSK file at exit so scripts can diff served
+// answers against ifsketch_cli on the same snapshot.
 //
 // Prints exactly one "listening on <port>" line to stdout once the
 // socket is bound, so scripts (CI smoke) can scrape the ephemeral port.
@@ -20,12 +33,16 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "ingest/ingest.h"
 #include "serve/pod.h"
 #include "serve/router.h"
 #include "serve/server.h"
@@ -52,8 +69,27 @@ int Usage() {
       "  --threads T         query thread-pool size (default: "
       "IFSKETCH_THREADS, else all cores)\n"
       "  --max-conns C       exit after serving C connections (default: "
-      "serve forever)\n");
+      "serve forever)\n"
+      "  --ingest NAME       serve a live stream sketch under NAME\n"
+      "  --ingest-file PATH  transaction stream (default: stdin)\n"
+      "  --ingest-algo A     streaming algorithm (default: "
+      "STREAM-SUBSAMPLE)\n"
+      "  --ingest-every N    rows per published snapshot (default: "
+      "10000)\n"
+      "  --ingest-save PATH  write the last snapshot as IFSK at exit\n"
+      "  --ingest-k K        query cardinality parameter (default: 2)\n"
+      "  --ingest-eps E      precision parameter (default: 0.05)\n");
   return 2;
+}
+
+bool ParseEps(const std::string& s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !(v > 0.0) || !(v <= 1.0)) {
+    return false;
+  }
+  *out = v;
+  return true;
 }
 
 bool ParseSize(const std::string& s, std::size_t* out) {
@@ -77,6 +113,13 @@ int main(int argc, char** argv) {
   std::size_t pods = 1;
   std::size_t budget = serve::SketchPod::kUnlimited;
   std::size_t max_conns = 0;  // 0 = unlimited
+  std::string ingest_name;
+  std::string ingest_file;  // empty or "-" = stdin
+  std::string ingest_algo = "STREAM-SUBSAMPLE";
+  std::string ingest_save;
+  std::size_t ingest_every = 10000;
+  std::size_t ingest_k = 2;
+  double ingest_eps = 0.05;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -109,11 +152,28 @@ int main(int argc, char** argv) {
       if (!ParseSize(argv[++i], &max_conns) || max_conns == 0) {
         return Usage();
       }
+    } else if (arg == "--ingest" && has_value) {
+      ingest_name = argv[++i];
+      if (ingest_name.empty()) return Usage();
+    } else if (arg == "--ingest-file" && has_value) {
+      ingest_file = argv[++i];
+    } else if (arg == "--ingest-algo" && has_value) {
+      ingest_algo = argv[++i];
+    } else if (arg == "--ingest-every" && has_value) {
+      if (!ParseSize(argv[++i], &ingest_every) || ingest_every == 0) {
+        return Usage();
+      }
+    } else if (arg == "--ingest-save" && has_value) {
+      ingest_save = argv[++i];
+    } else if (arg == "--ingest-k" && has_value) {
+      if (!ParseSize(argv[++i], &ingest_k) || ingest_k == 0) return Usage();
+    } else if (arg == "--ingest-eps" && has_value) {
+      if (!ParseEps(argv[++i], &ingest_eps)) return Usage();
     } else {
       return Usage();
     }
   }
-  if (sketches.empty()) return Usage();
+  if (sketches.empty() && ingest_name.empty()) return Usage();
 
   std::vector<std::shared_ptr<serve::SketchPod>> pod_vec;
   pod_vec.reserve(pods);
@@ -138,6 +198,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "serving \"%s\" from %s on shard %zu\n",
                  name.c_str(), path.c_str(), router.ShardOf(name));
   }
+  if (!ingest_name.empty()) {
+    if (!router.AddStream(ingest_name)) {
+      std::fprintf(stderr, "error: duplicate sketch name \"%s\"\n",
+                   ingest_name.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "ingesting \"%s\" (%s) on shard %zu\n",
+                 ingest_name.c_str(), ingest_algo.c_str(),
+                 router.ShardOf(ingest_name));
+  }
 
   serve::TcpListener listener;
   if (!listener.Listen(static_cast<std::uint16_t>(port))) {
@@ -146,6 +216,94 @@ int main(int argc, char** argv) {
   }
   std::printf("listening on %u\n", listener.port());
   std::fflush(stdout);
+
+  // The feeder thread owns the whole ingest pipeline: it reads the
+  // stream header (d), creates the IngestService, pushes every row and
+  // drains at EOF. Snapshots land in the router via Publish (waking
+  // subscribers) and the latest one is kept for --ingest-save. Started
+  // after the listening line so scripts can already scrape the port
+  // while the stream is arriving.
+  std::mutex snapshot_mu;
+  std::shared_ptr<const Engine> last_snapshot;
+  std::thread feeder;
+  if (!ingest_name.empty()) {
+    feeder = std::thread([&] {
+      std::ifstream stream_file;
+      std::istream* in = &std::cin;
+      if (!ingest_file.empty() && ingest_file != "-") {
+        stream_file.open(ingest_file);
+        if (!stream_file) {
+          std::fprintf(stderr, "error: cannot open ingest stream %s\n",
+                       ingest_file.c_str());
+          return;
+        }
+        in = &stream_file;
+      }
+      std::string line;
+      long long dv = -1;
+      if (!std::getline(*in, line) ||
+          !(std::istringstream(line) >> dv) || dv <= 0) {
+        std::fprintf(stderr, "error: ingest stream has no width header\n");
+        return;
+      }
+      const std::size_t d = static_cast<std::size_t>(dv);
+
+      ingest::IngestOptions options;
+      options.algorithm = ingest_algo;
+      options.d = d;
+      options.rows_per_snapshot = ingest_every;
+      options.params.k = ingest_k;
+      options.params.eps = ingest_eps;
+      options.params.delta = 0.05;
+      options.params.scope = core::Scope::kForAll;
+      options.params.answer = core::Answer::kEstimator;
+      std::string error;
+      auto service = ingest::IngestService::Create(
+          options,
+          [&](std::shared_ptr<const Engine> engine, std::uint64_t rows) {
+            {
+              std::lock_guard<std::mutex> lock(snapshot_mu);
+              last_snapshot = engine;
+            }
+            const std::uint64_t epoch =
+                router.Publish(ingest_name, std::move(engine), rows);
+            std::fprintf(stderr, "published \"%s\" epoch %llu (%llu rows)\n",
+                         ingest_name.c_str(),
+                         static_cast<unsigned long long>(epoch),
+                         static_cast<unsigned long long>(rows));
+          },
+          &error);
+      if (service == nullptr) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return;
+      }
+      while (std::getline(*in, line)) {
+        util::BitVector row(d);
+        std::istringstream ls(line);
+        long long a = 0;
+        bool ok = true;
+        while (ls >> a) {
+          if (a < 0 || static_cast<std::size_t>(a) >= d) {
+            ok = false;
+            break;
+          }
+          row.Set(static_cast<std::size_t>(a), true);
+        }
+        // Same garbage rule as data::ReadTransactions: a clean line ends
+        // in extraction-failure-at-eof.
+        if (!ok || !ls.eof()) {
+          std::fprintf(stderr, "warning: skipping malformed ingest row\n");
+          continue;
+        }
+        service->Push(std::move(row));
+      }
+      service->Finish();
+      std::fprintf(stderr, "ingest done: %llu rows, %llu snapshots\n",
+                   static_cast<unsigned long long>(service->rows_ingested()),
+                   static_cast<unsigned long long>(
+                       service->snapshots_published()));
+    });
+  }
 
   // Connection threads are detached and tracked by a counter rather
   // than collected in a vector: the serve-forever mode must not grow a
@@ -173,16 +331,31 @@ int main(int argc, char** argv) {
     std::unique_lock<std::mutex> lock(conn_mu);
     conn_cv.wait(lock, [&] { return active_conns == 0; });
   }
+  if (feeder.joinable()) feeder.join();
+
+  if (!ingest_save.empty()) {
+    std::lock_guard<std::mutex> lock(snapshot_mu);
+    if (last_snapshot == nullptr) {
+      std::fprintf(stderr, "error: no snapshot was published to save\n");
+      return 1;
+    }
+    if (!last_snapshot->Save(ingest_save)) {
+      std::fprintf(stderr, "error: cannot write %s\n", ingest_save.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "saved last snapshot to %s\n", ingest_save.c_str());
+  }
 
   for (const auto& pod : router.pods()) {
     for (const auto& s : pod->stats()) {
       std::fprintf(stderr,
                    "stats %s: hits=%llu loads=%llu evictions=%llu "
-                   "queries=%llu resident=%zuB\n",
+                   "queries=%llu publishes=%llu resident=%zuB\n",
                    s.name.c_str(), static_cast<unsigned long long>(s.hits),
                    static_cast<unsigned long long>(s.loads),
                    static_cast<unsigned long long>(s.evictions),
                    static_cast<unsigned long long>(s.queries),
+                   static_cast<unsigned long long>(s.publishes),
                    s.resident_bytes);
     }
   }

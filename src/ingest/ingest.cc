@@ -1,0 +1,99 @@
+#include "ingest/ingest.h"
+
+#include <utility>
+
+#include "sketch/builtin_algorithms.h"
+#include "sketch/sketch_file.h"
+#include "util/check.h"
+
+namespace ifsketch::ingest {
+
+std::unique_ptr<IngestService> IngestService::Create(
+    const IngestOptions& options, PublishFn publish, std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return nullptr;
+  };
+  if (options.d == 0) return fail("ingest: d must be positive");
+  if (options.rows_per_snapshot == 0) {
+    return fail("ingest: rows_per_snapshot must be positive");
+  }
+  if (publish == nullptr) return fail("ingest: publish callback required");
+  auto algorithm = sketch::BuiltinRegistry().Create(options.algorithm);
+  if (algorithm == nullptr) {
+    return fail("ingest: unknown algorithm " + options.algorithm);
+  }
+  const auto* streaming =
+      dynamic_cast<const sketch::StreamingSketch*>(algorithm.get());
+  if (streaming == nullptr) {
+    return fail("ingest: " + options.algorithm +
+                " does not support streaming construction");
+  }
+  return std::unique_ptr<IngestService>(new IngestService(
+      options, std::move(publish), std::move(algorithm), streaming));
+}
+
+IngestService::IngestService(IngestOptions options, PublishFn publish,
+                             std::unique_ptr<core::SketchAlgorithm> algorithm,
+                             const sketch::StreamingSketch* streaming)
+    : options_(std::move(options)),
+      publish_(std::move(publish)),
+      algorithm_(std::move(algorithm)),
+      rng_(options_.seed),
+      builder_(streaming->NewBuilder(options_.d, options_.params, rng_)),
+      ring_(options_.ring_capacity) {
+  thread_ = std::thread([this] { Run(); });
+}
+
+IngestService::~IngestService() { Finish(); }
+
+void IngestService::Push(util::BitVector row) {
+  IFSKETCH_CHECK(!finished_);
+  IFSKETCH_CHECK_EQ(row.size(), options_.d);
+  while (!ring_.TryPush(std::move(row))) std::this_thread::yield();
+}
+
+void IngestService::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+}
+
+void IngestService::Run() {
+  util::BitVector row;
+  std::uint64_t rows = 0;
+  for (;;) {
+    if (!ring_.TryPop(&row)) {
+      // Re-check the ring after seeing stop: the producer sets stop only
+      // after its last Push, so stop + empty means fully drained.
+      if (stop_.load(std::memory_order_acquire) && ring_.Empty()) break;
+      std::this_thread::yield();
+      continue;
+    }
+    builder_->Observe(row);
+    ++rows;
+    rows_ingested_.store(rows, std::memory_order_release);
+    if (rows % options_.rows_per_snapshot == 0) PublishSnapshot(rows);
+  }
+  if (rows > last_published_rows_) PublishSnapshot(rows);
+}
+
+void IngestService::PublishSnapshot(std::uint64_t rows) {
+  sketch::SketchFile file;
+  file.algorithm = options_.algorithm;
+  file.params = options_.params;
+  file.n = rows;
+  file.d = options_.d;
+  file.summary = builder_->Summary();
+  auto engine = Engine::FromFile(std::move(file));
+  // The builder produced the summary through the registered algorithm's
+  // own layout, so FromFile's size validation cannot fail here.
+  IFSKETCH_CHECK(engine.has_value());
+  last_published_rows_ = rows;
+  auto shared = std::make_shared<const Engine>(std::move(*engine));
+  snapshots_published_.fetch_add(1, std::memory_order_acq_rel);
+  publish_(std::move(shared), rows);
+}
+
+}  // namespace ifsketch::ingest

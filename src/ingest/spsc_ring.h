@@ -1,0 +1,95 @@
+// Lock-free bounded single-producer/single-consumer ring.
+//
+// The ingest pipeline's only cross-thread handoff: the feeder thread
+// pushes transaction rows, the ingest thread pops them (ingest.h). The
+// ring is the classic Lamport queue with two refinements:
+//
+//   - head_ and tail_ live on separate cache lines (alignas(64)) so the
+//     producer and consumer never false-share their hot counters.
+//   - Each side caches the other side's last-seen index and only re-reads
+//     the shared atomic when the cached value says the ring looks full
+//     (producer) or empty (consumer), cutting cross-core traffic to one
+//     acquire-load per wraparound in the steady state.
+//
+// Memory ordering is the minimal release/acquire pairing: the producer's
+// release-store of tail_ publishes the slot write it just made, and the
+// consumer's acquire-load of tail_ synchronizes with it (symmetrically
+// for head_ on the recycle path). Capacity is rounded up to a power of
+// two so index masking is a single AND.
+//
+// SPSC only: exactly one thread may call TryPush and exactly one thread
+// may call TryPop. Neither blocks; callers decide the backoff policy
+// (IngestService::Push spins with yield).
+#ifndef IFSKETCH_INGEST_SPSC_RING_H_
+#define IFSKETCH_INGEST_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ifsketch::ingest {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) : slots_(RoundUpPow2(capacity)) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Moves `value` into the ring and returns true, or
+  /// returns false (value untouched) when the ring is full.
+  bool TryPush(T&& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == slots_.size()) return false;
+    }
+    slots_[tail & (slots_.size() - 1)] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Moves the oldest element into `*out` and returns
+  /// true, or returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    *out = std::move(slots_[head & (slots_.size() - 1)]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// True when a TryPop would fail right now. Only meaningful on the
+  /// consumer thread (the producer may push concurrently).
+  bool Empty() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  /// The power-of-two slot count.
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  static std::size_t RoundUpPow2(std::size_t n) {
+    std::size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // next index to pop
+  alignas(64) std::uint64_t cached_tail_ = 0;       // consumer's view of tail_
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // next index to push
+  alignas(64) std::uint64_t cached_head_ = 0;       // producer's view of head_
+};
+
+}  // namespace ifsketch::ingest
+
+#endif  // IFSKETCH_INGEST_SPSC_RING_H_

@@ -108,4 +108,48 @@ std::optional<SketchInfo> SketchClient::Info(const std::string& sketch) {
   return info;
 }
 
+std::optional<SnapshotInfo> SketchClient::Refresh(const std::string& sketch) {
+  std::string body;
+  if (!EncodeRefreshRequest(sketch, &body)) {
+    last_error_ = "sketch name exceeds protocol limits";
+    last_status_ = Status::kOk;  // local failure, not a server verdict
+    return std::nullopt;
+  }
+  const auto reply =
+      RoundTrip(Opcode::kRefresh, body, Opcode::kRefreshReply);
+  if (!reply.has_value()) return std::nullopt;
+  auto info = DecodeSnapshotReply(reply->body);
+  if (!info.has_value()) {
+    poisoned_ = true;
+    last_error_ = "undecodable refresh reply";
+    return std::nullopt;
+  }
+  return info;
+}
+
+std::optional<SnapshotInfo> SketchClient::Subscribe(const std::string& sketch,
+                                                    std::uint64_t min_epoch,
+                                                    std::uint32_t timeout_ms) {
+  SubscribeRequest request;
+  request.sketch = sketch;
+  request.min_epoch = min_epoch;
+  request.timeout_ms = timeout_ms;
+  std::string body;
+  if (!EncodeSubscribeRequest(request, &body)) {
+    last_error_ = "subscribe request exceeds protocol limits";
+    last_status_ = Status::kOk;  // local failure, not a server verdict
+    return std::nullopt;
+  }
+  const auto reply =
+      RoundTrip(Opcode::kSubscribe, body, Opcode::kSubscribeReply);
+  if (!reply.has_value()) return std::nullopt;
+  auto info = DecodeSnapshotReply(reply->body);
+  if (!info.has_value()) {
+    poisoned_ = true;
+    last_error_ = "undecodable subscribe reply";
+    return std::nullopt;
+  }
+  return info;
+}
+
 }  // namespace ifsketch::serve

@@ -45,6 +45,18 @@ class SketchClient {
   /// The served sketch's public context (algorithm, params, shape).
   std::optional<SketchInfo> Info(const std::string& sketch);
 
+  /// The snapshot currently served under `sketch` (epoch 0 = nothing
+  /// published yet for a stream sketch).
+  std::optional<SnapshotInfo> Refresh(const std::string& sketch);
+
+  /// Blocks (server-side) until the sketch's epoch exceeds `min_epoch`
+  /// or `timeout_ms` elapses, then returns the final state -- compare
+  /// epoch with min_epoch to tell satisfied from timed out. timeout_ms
+  /// must not exceed kMaxSubscribeTimeoutMs.
+  std::optional<SnapshotInfo> Subscribe(const std::string& sketch,
+                                        std::uint64_t min_epoch,
+                                        std::uint32_t timeout_ms);
+
   /// Human-readable reason for the last nullopt return.
   const std::string& last_error() const { return last_error_; }
 

@@ -7,8 +7,60 @@ namespace ifsketch::serve {
 
 bool SketchPod::AddSketch(const std::string& name, const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
-  return catalog_.emplace(name, Entry{path, nullptr, 0, 0, 0, 0, 0, 0})
-      .second;
+  Entry entry;
+  entry.path = path;
+  return catalog_.emplace(name, std::move(entry)).second;
+}
+
+bool SketchPod::AddStream(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_.emplace(name, Entry{}).second;
+}
+
+std::uint64_t SketchPod::Publish(const std::string& name,
+                                 std::shared_ptr<const Engine> engine,
+                                 std::uint64_t rows_seen) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = catalog_[name];  // auto-registers with an empty path
+  const std::size_t bytes = engine->resident_bytes();
+  resident_bytes_ -= entry.bytes;
+  // The old snapshot's shared_ptr is dropped exactly like eviction:
+  // in-flight queries keep it alive until they finish.
+  entry.engine = std::move(engine);
+  entry.bytes = bytes;
+  entry.last_used = ++lru_clock_;
+  entry.rows_seen = rows_seen;
+  ++entry.publishes;
+  ++entry.epoch;
+  resident_bytes_ += bytes;
+  // The new snapshot is pinned (EvictToFitLocked skips path-less
+  // entries), so making room only displaces file-backed residents.
+  if (byte_budget_ != kUnlimited) EvictToFitLocked(byte_budget_);
+  cv_.notify_all();
+  return entry.epoch;
+}
+
+std::optional<SnapshotState> SketchPod::SnapshotOf(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) return std::nullopt;
+  return SnapshotState{it->second.epoch, it->second.rows_seen};
+}
+
+bool SketchPod::WaitForEpoch(const std::string& name, std::uint64_t min_epoch,
+                             std::chrono::milliseconds timeout,
+                             SnapshotState* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) return false;
+  // Entries are never erased and std::map nodes are address-stable, so
+  // the pointer stays valid across the wait.
+  Entry* entry = &it->second;
+  cv_.wait_for(lock, timeout,
+               [entry, min_epoch] { return entry->epoch > min_epoch; });
+  if (out != nullptr) *out = SnapshotState{entry->epoch, entry->rows_seen};
+  return true;
 }
 
 std::shared_ptr<const Engine> SketchPod::Acquire(const std::string& name) {
@@ -21,6 +73,8 @@ std::shared_ptr<const Engine> SketchPod::Acquire(const std::string& name) {
     ++entry.hits;
     return entry.engine;
   }
+  // A stream sketch with no snapshot yet has nothing to load from.
+  if (entry.path.empty()) return nullptr;
 
   // Open outside the lock: file I/O and payload validation can be slow,
   // and other names must stay servable meanwhile. The slot is re-checked
@@ -49,6 +103,7 @@ std::shared_ptr<const Engine> SketchPod::Acquire(const std::string& name) {
   slot.engine = std::move(engine);
   slot.bytes = bytes;
   slot.last_used = ++lru_clock_;
+  slot.rows_seen = slot.engine->n();
   ++slot.loads;
   resident_bytes_ += bytes;
   return slot.engine;
@@ -84,6 +139,7 @@ std::vector<SketchStats> SketchPod::stats() const {
     s.loads = entry.loads;
     s.evictions = entry.evictions;
     s.queries = entry.queries;
+    s.publishes = entry.publishes;
     s.resident = entry.engine != nullptr;
     s.resident_bytes = s.resident ? entry.bytes : 0;
     out.push_back(std::move(s));
@@ -111,7 +167,9 @@ void SketchPod::EvictToFitLocked(std::size_t budget) {
   while (resident_bytes_ > budget) {
     Entry* victim = nullptr;
     for (auto& [name, entry] : catalog_) {
-      if (entry.engine == nullptr) continue;
+      // Published snapshots are pinned: with no backing file there is no
+      // way to reload one, so eviction would lose it outright.
+      if (entry.engine == nullptr || entry.path.empty()) continue;
       if (victim == nullptr || entry.last_used < victim->last_used) {
         victim = &entry;
       }

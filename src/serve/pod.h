@@ -22,13 +22,25 @@
 // catalog/LRU/stat state is mutex-guarded; queries themselves run
 // outside the lock on the shared Engine (whose query surface is
 // const-thread-safe, see engine.h).
+//
+// Stream-published sketches (the ingest path, src/ingest/) have no
+// backing file: Publish() swaps in each freshly built snapshot with the
+// same shared_ptr discipline, bumps the per-name epoch (0 = nothing
+// published yet), and wakes WaitForEpoch subscribers. Published
+// snapshots are explicitly placed hot objects: they count against the
+// byte budget -- displacing file-backed LRU residents -- but are never
+// eviction victims themselves, because there is no path to reload them
+// from; only the next Publish replaces one.
 #ifndef IFSKETCH_SERVE_POD_H_
 #define IFSKETCH_SERVE_POD_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,8 +55,19 @@ struct SketchStats {
   std::uint64_t loads = 0;      ///< Engine::Open calls (misses that loaded)
   std::uint64_t evictions = 0;  ///< times the budget pushed it out
   std::uint64_t queries = 0;    ///< individual query answers served
+  std::uint64_t publishes = 0;  ///< snapshots published via Publish()
   std::size_t resident_bytes = 0;  ///< 0 when not resident
   bool resident = false;
+};
+
+/// Which snapshot a sketch name is currently serving. epoch starts at 0
+/// (nothing published; for file-backed sketches it stays 0) and
+/// increments once per Publish. rows_seen is the stream prefix the
+/// snapshot covers (the engine's n) -- for a file-backed sketch, the
+/// file's n once loaded.
+struct SnapshotState {
+  std::uint64_t epoch = 0;
+  std::uint64_t rows_seen = 0;
 };
 
 /// Hosts many named sketches behind one byte budget.
@@ -60,9 +83,40 @@ class SketchPod {
   /// is not opened until first Acquire. False if the name is taken.
   bool AddSketch(const std::string& name, const std::string& path);
 
+  /// Registers `name` as a stream-published sketch with no backing file:
+  /// it serves nothing until the first Publish. False if the name is
+  /// taken. (Publish auto-registers, so this exists to reserve the name
+  /// up front -- e.g. before the ingest thread starts.)
+  bool AddStream(const std::string& name);
+
+  /// Atomically swaps in a freshly built snapshot for `name`,
+  /// auto-registering the name as a stream sketch if needed, and returns
+  /// the new epoch (1 for the first snapshot). The previous snapshot is
+  /// retired exactly like eviction: in-flight queries finish on their
+  /// own shared_ptr. Published snapshots are pinned -- they count
+  /// against the byte budget (file-backed residents are evicted to make
+  /// room) but are never evicted themselves, only replaced by the next
+  /// Publish. Wakes all WaitForEpoch waiters.
+  std::uint64_t Publish(const std::string& name,
+                        std::shared_ptr<const Engine> engine,
+                        std::uint64_t rows_seen);
+
+  /// The current snapshot state of `name`; nullopt when unregistered.
+  std::optional<SnapshotState> SnapshotOf(const std::string& name) const;
+
+  /// Blocks until `name`'s epoch exceeds `min_epoch`, the timeout
+  /// elapses, or the name is unregistered (returns false only in that
+  /// last case). On true, *out (when non-null) holds the final state --
+  /// callers distinguish satisfied from timed-out by comparing
+  /// out->epoch with min_epoch.
+  bool WaitForEpoch(const std::string& name, std::uint64_t min_epoch,
+                    std::chrono::milliseconds timeout,
+                    SnapshotState* out = nullptr);
+
   /// The engine for `name`, loading (and evicting) as needed. nullptr
-  /// when the name is unregistered or its file fails to open -- callers
-  /// distinguish the two with Knows().
+  /// when the name is unregistered, its file fails to open, or it is a
+  /// stream sketch with no snapshot published yet -- callers distinguish
+  /// unregistered from the rest with Knows().
   std::shared_ptr<const Engine> Acquire(const std::string& name);
 
   /// Whether `name` is in the catalog (resident or not).
@@ -87,7 +141,7 @@ class SketchPod {
 
  private:
   struct Entry {
-    std::string path;
+    std::string path;  // empty for stream-published sketches
     std::shared_ptr<const Engine> engine;  // null when not resident
     std::size_t bytes = 0;                 // resident summary bytes
     std::uint64_t last_used = 0;           // LRU tick of last Acquire
@@ -95,6 +149,9 @@ class SketchPod {
     std::uint64_t loads = 0;
     std::uint64_t evictions = 0;
     std::uint64_t queries = 0;
+    std::uint64_t publishes = 0;  // snapshots swapped in via Publish
+    std::uint64_t epoch = 0;      // 0 until the first Publish
+    std::uint64_t rows_seen = 0;  // prefix covered by the current engine
   };
 
   /// Evicts least-recently-used residents until resident bytes fit
@@ -102,6 +159,7 @@ class SketchPod {
   void EvictToFitLocked(std::size_t budget);
 
   mutable std::mutex mu_;
+  std::condition_variable cv_;  // signaled on every Publish
   std::map<std::string, Entry> catalog_;
   std::size_t byte_budget_;
   std::size_t resident_bytes_ = 0;

@@ -51,9 +51,13 @@ bool KnownOpcode(std::uint8_t byte) {
     case Opcode::kEstimate:
     case Opcode::kAreFrequent:
     case Opcode::kInfo:
+    case Opcode::kRefresh:
+    case Opcode::kSubscribe:
     case Opcode::kEstimateReply:
     case Opcode::kAreFrequentReply:
     case Opcode::kInfoReply:
+    case Opcode::kRefreshReply:
+    case Opcode::kSubscribeReply:
     case Opcode::kError:
       return true;
   }
@@ -121,6 +125,27 @@ void EncodeInfoReply(const SketchInfo& info, std::string* body) {
   PutRaw<std::uint64_t>(body, info.n);
   PutRaw<std::uint64_t>(body, info.d);
   PutRaw<std::uint64_t>(body, info.summary_bits);
+}
+
+bool EncodeRefreshRequest(std::string_view sketch, std::string* body) {
+  if (sketch.size() > 0xffff) return false;
+  PutString(body, sketch);
+  return true;
+}
+
+bool EncodeSubscribeRequest(const SubscribeRequest& request,
+                            std::string* body) {
+  if (request.sketch.size() > 0xffff) return false;
+  if (request.timeout_ms > kMaxSubscribeTimeoutMs) return false;
+  PutString(body, request.sketch);
+  PutRaw<std::uint64_t>(body, request.min_epoch);
+  PutRaw<std::uint32_t>(body, request.timeout_ms);
+  return true;
+}
+
+void EncodeSnapshotReply(const SnapshotInfo& info, std::string* body) {
+  PutRaw<std::uint64_t>(body, info.epoch);
+  PutRaw<std::uint64_t>(body, info.rows_seen);
 }
 
 void EncodeError(Status status, std::string_view message, std::string* out) {
@@ -226,6 +251,35 @@ std::optional<SketchInfo> DecodeInfoReply(std::string_view body) {
   }
   // Enum bytes must name a real enumerator (same rule as ReadSketch).
   if (info.scope > 1 || info.answer > 1) return std::nullopt;
+  return info;
+}
+
+std::optional<std::string> DecodeRefreshRequest(std::string_view body) {
+  Reader in(body);
+  std::string sketch;
+  if (!in.GetString(sketch) || !in.Done()) return std::nullopt;
+  return sketch;
+}
+
+std::optional<SubscribeRequest> DecodeSubscribeRequest(std::string_view body) {
+  Reader in(body);
+  SubscribeRequest request;
+  if (!in.GetString(request.sketch) || !in.Get(request.min_epoch) ||
+      !in.Get(request.timeout_ms) || !in.Done()) {
+    return std::nullopt;
+  }
+  // An oversize timeout would park a server connection thread; reject it
+  // at the codec like every other limit.
+  if (request.timeout_ms > kMaxSubscribeTimeoutMs) return std::nullopt;
+  return request;
+}
+
+std::optional<SnapshotInfo> DecodeSnapshotReply(std::string_view body) {
+  Reader in(body);
+  SnapshotInfo info;
+  if (!in.Get(info.epoch) || !in.Get(info.rows_seen) || !in.Done()) {
+    return std::nullopt;
+  }
   return info;
 }
 

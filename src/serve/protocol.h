@@ -30,7 +30,19 @@
 //   kInfo (request):  name string
 //   kInfoReply:       algorithm string, k u32, eps f64, delta f64,
 //                     scope u8, answer u8, n u64, d u64, summary_bits u64
+//   kRefresh (request):   name string
+//   kSubscribe (request): name string, min_epoch u64, timeout_ms u32
+//                         (timeout_ms <= kMaxSubscribeTimeoutMs)
+//   kRefreshReply / kSubscribeReply: epoch u64, rows_seen u64
+//       (a subscribe reply always reports the FINAL state -- on timeout
+//       epoch <= min_epoch, which is how clients tell the two apart)
 //   kError:           header.status = Status, body = message string
+//
+// Version note: kRefresh/kSubscribe were added for the streaming ingest
+// path (src/ingest/) without a version bump -- the protocol version
+// stays 1 because nothing existing changed shape; a pre-ingest peer
+// simply rejects the new opcodes as a malformed header and hangs up,
+// which is the defined behavior for any unknown opcode.
 //
 // Decoding follows the ReadSketch validate-everything discipline: every
 // header field is checked (magic, version, known opcode, length cap)
@@ -59,6 +71,10 @@ inline constexpr std::size_t kFrameHeaderBytes = 12;
 inline constexpr std::uint32_t kMaxBodyBytes = 16u << 20;
 /// Upper bound on queries fused into one request frame.
 inline constexpr std::uint32_t kMaxQueriesPerRequest = 1u << 20;
+/// Upper bound on a kSubscribe wait (10 minutes); a larger declared
+/// timeout is a malformed frame, so one client cannot park a connection
+/// thread forever.
+inline constexpr std::uint32_t kMaxSubscribeTimeoutMs = 600000;
 
 /// Frame kinds. Requests have the high bit clear, replies set it; kError
 /// answers any request whose dispatch fails.
@@ -66,9 +82,13 @@ enum class Opcode : std::uint8_t {
   kEstimate = 0x01,
   kAreFrequent = 0x02,
   kInfo = 0x03,
+  kRefresh = 0x04,
+  kSubscribe = 0x05,
   kEstimateReply = 0x81,
   kAreFrequentReply = 0x82,
   kInfoReply = 0x83,
+  kRefreshReply = 0x84,
+  kSubscribeReply = 0x85,
   kError = 0xff,
 };
 
@@ -101,6 +121,21 @@ struct QueryRequest {
   std::vector<std::vector<std::uint32_t>> queries;
 };
 
+/// kRefreshReply / kSubscribeReply payload: which snapshot the sketch is
+/// serving (mirrors serve::SnapshotState; epoch 0 = nothing published).
+struct SnapshotInfo {
+  std::uint64_t epoch = 0;
+  std::uint64_t rows_seen = 0;
+};
+
+/// kSubscribe payload: block until the sketch's epoch exceeds min_epoch
+/// or timeout_ms elapses (the reply carries the final state either way).
+struct SubscribeRequest {
+  std::string sketch;
+  std::uint64_t min_epoch = 0;
+  std::uint32_t timeout_ms = 0;
+};
+
 /// kInfoReply payload: the served sketch's public context.
 struct SketchInfo {
   std::string algorithm;
@@ -131,6 +166,13 @@ void EncodeAreFrequentReply(const std::vector<bool>& answers,
                             std::string* body);
 bool EncodeInfoRequest(std::string_view sketch, std::string* body);
 void EncodeInfoReply(const SketchInfo& info, std::string* body);
+bool EncodeRefreshRequest(std::string_view sketch, std::string* body);
+/// False when the name is oversized or the timeout exceeds
+/// kMaxSubscribeTimeoutMs.
+bool EncodeSubscribeRequest(const SubscribeRequest& request,
+                            std::string* body);
+/// Shared payload of kRefreshReply and kSubscribeReply.
+void EncodeSnapshotReply(const SnapshotInfo& info, std::string* body);
 void EncodeError(Status status, std::string_view message, std::string* out);
 
 // ------------------------------------------------------------- decoding
@@ -148,6 +190,9 @@ std::optional<std::vector<bool>> DecodeAreFrequentReply(
     std::string_view body);
 std::optional<std::string> DecodeInfoRequest(std::string_view body);
 std::optional<SketchInfo> DecodeInfoReply(std::string_view body);
+std::optional<std::string> DecodeRefreshRequest(std::string_view body);
+std::optional<SubscribeRequest> DecodeSubscribeRequest(std::string_view body);
+std::optional<SnapshotInfo> DecodeSnapshotReply(std::string_view body);
 std::optional<std::string> DecodeErrorMessage(std::string_view body);
 
 }  // namespace ifsketch::serve

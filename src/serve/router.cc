@@ -38,6 +38,16 @@ bool Router::AddSketch(const std::string& name, const std::string& path) {
   return PodFor(name).AddSketch(name, path);
 }
 
+bool Router::AddStream(const std::string& name) {
+  return PodFor(name).AddStream(name);
+}
+
+std::uint64_t Router::Publish(const std::string& name,
+                              std::shared_ptr<const Engine> engine,
+                              std::uint64_t rows_seen) {
+  return PodFor(name).Publish(name, std::move(engine), rows_seen);
+}
+
 std::shared_ptr<const Engine> Router::Acquire(const std::string& name) {
   return PodFor(name).Acquire(name);
 }

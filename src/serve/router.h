@@ -64,6 +64,16 @@ class Router {
   /// on first use). False if the name is already registered there.
   bool AddSketch(const std::string& name, const std::string& path);
 
+  /// Registers a stream-published name on its owning shard (see
+  /// SketchPod::AddStream).
+  bool AddStream(const std::string& name);
+
+  /// Publishes a snapshot through the owning shard's pod (see
+  /// SketchPod::Publish); returns the new epoch.
+  std::uint64_t Publish(const std::string& name,
+                        std::shared_ptr<const Engine> engine,
+                        std::uint64_t rows_seen);
+
   /// Acquires the engine for metadata/validation (open-on-demand via the
   /// owning pod). nullptr when unknown or unloadable.
   std::shared_ptr<const Engine> Acquire(const std::string& name);

@@ -159,6 +159,47 @@ bool HandleInfo(Router& router, Transport& transport,
   return WriteFrame(transport, Opcode::kInfoReply, 0, reply);
 }
 
+bool HandleRefresh(Router& router, Transport& transport,
+                   std::string_view body) {
+  const auto name = DecodeRefreshRequest(body);
+  if (!name.has_value()) {
+    return SendError(transport, Status::kBadRequest,
+                     "undecodable refresh request");
+  }
+  const auto state = router.PodFor(*name).SnapshotOf(*name);
+  if (!state.has_value()) {
+    return SendError(transport, Status::kUnknownSketch,
+                     "unknown sketch \"" + *name + "\"");
+  }
+  std::string reply;
+  EncodeSnapshotReply(SnapshotInfo{state->epoch, state->rows_seen}, &reply);
+  return WriteFrame(transport, Opcode::kRefreshReply, 0, reply);
+}
+
+bool HandleSubscribe(Router& router, Transport& transport,
+                     std::string_view body) {
+  const auto request = DecodeSubscribeRequest(body);
+  if (!request.has_value()) {
+    return SendError(transport, Status::kBadRequest,
+                     "undecodable subscribe request");
+  }
+  SnapshotState state;
+  // The wait blocks only this connection's thread; publishes arrive from
+  // the ingest thread and wake it through the pod's condition variable.
+  if (!router.PodFor(request->sketch)
+           .WaitForEpoch(request->sketch, request->min_epoch,
+                         std::chrono::milliseconds(request->timeout_ms),
+                         &state)) {
+    return SendError(transport, Status::kUnknownSketch,
+                     "unknown sketch \"" + request->sketch + "\"");
+  }
+  // On timeout the reply still carries the final state; the client tells
+  // the cases apart by comparing epoch with its min_epoch.
+  std::string reply;
+  EncodeSnapshotReply(SnapshotInfo{state.epoch, state.rows_seen}, &reply);
+  return WriteFrame(transport, Opcode::kSubscribeReply, 0, reply);
+}
+
 }  // namespace
 
 void ServeConnection(Router& router, Transport& transport) {
@@ -186,6 +227,12 @@ void ServeConnection(Router& router, Transport& transport) {
         break;
       case Opcode::kInfo:
         alive = HandleInfo(router, transport, frame.body);
+        break;
+      case Opcode::kRefresh:
+        alive = HandleRefresh(router, transport, frame.body);
+        break;
+      case Opcode::kSubscribe:
+        alive = HandleSubscribe(router, transport, frame.body);
         break;
       default:
         // Reply opcodes are valid frames but not valid *requests*; the

@@ -7,6 +7,7 @@
 #include "sketch/median_boost.h"
 #include "sketch/release_answers.h"
 #include "sketch/release_db.h"
+#include "sketch/streaming.h"
 #include "sketch/subsample.h"
 
 namespace ifsketch::sketch {
@@ -23,6 +24,14 @@ void RegisterBuiltinAlgorithms(core::SketchRegistry& registry) {
   });
   registry.Register("IMPORTANCE-SAMPLE", [] {
     return std::make_unique<ImportanceSampleSketch>();
+  });
+  registry.Register("STREAM-SUBSAMPLE",
+                    [] { return std::make_unique<StreamSubsampleSketch>(); });
+  registry.Register("STREAM-STRATIFIED", [] {
+    return std::make_unique<StreamStratifiedSketch>();
+  });
+  registry.Register("STREAM-IMPORTANCE", [] {
+    return std::make_unique<StreamImportanceSketch>();
   });
   registry.RegisterCombinator(
       "MEDIAN-BOOST", [](std::unique_ptr<core::SketchAlgorithm> inner) {

@@ -291,5 +291,120 @@ TEST(SketchPodTest, MappedEvictionWhileQueriesInFlightIsSafe) {
   util::ThreadPool::SetDefaultThreadCount(0);
 }
 
+/// An in-memory engine to publish (the ingest path never touches disk).
+std::shared_ptr<const Engine> MakeEngine(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const core::Database db = data::UniformRandom(n, 10, 0.4, rng);
+  auto engine = Engine::Build(db, "SUBSAMPLE", Params(), rng);
+  EXPECT_TRUE(engine.has_value());
+  return std::make_shared<const Engine>(std::move(*engine));
+}
+
+TEST(SketchPodTest, StreamSketchPublishLifecycle) {
+  SketchPod pod;
+  ASSERT_TRUE(pod.AddStream("live"));
+  EXPECT_FALSE(pod.AddStream("live"));  // duplicate name
+  EXPECT_TRUE(pod.Knows("live"));
+
+  // Registered but nothing published: Acquire misses, epoch is 0.
+  EXPECT_EQ(pod.Acquire("live"), nullptr);
+  auto state = pod.SnapshotOf("live");
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(state->epoch, 0u);
+  EXPECT_FALSE(pod.SnapshotOf("nobody").has_value());
+
+  EXPECT_EQ(pod.Publish("live", MakeEngine(200, 31), 200), 1u);
+  EXPECT_EQ(pod.Publish("live", MakeEngine(450, 32), 450), 2u);
+  state = pod.SnapshotOf("live");
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(state->epoch, 2u);
+  EXPECT_EQ(state->rows_seen, 450u);
+
+  const auto engine = pod.Acquire("live");
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->n(), 450u);  // the latest snapshot serves
+
+  const auto stats = pod.stats();
+  const SketchStats& live = StatsFor(stats, "live");
+  EXPECT_EQ(live.publishes, 2u);
+  EXPECT_TRUE(live.resident);
+  EXPECT_EQ(live.loads, 0u);  // never touched a file
+}
+
+TEST(SketchPodTest, PublishAutoRegistersUnknownNames) {
+  SketchPod pod;
+  EXPECT_EQ(pod.Publish("implicit", MakeEngine(100, 33), 100), 1u);
+  EXPECT_TRUE(pod.Knows("implicit"));
+  ASSERT_NE(pod.Acquire("implicit"), nullptr);
+}
+
+TEST(SketchPodTest, WaitForEpochSemantics) {
+  SketchPod pod;
+  ASSERT_TRUE(pod.AddStream("live"));
+
+  // Unknown name: the only false return.
+  EXPECT_FALSE(pod.WaitForEpoch("nobody", 0, std::chrono::milliseconds(1)));
+
+  // Timeout with nothing published: true, but epoch did not advance.
+  SnapshotState state;
+  EXPECT_TRUE(pod.WaitForEpoch("live", 0, std::chrono::milliseconds(10),
+                               &state));
+  EXPECT_EQ(state.epoch, 0u);
+
+  // Already satisfied: returns immediately, no publish needed.
+  pod.Publish("live", MakeEngine(100, 34), 100);
+  EXPECT_TRUE(pod.WaitForEpoch("live", 0, std::chrono::milliseconds(60000),
+                               &state));
+  EXPECT_EQ(state.epoch, 1u);
+  EXPECT_EQ(state.rows_seen, 100u);
+
+  // Wake-on-publish from another thread (run under the CI tsan job).
+  std::thread publisher([&pod] {
+    pod.Publish("live", MakeEngine(250, 35), 250);
+  });
+  EXPECT_TRUE(pod.WaitForEpoch("live", 1, std::chrono::milliseconds(60000),
+                               &state));
+  publisher.join();
+  EXPECT_EQ(state.epoch, 2u);
+  EXPECT_EQ(state.rows_seen, 250u);
+}
+
+// Published snapshots are pinned: they count against the budget and
+// displace file-backed residents, but are never eviction victims
+// themselves (there is no file to reload them from).
+TEST(SketchPodTest, PublishedSnapshotsArePinnedUnderBudgetPressure) {
+  const std::string pa = MakeSketchFile("pod_pin_a", 400, 10, 40);
+  const std::size_t each = ResidentBytesOf(pa);
+  auto snapshot = MakeEngine(400, 41);
+  const std::size_t snapshot_bytes = snapshot->resident_bytes();
+
+  // Budget fits the snapshot plus one file-backed resident, not two.
+  SketchPod pod(snapshot_bytes + each);
+  ASSERT_TRUE(pod.AddSketch("a", pa));
+  ASSERT_TRUE(pod.AddSketch("b", MakeSketchFile("pod_pin_b", 400, 10, 42)));
+  pod.Publish("live", std::move(snapshot), 400);
+
+  // Loading a fits; loading b must evict a, never the published live.
+  ASSERT_NE(pod.Acquire("a"), nullptr);
+  EXPECT_EQ(pod.resident_bytes(), snapshot_bytes + each);
+  ASSERT_NE(pod.Acquire("b"), nullptr);
+  {
+    const auto stats = pod.stats();
+    EXPECT_TRUE(StatsFor(stats, "live").resident);
+    EXPECT_FALSE(StatsFor(stats, "a").resident);
+    EXPECT_TRUE(StatsFor(stats, "b").resident);
+    EXPECT_EQ(StatsFor(stats, "live").evictions, 0u);
+  }
+
+  // Even a budget below the snapshot itself cannot evict it -- only
+  // the file-backed residents go.
+  pod.SetByteBudget(1);
+  const auto stats = pod.stats();
+  EXPECT_TRUE(StatsFor(stats, "live").resident);
+  EXPECT_FALSE(StatsFor(stats, "b").resident);
+  EXPECT_EQ(StatsFor(stats, "live").evictions, 0u);
+  ASSERT_NE(pod.Acquire("live"), nullptr);
+}
+
 }  // namespace
 }  // namespace ifsketch::serve

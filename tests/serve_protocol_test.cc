@@ -58,7 +58,7 @@ TEST(ServeProtocolTest, HeaderRejectsVersionMismatch) {
 
 TEST(ServeProtocolTest, HeaderRejectsUnknownOpcode) {
   std::string frame = EncodedHeader(Opcode::kInfo, 0);
-  for (const unsigned char bad : {0x00, 0x04, 0x7f, 0x84, 0xfe}) {
+  for (const unsigned char bad : {0x00, 0x06, 0x7f, 0x86, 0xfe}) {
     frame[6] = static_cast<char>(bad);
     EXPECT_FALSE(DecodeFrameHeader(frame.data(), kFrameHeaderBytes)
                      .has_value())
@@ -202,6 +202,103 @@ TEST(ServeProtocolTest, InfoReplyRejectsBadEnumBytes) {
   bad = body;
   bad[scope_at + 1] = 7;  // answer byte
   EXPECT_FALSE(DecodeInfoReply(bad).has_value());
+}
+
+TEST(ServeProtocolTest, RefreshRequestRoundTrip) {
+  std::string body;
+  ASSERT_TRUE(EncodeRefreshRequest("stream", &body));
+  const auto back = DecodeRefreshRequest(body);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, "stream");
+}
+
+TEST(ServeProtocolTest, RefreshRequestRejectsTruncationAndTrailing) {
+  std::string body;
+  ASSERT_TRUE(EncodeRefreshRequest("stream", &body));
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(DecodeRefreshRequest(body.substr(0, len)).has_value())
+        << len;
+  }
+  body.push_back('\0');
+  EXPECT_FALSE(DecodeRefreshRequest(body).has_value());
+}
+
+TEST(ServeProtocolTest, SubscribeRequestRoundTrip) {
+  SubscribeRequest request;
+  request.sketch = "stream";
+  request.min_epoch = 41;
+  request.timeout_ms = 2500;
+  std::string body;
+  ASSERT_TRUE(EncodeSubscribeRequest(request, &body));
+  const auto back = DecodeSubscribeRequest(body);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->sketch, request.sketch);
+  EXPECT_EQ(back->min_epoch, request.min_epoch);
+  EXPECT_EQ(back->timeout_ms, request.timeout_ms);
+}
+
+TEST(ServeProtocolTest, SubscribeRequestRejectsTruncationAtEveryLength) {
+  SubscribeRequest request;
+  request.sketch = "s";
+  request.min_epoch = 1;
+  request.timeout_ms = 10;
+  std::string body;
+  ASSERT_TRUE(EncodeSubscribeRequest(request, &body));
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(DecodeSubscribeRequest(body.substr(0, len)).has_value())
+        << len;
+  }
+  body.push_back('\0');
+  EXPECT_FALSE(DecodeSubscribeRequest(body).has_value());
+}
+
+TEST(ServeProtocolTest, SubscribeRequestRejectsOversizedTimeout) {
+  SubscribeRequest request;
+  request.sketch = "s";
+  request.timeout_ms = kMaxSubscribeTimeoutMs + 1;
+  std::string body;
+  // The encoder refuses the oversized timeout outright...
+  EXPECT_FALSE(EncodeSubscribeRequest(request, &body));
+  // ...and the decoder rejects a hand-built frame declaring one (a
+  // malicious client must not park a server connection thread).
+  request.timeout_ms = kMaxSubscribeTimeoutMs;
+  body.clear();
+  ASSERT_TRUE(EncodeSubscribeRequest(request, &body));
+  const std::uint32_t oversized = kMaxSubscribeTimeoutMs + 1;
+  std::memcpy(body.data() + body.size() - sizeof(oversized), &oversized,
+              sizeof(oversized));
+  EXPECT_FALSE(DecodeSubscribeRequest(body).has_value());
+  // The cap itself is fine.
+  const std::uint32_t at_cap = kMaxSubscribeTimeoutMs;
+  std::memcpy(body.data() + body.size() - sizeof(at_cap), &at_cap,
+              sizeof(at_cap));
+  EXPECT_TRUE(DecodeSubscribeRequest(body).has_value());
+}
+
+TEST(ServeProtocolTest, SnapshotReplyRoundTrip) {
+  SnapshotInfo info;
+  info.epoch = 12;
+  info.rows_seen = 120000;
+  std::string body;
+  EncodeSnapshotReply(info, &body);
+  const auto back = DecodeSnapshotReply(body);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->epoch, info.epoch);
+  EXPECT_EQ(back->rows_seen, info.rows_seen);
+}
+
+TEST(ServeProtocolTest, SnapshotReplyRejectsTruncationAndTrailing) {
+  SnapshotInfo info;
+  info.epoch = 1;
+  info.rows_seen = 2;
+  std::string body;
+  EncodeSnapshotReply(info, &body);
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(DecodeSnapshotReply(body.substr(0, len)).has_value())
+        << len;
+  }
+  body.push_back('\0');
+  EXPECT_FALSE(DecodeSnapshotReply(body).has_value());
 }
 
 TEST(ServeProtocolTest, ErrorRoundTrip) {

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -344,6 +345,99 @@ TEST(ServeServerTest, UndecodableBodyKeepsConnectionAlive) {
   ASSERT_TRUE(WriteFrame(wire, Opcode::kInfo, 0, body));
   ASSERT_EQ(ReadReply(wire, &reply), ReadResult::kFrame);
   EXPECT_EQ(reply.header.opcode, Opcode::kInfoReply);
+}
+
+// ------------------------------------------- refresh/subscribe opcodes
+
+/// An in-memory snapshot to publish through the router.
+std::shared_ptr<const Engine> MakeSnapshot(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const core::Database db = data::UniformRandom(n, 12, 0.3, rng);
+  auto engine = Engine::Build(db, "SUBSAMPLE", EstimatorParams(), rng);
+  EXPECT_TRUE(engine.has_value());
+  return std::make_shared<const Engine>(std::move(*engine));
+}
+
+TEST(ServeServerTest, RefreshReportsPublishedEpochs) {
+  Rig rig = MakeRig("SUBSAMPLE", "srv_refresh", 50);
+  ASSERT_TRUE(rig.router->AddStream("live"));
+  LoopbackServer server(rig.router);
+  SketchClient client(server.TakeClientEnd());
+
+  // Registered, nothing published: epoch 0.
+  auto info = client.Refresh("live");
+  ASSERT_TRUE(info.has_value()) << client.last_error();
+  EXPECT_EQ(info->epoch, 0u);
+  EXPECT_EQ(info->rows_seen, 0u);
+
+  rig.router->Publish("live", MakeSnapshot(300, 51), 300);
+  info = client.Refresh("live");
+  ASSERT_TRUE(info.has_value()) << client.last_error();
+  EXPECT_EQ(info->epoch, 1u);
+  EXPECT_EQ(info->rows_seen, 300u);
+
+  // Unknown names error without killing the connection.
+  EXPECT_FALSE(client.Refresh("nope").has_value());
+  EXPECT_EQ(client.last_status(), Status::kUnknownSketch);
+  EXPECT_TRUE(client.Refresh("live").has_value());
+}
+
+TEST(ServeServerTest, SubscribeReturnsImmediatelyWhenSatisfied) {
+  Rig rig = MakeRig("SUBSAMPLE", "srv_sub_now", 52);
+  rig.router->Publish("live", MakeSnapshot(200, 53), 200);
+  LoopbackServer server(rig.router);
+  SketchClient client(server.TakeClientEnd());
+  // epoch 1 > min_epoch 0 already: no waiting, even with a long timeout.
+  const auto info = client.Subscribe("live", 0, 60000);
+  ASSERT_TRUE(info.has_value()) << client.last_error();
+  EXPECT_EQ(info->epoch, 1u);
+  EXPECT_EQ(info->rows_seen, 200u);
+}
+
+TEST(ServeServerTest, SubscribeTimesOutWithFinalState) {
+  Rig rig = MakeRig("SUBSAMPLE", "srv_sub_to", 54);
+  rig.router->Publish("live", MakeSnapshot(200, 55), 200);
+  LoopbackServer server(rig.router);
+  SketchClient client(server.TakeClientEnd());
+  // Nothing will publish epoch 2: the reply still arrives, carrying the
+  // unchanged state -- the client tells timeout from satisfied by
+  // comparing epoch with min_epoch.
+  const auto info = client.Subscribe("live", 1, 50);
+  ASSERT_TRUE(info.has_value()) << client.last_error();
+  EXPECT_LE(info->epoch, 1u);
+}
+
+TEST(ServeServerTest, SubscribeWakesOnPublishFromAnotherThread) {
+  Rig rig = MakeRig("SUBSAMPLE", "srv_sub_wake", 56);
+  ASSERT_TRUE(rig.router->AddStream("live"));
+  LoopbackServer server(rig.router);
+  SketchClient client(server.TakeClientEnd());
+
+  std::thread publisher([&rig] {
+    // Give the subscribe a moment to park on the condition variable.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    rig.router->Publish("live", MakeSnapshot(400, 57), 400);
+  });
+  const auto info = client.Subscribe("live", 0, 60000);
+  publisher.join();
+  ASSERT_TRUE(info.has_value()) << client.last_error();
+  EXPECT_EQ(info->epoch, 1u);  // woken, not timed out
+  EXPECT_EQ(info->rows_seen, 400u);
+
+  // And the published snapshot actually serves queries on this same
+  // connection.
+  const auto served = client.EstimateMany("live", {{1, 3}});
+  ASSERT_TRUE(served.has_value()) << client.last_error();
+  ASSERT_EQ(served->size(), 1u);
+}
+
+TEST(ServeServerTest, SubscribeUnknownNameGetsError) {
+  Rig rig = MakeRig("SUBSAMPLE", "srv_sub_unknown", 58);
+  LoopbackServer server(rig.router);
+  SketchClient client(server.TakeClientEnd());
+  EXPECT_FALSE(client.Subscribe("nope", 0, 100).has_value());
+  EXPECT_EQ(client.last_status(), Status::kUnknownSketch);
+  EXPECT_TRUE(client.Info("s").has_value());  // connection survives
 }
 
 // --------------------------------------------------- TCP end to end

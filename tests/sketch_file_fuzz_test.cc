@@ -188,6 +188,31 @@ std::vector<std::string> ValidFrames() {
   EXPECT_TRUE(EncodeFrame(Opcode::kInfoReply, 0, body, &frame));
   frames.push_back(frame);
 
+  body.clear();
+  EncodeRefreshRequest("stream", &body);
+  frame.clear();
+  EXPECT_TRUE(EncodeFrame(Opcode::kRefresh, 0, body, &frame));
+  frames.push_back(frame);
+
+  SubscribeRequest subscribe;
+  subscribe.sketch = "stream";
+  subscribe.min_epoch = 3;
+  subscribe.timeout_ms = 2500;
+  body.clear();
+  EXPECT_TRUE(EncodeSubscribeRequest(subscribe, &body));
+  frame.clear();
+  EXPECT_TRUE(EncodeFrame(Opcode::kSubscribe, 0, body, &frame));
+  frames.push_back(frame);
+
+  SnapshotInfo snapshot;
+  snapshot.epoch = 4;
+  snapshot.rows_seen = 40000;
+  body.clear();
+  EncodeSnapshotReply(snapshot, &body);
+  frame.clear();
+  EXPECT_TRUE(EncodeFrame(Opcode::kSubscribeReply, 0, body, &frame));
+  frames.push_back(frame);
+
   frame.clear();
   EncodeError(Status::kUnknownSketch, "no such sketch", &frame);
   frames.push_back(frame);
@@ -233,6 +258,26 @@ void DecodeLikeServer(const std::string& bytes) {
     case Opcode::kInfoReply:
       DecodeInfoReply(body);
       break;
+    case Opcode::kRefresh:
+      DecodeRefreshRequest(body);
+      break;
+    case Opcode::kSubscribe: {
+      const auto request = DecodeSubscribeRequest(body);
+      if (request.has_value()) {
+        std::string re_body;
+        ASSERT_TRUE(EncodeSubscribeRequest(*request, &re_body));
+        const auto again = DecodeSubscribeRequest(re_body);
+        ASSERT_TRUE(again.has_value());
+        ASSERT_EQ(again->sketch, request->sketch);
+        ASSERT_EQ(again->min_epoch, request->min_epoch);
+        ASSERT_EQ(again->timeout_ms, request->timeout_ms);
+      }
+      break;
+    }
+    case Opcode::kRefreshReply:
+    case Opcode::kSubscribeReply:
+      DecodeSnapshotReply(body);
+      break;
     case Opcode::kError:
       DecodeErrorMessage(body);
       break;
@@ -242,7 +287,7 @@ void DecodeLikeServer(const std::string& bytes) {
 TEST(ProtocolFuzzTest, MutantFramesNeverCrashDecode) {
   const auto frames = ValidFrames();
   util::Rng rng(20260732);
-  constexpr std::size_t kMutantsPerFrame = 1500;  // x7 frames ~ 10k total
+  constexpr std::size_t kMutantsPerFrame = 1500;  // x10 frames ~ 15k total
   for (std::size_t f = 0; f < frames.size(); ++f) {
     for (std::size_t t = 0; t < kMutantsPerFrame; ++t) {
       DecodeLikeServer(Mutate(frames[f], rng));
