@@ -1,4 +1,5 @@
-// micro_serve: serving overhead on the perf trajectory.
+// micro_serve: serving overhead and failover behavior on the perf
+// trajectory.
 //
 //   micro_serve --json [out.json] [--clients 1,2,4,8] [--batch 1000]
 //               [--rounds 50]
@@ -11,18 +12,35 @@
 // dedicated ServeConnection thread; all connections share one Router, so
 // concurrent clients exercise the cross-client coalescing path.
 //
+// Two replication scenarios ride along, both on a 2-pod router with
+// every name on both pods (R=2), 4 clients:
+//   served_kill_pod  the primary replica is fault-injected dead a third
+//                    of the way in (SketchPod::SetFault refuses every
+//                    acquire) and revived at two thirds; the router
+//                    fails over, then probes the pod back in. The run
+//                    asserts ZERO client-visible failures and
+//                    bit-identical answers through the outage.
+//   served_skewed    90% of requests hammer one hot name, the rest
+//                    spread over 7 cold names; load-aware selection
+//                    spreads the hot name across its replicas.
+//
 // Emits the repo's stable bench schema
-//   {"kernel": str, "threads": int, "batch": int, "ns_per_query": float}
-// where `threads` is the number of concurrent clients:
+//   {"kernel": str, "threads": int, "batch": int, "ns_per_query": float,
+//    "p50_ns": float, "p99_ns": float}
+// where `threads` is the number of concurrent clients and p50/p99 are
+// per-query request-latency percentiles (request latency / batch size),
+// the tail-latency columns the failover scenarios exist to watch:
 //   direct           C threads calling engine.estimate_many directly
 //   served_loopback  C protocol clients through the loopback server
-// Answers are bit-identical between the two kernels (asserted on every
-// run); only the serving layer differs.
+// Answers are verified bit-identical to direct Engine calls on EVERY
+// round of every served kernel; only the serving layer differs.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -107,7 +125,95 @@ struct Row {
   std::size_t clients;
   std::size_t batch;
   double ns_per_query;
+  double p50_ns;  ///< per-query request-latency median
+  double p99_ns;  ///< per-query request-latency 99th percentile
 };
+
+/// Nearest-rank percentile of per-request latencies, scaled to ns per
+/// query. Sorts its input in place.
+double PercentileNsPerQuery(std::vector<double>* latencies, double q,
+                            std::size_t batch) {
+  if (latencies->empty()) return 0.0;
+  std::sort(latencies->begin(), latencies->end());
+  const std::size_t n = latencies->size();
+  std::size_t rank = static_cast<std::size_t>(q * static_cast<double>(n));
+  if (rank >= n) rank = n - 1;
+  return (*latencies)[rank] / static_cast<double>(batch);
+}
+
+struct ServedOutcome {
+  bool ok = false;
+  double mean_ns = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+/// Runs `clients` protocol clients for `rounds` requests each through
+/// `router` over loopback connections, verifying every answer batch
+/// bit-identical to `expected`. `name_for(c, r)` picks the sketch each
+/// request targets; `on_round` (when set) runs on client 0 before its
+/// round r -- the fault-injection hook.
+ServedOutcome RunServed(
+    serve::Router& router, std::size_t clients, std::size_t rounds,
+    std::size_t batch, const std::vector<ClientBatch>& batches,
+    const std::vector<std::vector<double>>& expected,
+    const std::function<std::string(std::size_t, std::size_t)>& name_for,
+    const std::function<void(std::size_t)>& on_round) {
+  std::vector<std::unique_ptr<serve::Transport>> client_ends;
+  std::vector<std::thread> server_threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    auto [client_end, server_end] = serve::LoopbackTransport::CreatePair();
+    client_ends.push_back(std::move(client_end));
+    server_threads.emplace_back(
+        [&router, t = std::move(server_end)]() mutable {
+          serve::ServeConnection(router, *t);
+        });
+  }
+  // Construct the protocol clients outside the timed region: the timer
+  // should cover the serving path only, not client setup.
+  std::vector<std::unique_ptr<serve::SketchClient>> protocol_clients;
+  for (std::size_t c = 0; c < clients; ++c) {
+    protocol_clients.push_back(
+        std::make_unique<serve::SketchClient>(std::move(client_ends[c])));
+  }
+  std::atomic<bool> failed{false};
+  std::vector<std::vector<double>> latencies(clients);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    latencies[c].reserve(rounds);
+    threads.emplace_back([&, c] {
+      for (std::size_t r = 0; r < rounds; ++r) {
+        if (c == 0 && on_round) on_round(r);
+        const auto t0 = std::chrono::steady_clock::now();
+        auto answers =
+            protocol_clients[c]->EstimateMany(name_for(c, r), batches[c].wire);
+        latencies[c].push_back(ElapsedNs(t0));
+        if (!answers.has_value() || *answers != expected[c]) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double total = ElapsedNs(start);
+  protocol_clients.clear();  // hang up -> server EOF
+  for (auto& t : server_threads) t.join();
+
+  ServedOutcome outcome;
+  if (failed.load()) return outcome;  // ok stays false
+  std::vector<double> merged;
+  for (auto& lat : latencies) {
+    merged.insert(merged.end(), lat.begin(), lat.end());
+  }
+  outcome.ok = true;
+  outcome.mean_ns =
+      total / static_cast<double>(clients * batch * rounds);
+  outcome.p99_ns = PercentileNsPerQuery(&merged, 0.99, batch);
+  outcome.p50_ns = PercentileNsPerQuery(&merged, 0.50, batch);
+  return outcome;
+}
 
 }  // namespace
 
@@ -162,6 +268,10 @@ int main(int argc, char** argv) {
   router.AddSketch(kSketchName, sketch_path);
   router.Acquire(kSketchName);  // warm: load + view materialization
 
+  const auto plain_name = [](std::size_t, std::size_t) {
+    return std::string(kSketchName);
+  };
+
   std::vector<Row> rows;
   for (std::size_t batch : batch_sizes) {
     for (std::size_t clients : client_counts) {
@@ -178,75 +288,132 @@ int main(int argc, char** argv) {
 
       // -- direct: C threads of engine.estimate_many, no serving layer.
       {
+        std::vector<std::vector<double>> latencies(clients);
         const auto start = std::chrono::steady_clock::now();
         std::vector<std::thread> threads;
         for (std::size_t c = 0; c < clients; ++c) {
+          latencies[c].reserve(rounds);
           threads.emplace_back([&, c] {
             std::vector<double> answers;
             for (std::size_t r = 0; r < rounds; ++r) {
+              const auto t0 = std::chrono::steady_clock::now();
               engine.estimate_many(batches[c].itemsets, &answers);
+              latencies[c].push_back(ElapsedNs(t0));
             }
           });
         }
         for (auto& t : threads) t.join();
-        rows.push_back({"direct", clients, batch,
-                        ElapsedNs(start) /
-                            static_cast<double>(clients * batch * rounds)});
+        const double total = ElapsedNs(start);
+        std::vector<double> merged;
+        for (auto& lat : latencies) {
+          merged.insert(merged.end(), lat.begin(), lat.end());
+        }
+        const double p99 = PercentileNsPerQuery(&merged, 0.99, batch);
+        const double p50 = PercentileNsPerQuery(&merged, 0.50, batch);
+        rows.push_back(
+            {"direct", clients, batch,
+             total / static_cast<double>(clients * batch * rounds), p50,
+             p99});
       }
 
       // -- served: the same batches through protocol + loopback + router.
       {
-        std::vector<std::unique_ptr<serve::Transport>> client_ends;
-        std::vector<std::thread> server_threads;
-        for (std::size_t c = 0; c < clients; ++c) {
-          auto [client_end, server_end] =
-              serve::LoopbackTransport::CreatePair();
-          client_ends.push_back(std::move(client_end));
-          server_threads.emplace_back(
-              [&router, t = std::move(server_end)]() mutable {
-                serve::ServeConnection(router, *t);
-              });
+        const auto outcome = RunServed(router, clients, rounds, batch,
+                                       batches, expected, plain_name,
+                                       nullptr);
+        if (!outcome.ok) {
+          std::fprintf(stderr,
+                       "error: served answers diverged from direct "
+                       "estimate_many\n");
+          return 1;
         }
-        // Construct the protocol clients (and record each one's final
-        // answers) outside the timed region: the timer should cover the
-        // serving path only, not client setup or verification.
-        std::vector<std::unique_ptr<serve::SketchClient>> protocol_clients;
-        for (std::size_t c = 0; c < clients; ++c) {
-          protocol_clients.push_back(std::make_unique<serve::SketchClient>(
-              std::move(client_ends[c])));
-        }
-        std::atomic<bool> failed{false};
-        std::vector<std::vector<double>> served(clients);
-        const auto start = std::chrono::steady_clock::now();
-        std::vector<std::thread> threads;
-        for (std::size_t c = 0; c < clients; ++c) {
-          threads.emplace_back([&, c] {
-            for (std::size_t r = 0; r < rounds; ++r) {
-              auto answers = protocol_clients[c]->EstimateMany(
-                  kSketchName, batches[c].wire);
-              if (!answers.has_value()) {
-                failed.store(true);
-                return;
-              }
-              if (r + 1 == rounds) served[c] = *std::move(answers);
-            }
-          });
-        }
-        for (auto& t : threads) t.join();
-        const double ns = ElapsedNs(start) /
-                          static_cast<double>(clients * batch * rounds);
-        protocol_clients.clear();  // hang up -> server EOF
-        for (auto& t : server_threads) t.join();
-        for (std::size_t c = 0; c < clients; ++c) {
-          if (failed.load() || served[c] != expected[c]) {
-            std::fprintf(stderr,
-                         "error: served answers diverged from direct "
-                         "estimate_many\n");
-            return 1;
-          }
-        }
-        rows.push_back({"served_loopback", clients, batch, ns});
+        rows.push_back({"served_loopback", clients, batch,
+                        outcome.mean_ns, outcome.p50_ns, outcome.p99_ns});
       }
+    }
+  }
+
+  // -- replication scenarios: 2 pods, every name on both (R=2),
+  //    4 clients, first configured batch size.
+  {
+    const std::size_t clients = 4;
+    const std::size_t batch = batch_sizes.front();
+    std::vector<ClientBatch> batches;
+    std::vector<std::vector<double>> expected(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      batches.push_back(MakeBatch(batch, 100 + c));
+      engine.estimate_many(batches[c].itemsets, &expected[c]);
+    }
+
+    serve::RouterOptions options;
+    options.replication = 2;
+    // Bench-speed probe windows so the revived pod rejoins within the
+    // run rather than minutes later.
+    options.probe_backoff = std::chrono::milliseconds(5);
+    options.probe_backoff_max = std::chrono::milliseconds(100);
+
+    // kill_pod: fault the primary replica dead for the middle third of
+    // the run. Zero failed requests and bit-identical answers required.
+    {
+      serve::Router frouter({std::make_shared<serve::SketchPod>(),
+                             std::make_shared<serve::SketchPod>()},
+                            options);
+      frouter.AddSketch(kSketchName, sketch_path);
+      for (const auto& pod : frouter.pods()) pod->Acquire(kSketchName);
+      serve::SketchPod& victim =
+          *frouter.pods()[frouter.ShardOf(kSketchName)];
+      std::atomic<bool> faulted{false};
+      std::atomic<bool> revived{false};
+      const auto on_round = [&](std::size_t r) {
+        if (r >= rounds / 3 && !faulted.exchange(true)) {
+          serve::PodFault fault;
+          fault.fail_acquire = true;
+          victim.SetFault(fault);
+        }
+        if (r >= (2 * rounds) / 3 && !revived.exchange(true)) {
+          victim.SetFault(serve::PodFault{});
+        }
+      };
+      const auto outcome = RunServed(frouter, clients, rounds, batch,
+                                     batches, expected, plain_name,
+                                     on_round);
+      if (!outcome.ok) {
+        std::fprintf(stderr,
+                     "error: kill_pod scenario saw a failed or divergent "
+                     "request (failover must be invisible)\n");
+        return 1;
+      }
+      rows.push_back({"served_kill_pod", clients, batch, outcome.mean_ns,
+                      outcome.p50_ns, outcome.p99_ns});
+    }
+
+    // skewed: 8 names over the same file, 90% of traffic on one.
+    {
+      serve::Router frouter({std::make_shared<serve::SketchPod>(),
+                             std::make_shared<serve::SketchPod>()},
+                            options);
+      std::vector<std::string> names = {"hot"};
+      for (int i = 0; i < 7; ++i) names.push_back("cold" + std::to_string(i));
+      for (const auto& name : names) {
+        frouter.AddSketch(name, sketch_path);
+        for (const auto& pod : frouter.pods()) pod->Acquire(name);
+      }
+      const auto name_for = [&names](std::size_t c, std::size_t r) {
+        // Deterministic 90/10 split without shared state: hash (c, r).
+        std::uint64_t h = (c * 0x9e3779b97f4a7c15ull) ^ (r * 0x2545f4914f6cdd1dull);
+        h ^= h >> 33;
+        return h % 10 < 9 ? names[0] : names[1 + h % 7];
+      };
+      const auto outcome = RunServed(frouter, clients, rounds, batch,
+                                     batches, expected, name_for, nullptr);
+      if (!outcome.ok) {
+        std::fprintf(stderr,
+                     "error: skewed scenario saw a failed or divergent "
+                     "request\n");
+        return 1;
+      }
+      rows.push_back({"served_skewed", clients, batch, outcome.mean_ns,
+                      outcome.p50_ns, outcome.p99_ns});
     }
   }
   std::remove(sketch_path.c_str());
@@ -261,9 +428,11 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(out,
                  "  {\"kernel\": \"%s\", \"threads\": %zu, \"batch\": %zu, "
-                 "\"ns_per_query\": %.1f}%s\n",
+                 "\"ns_per_query\": %.1f, \"p50_ns\": %.1f, "
+                 "\"p99_ns\": %.1f}%s\n",
                  rows[i].kernel.c_str(), rows[i].clients, rows[i].batch,
-                 rows[i].ns_per_query, i + 1 < rows.size() ? "," : "");
+                 rows[i].ns_per_query, rows[i].p50_ns, rows[i].p99_ns,
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "]\n");
   if (out != stdout) std::fclose(out);

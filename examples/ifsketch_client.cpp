@@ -1,10 +1,20 @@
 // ifsketch_client: query a running ifsketch_server.
 //
-//   ifsketch_client --port P info  <name>
-//   ifsketch_client --port P query <name> <attr> [attr...]
-//   ifsketch_client --port P batch <name>        (queries on stdin)
-//   ifsketch_client --port P refresh <name>
-//   ifsketch_client --port P subscribe <name> <min_epoch> [timeout_ms]
+//   ifsketch_client --port P[,P2,...] [--retries N] [--timeout-ms MS]
+//                   info  <name>
+//   ifsketch_client --port P ... query <name> <attr> [attr...]
+//   ifsketch_client --port P ... batch <name>    (queries on stdin)
+//   ifsketch_client --port P ... refresh <name>
+//   ifsketch_client --port P ... subscribe <name> <min_epoch> [timeout_ms]
+//   ifsketch_client --port P ... health
+//
+// --port takes a comma-separated endpoint list: the client connects to
+// the first, and on a lost connection retries (up to --retries attempts
+// total, jittered exponential backoff) rotating through the list -- so a
+// killed server is survived as long as one listed replica still answers.
+// --timeout-ms bounds each attempt's wait for a reply; an expired
+// deadline counts as a lost connection and rotates/retries the same way.
+// Request-level refusals (unknown sketch, bad query) never retry.
 //
 // `query` prints the same line ifsketch_cli prints for a direct local
 // query of the same sketch file -- served answers are bit-identical to
@@ -37,13 +47,15 @@ using namespace ifsketch;
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  ifsketch_client --port P info  <name>\n"
-               "  ifsketch_client --port P query <name> <attr> [attr...]\n"
-               "  ifsketch_client --port P batch <name>   "
-               "(one query per stdin line)\n"
-               "  ifsketch_client --port P refresh <name>\n"
-               "  ifsketch_client --port P subscribe <name> <min_epoch>"
-               " [timeout_ms]\n");
+               "  ifsketch_client --port P[,P2,...] [--retries N] "
+               "[--timeout-ms MS] <command>\n"
+               "commands:\n"
+               "  info  <name>\n"
+               "  query <name> <attr> [attr...]\n"
+               "  batch <name>   (one query per stdin line)\n"
+               "  refresh <name>\n"
+               "  subscribe <name> <min_epoch> [timeout_ms]\n"
+               "  health\n");
   return 2;
 }
 
@@ -134,6 +146,21 @@ int Subscribe(serve::SketchClient& client, const std::string& name,
   return 0;
 }
 
+int Health(serve::SketchClient& client) {
+  const auto pods = client.Health();
+  if (!pods.has_value()) return ServerError(client);
+  static const char* const kNames[] = {"healthy", "suspect", "down"};
+  for (std::size_t i = 0; i < pods->size(); ++i) {
+    const serve::PodHealthInfo& pod = (*pods)[i];
+    std::printf("pod %zu: %s failures=%u inflight=%llu resident=%lluB\n",
+                i, pod.health <= 2 ? kNames[pod.health] : "?",
+                pod.consecutive_failures,
+                static_cast<unsigned long long>(pod.inflight),
+                static_cast<unsigned long long>(pod.resident_bytes));
+  }
+  return 0;
+}
+
 int Batch(serve::SketchClient& client, const std::string& name) {
   std::vector<std::vector<std::uint32_t>> queries;
   std::string line;
@@ -163,31 +190,67 @@ int Batch(serve::SketchClient& client, const std::string& name) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  std::size_t port = 0;
+  std::vector<std::uint16_t> ports;
+  unsigned long retries = 3;
+  unsigned long timeout_ms = 0;
   for (std::size_t i = 0; i + 1 < args.size();) {
     if (args[i] == "--port") {
+      // Comma-separated endpoint list; each entry is a loopback port.
+      const std::string spec = args[i + 1];
+      std::size_t pos = 0;
+      while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) comma = spec.size();
+        const std::string piece = spec.substr(pos, comma - pos);
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(piece.c_str(), &end, 10);
+        if (piece.empty() || end == nullptr || *end != '\0' || v == 0 ||
+            v > 65535) {
+          return Usage();
+        }
+        ports.push_back(static_cast<std::uint16_t>(v));
+        pos = comma + 1;
+      }
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (args[i] == "--retries") {
       char* end = nullptr;
-      const unsigned long v = std::strtoul(args[i + 1].c_str(), &end, 10);
-      if (end == nullptr || *end != '\0' || v == 0 || v > 65535) {
+      retries = std::strtoul(args[i + 1].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || retries == 0 ||
+          retries > 100) {
         return Usage();
       }
-      port = static_cast<std::size_t>(v);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (args[i] == "--timeout-ms") {
+      char* end = nullptr;
+      timeout_ms = std::strtoul(args[i + 1].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || timeout_ms == 0 ||
+          timeout_ms > 3600000) {
+        return Usage();
+      }
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
                  args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
     } else {
       ++i;
     }
   }
-  if (port == 0 || args.size() < 2) return Usage();
+  if (ports.empty() || args.empty()) return Usage();
 
-  auto transport = serve::TcpConnect(static_cast<std::uint16_t>(port));
-  if (transport == nullptr) {
-    std::fprintf(stderr, "error: cannot connect to 127.0.0.1:%zu\n", port);
-    return 4;
-  }
-  serve::SketchClient client(std::move(transport));
+  // The factory rotates through the endpoint list: attempt 1 uses the
+  // first port, each reconnect moves to the next, wrapping around.
+  serve::RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(retries);
+  policy.attempt_timeout = std::chrono::milliseconds(timeout_ms);
+  serve::SketchClient client(
+      [ports, next = std::size_t{0}]() mutable {
+        return serve::TcpConnect(ports[next++ % ports.size()]);
+      },
+      policy);
 
   const std::string& cmd = args[0];
+  if (cmd == "health" && args.size() == 1) return Health(client);
+  if (args.size() < 2) return Usage();
   const std::string& name = args[1];
   if (cmd == "info" && args.size() == 2) return Info(client, name);
   if (cmd == "query" && args.size() >= 3) {

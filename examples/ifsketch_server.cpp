@@ -1,18 +1,27 @@
 // ifsketch_server: serve IFSK sketch files over loopback TCP.
 //
 //   ifsketch_server --sketch NAME=PATH [--sketch NAME=PATH ...]
-//                   [--port P] [--pods N] [--budget BYTES]
+//                   [--port P] [--pods N] [--replicas R] [--budget BYTES]
 //                   [--threads T] [--max-conns C]
 //                   [--ingest NAME [--ingest-file PATH] [--ingest-algo A]
 //                    [--ingest-every N] [--ingest-save PATH]
 //                    [--ingest-k K] [--ingest-eps E]]
 //
-// Registers each NAME=PATH on its owning shard (serve/router.h routes by
-// name hash across N pods), listens on 127.0.0.1:P (0 = ephemeral), and
-// serves the wire protocol (serve/protocol.h) with one thread per
-// accepted connection; concurrent requests for the same sketch coalesce
-// into fused Engine batches in the router. Sketch files load on first
-// use and stay resident under the per-pod byte budget (LRU eviction).
+// Registers each NAME=PATH on its owning replica set (serve/router.h
+// places every name on R of the N pods by rendezvous hashing), listens
+// on 127.0.0.1:P (0 = ephemeral), and serves the wire protocol
+// (serve/protocol.h) with one thread per accepted connection; concurrent
+// requests for the same sketch coalesce into fused Engine batches in the
+// router, and a replica that fails is failed over transparently. Sketch
+// files load on first use and stay resident under the per-pod byte
+// budget (LRU eviction).
+//
+// SIGINT/SIGTERM shut down gracefully: the listener stops accepting,
+// in-flight connections drain, the --ingest-save snapshot (if any) is
+// written, and the per-sketch stats dump before a clean exit 0. A second
+// signal force-quits immediately with exit 130. (When --ingest reads
+// stdin and the pipe never closes, the feeder keeps the process alive
+// until EOF or a second signal.)
 //
 // --ingest NAME additionally serves a live stream sketch: transaction
 // rows (the data/io.h text format: first line d, then one row of
@@ -30,7 +39,11 @@
 // the default serves until killed. Answers are bit-identical to querying
 // the same files locally with ifsketch_cli.
 
+#include <pthread.h>
+
+#include <atomic>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -56,14 +69,17 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: ifsketch_server --sketch NAME=PATH [--sketch NAME=PATH ...]\n"
-      "                       [--port P] [--pods N] [--budget BYTES]\n"
-      "                       [--threads T] [--max-conns C]\n"
+      "                       [--port P] [--pods N] [--replicas R]\n"
+      "                       [--budget BYTES] [--threads T] "
+      "[--max-conns C]\n"
       "\n"
       "  --sketch NAME=PATH  register an IFSK file under NAME "
       "(repeatable)\n"
       "  --port P            TCP port on 127.0.0.1 (default 0 = "
       "ephemeral)\n"
       "  --pods N            shard count (default 1)\n"
+      "  --replicas R        replicas per sketch name, <= pods "
+      "(default 1)\n"
       "  --budget BYTES      per-pod resident byte budget (default "
       "unlimited)\n"
       "  --threads T         query thread-pool size (default: "
@@ -111,6 +127,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, std::string>> sketches;
   std::size_t port = 0;
   std::size_t pods = 1;
+  std::size_t replicas = 1;
   std::size_t budget = serve::SketchPod::kUnlimited;
   std::size_t max_conns = 0;  // 0 = unlimited
   std::string ingest_name;
@@ -137,6 +154,11 @@ int main(int argc, char** argv) {
       if (!ParseSize(argv[++i], &port) || port > 65535) return Usage();
     } else if (arg == "--pods" && has_value) {
       if (!ParseSize(argv[++i], &pods) || pods == 0 || pods > 1024) {
+        return Usage();
+      }
+    } else if (arg == "--replicas" && has_value) {
+      if (!ParseSize(argv[++i], &replicas) || replicas == 0 ||
+          replicas > 1024) {
         return Usage();
       }
     } else if (arg == "--budget" && has_value) {
@@ -174,13 +196,30 @@ int main(int argc, char** argv) {
     }
   }
   if (sketches.empty() && ingest_name.empty()) return Usage();
+  if (replicas > pods) {
+    std::fprintf(stderr, "error: --replicas %zu exceeds --pods %zu\n",
+                 replicas, pods);
+    return 2;
+  }
+
+  // Take SIGINT/SIGTERM out of every thread's delivery set before any
+  // thread exists; a dedicated sigwait thread (below) is then the only
+  // place signals are ever handled, so the handler logic runs in a
+  // normal thread context instead of an async-signal one.
+  sigset_t sigset;
+  sigemptyset(&sigset);
+  sigaddset(&sigset, SIGINT);
+  sigaddset(&sigset, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigset, nullptr);
 
   std::vector<std::shared_ptr<serve::SketchPod>> pod_vec;
   pod_vec.reserve(pods);
   for (std::size_t i = 0; i < pods; ++i) {
     pod_vec.push_back(std::make_shared<serve::SketchPod>(budget));
   }
-  serve::Router router(std::move(pod_vec));
+  serve::RouterOptions router_options;
+  router_options.replication = replicas;
+  serve::Router router(std::move(pod_vec), router_options);
   for (const auto& [name, path] : sketches) {
     if (!router.AddSketch(name, path)) {
       std::fprintf(stderr, "error: duplicate sketch name \"%s\"\n",
@@ -195,8 +234,9 @@ int main(int argc, char** argv) {
                    path.c_str());
       return 1;
     }
-    std::fprintf(stderr, "serving \"%s\" from %s on shard %zu\n",
-                 name.c_str(), path.c_str(), router.ShardOf(name));
+    std::fprintf(stderr, "serving \"%s\" from %s on shard %zu (x%zu)\n",
+                 name.c_str(), path.c_str(), router.ShardOf(name),
+                 router.ReplicasOf(name).size());
   }
   if (!ingest_name.empty()) {
     if (!router.AddStream(ingest_name)) {
@@ -216,6 +256,25 @@ int main(int argc, char** argv) {
   }
   std::printf("listening on %u\n", listener.port());
   std::fflush(stdout);
+
+  // Graceful shutdown: the sigwait thread turns the first SIGINT/SIGTERM
+  // into "stop accepting" (listener.Shutdown() wakes the blocked accept,
+  // the loop below falls through to the normal drain/save/stats path)
+  // and a second signal into an immediate _exit(130) for wedged drains.
+  std::atomic<bool> exiting{false};
+  std::atomic<bool> stopping{false};
+  std::thread sig_thread([&] {
+    int sig = 0;
+    while (sigwait(&sigset, &sig) == 0) {
+      if (exiting.load()) return;  // end-of-main wakeup, not a request
+      if (stopping.exchange(true)) _exit(130);  // second signal
+      std::fprintf(stderr,
+                   "caught signal %d: draining (signal again to force "
+                   "quit)\n",
+                   sig);
+      listener.Shutdown();
+    }
+  });
 
   // The feeder thread owns the whole ingest pipeline: it reads the
   // stream header (d), creates the IngestService, pushes every row and
@@ -332,6 +391,12 @@ int main(int argc, char** argv) {
     conn_cv.wait(lock, [&] { return active_conns == 0; });
   }
   if (feeder.joinable()) feeder.join();
+
+  // Retire the signal thread: mark the run as over, then poke it out of
+  // sigwait with one of the signals it is already watching.
+  exiting.store(true);
+  pthread_kill(sig_thread.native_handle(), SIGTERM);
+  sig_thread.join();
 
   if (!ingest_save.empty()) {
     std::lock_guard<std::mutex> lock(snapshot_mu);

@@ -1,45 +1,119 @@
 #include "serve/client.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace ifsketch::serve {
+namespace {
+
+/// splitmix64, for backoff jitter: seedable so tests replay the exact
+/// retry schedule.
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+bool SketchClient::EnsureConnected() {
+  if (transport_ != nullptr && !poisoned_) return true;
+  if (!factory_) return false;  // single-connection client: stay poisoned
+  transport_ = factory_();
+  poisoned_ = false;
+  return transport_ != nullptr;
+}
+
+void SketchClient::ApplyReadTimeout(
+    std::chrono::steady_clock::time_point start) {
+  auto timeout = policy_.attempt_timeout;
+  if (policy_.deadline.count() > 0) {
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            policy_.deadline -
+            (std::chrono::steady_clock::now() - start));
+    const auto left = std::max(remaining, std::chrono::milliseconds(1));
+    timeout = timeout.count() > 0 ? std::min(timeout, left) : left;
+  }
+  if (timeout.count() > 0) transport_->SetReadTimeout(timeout);
+}
+
+std::chrono::milliseconds SketchClient::NextBackoff(int attempt) {
+  double base = static_cast<double>(policy_.initial_backoff.count());
+  for (int i = 1; i < attempt; ++i) base *= policy_.backoff_multiplier;
+  base = std::min(base, static_cast<double>(policy_.max_backoff.count()));
+  // Jitter to [50%, 100%]: failed-together clients spread back out.
+  const double u = (SplitMix64(&jitter_state_) >> 11) * 0x1.0p-53;
+  return std::chrono::milliseconds(
+      static_cast<std::int64_t>(base * (0.5 + 0.5 * u)));
+}
+
+void SketchClient::Poison(const char* message) {
+  poisoned_ = true;
+  last_error_ = message;
+  last_failure_ = FailureKind::kTransport;
+}
 
 std::optional<Frame> SketchClient::RoundTrip(Opcode opcode,
                                              const std::string& body,
                                              Opcode expected_reply) {
   last_error_.clear();
   last_status_ = Status::kOk;
-  if (poisoned_ || transport_ == nullptr) {
-    last_error_ = "connection is closed";
-    return std::nullopt;
-  }
+  last_failure_ = FailureKind::kNone;
+  last_attempts_ = 0;
   std::string wire;
   if (!EncodeFrame(opcode, 0, body, &wire)) {
     // Local limit, nothing sent: the connection is still healthy.
     last_error_ = "request exceeds the frame size limit";
+    last_failure_ = FailureKind::kLocal;
     return std::nullopt;
   }
-  if (!transport_->WriteAll(wire.data(), wire.size())) {
-    poisoned_ = true;
-    last_error_ = "send failed (peer closed the connection)";
-    return std::nullopt;
+  const auto start = std::chrono::steady_clock::now();
+  const int max_attempts = factory_ ? std::max(1, policy_.max_attempts) : 1;
+  for (int attempt = 1;; ++attempt) {
+    last_attempts_ = attempt;
+    if (!EnsureConnected()) {
+      last_error_ =
+          factory_ ? "connect failed" : "connection is closed";
+      last_failure_ = FailureKind::kTransport;
+    } else {
+      ApplyReadTimeout(start);
+      if (!transport_->WriteAll(wire.data(), wire.size())) {
+        Poison("send failed (peer closed the connection)");
+      } else {
+        Frame reply;
+        if (ReadFrame(*transport_, &reply) != ReadResult::kFrame) {
+          Poison(
+              "no reply (peer closed, deadline expired, or malformed "
+              "frame)");
+        } else if (reply.header.opcode == Opcode::kError) {
+          // A served refusal: the connection stays usable and a retry
+          // would only be refused again.
+          last_status_ = static_cast<Status>(reply.header.status);
+          const auto message = DecodeErrorMessage(reply.body);
+          last_error_ = message.has_value() ? *message : "server error";
+          last_failure_ = FailureKind::kRequest;
+          return std::nullopt;
+        } else if (reply.header.opcode != expected_reply) {
+          Poison("unexpected reply opcode");
+        } else {
+          last_failure_ = FailureKind::kNone;
+          return reply;
+        }
+      }
+    }
+    // Transport-class failure. Retry on a fresh connection while the
+    // attempt budget and the overall deadline both allow it.
+    if (attempt >= max_attempts) return std::nullopt;
+    const auto backoff = NextBackoff(attempt);
+    if (policy_.deadline.count() > 0 &&
+        std::chrono::steady_clock::now() + backoff - start >=
+            policy_.deadline) {
+      return std::nullopt;
+    }
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
   }
-  Frame reply;
-  if (ReadFrame(*transport_, &reply) != ReadResult::kFrame) {
-    poisoned_ = true;
-    last_error_ = "no reply (peer closed or sent a malformed frame)";
-    return std::nullopt;
-  }
-  if (reply.header.opcode == Opcode::kError) {
-    last_status_ = static_cast<Status>(reply.header.status);
-    const auto message = DecodeErrorMessage(reply.body);
-    last_error_ = message.has_value() ? *message : "server error";
-    return std::nullopt;
-  }
-  if (reply.header.opcode != expected_reply) {
-    poisoned_ = true;
-    last_error_ = "unexpected reply opcode";
-    return std::nullopt;
-  }
-  return reply;
 }
 
 std::optional<std::vector<double>> SketchClient::EstimateMany(
@@ -52,6 +126,7 @@ std::optional<std::vector<double>> SketchClient::EstimateMany(
   if (!EncodeQueryRequest(request, &body)) {
     last_error_ = "request exceeds protocol limits";
     last_status_ = Status::kOk;  // local failure, not a server verdict
+    last_failure_ = FailureKind::kLocal;
     return std::nullopt;
   }
   const auto reply =
@@ -59,8 +134,7 @@ std::optional<std::vector<double>> SketchClient::EstimateMany(
   if (!reply.has_value()) return std::nullopt;
   auto answers = DecodeEstimateReply(reply->body);
   if (!answers.has_value() || answers->size() != queries.size()) {
-    poisoned_ = true;
-    last_error_ = "undecodable estimate reply";
+    Poison("undecodable estimate reply");
     return std::nullopt;
   }
   return answers;
@@ -76,6 +150,7 @@ std::optional<std::vector<bool>> SketchClient::AreFrequent(
   if (!EncodeQueryRequest(request, &body)) {
     last_error_ = "request exceeds protocol limits";
     last_status_ = Status::kOk;  // local failure, not a server verdict
+    last_failure_ = FailureKind::kLocal;
     return std::nullopt;
   }
   const auto reply =
@@ -83,8 +158,7 @@ std::optional<std::vector<bool>> SketchClient::AreFrequent(
   if (!reply.has_value()) return std::nullopt;
   auto answers = DecodeAreFrequentReply(reply->body);
   if (!answers.has_value() || answers->size() != queries.size()) {
-    poisoned_ = true;
-    last_error_ = "undecodable are-frequent reply";
+    Poison("undecodable are-frequent reply");
     return std::nullopt;
   }
   return answers;
@@ -95,14 +169,14 @@ std::optional<SketchInfo> SketchClient::Info(const std::string& sketch) {
   if (!EncodeInfoRequest(sketch, &body)) {
     last_error_ = "sketch name exceeds protocol limits";
     last_status_ = Status::kOk;  // local failure, not a server verdict
+    last_failure_ = FailureKind::kLocal;
     return std::nullopt;
   }
   const auto reply = RoundTrip(Opcode::kInfo, body, Opcode::kInfoReply);
   if (!reply.has_value()) return std::nullopt;
   auto info = DecodeInfoReply(reply->body);
   if (!info.has_value()) {
-    poisoned_ = true;
-    last_error_ = "undecodable info reply";
+    Poison("undecodable info reply");
     return std::nullopt;
   }
   return info;
@@ -113,6 +187,7 @@ std::optional<SnapshotInfo> SketchClient::Refresh(const std::string& sketch) {
   if (!EncodeRefreshRequest(sketch, &body)) {
     last_error_ = "sketch name exceeds protocol limits";
     last_status_ = Status::kOk;  // local failure, not a server verdict
+    last_failure_ = FailureKind::kLocal;
     return std::nullopt;
   }
   const auto reply =
@@ -120,8 +195,7 @@ std::optional<SnapshotInfo> SketchClient::Refresh(const std::string& sketch) {
   if (!reply.has_value()) return std::nullopt;
   auto info = DecodeSnapshotReply(reply->body);
   if (!info.has_value()) {
-    poisoned_ = true;
-    last_error_ = "undecodable refresh reply";
+    Poison("undecodable refresh reply");
     return std::nullopt;
   }
   return info;
@@ -138,6 +212,7 @@ std::optional<SnapshotInfo> SketchClient::Subscribe(const std::string& sketch,
   if (!EncodeSubscribeRequest(request, &body)) {
     last_error_ = "subscribe request exceeds protocol limits";
     last_status_ = Status::kOk;  // local failure, not a server verdict
+    last_failure_ = FailureKind::kLocal;
     return std::nullopt;
   }
   const auto reply =
@@ -145,11 +220,22 @@ std::optional<SnapshotInfo> SketchClient::Subscribe(const std::string& sketch,
   if (!reply.has_value()) return std::nullopt;
   auto info = DecodeSnapshotReply(reply->body);
   if (!info.has_value()) {
-    poisoned_ = true;
-    last_error_ = "undecodable subscribe reply";
+    Poison("undecodable subscribe reply");
     return std::nullopt;
   }
   return info;
+}
+
+std::optional<std::vector<PodHealthInfo>> SketchClient::Health() {
+  const auto reply =
+      RoundTrip(Opcode::kHealth, std::string(), Opcode::kHealthReply);
+  if (!reply.has_value()) return std::nullopt;
+  auto pods = DecodeHealthReply(reply->body);
+  if (!pods.has_value()) {
+    Poison("undecodable health reply");
+    return std::nullopt;
+  }
+  return pods;
 }
 
 }  // namespace ifsketch::serve

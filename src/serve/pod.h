@@ -70,6 +70,17 @@ struct SnapshotState {
   std::uint64_t rows_seen = 0;
 };
 
+/// Fault hooks for failover testing: a faulted pod behaves like a dead
+/// or overloaded replica without anything actually dying. Injected via
+/// SketchPod::SetFault; all hooks default off.
+struct PodFault {
+  /// Every Acquire returns nullptr (the pod "refuses" to serve), which
+  /// the router counts as a pod failure and fails over past.
+  bool fail_acquire = false;
+  /// Every Acquire stalls this long first (a wedged or thrashing pod).
+  std::chrono::milliseconds acquire_delay{0};
+};
+
 /// Hosts many named sketches behind one byte budget.
 class SketchPod {
  public:
@@ -122,6 +133,11 @@ class SketchPod {
   /// Whether `name` is in the catalog (resident or not).
   bool Knows(const std::string& name) const;
 
+  /// True when `name` is a stream sketch that has not published its
+  /// first snapshot: Acquire returning nullptr for it is expected, not
+  /// a pod failure (the router must not count it against health).
+  bool IsUnpublishedStream(const std::string& name) const;
+
   /// Registered names, sorted (catalog order, not residency).
   std::vector<std::string> Names() const;
 
@@ -138,6 +154,11 @@ class SketchPod {
   /// Re-budgets the pod, evicting LRU residents to fit immediately.
   void SetByteBudget(std::size_t bytes);
   std::size_t byte_budget() const;
+
+  /// Installs (or, with a default-constructed PodFault, clears) the
+  /// fault hooks. Thread-safe; takes effect on the next Acquire.
+  void SetFault(const PodFault& fault);
+  PodFault fault() const;
 
  private:
   struct Entry {
@@ -164,6 +185,7 @@ class SketchPod {
   std::size_t byte_budget_;
   std::size_t resident_bytes_ = 0;
   std::uint64_t lru_clock_ = 0;
+  PodFault fault_;  // failover-test hooks, default all-off
 };
 
 }  // namespace ifsketch::serve

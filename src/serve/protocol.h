@@ -36,13 +36,23 @@
 //   kRefreshReply / kSubscribeReply: epoch u64, rows_seen u64
 //       (a subscribe reply always reports the FINAL state -- on timeout
 //       epoch <= min_epoch, which is how clients tell the two apart)
+//   kHealth (request):    empty body
+//   kHealthReply:         pod_count u32 (<= kMaxPodsPerReply), then per
+//                         pod: health u8 (0 healthy, 1 suspect, 2 down),
+//                         consecutive_failures u32, inflight u64,
+//                         resident_bytes u64. One row per pod behind the
+//                         serving router, in pod-index order -- what a
+//                         load balancer or operator polls to see the
+//                         replica set's failure/backoff state (see
+//                         serve/router.h for how the states are driven).
 //   kError:           header.status = Status, body = message string
 //
-// Version note: kRefresh/kSubscribe were added for the streaming ingest
-// path (src/ingest/) without a version bump -- the protocol version
-// stays 1 because nothing existing changed shape; a pre-ingest peer
-// simply rejects the new opcodes as a malformed header and hangs up,
-// which is the defined behavior for any unknown opcode.
+// Version note: kRefresh/kSubscribe (streaming ingest, src/ingest/) and
+// kHealth (replicated serving, PR 7) were added without a version bump
+// -- the protocol version stays 1 because nothing existing changed
+// shape; an older peer simply rejects the new opcodes as a malformed
+// header and hangs up, which is the defined behavior for any unknown
+// opcode.
 //
 // Decoding follows the ReadSketch validate-everything discipline: every
 // header field is checked (magic, version, known opcode, length cap)
@@ -75,6 +85,9 @@ inline constexpr std::uint32_t kMaxQueriesPerRequest = 1u << 20;
 /// timeout is a malformed frame, so one client cannot park a connection
 /// thread forever.
 inline constexpr std::uint32_t kMaxSubscribeTimeoutMs = 600000;
+/// Upper bound on pod rows in a kHealthReply (matches the server's own
+/// --pods cap with headroom); a larger declared count is malformed.
+inline constexpr std::uint32_t kMaxPodsPerReply = 4096;
 
 /// Frame kinds. Requests have the high bit clear, replies set it; kError
 /// answers any request whose dispatch fails.
@@ -84,11 +97,13 @@ enum class Opcode : std::uint8_t {
   kInfo = 0x03,
   kRefresh = 0x04,
   kSubscribe = 0x05,
+  kHealth = 0x06,
   kEstimateReply = 0x81,
   kAreFrequentReply = 0x82,
   kInfoReply = 0x83,
   kRefreshReply = 0x84,
   kSubscribeReply = 0x85,
+  kHealthReply = 0x86,
   kError = 0xff,
 };
 
@@ -136,6 +151,16 @@ struct SubscribeRequest {
   std::uint32_t timeout_ms = 0;
 };
 
+/// One kHealthReply row: a pod's health/load state as the router sees
+/// it. health is 0 healthy, 1 suspect (recent failures, still tried
+/// first-choice traffic last), 2 down (skipped until its backoff probe).
+struct PodHealthInfo {
+  std::uint8_t health = 0;
+  std::uint32_t consecutive_failures = 0;
+  std::uint64_t inflight = 0;        ///< query batches executing right now
+  std::uint64_t resident_bytes = 0;  ///< pod's resident engine bytes
+};
+
 /// kInfoReply payload: the served sketch's public context.
 struct SketchInfo {
   std::string algorithm;
@@ -173,6 +198,9 @@ bool EncodeSubscribeRequest(const SubscribeRequest& request,
                             std::string* body);
 /// Shared payload of kRefreshReply and kSubscribeReply.
 void EncodeSnapshotReply(const SnapshotInfo& info, std::string* body);
+/// False when there are more than kMaxPodsPerReply rows.
+bool EncodeHealthReply(const std::vector<PodHealthInfo>& pods,
+                       std::string* body);
 void EncodeError(Status status, std::string_view message, std::string* out);
 
 // ------------------------------------------------------------- decoding
@@ -193,6 +221,8 @@ std::optional<SketchInfo> DecodeInfoReply(std::string_view body);
 std::optional<std::string> DecodeRefreshRequest(std::string_view body);
 std::optional<SubscribeRequest> DecodeSubscribeRequest(std::string_view body);
 std::optional<SnapshotInfo> DecodeSnapshotReply(std::string_view body);
+std::optional<std::vector<PodHealthInfo>> DecodeHealthReply(
+    std::string_view body);
 std::optional<std::string> DecodeErrorMessage(std::string_view body);
 
 }  // namespace ifsketch::serve

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -40,10 +41,11 @@ bool SendError(Transport& transport, Status status,
 bool PrepareQueries(Router& router, Transport& transport,
                     const QueryRequest& request,
                     std::vector<core::Itemset>* ts,
-                    std::shared_ptr<const Engine>* engine_out) {
-  auto engine = router.Acquire(request.sketch);
+                    std::shared_ptr<const Engine>* engine_out,
+                    std::size_t* engine_pod) {
+  auto engine = router.Acquire(request.sketch, engine_pod);
   if (engine == nullptr) {
-    if (router.PodFor(request.sketch).Knows(request.sketch)) {
+    if (router.Knows(request.sketch)) {
       SendError(transport, Status::kInternal,
                 "sketch \"" + request.sketch + "\" failed to load");
     } else {
@@ -86,12 +88,14 @@ bool HandleEstimate(Router& router, Transport& transport,
   }
   std::vector<core::Itemset> ts;
   std::shared_ptr<const Engine> engine;
-  if (!PrepareQueries(router, transport, *request, &ts, &engine)) {
+  std::size_t engine_pod = Router::kNoPod;
+  if (!PrepareQueries(router, transport, *request, &ts, &engine,
+                      &engine_pod)) {
     return true;
   }
   std::vector<double> answers;
   const RouteStatus status = router.EstimateMany(
-      request->sketch, std::move(engine), ts, &answers);
+      request->sketch, std::move(engine), ts, &answers, engine_pod);
   if (status != RouteStatus::kOk) {
     return SendError(transport, ToProtocolStatus(status),
                      "estimate failed for sketch \"" + request->sketch +
@@ -111,12 +115,14 @@ bool HandleAreFrequent(Router& router, Transport& transport,
   }
   std::vector<core::Itemset> ts;
   std::shared_ptr<const Engine> engine;
-  if (!PrepareQueries(router, transport, *request, &ts, &engine)) {
+  std::size_t engine_pod = Router::kNoPod;
+  if (!PrepareQueries(router, transport, *request, &ts, &engine,
+                      &engine_pod)) {
     return true;
   }
   std::vector<bool> answers;
   const RouteStatus status = router.AreFrequent(
-      request->sketch, std::move(engine), ts, &answers);
+      request->sketch, std::move(engine), ts, &answers, engine_pod);
   if (status != RouteStatus::kOk) {
     return SendError(transport, ToProtocolStatus(status),
                      "are-frequent failed for sketch \"" + request->sketch +
@@ -136,7 +142,7 @@ bool HandleInfo(Router& router, Transport& transport,
   }
   const auto engine = router.Acquire(*name);
   if (engine == nullptr) {
-    if (router.PodFor(*name).Knows(*name)) {
+    if (router.Knows(*name)) {
       return SendError(transport, Status::kInternal,
                        "sketch \"" + *name + "\" failed to load");
     }
@@ -166,7 +172,7 @@ bool HandleRefresh(Router& router, Transport& transport,
     return SendError(transport, Status::kBadRequest,
                      "undecodable refresh request");
   }
-  const auto state = router.PodFor(*name).SnapshotOf(*name);
+  const auto state = router.SnapshotOf(*name);
   if (!state.has_value()) {
     return SendError(transport, Status::kUnknownSketch,
                      "unknown sketch \"" + *name + "\"");
@@ -186,10 +192,9 @@ bool HandleSubscribe(Router& router, Transport& transport,
   SnapshotState state;
   // The wait blocks only this connection's thread; publishes arrive from
   // the ingest thread and wake it through the pod's condition variable.
-  if (!router.PodFor(request->sketch)
-           .WaitForEpoch(request->sketch, request->min_epoch,
-                         std::chrono::milliseconds(request->timeout_ms),
-                         &state)) {
+  if (!router.WaitForEpoch(request->sketch, request->min_epoch,
+                           std::chrono::milliseconds(request->timeout_ms),
+                           &state)) {
     return SendError(transport, Status::kUnknownSketch,
                      "unknown sketch \"" + request->sketch + "\"");
   }
@@ -198,6 +203,31 @@ bool HandleSubscribe(Router& router, Transport& transport,
   std::string reply;
   EncodeSnapshotReply(SnapshotInfo{state.epoch, state.rows_seen}, &reply);
   return WriteFrame(transport, Opcode::kSubscribeReply, 0, reply);
+}
+
+bool HandleHealth(Router& router, Transport& transport,
+                  std::string_view body) {
+  if (!body.empty()) {
+    return SendError(transport, Status::kBadRequest,
+                     "health request takes no body");
+  }
+  const auto snapshots = router.pod_health();
+  std::vector<PodHealthInfo> pods;
+  pods.reserve(snapshots.size());
+  for (const PodHealthSnapshot& s : snapshots) {
+    PodHealthInfo info;
+    info.health = static_cast<std::uint8_t>(s.health);
+    info.consecutive_failures = s.consecutive_failures;
+    info.inflight = s.inflight;
+    info.resident_bytes = s.resident_bytes;
+    pods.push_back(info);
+  }
+  std::string reply;
+  if (!EncodeHealthReply(pods, &reply)) {
+    return SendError(transport, Status::kInternal,
+                     "health reply exceeds protocol limits");
+  }
+  return WriteFrame(transport, Opcode::kHealthReply, 0, reply);
 }
 
 }  // namespace
@@ -233,6 +263,9 @@ void ServeConnection(Router& router, Transport& transport) {
         break;
       case Opcode::kSubscribe:
         alive = HandleSubscribe(router, transport, frame.body);
+        break;
+      case Opcode::kHealth:
+        alive = HandleHealth(router, transport, frame.body);
         break;
       default:
         // Reply opcodes are valid frames but not valid *requests*; the
@@ -270,6 +303,8 @@ bool FdTransport::ReadAll(void* data, std::size_t size) {
     const ssize_t n = ::recv(fd_, bytes + got, size - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // EAGAIN/EWOULDBLOCK here means SO_RCVTIMEO expired: the deadline
+      // contract says a stalled read fails like a dead peer.
       return false;
     }
     if (n == 0) return false;  // EOF
@@ -279,6 +314,13 @@ bool FdTransport::ReadAll(void* data, std::size_t size) {
 }
 
 void FdTransport::CloseWrite() { ::shutdown(fd_, SHUT_WR); }
+
+bool FdTransport::SetReadTimeout(std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  return ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
+}
 
 TcpListener::~TcpListener() {
   if (fd_ >= 0) ::close(fd_);
@@ -313,6 +355,14 @@ std::unique_ptr<Transport> TcpListener::Accept() {
   const int client = ::accept(fd_, nullptr, nullptr);
   if (client < 0) return nullptr;
   return std::make_unique<FdTransport>(client);
+}
+
+void TcpListener::Shutdown() {
+  // shutdown(2) on a listening socket makes a blocked accept return
+  // immediately with an error (Linux: EINVAL) without racing fd reuse
+  // the way close() from another thread would; the fd itself still
+  // closes in the destructor.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 std::unique_ptr<Transport> TcpConnect(std::uint16_t port) {

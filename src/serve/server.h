@@ -16,6 +16,7 @@
 #ifndef IFSKETCH_SERVE_SERVER_H_
 #define IFSKETCH_SERVE_SERVER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -41,6 +42,10 @@ class FdTransport : public Transport {
   bool ReadAll(void* data, std::size_t size) override;
   void CloseWrite() override;
 
+  /// SO_RCVTIMEO: a recv stalled past the timeout fails the read (the
+  /// client-deadline contract). Zero restores blocking reads.
+  bool SetReadTimeout(std::chrono::milliseconds timeout) override;
+
  private:
   int fd_;
 };
@@ -61,6 +66,11 @@ class TcpListener {
 
   /// Accepts one connection; nullptr on error/shutdown.
   std::unique_ptr<Transport> Accept();
+
+  /// Wakes a blocked Accept (it returns nullptr) and refuses further
+  /// connections; the graceful-shutdown path calls this from the signal
+  /// thread. Safe to call more than once; the fd closes in ~TcpListener.
+  void Shutdown();
 
  private:
   int fd_ = -1;

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <thread>
 
 namespace ifsketch::serve {
 
@@ -46,12 +47,21 @@ class LoopbackChannel {
     return true;
   }
 
-  bool Read(void* data, std::size_t size) {
+  /// Reads exactly `size` bytes; a zero timeout blocks forever, a
+  /// positive one fails the read after that long with no progress (the
+  /// client-deadline contract of Transport::SetReadTimeout).
+  bool Read(void* data, std::size_t size,
+            std::chrono::milliseconds timeout) {
     std::unique_lock<std::mutex> lock(mu_);
     char* bytes = static_cast<char*>(data);
     std::size_t got = 0;
     while (got < size) {
-      cv_.wait(lock, [this] { return !buffer_.empty() || closed_; });
+      const auto ready = [this] { return !buffer_.empty() || closed_; };
+      if (timeout.count() <= 0) {
+        cv_.wait(lock, ready);
+      } else if (!cv_.wait_for(lock, timeout, ready)) {
+        return false;  // timed out with no progress
+      }
       if (buffer_.empty()) return false;  // closed and drained
       const std::size_t take =
           std::min(size - got, buffer_.size());
@@ -105,9 +115,110 @@ bool LoopbackTransport::WriteAll(const void* data, std::size_t size) {
 }
 
 bool LoopbackTransport::ReadAll(void* data, std::size_t size) {
-  return read_->Read(data, size);
+  return read_->Read(data, size, read_timeout_);
 }
 
 void LoopbackTransport::CloseWrite() { write_->Close(); }
+
+bool LoopbackTransport::SetReadTimeout(std::chrono::milliseconds timeout) {
+  read_timeout_ = timeout;
+  return true;
+}
+
+// ------------------------------------------------------ fault injection
+
+namespace {
+
+/// splitmix64: tiny, seedable, and good enough to schedule faults; the
+/// transport must not depend on util/random.h just for a Bernoulli.
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
+                                 FaultPlan plan)
+    : inner_(std::move(inner)), plan_(plan), rng_state_(plan.seed) {}
+
+bool FaultyTransport::Roll(double p) {
+  if (p <= 0.0) return false;
+  return (SplitMix64(&rng_state_) >> 11) * 0x1.0p-53 < p;
+}
+
+void FaultyTransport::MaybeDelay() {
+  if (plan_.delay.count() > 0 && Roll(plan_.delay_prob)) {
+    std::this_thread::sleep_for(plan_.delay);
+  }
+}
+
+void FaultyTransport::Kill() {
+  dead_ = true;
+  // Hang up the inner write side so a peer blocked reading the frame we
+  // just mangled sees EOF instead of waiting forever.
+  inner_->CloseWrite();
+}
+
+bool FaultyTransport::WriteAll(const void* data, std::size_t size) {
+  if (dead_) return false;
+  MaybeDelay();
+  if (plan_.fail_after_bytes > 0 &&
+      bytes_moved_ + size > plan_.fail_after_bytes) {
+    // Die exactly at the byte offset: deliver the allowed prefix so the
+    // peer sees a frame cut mid-stream, not at an op boundary.
+    const std::size_t deliver = plan_.fail_after_bytes - bytes_moved_;
+    if (deliver > 0) inner_->WriteAll(data, deliver);
+    bytes_moved_ += deliver;
+    Kill();
+    return false;
+  }
+  if (Roll(plan_.fail_write)) {  // dropped whole: peer never sees a byte
+    Kill();
+    return false;
+  }
+  if (size > 1 && Roll(plan_.truncate_write)) {
+    const std::size_t prefix =
+        1 + static_cast<std::size_t>(SplitMix64(&rng_state_) % (size - 1));
+    inner_->WriteAll(data, prefix);
+    bytes_moved_ += prefix;
+    Kill();
+    return false;
+  }
+  if (!inner_->WriteAll(data, size)) {
+    dead_ = true;
+    return false;
+  }
+  bytes_moved_ += size;
+  return true;
+}
+
+bool FaultyTransport::ReadAll(void* data, std::size_t size) {
+  if (dead_) return false;
+  MaybeDelay();
+  if (plan_.fail_after_bytes > 0 &&
+      bytes_moved_ + size > plan_.fail_after_bytes) {
+    Kill();
+    return false;
+  }
+  if (Roll(plan_.fail_read)) {
+    Kill();
+    return false;
+  }
+  if (!inner_->ReadAll(data, size)) {
+    dead_ = true;
+    return false;
+  }
+  bytes_moved_ += size;
+  return true;
+}
+
+void FaultyTransport::CloseWrite() { inner_->CloseWrite(); }
+
+bool FaultyTransport::SetReadTimeout(std::chrono::milliseconds timeout) {
+  return inner_->SetReadTimeout(timeout);
+}
 
 }  // namespace ifsketch::serve

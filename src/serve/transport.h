@@ -11,7 +11,9 @@
 #ifndef IFSKETCH_SERVE_TRANSPORT_H_
 #define IFSKETCH_SERVE_TRANSPORT_H_
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string_view>
@@ -36,6 +38,17 @@ class Transport {
 
   /// Signals end-of-stream to the peer's reads; further writes fail.
   virtual void CloseWrite() = 0;
+
+  /// Bounds every subsequent read: a read that makes no progress for
+  /// `timeout` fails as if the peer died, which is how client deadlines
+  /// turn a stalled server into a retryable transport error instead of a
+  /// hung thread. Zero restores blocking reads. Returns false when the
+  /// transport cannot enforce timeouts (the default); callers fall back
+  /// to unbounded blocking reads.
+  virtual bool SetReadTimeout(std::chrono::milliseconds timeout) {
+    (void)timeout;
+    return false;
+  }
 };
 
 /// Result of ReadFrame: distinguishes a clean end-of-stream (peer closed
@@ -76,12 +89,71 @@ class LoopbackTransport : public Transport {
   bool ReadAll(void* data, std::size_t size) override;
   void CloseWrite() override;
 
+  bool SetReadTimeout(std::chrono::milliseconds timeout) override;
+
  private:
   LoopbackTransport(std::shared_ptr<LoopbackChannel> read,
                     std::shared_ptr<LoopbackChannel> write);
 
   std::shared_ptr<LoopbackChannel> read_;
   std::shared_ptr<LoopbackChannel> write_;
+  std::chrono::milliseconds read_timeout_{0};  // 0 = block forever
+};
+
+// ------------------------------------------------------ fault injection
+
+/// What FaultyTransport may do to the byte stream, on a seeded schedule.
+/// Every probability is evaluated independently per WriteAll/ReadAll
+/// call from a deterministic PRNG, so a given (plan, seed, call
+/// sequence) always fails at the same operations -- tests replay the
+/// exact failure they assert about. Once any fault fires, the transport
+/// is dead: every later operation fails, exactly like a real broken
+/// socket (there is no such thing as a connection that errors once and
+/// then heals).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double fail_read = 0.0;      ///< P(a read errors out)
+  double fail_write = 0.0;     ///< P(a write is dropped whole: peer sees EOF)
+  double truncate_write = 0.0; ///< P(a write delivers a prefix, then dies)
+  double delay_prob = 0.0;     ///< P(an op stalls for `delay` first)
+  std::chrono::milliseconds delay{0};
+  /// Hard kill after this many total bytes moved (0 = off): models a
+  /// peer dying at a byte offset rather than an op boundary, so frames
+  /// get split exactly at the configured point.
+  std::size_t fail_after_bytes = 0;
+};
+
+/// Decorator that injects FaultPlan faults into any Transport. Delays
+/// happen before the op; drop/truncate/error faults kill the connection
+/// permanently (dead() turns true and the inner write side is closed so
+/// a blocked peer unblocks). Used by the failover tests and benches to
+/// prove the retry/failover paths end-to-end without real networks.
+class FaultyTransport : public Transport {
+ public:
+  FaultyTransport(std::unique_ptr<Transport> inner, FaultPlan plan);
+
+  bool WriteAll(const void* data, std::size_t size) override;
+  bool ReadAll(void* data, std::size_t size) override;
+  void CloseWrite() override;
+  bool SetReadTimeout(std::chrono::milliseconds timeout) override;
+
+  /// True once a fault has killed the connection.
+  bool dead() const { return dead_; }
+
+ private:
+  /// True with probability `p`, from the seeded schedule.
+  bool Roll(double p);
+  /// Applies the delay fault (if the schedule picks one) before an op.
+  void MaybeDelay();
+  /// Kills the connection: dead_ latches and the inner write side closes
+  /// so a peer blocked on its read unblocks.
+  void Kill();
+
+  std::unique_ptr<Transport> inner_;
+  FaultPlan plan_;
+  std::uint64_t rng_state_;
+  std::size_t bytes_moved_ = 0;
+  bool dead_ = false;
 };
 
 }  // namespace ifsketch::serve

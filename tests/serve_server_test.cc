@@ -460,7 +460,7 @@ TEST(ServeServerTest, TcpRoundTripMatchesDirect) {
   std::vector<double> direct;
   rig.direct.estimate_many(AsItemsets(queries, rig.direct.d()), &direct);
   EXPECT_EQ(*served, direct);
-  client = SketchClient(nullptr);  // hang up -> server EOF
+  client = SketchClient(std::unique_ptr<Transport>());  // hang up -> EOF
   server.join();
 }
 
