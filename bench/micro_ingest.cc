@@ -35,6 +35,7 @@
 #include "data/generators.h"
 #include "engine.h"
 #include "ingest/ingest.h"
+#include "obs/metrics.h"
 #include "serve/pod.h"
 #include "sketch/builtin_algorithms.h"
 #include "sketch/sketch_file.h"
@@ -190,8 +191,13 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < db.num_rows(); ++i) {
       builder->Observe(db.Row(i));
     }
+    // Per-round timings go through the shared obs histogram so the
+    // percentiles printed here use the exact bucket/quantile math of
+    // the server's ingest_publish_ns metric.
+    obs::Histogram publish_hist;
     const auto start = std::chrono::steady_clock::now();
     for (std::size_t r = 0; r < rounds; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
       sketch::SketchFile file;
       file.algorithm = "STREAM-SUBSAMPLE";
       file.params = Params();
@@ -201,9 +207,19 @@ int main(int argc, char** argv) {
       auto engine = Engine::FromFile(std::move(file));
       pod.Publish("bench", std::make_shared<const Engine>(std::move(*engine)),
                   builder->rows_seen());
+      publish_hist.Record(static_cast<std::uint64_t>(ElapsedNs(t0)));
     }
     rows.push_back(
         {"publish", 1, 1, ElapsedNs(start) / static_cast<double>(rounds)});
+    const obs::HistogramSnapshot snap = publish_hist.Snapshot();
+    std::fprintf(stderr,
+                 "publish latency: p50=%llu ns p90=%llu ns p99=%llu ns "
+                 "max=%llu ns (%llu rounds)\n",
+                 static_cast<unsigned long long>(snap.Quantile(0.5)),
+                 static_cast<unsigned long long>(snap.Quantile(0.9)),
+                 static_cast<unsigned long long>(snap.Quantile(0.99)),
+                 static_cast<unsigned long long>(snap.max),
+                 static_cast<unsigned long long>(snap.count));
   }
 
   // -- query_idle: estimate_many against the resident snapshot, no churn.

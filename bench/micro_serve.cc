@@ -48,6 +48,7 @@
 
 #include "data/generators.h"
 #include "engine.h"
+#include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/pod.h"
 #include "serve/router.h"
@@ -129,16 +130,24 @@ struct Row {
   double p99_ns;  ///< per-query request-latency 99th percentile
 };
 
-/// Nearest-rank percentile of per-request latencies, scaled to ns per
-/// query. Sorts its input in place.
-double PercentileNsPerQuery(std::vector<double>* latencies, double q,
-                            std::size_t batch) {
-  if (latencies->empty()) return 0.0;
-  std::sort(latencies->begin(), latencies->end());
-  const std::size_t n = latencies->size();
-  std::size_t rank = static_cast<std::size_t>(q * static_cast<double>(n));
-  if (rank >= n) rank = n - 1;
-  return (*latencies)[rank] / static_cast<double>(batch);
+/// Request latencies folded into the shared obs histogram layout. The
+/// quantiles below then come from obs::HistogramSnapshot::Quantile --
+/// the same bucket bounds and nearest-rank math behind the server's
+/// serve_request_ns metrics, so bench p50/p99 and served STATS
+/// percentiles read on the same scale (<=25% bucketing error).
+obs::HistogramSnapshot LatencyHistogram(const std::vector<double>& ns) {
+  obs::Histogram h;
+  for (const double v : ns) {
+    h.Record(v <= 0.0 ? 0 : static_cast<std::uint64_t>(v));
+  }
+  return h.Snapshot();
+}
+
+/// Percentile of per-request latencies, scaled to ns per query.
+double PercentileNsPerQuery(const obs::HistogramSnapshot& latencies,
+                            double q, std::size_t batch) {
+  return static_cast<double>(latencies.Quantile(q)) /
+         static_cast<double>(batch);
 }
 
 struct ServedOutcome {
@@ -210,8 +219,9 @@ ServedOutcome RunServed(
   outcome.ok = true;
   outcome.mean_ns =
       total / static_cast<double>(clients * batch * rounds);
-  outcome.p99_ns = PercentileNsPerQuery(&merged, 0.99, batch);
-  outcome.p50_ns = PercentileNsPerQuery(&merged, 0.50, batch);
+  const obs::HistogramSnapshot lat = LatencyHistogram(merged);
+  outcome.p99_ns = PercentileNsPerQuery(lat, 0.99, batch);
+  outcome.p50_ns = PercentileNsPerQuery(lat, 0.50, batch);
   return outcome;
 }
 
@@ -308,8 +318,9 @@ int main(int argc, char** argv) {
         for (auto& lat : latencies) {
           merged.insert(merged.end(), lat.begin(), lat.end());
         }
-        const double p99 = PercentileNsPerQuery(&merged, 0.99, batch);
-        const double p50 = PercentileNsPerQuery(&merged, 0.50, batch);
+        const obs::HistogramSnapshot lat = LatencyHistogram(merged);
+        const double p99 = PercentileNsPerQuery(lat, 0.99, batch);
+        const double p50 = PercentileNsPerQuery(lat, 0.50, batch);
         rows.push_back(
             {"direct", clients, batch,
              total / static_cast<double>(clients * batch * rounds), p50,

@@ -7,6 +7,7 @@
 //   ifsketch_client --port P ... refresh <name>
 //   ifsketch_client --port P ... subscribe <name> <min_epoch> [timeout_ms]
 //   ifsketch_client --port P ... health
+//   ifsketch_client --port P ... stats
 //
 // --port takes a comma-separated endpoint list: the client connects to
 // the first, and on a lost connection retries (up to --retries attempts
@@ -24,6 +25,14 @@
 // travels in a single request frame and is answered by one fused Engine
 // call server-side.
 //
+// `stats` pulls the server's full metrics registry over the STATS
+// opcode and prints it in the Prometheus text exposition format
+// (obs::MetricsSnapshot::RenderText) -- counters, gauges, and
+// histograms with cumulative buckets plus derived p50/p90/p99 comment
+// lines. The percentiles are computed client-side from the wire buckets
+// by the same obs::HistogramSnapshot::Quantile the server uses, so both
+// ends always agree.
+//
 // `refresh` reports the snapshot a stream sketch currently serves;
 // `subscribe` blocks until the epoch exceeds min_epoch (default timeout
 // 30 s) and exits 0 only when the advance was observed, so shell
@@ -37,6 +46,7 @@
 #include <vector>
 
 #include "core/itemset.h"
+#include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/server.h"
 
@@ -55,7 +65,8 @@ int Usage() {
                "  batch <name>   (one query per stdin line)\n"
                "  refresh <name>\n"
                "  subscribe <name> <min_epoch> [timeout_ms]\n"
-               "  health\n");
+               "  health\n"
+               "  stats\n");
   return 2;
 }
 
@@ -161,6 +172,30 @@ int Health(serve::SketchClient& client) {
   return 0;
 }
 
+int Stats(serve::SketchClient& client) {
+  const auto stats = client.Stats();
+  if (!stats.has_value()) return ServerError(client);
+  // Rebuild a MetricsSnapshot from the wire structs and render with the
+  // shared exposition code -- identical output to a server-side dump.
+  obs::MetricsSnapshot snap;
+  for (const serve::StatsCounter& c : stats->counters) {
+    snap.counters.emplace_back(c.name, c.value);
+  }
+  for (const serve::StatsGauge& g : stats->gauges) {
+    snap.gauges.emplace_back(g.name, g.value);
+  }
+  for (const serve::StatsHistogram& h : stats->histograms) {
+    obs::HistogramSnapshot hist;
+    hist.count = h.count;
+    hist.sum = h.sum;
+    hist.max = h.max;
+    hist.buckets = h.buckets;
+    snap.histograms.emplace_back(h.name, std::move(hist));
+  }
+  std::fputs(snap.RenderText().c_str(), stdout);
+  return 0;
+}
+
 int Batch(serve::SketchClient& client, const std::string& name) {
   std::vector<std::vector<std::uint32_t>> queries;
   std::string line;
@@ -250,6 +285,7 @@ int main(int argc, char** argv) {
 
   const std::string& cmd = args[0];
   if (cmd == "health" && args.size() == 1) return Health(client);
+  if (cmd == "stats" && args.size() == 1) return Stats(client);
   if (args.size() < 2) return Usage();
   const std::string& name = args[1];
   if (cmd == "info" && args.size() == 2) return Info(client, name);

@@ -2,7 +2,7 @@
 //
 //   ifsketch_server --sketch NAME=PATH [--sketch NAME=PATH ...]
 //                   [--port P] [--pods N] [--replicas R] [--budget BYTES]
-//                   [--threads T] [--max-conns C]
+//                   [--threads T] [--max-conns C] [--stats-every SECS]
 //                   [--ingest NAME [--ingest-file PATH] [--ingest-algo A]
 //                    [--ingest-every N] [--ingest-save PATH]
 //                    [--ingest-k K] [--ingest-eps E]]
@@ -33,6 +33,14 @@
 // published snapshot to an IFSK file at exit so scripts can diff served
 // answers against ifsketch_cli on the same snapshot.
 //
+// Observability (PR 8): every request/stage/pod/ingest metric lands in
+// the process-wide obs::MetricsRegistry (see src/obs/metrics.h for the
+// full reference table). --stats-every SECS dumps the registry to
+// stderr every SECS seconds, one line per metric (RenderLines format),
+// and SIGUSR1 triggers the same dump on demand at any time. Clients can
+// instead pull the registry over the wire with the STATS opcode
+// (`ifsketch_client stats`).
+//
 // Prints exactly one "listening on <port>" line to stdout once the
 // socket is bound, so scripts (CI smoke) can scrape the ephemeral port.
 // --max-conns exits after serving C connections (also for scripts);
@@ -42,6 +50,7 @@
 #include <pthread.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <csignal>
 #include <cstdio>
@@ -56,6 +65,7 @@
 #include <vector>
 
 #include "ingest/ingest.h"
+#include "obs/metrics.h"
 #include "serve/pod.h"
 #include "serve/router.h"
 #include "serve/server.h"
@@ -86,6 +96,8 @@ int Usage() {
       "IFSKETCH_THREADS, else all cores)\n"
       "  --max-conns C       exit after serving C connections (default: "
       "serve forever)\n"
+      "  --stats-every SECS  dump all metrics to stderr every SECS "
+      "seconds (SIGUSR1 dumps on demand)\n"
       "  --ingest NAME       serve a live stream sketch under NAME\n"
       "  --ingest-file PATH  transaction stream (default: stdin)\n"
       "  --ingest-algo A     streaming algorithm (default: "
@@ -121,6 +133,14 @@ bool ParseSize(const std::string& s, std::size_t* out) {
   return true;
 }
 
+/// One-line-per-metric registry dump to stderr, fenced so interleaved
+/// log lines cannot be mistaken for metrics by scripts.
+void DumpMetrics(const char* why) {
+  const std::string lines = obs::MetricsRegistry::Default().RenderLines();
+  std::fprintf(stderr, "--- metrics (%s) ---\n%s--- end metrics ---\n", why,
+               lines.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -129,7 +149,8 @@ int main(int argc, char** argv) {
   std::size_t pods = 1;
   std::size_t replicas = 1;
   std::size_t budget = serve::SketchPod::kUnlimited;
-  std::size_t max_conns = 0;  // 0 = unlimited
+  std::size_t max_conns = 0;    // 0 = unlimited
+  std::size_t stats_every = 0;  // seconds; 0 = no periodic dump
   std::string ingest_name;
   std::string ingest_file;  // empty or "-" = stdin
   std::string ingest_algo = "STREAM-SUBSAMPLE";
@@ -174,6 +195,10 @@ int main(int argc, char** argv) {
       if (!ParseSize(argv[++i], &max_conns) || max_conns == 0) {
         return Usage();
       }
+    } else if (arg == "--stats-every" && has_value) {
+      if (!ParseSize(argv[++i], &stats_every) || stats_every == 0) {
+        return Usage();
+      }
     } else if (arg == "--ingest" && has_value) {
       ingest_name = argv[++i];
       if (ingest_name.empty()) return Usage();
@@ -206,10 +231,13 @@ int main(int argc, char** argv) {
   // thread exists; a dedicated sigwait thread (below) is then the only
   // place signals are ever handled, so the handler logic runs in a
   // normal thread context instead of an async-signal one.
+  // SIGUSR1 rides along in the same set: the sigwait thread answers it
+  // with a metrics dump instead of a shutdown.
   sigset_t sigset;
   sigemptyset(&sigset);
   sigaddset(&sigset, SIGINT);
   sigaddset(&sigset, SIGTERM);
+  sigaddset(&sigset, SIGUSR1);
   pthread_sigmask(SIG_BLOCK, &sigset, nullptr);
 
   std::vector<std::shared_ptr<serve::SketchPod>> pod_vec;
@@ -267,6 +295,10 @@ int main(int argc, char** argv) {
     int sig = 0;
     while (sigwait(&sigset, &sig) == 0) {
       if (exiting.load()) return;  // end-of-main wakeup, not a request
+      if (sig == SIGUSR1) {
+        DumpMetrics("SIGUSR1");
+        continue;
+      }
       if (stopping.exchange(true)) _exit(130);  // second signal
       std::fprintf(stderr,
                    "caught signal %d: draining (signal again to force "
@@ -275,6 +307,25 @@ int main(int argc, char** argv) {
       listener.Shutdown();
     }
   });
+
+  // Periodic metrics dump: a plain timer thread on a condition variable
+  // so shutdown can wake it immediately instead of waiting out the last
+  // interval.
+  std::mutex stats_mu;
+  std::condition_variable stats_cv;
+  bool stats_stop = false;
+  std::thread stats_thread;
+  if (stats_every > 0) {
+    stats_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(stats_mu);
+      while (!stats_cv.wait_for(lock, std::chrono::seconds(stats_every),
+                                [&] { return stats_stop; })) {
+        lock.unlock();
+        DumpMetrics("periodic");
+        lock.lock();
+      }
+    });
+  }
 
   // The feeder thread owns the whole ingest pipeline: it reads the
   // stream header (d), creates the IngestService, pushes every row and
@@ -392,6 +443,15 @@ int main(int argc, char** argv) {
   }
   if (feeder.joinable()) feeder.join();
 
+  if (stats_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu);
+      stats_stop = true;
+    }
+    stats_cv.notify_all();
+    stats_thread.join();
+  }
+
   // Retire the signal thread: mark the run as over, then poke it out of
   // sigwait with one of the signals it is already watching.
   exiting.store(true);
@@ -411,6 +471,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "saved last snapshot to %s\n", ingest_save.c_str());
   }
 
+  if (stats_every > 0) DumpMetrics("exit");
   for (const auto& pod : router.pods()) {
     for (const auto& s : pod->stats()) {
       std::fprintf(stderr,

@@ -1,5 +1,6 @@
 #include "ingest/ingest.h"
 
+#include <chrono>
 #include <utility>
 
 #include "sketch/builtin_algorithms.h"
@@ -7,6 +8,13 @@
 #include "util/check.h"
 
 namespace ifsketch::ingest {
+namespace {
+
+obs::MetricsRegistry& ResolveRegistry(obs::MetricsRegistry* registry) {
+  return registry != nullptr ? *registry : obs::MetricsRegistry::Default();
+}
+
+}  // namespace
 
 std::unique_ptr<IngestService> IngestService::Create(
     const IngestOptions& options, PublishFn publish, std::string* error) {
@@ -38,6 +46,14 @@ IngestService::IngestService(IngestOptions options, PublishFn publish,
                              const sketch::StreamingSketch* streaming)
     : options_(std::move(options)),
       publish_(std::move(publish)),
+      rows_metric_(
+          ResolveRegistry(options_.registry).GetCounter("ingest_rows_total")),
+      snapshots_metric_(ResolveRegistry(options_.registry)
+                            .GetCounter("ingest_snapshots_total")),
+      publish_metric_(ResolveRegistry(options_.registry)
+                          .GetHistogram("ingest_publish_ns")),
+      occupancy_metric_(ResolveRegistry(options_.registry)
+                            .GetGauge("ingest_ring_occupancy")),
       algorithm_(std::move(algorithm)),
       rng_(options_.seed),
       builder_(streaming->NewBuilder(options_.d, options_.params, rng_)),
@@ -74,12 +90,15 @@ void IngestService::Run() {
     builder_->Observe(row);
     ++rows;
     rows_ingested_.store(rows, std::memory_order_release);
+    rows_metric_->Add();
+    occupancy_metric_->Set(static_cast<std::int64_t>(ring_.SizeApprox()));
     if (rows % options_.rows_per_snapshot == 0) PublishSnapshot(rows);
   }
   if (rows > last_published_rows_) PublishSnapshot(rows);
 }
 
 void IngestService::PublishSnapshot(std::uint64_t rows) {
+  const auto publish_start = std::chrono::steady_clock::now();
   sketch::SketchFile file;
   file.algorithm = options_.algorithm;
   file.params = options_.params;
@@ -94,6 +113,11 @@ void IngestService::PublishSnapshot(std::uint64_t rows) {
   auto shared = std::make_shared<const Engine>(std::move(*engine));
   snapshots_published_.fetch_add(1, std::memory_order_acq_rel);
   publish_(std::move(shared), rows);
+  snapshots_metric_->Add();
+  publish_metric_->Record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - publish_start)
+          .count()));
 }
 
 }  // namespace ifsketch::ingest

@@ -40,6 +40,7 @@
 
 #include "engine.h"
 #include "ingest/spsc_ring.h"
+#include "obs/metrics.h"
 #include "sketch/streaming.h"
 #include "util/random.h"
 
@@ -59,6 +60,10 @@ struct IngestOptions {
   std::size_t rows_per_snapshot = 10000;
   /// SPSC ring size (rounded up to a power of two).
   std::size_t ring_capacity = 1024;
+  /// Metrics sink (ingest_rows_total, ingest_snapshots_total,
+  /// ingest_publish_ns, ingest_ring_occupancy -- see obs/metrics.h).
+  /// nullptr = the process-wide default registry.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 /// Dedicated ingest thread + ring + streaming builder. See the file
@@ -118,6 +123,10 @@ class IngestService {
 
   IngestOptions options_;
   PublishFn publish_;
+  obs::Counter* rows_metric_;        // ingest_rows_total
+  obs::Counter* snapshots_metric_;   // ingest_snapshots_total
+  obs::Histogram* publish_metric_;   // ingest_publish_ns
+  obs::Gauge* occupancy_metric_;     // ingest_ring_occupancy
   std::unique_ptr<core::SketchAlgorithm> algorithm_;  // keeps name alive
   util::Rng rng_;
   std::unique_ptr<sketch::StreamingBuilder> builder_;

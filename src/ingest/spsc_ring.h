@@ -73,6 +73,18 @@ class SpscRing {
            tail_.load(std::memory_order_acquire);
   }
 
+  /// Approximate occupancy: how many elements a sequence of TryPops
+  /// could currently drain. Racy by design (both indices move under the
+  /// reader) but always in [0, capacity]; meant for metrics sampling,
+  /// not for flow-control decisions.
+  std::size_t SizeApprox() const {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t delta = tail - head;
+    return delta > slots_.size() ? slots_.size()
+                                 : static_cast<std::size_t>(delta);
+  }
+
   /// The power-of-two slot count.
   std::size_t capacity() const { return slots_.size(); }
 

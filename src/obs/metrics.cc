@@ -1,0 +1,248 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace ifsketch::obs {
+
+std::size_t ThisThreadShard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  if (other.buckets.size() > buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+std::uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q >= 1.0) return max;
+  if (q < 0.0) q = 0.0;
+  // Nearest rank: the ceil(q * count)-th sample, 1-based, minimum 1.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Never report past the true maximum (the top bucket's bound can
+      // overstate it by up to 25%).
+      return std::min(BucketUpperBound(i), max);
+    }
+  }
+  return max;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kHistogramBuckets, 0);
+  std::size_t last_nonzero = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets[i] = c;
+    snap.count += c;
+    if (c != 0) {
+      last_nonzero = i;
+      any = true;
+    }
+  }
+  snap.buckets.resize(any ? last_nonzero + 1 : 0);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+namespace {
+
+// Metric names carry their labels (`name{key="value"}`); the
+// exposition's # TYPE line wants the bare family name.
+std::string BaseName(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+// Splice a suffix onto the family name but in front of any label
+// block: ("h{op=\"x\"}", "_bucket") -> "h_bucket{op=\"x\"}".
+std::string WithSuffix(const std::string& name, const char* suffix) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) return name + suffix;
+  return name.substr(0, brace) + suffix + name.substr(brace);
+}
+
+// Insert `le="bound"` into an existing (possibly absent) label block.
+std::string WithLe(const std::string& bucket_name, const std::string& le) {
+  const std::size_t brace = bucket_name.find('{');
+  if (brace == std::string::npos) {
+    return bucket_name + "{le=\"" + le + "\"}";
+  }
+  return bucket_name.substr(0, bucket_name.size() - 1) + ",le=\"" + le +
+         "\"}";
+}
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, std::min<std::size_t>(n, sizeof(buf) - 1));
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::RenderText() const {
+  std::string out;
+  std::string prev_family;
+  for (const auto& [name, value] : counters) {
+    const std::string family = BaseName(name);
+    if (family != prev_family) {
+      out += "# TYPE " + family + " counter\n";
+      prev_family = family;
+    }
+    AppendF(&out, "%s %llu\n", name.c_str(),
+            static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string family = BaseName(name);
+    if (family != prev_family) {
+      out += "# TYPE " + family + " gauge\n";
+      prev_family = family;
+    }
+    AppendF(&out, "%s %lld\n", name.c_str(),
+            static_cast<long long>(value));
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string family = BaseName(name);
+    if (family != prev_family) {
+      out += "# TYPE " + family + " histogram\n";
+      prev_family = family;
+    }
+    const std::string bucket_name = WithSuffix(name, "_bucket");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      cumulative += h.buckets[i];
+      AppendF(&out, "%s %llu\n",
+              WithLe(bucket_name,
+                     std::to_string(BucketUpperBound(i)))
+                  .c_str(),
+              static_cast<unsigned long long>(cumulative));
+    }
+    AppendF(&out, "%s %llu\n", WithLe(bucket_name, "+Inf").c_str(),
+            static_cast<unsigned long long>(h.count));
+    AppendF(&out, "%s %llu\n", WithSuffix(name, "_sum").c_str(),
+            static_cast<unsigned long long>(h.sum));
+    AppendF(&out, "%s %llu\n", WithSuffix(name, "_count").c_str(),
+            static_cast<unsigned long long>(h.count));
+    AppendF(&out, "# %s p50=%llu p90=%llu p99=%llu max=%llu\n",
+            name.c_str(),
+            static_cast<unsigned long long>(h.Quantile(0.50)),
+            static_cast<unsigned long long>(h.Quantile(0.90)),
+            static_cast<unsigned long long>(h.Quantile(0.99)),
+            static_cast<unsigned long long>(h.max));
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::RenderLines() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    AppendF(&out, "%s %llu\n", name.c_str(),
+            static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : gauges) {
+    AppendF(&out, "%s %lld\n", name.c_str(),
+            static_cast<long long>(value));
+  }
+  for (const auto& [name, h] : histograms) {
+    AppendF(&out, "%s count=%llu mean=%.1f p50=%llu p90=%llu p99=%llu "
+                  "max=%llu\n",
+            name.c_str(), static_cast<unsigned long long>(h.count),
+            h.Mean(),
+            static_cast<unsigned long long>(h.Quantile(0.50)),
+            static_cast<unsigned long long>(h.Quantile(0.90)),
+            static_cast<unsigned long long>(h.Quantile(0.99)),
+            static_cast<unsigned long long>(h.max));
+  }
+  return out;
+}
+
+MetricsRegistry::MetricsRegistry()
+    : generation_([] {
+        static std::atomic<std::uint64_t> next{1};
+        return next.fetch_add(1, std::memory_order_relaxed);
+      }()) {}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* const instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->Snapshot());
+  }
+  return snap;
+}
+
+std::string LabeledName(const std::string& base, const std::string& key,
+                        const std::string& value) {
+  return base + "{" + key + "=\"" + value + "\"}";
+}
+
+std::string LabeledName2(const std::string& base, const std::string& k1,
+                         const std::string& v1, const std::string& k2,
+                         const std::string& v2) {
+  return base + "{" + k1 + "=\"" + v1 + "\"," + k2 + "=\"" + v2 + "\"}";
+}
+
+}  // namespace ifsketch::obs

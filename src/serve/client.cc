@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace ifsketch::serve {
 namespace {
 
@@ -106,6 +108,10 @@ std::optional<Frame> SketchClient::RoundTrip(Opcode opcode,
     // Transport-class failure. Retry on a fresh connection while the
     // attempt budget and the overall deadline both allow it.
     if (attempt >= max_attempts) return std::nullopt;
+    // Cold-path registry lookup is fine here: retries are backoff-paced.
+    obs::MetricsRegistry::Default()
+        .GetCounter("client_retries_total")
+        ->Add();
     const auto backoff = NextBackoff(attempt);
     if (policy_.deadline.count() > 0 &&
         std::chrono::steady_clock::now() + backoff - start >=
@@ -236,6 +242,18 @@ std::optional<std::vector<PodHealthInfo>> SketchClient::Health() {
     return std::nullopt;
   }
   return pods;
+}
+
+std::optional<StatsReply> SketchClient::Stats() {
+  const auto reply =
+      RoundTrip(Opcode::kStats, std::string(), Opcode::kStatsReply);
+  if (!reply.has_value()) return std::nullopt;
+  auto stats = DecodeStatsReply(reply->body);
+  if (!stats.has_value()) {
+    Poison("undecodable stats reply");
+    return std::nullopt;
+  }
+  return stats;
 }
 
 }  // namespace ifsketch::serve

@@ -135,6 +135,12 @@ class SketchClient {
   /// PodHealthInfo), pod-index order.
   std::optional<std::vector<PodHealthInfo>> Health();
 
+  /// The server's full metrics snapshot (the STATS opcode): every
+  /// registry counter, gauge, and histogram by name. Reconstruct
+  /// percentiles client-side with obs::HistogramSnapshot over the
+  /// returned buckets -- the same quantile math the server uses.
+  std::optional<StatsReply> Stats();
+
   /// Failure class of the last nullopt return; kNone after a success.
   FailureKind last_failure() const { return last_failure_; }
 

@@ -1,21 +1,60 @@
 #include "serve/pod.h"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <utility>
 
 namespace ifsketch::serve {
 
+namespace {
+
+// Default pod= label: process-unique creation ordinal, which matches
+// router pod indices when pods are created in index order.
+std::string NextPodLabel() {
+  static std::atomic<std::uint64_t> next{0};
+  return std::to_string(next.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+SketchPod::SketchPod(std::size_t byte_budget, obs::MetricsRegistry* registry,
+                     std::string label)
+    : registry_(registry != nullptr ? registry
+                                    : &obs::MetricsRegistry::Default()),
+      label_(label.empty() ? NextPodLabel() : std::move(label)),
+      byte_budget_(byte_budget) {}
+
+SketchPod::EntryMetrics SketchPod::ResolveMetrics(
+    const std::string& name) const {
+  auto series = [this, &name](const char* base) {
+    return obs::LabeledName2(base, "pod", label_, "sketch", name);
+  };
+  EntryMetrics m;
+  m.hits = registry_->GetCounter(series("serve_sketch_hits_total"));
+  m.loads = registry_->GetCounter(series("serve_sketch_loads_total"));
+  m.evictions =
+      registry_->GetCounter(series("serve_sketch_evictions_total"));
+  m.queries = registry_->GetCounter(series("serve_sketch_queries_total"));
+  m.publishes =
+      registry_->GetCounter(series("serve_sketch_publishes_total"));
+  m.epoch = registry_->GetGauge(series("serve_sketch_epoch"));
+  return m;
+}
+
 bool SketchPod::AddSketch(const std::string& name, const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry entry;
   entry.path = path;
+  entry.metrics = ResolveMetrics(name);
   return catalog_.emplace(name, std::move(entry)).second;
 }
 
 bool SketchPod::AddStream(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  return catalog_.emplace(name, Entry{}).second;
+  Entry entry;
+  entry.metrics = ResolveMetrics(name);
+  return catalog_.emplace(name, std::move(entry)).second;
 }
 
 std::uint64_t SketchPod::Publish(const std::string& name,
@@ -23,6 +62,7 @@ std::uint64_t SketchPod::Publish(const std::string& name,
                                  std::uint64_t rows_seen) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = catalog_[name];  // auto-registers with an empty path
+  if (entry.metrics.hits == nullptr) entry.metrics = ResolveMetrics(name);
   const std::size_t bytes = engine->resident_bytes();
   resident_bytes_ -= entry.bytes;
   // The old snapshot's shared_ptr is dropped exactly like eviction:
@@ -31,8 +71,9 @@ std::uint64_t SketchPod::Publish(const std::string& name,
   entry.bytes = bytes;
   entry.last_used = ++lru_clock_;
   entry.rows_seen = rows_seen;
-  ++entry.publishes;
+  entry.metrics.publishes->Add();
   ++entry.epoch;
+  entry.metrics.epoch->Set(static_cast<std::int64_t>(entry.epoch));
   resident_bytes_ += bytes;
   // The new snapshot is pinned (EvictToFitLocked skips path-less
   // entries), so making room only displaces file-backed residents.
@@ -80,7 +121,7 @@ std::shared_ptr<const Engine> SketchPod::Acquire(const std::string& name) {
   Entry& entry = it->second;
   entry.last_used = ++lru_clock_;
   if (entry.engine != nullptr) {
-    ++entry.hits;
+    entry.metrics.hits->Add();
     return entry.engine;
   }
   // A stream sketch with no snapshot yet has nothing to load from.
@@ -97,7 +138,7 @@ std::shared_ptr<const Engine> SketchPod::Acquire(const std::string& name) {
   if (it == catalog_.end()) return nullptr;
   Entry& slot = it->second;
   if (slot.engine != nullptr) {
-    ++slot.hits;
+    slot.metrics.hits->Add();
     return slot.engine;
   }
   if (!opened.has_value()) return nullptr;
@@ -114,7 +155,7 @@ std::shared_ptr<const Engine> SketchPod::Acquire(const std::string& name) {
   slot.bytes = bytes;
   slot.last_used = ++lru_clock_;
   slot.rows_seen = slot.engine->n();
-  ++slot.loads;
+  slot.metrics.loads->Add();
   resident_bytes_ += bytes;
   return slot.engine;
 }
@@ -143,7 +184,7 @@ std::vector<std::string> SketchPod::Names() const {
 void SketchPod::CountQueries(const std::string& name, std::uint64_t count) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = catalog_.find(name);
-  if (it != catalog_.end()) it->second.queries += count;
+  if (it != catalog_.end()) it->second.metrics.queries->Add(count);
 }
 
 std::vector<SketchStats> SketchPod::stats() const {
@@ -153,11 +194,11 @@ std::vector<SketchStats> SketchPod::stats() const {
   for (const auto& [name, entry] : catalog_) {
     SketchStats s;
     s.name = name;
-    s.hits = entry.hits;
-    s.loads = entry.loads;
-    s.evictions = entry.evictions;
-    s.queries = entry.queries;
-    s.publishes = entry.publishes;
+    s.hits = entry.metrics.hits->Value();
+    s.loads = entry.metrics.loads->Value();
+    s.evictions = entry.metrics.evictions->Value();
+    s.queries = entry.metrics.queries->Value();
+    s.publishes = entry.metrics.publishes->Value();
     s.resident = entry.engine != nullptr;
     s.resident_bytes = s.resident ? entry.bytes : 0;
     out.push_back(std::move(s));
@@ -208,7 +249,7 @@ void SketchPod::EvictToFitLocked(std::size_t budget) {
     victim->engine.reset();
     resident_bytes_ -= victim->bytes;
     victim->bytes = 0;
-    ++victim->evictions;
+    victim->metrics.evictions->Add();
   }
 }
 

@@ -45,10 +45,14 @@
 #include <vector>
 
 #include "engine.h"
+#include "obs/metrics.h"
 
 namespace ifsketch::serve {
 
-/// Per-sketch counters, snapshot via SketchPod::stats().
+/// Per-sketch counters, snapshot via SketchPod::stats(). Since PR 8 the
+/// counters live in the pod's metrics registry
+/// (serve_sketch_*_total{pod=...,sketch=...}); this struct is the
+/// read-back view existing callers keep using.
 struct SketchStats {
   std::string name;
   std::uint64_t hits = 0;       ///< Acquire calls served by a resident engine
@@ -87,8 +91,14 @@ class SketchPod {
   /// No eviction until a budget is set.
   static constexpr std::size_t kUnlimited = static_cast<std::size_t>(-1);
 
-  explicit SketchPod(std::size_t byte_budget = kUnlimited)
-      : byte_budget_(byte_budget) {}
+  /// `registry` is where the per-sketch counter series land (null uses
+  /// the process-wide obs::MetricsRegistry::Default()); `label` is the
+  /// pod= label value on those series and defaults to a process-unique
+  /// ordinal, which matches router pod indices when pods are created in
+  /// index order (as ifsketch_server does).
+  explicit SketchPod(std::size_t byte_budget = kUnlimited,
+                     obs::MetricsRegistry* registry = nullptr,
+                     std::string label = std::string());
 
   /// Registers `name` as servable from the IFSK file at `path`. The file
   /// is not opened until first Acquire. False if the name is taken.
@@ -161,19 +171,33 @@ class SketchPod {
   PodFault fault() const;
 
  private:
+  /// Registry series backing one catalog entry's counters, resolved
+  /// when the entry is created (cold path). The entry's own fields keep
+  /// only what the pod's logic needs under mu_; everything countable
+  /// lives in the registry so STATS and stats() read the same numbers.
+  struct EntryMetrics {
+    obs::Counter* hits = nullptr;
+    obs::Counter* loads = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* queries = nullptr;
+    obs::Counter* publishes = nullptr;
+    obs::Gauge* epoch = nullptr;  // published epoch; cross-pod max -
+                                  // value = replica epoch lag
+  };
+
   struct Entry {
     std::string path;  // empty for stream-published sketches
     std::shared_ptr<const Engine> engine;  // null when not resident
     std::size_t bytes = 0;                 // resident summary bytes
     std::uint64_t last_used = 0;           // LRU tick of last Acquire
-    std::uint64_t hits = 0;
-    std::uint64_t loads = 0;
-    std::uint64_t evictions = 0;
-    std::uint64_t queries = 0;
-    std::uint64_t publishes = 0;  // snapshots swapped in via Publish
     std::uint64_t epoch = 0;      // 0 until the first Publish
     std::uint64_t rows_seen = 0;  // prefix covered by the current engine
+    EntryMetrics metrics;
   };
+
+  /// Resolves the registry series for `name` (caller holds mu_; the
+  /// registry has its own lock and never calls back into the pod).
+  EntryMetrics ResolveMetrics(const std::string& name) const;
 
   /// Evicts least-recently-used residents until resident bytes fit
   /// `budget`. Caller holds mu_.
@@ -182,6 +206,8 @@ class SketchPod {
   mutable std::mutex mu_;
   std::condition_variable cv_;  // signaled on every Publish
   std::map<std::string, Entry> catalog_;
+  obs::MetricsRegistry* registry_;
+  std::string label_;
   std::size_t byte_budget_;
   std::size_t resident_bytes_ = 0;
   std::uint64_t lru_clock_ = 0;

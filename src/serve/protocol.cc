@@ -54,12 +54,14 @@ bool KnownOpcode(std::uint8_t byte) {
     case Opcode::kRefresh:
     case Opcode::kSubscribe:
     case Opcode::kHealth:
+    case Opcode::kStats:
     case Opcode::kEstimateReply:
     case Opcode::kAreFrequentReply:
     case Opcode::kInfoReply:
     case Opcode::kRefreshReply:
     case Opcode::kSubscribeReply:
     case Opcode::kHealthReply:
+    case Opcode::kStatsReply:
     case Opcode::kError:
       return true;
   }
@@ -159,6 +161,42 @@ bool EncodeHealthReply(const std::vector<PodHealthInfo>& pods,
     PutRaw<std::uint32_t>(body, pod.consecutive_failures);
     PutRaw<std::uint64_t>(body, pod.inflight);
     PutRaw<std::uint64_t>(body, pod.resident_bytes);
+  }
+  return true;
+}
+
+bool EncodeStatsReply(const StatsReply& reply, std::string* body) {
+  if (reply.counters.size() > kMaxMetricsPerReply ||
+      reply.gauges.size() > kMaxMetricsPerReply ||
+      reply.histograms.size() > kMaxMetricsPerReply) {
+    return false;
+  }
+  PutRaw<std::uint32_t>(body,
+                        static_cast<std::uint32_t>(reply.counters.size()));
+  for (const StatsCounter& c : reply.counters) {
+    if (c.name.size() > 0xffff) return false;
+    PutString(body, c.name);
+    PutRaw<std::uint64_t>(body, c.value);
+  }
+  PutRaw<std::uint32_t>(body,
+                        static_cast<std::uint32_t>(reply.gauges.size()));
+  for (const StatsGauge& g : reply.gauges) {
+    if (g.name.size() > 0xffff) return false;
+    PutString(body, g.name);
+    PutRaw<std::int64_t>(body, g.value);
+  }
+  PutRaw<std::uint32_t>(body,
+                        static_cast<std::uint32_t>(reply.histograms.size()));
+  for (const StatsHistogram& h : reply.histograms) {
+    if (h.name.size() > 0xffff) return false;
+    if (h.buckets.size() > kMaxHistogramBuckets) return false;
+    PutString(body, h.name);
+    PutRaw<std::uint64_t>(body, h.count);
+    PutRaw<std::uint64_t>(body, h.sum);
+    PutRaw<std::uint64_t>(body, h.max);
+    PutRaw<std::uint32_t>(body,
+                          static_cast<std::uint32_t>(h.buckets.size()));
+    for (std::uint64_t b : h.buckets) PutRaw<std::uint64_t>(body, b);
   }
   return true;
 }
@@ -321,6 +359,58 @@ std::optional<std::vector<PodHealthInfo>> DecodeHealthReply(
   }
   if (!in.Done()) return std::nullopt;
   return pods;
+}
+
+std::optional<StatsReply> DecodeStatsReply(std::string_view body) {
+  Reader in(body);
+  StatsReply reply;
+  std::uint32_t count = 0;
+
+  // Counters: each row costs at least its u16 name length + u64 value;
+  // bound every declared count by the bytes actually present before
+  // sizing anything from it (the DecodeQueryRequest discipline).
+  if (!in.Get(count) || count > kMaxMetricsPerReply) return std::nullopt;
+  if (count > in.Remaining() / (2 + 8)) return std::nullopt;
+  reply.counters.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    StatsCounter c;
+    if (!in.GetString(c.name) || !in.Get(c.value)) return std::nullopt;
+    reply.counters.push_back(std::move(c));
+  }
+
+  if (!in.Get(count) || count > kMaxMetricsPerReply) return std::nullopt;
+  if (count > in.Remaining() / (2 + 8)) return std::nullopt;
+  reply.gauges.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    StatsGauge g;
+    if (!in.GetString(g.name) || !in.Get(g.value)) return std::nullopt;
+    reply.gauges.push_back(std::move(g));
+  }
+
+  // Histograms: minimum row is name length u16 + count/sum/max u64 +
+  // bucket_count u32.
+  if (!in.Get(count) || count > kMaxMetricsPerReply) return std::nullopt;
+  if (count > in.Remaining() / (2 + 3 * 8 + 4)) return std::nullopt;
+  reply.histograms.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    StatsHistogram h;
+    std::uint32_t buckets = 0;
+    if (!in.GetString(h.name) || !in.Get(h.count) || !in.Get(h.sum) ||
+        !in.Get(h.max) || !in.Get(buckets)) {
+      return std::nullopt;
+    }
+    if (buckets > kMaxHistogramBuckets) return std::nullopt;
+    if (in.Remaining() < static_cast<std::size_t>(buckets) * 8) {
+      return std::nullopt;
+    }
+    h.buckets.resize(buckets);
+    for (std::uint32_t b = 0; b < buckets; ++b) {
+      if (!in.Get(h.buckets[b])) return std::nullopt;
+    }
+    reply.histograms.push_back(std::move(h));
+  }
+  if (!in.Done()) return std::nullopt;
+  return reply;
 }
 
 std::optional<std::string> DecodeErrorMessage(std::string_view body) {

@@ -45,10 +45,24 @@
 //                         load balancer or operator polls to see the
 //                         replica set's failure/backoff state (see
 //                         serve/router.h for how the states are driven).
+//   kStats (request):     empty body
+//   kStatsReply:          the server's metrics registry snapshot
+//                         (src/obs/metrics.h), three sections in order:
+//       counter_count u32 (<= kMaxMetricsPerReply), then per counter:
+//           name string, value u64
+//       gauge_count u32 (<= kMaxMetricsPerReply), then per gauge:
+//           name string, value i64
+//       histogram_count u32 (<= kMaxMetricsPerReply), then per
+//       histogram: name string, count u64, sum u64, max u64,
+//           bucket_count u32 (<= kMaxHistogramBuckets),
+//           bucket u64 x bucket_count  (log-linear layout of
+//           obs::BucketIndex, trimmed at the last nonzero bucket --
+//           clients derive p50/p90/p99 with obs::HistogramSnapshot)
 //   kError:           header.status = Status, body = message string
 //
-// Version note: kRefresh/kSubscribe (streaming ingest, src/ingest/) and
-// kHealth (replicated serving, PR 7) were added without a version bump
+// Version note: kRefresh/kSubscribe (streaming ingest, src/ingest/),
+// kHealth (replicated serving, PR 7) and kStats (observability, PR 8)
+// were added without a version bump
 // -- the protocol version stays 1 because nothing existing changed
 // shape; an older peer simply rejects the new opcodes as a malformed
 // header and hangs up, which is the defined behavior for any unknown
@@ -88,6 +102,12 @@ inline constexpr std::uint32_t kMaxSubscribeTimeoutMs = 600000;
 /// Upper bound on pod rows in a kHealthReply (matches the server's own
 /// --pods cap with headroom); a larger declared count is malformed.
 inline constexpr std::uint32_t kMaxPodsPerReply = 4096;
+/// Upper bound on metrics per kStatsReply section; a larger declared
+/// count is malformed.
+inline constexpr std::uint32_t kMaxMetricsPerReply = 65536;
+/// Upper bound on buckets per kStatsReply histogram row (covers
+/// obs::kHistogramBuckets = 252 with headroom for layout growth).
+inline constexpr std::uint32_t kMaxHistogramBuckets = 512;
 
 /// Frame kinds. Requests have the high bit clear, replies set it; kError
 /// answers any request whose dispatch fails.
@@ -98,12 +118,14 @@ enum class Opcode : std::uint8_t {
   kRefresh = 0x04,
   kSubscribe = 0x05,
   kHealth = 0x06,
+  kStats = 0x07,
   kEstimateReply = 0x81,
   kAreFrequentReply = 0x82,
   kInfoReply = 0x83,
   kRefreshReply = 0x84,
   kSubscribeReply = 0x85,
   kHealthReply = 0x86,
+  kStatsReply = 0x87,
   kError = 0xff,
 };
 
@@ -161,6 +183,36 @@ struct PodHealthInfo {
   std::uint64_t resident_bytes = 0;  ///< pod's resident engine bytes
 };
 
+/// One kStatsReply counter or gauge row (value type differs).
+struct StatsCounter {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct StatsGauge {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+/// One kStatsReply histogram row: the wire form of an
+/// obs::HistogramSnapshot (count/sum/max plus the trimmed bucket
+/// vector). Decoding validates sizes only, not cross-field arithmetic
+/// -- count and the bucket sum are reported independently by a racing
+/// snapshot and may legitimately differ by in-flight records.
+struct StatsHistogram {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> buckets;
+};
+
+/// kStatsReply payload: the full registry snapshot.
+struct StatsReply {
+  std::vector<StatsCounter> counters;
+  std::vector<StatsGauge> gauges;
+  std::vector<StatsHistogram> histograms;
+};
+
 /// kInfoReply payload: the served sketch's public context.
 struct SketchInfo {
   std::string algorithm;
@@ -201,6 +253,10 @@ void EncodeSnapshotReply(const SnapshotInfo& info, std::string* body);
 /// False when there are more than kMaxPodsPerReply rows.
 bool EncodeHealthReply(const std::vector<PodHealthInfo>& pods,
                        std::string* body);
+/// False when a section exceeds kMaxMetricsPerReply, a name exceeds
+/// 64 KiB, or a histogram carries more than kMaxHistogramBuckets
+/// buckets.
+bool EncodeStatsReply(const StatsReply& reply, std::string* body);
 void EncodeError(Status status, std::string_view message, std::string* out);
 
 // ------------------------------------------------------------- decoding
@@ -223,6 +279,7 @@ std::optional<SubscribeRequest> DecodeSubscribeRequest(std::string_view body);
 std::optional<SnapshotInfo> DecodeSnapshotReply(std::string_view body);
 std::optional<std::vector<PodHealthInfo>> DecodeHealthReply(
     std::string_view body);
+std::optional<StatsReply> DecodeStatsReply(std::string_view body);
 std::optional<std::string> DecodeErrorMessage(std::string_view body);
 
 }  // namespace ifsketch::serve

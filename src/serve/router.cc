@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace ifsketch::serve {
@@ -49,6 +50,30 @@ Router::Router(std::vector<std::shared_ptr<SketchPod>> pods,
   }
   pod_states_.resize(pods_.size());
   for (PodState& state : pod_states_) state.backoff = options_.probe_backoff;
+
+  registry_ = options_.registry != nullptr ? options_.registry
+                                           : &obs::MetricsRegistry::Default();
+  coalesce_batches_ = registry_->GetCounter("serve_coalesce_batches_total");
+  coalesce_requests_ = registry_->GetCounter("serve_coalesce_requests_total");
+  coalesce_fused_ = registry_->GetCounter("serve_coalesce_fused_total");
+  coalesce_depth_ = registry_->GetHistogram("serve_coalesce_depth");
+  coalesce_baseline_.batches = coalesce_batches_->Value();
+  coalesce_baseline_.requests = coalesce_requests_->Value();
+  coalesce_baseline_.fused = coalesce_fused_->Value();
+  pod_metrics_.reserve(pods_.size());
+  for (std::size_t i = 0; i < pods_.size(); ++i) {
+    const std::string pod = std::to_string(i);
+    pod_metrics_.push_back(PodMetrics{
+        registry_->GetGauge(
+            obs::LabeledName("serve_pod_inflight", "pod", pod)),
+        registry_->GetCounter(obs::LabeledName(
+            "serve_pod_health_transitions_total", "pod", pod)),
+        registry_->GetCounter(
+            obs::LabeledName("serve_pod_probes_total", "pod", pod)),
+        registry_->GetCounter(
+            obs::LabeledName("serve_pod_failovers_total", "pod", pod)),
+    });
+  }
 }
 
 std::vector<std::size_t> Router::ReplicasOf(const std::string& name) const {
@@ -159,6 +184,7 @@ std::vector<std::size_t> Router::SelectionOrder(const std::string& name) {
           // requester that got this order performs the one probe.
           state.next_probe = now + state.backoff;
           ++state.probes;
+          pod_metrics_[idx].probes->Add();
           probe.push_back(idx);
         } else {
           parked.push_back(idx);
@@ -200,6 +226,9 @@ void Router::ReportSuccess(std::size_t pod) {
   std::lock_guard<std::mutex> lock(health_mu_);
   PodState& state = pod_states_[pod];
   state.consecutive_failures = 0;
+  if (state.health != PodHealth::kHealthy) {
+    pod_metrics_[pod].health_transitions->Add();
+  }
   state.health = PodHealth::kHealthy;
   state.backoff = options_.probe_backoff;
 }
@@ -208,7 +237,9 @@ void Router::ReportFailure(std::size_t pod) {
   std::lock_guard<std::mutex> lock(health_mu_);
   PodState& state = pod_states_[pod];
   ++state.failovers;
+  pod_metrics_[pod].failovers->Add();
   ++state.consecutive_failures;
+  const PodHealth before = state.health;
   if (state.consecutive_failures >= options_.fail_threshold) {
     if (state.health == PodHealth::kDown) {
       // Another failed probe: keep backing off, up to the cap.
@@ -221,10 +252,12 @@ void Router::ReportFailure(std::size_t pod) {
   } else {
     state.health = PodHealth::kSuspect;
   }
+  if (state.health != before) pod_metrics_[pod].health_transitions->Add();
 }
 
 void Router::AddInflight(std::size_t pod, std::int64_t delta) {
   if (pod >= pod_states_.size()) return;
+  pod_metrics_[pod].inflight->Add(delta);
   std::lock_guard<std::mutex> lock(health_mu_);
   pod_states_[pod].inflight += static_cast<std::uint64_t>(delta);
 }
@@ -253,6 +286,9 @@ std::vector<PodHealthSnapshot> Router::pod_health() const {
 
 std::shared_ptr<const Engine> Router::Acquire(const std::string& name,
                                               std::size_t* served_pod) {
+  // The acquire stage covers the whole failover walk: a request that
+  // limps across refusing replicas shows up here, not in kRoute.
+  obs::StageTimer acquire_timer(obs::Stage::kAcquire);
   if (served_pod != nullptr) *served_pod = kNoPod;
   for (std::size_t idx : SelectionOrder(name)) {
     SketchPod& pod = *pods_[idx];
@@ -301,8 +337,11 @@ RouteStatus Router::AreFrequent(const std::string& name,
 }
 
 CoalesceStats Router::coalesce_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  CoalesceStats stats;
+  stats.batches = coalesce_batches_->Value() - coalesce_baseline_.batches;
+  stats.requests = coalesce_requests_->Value() - coalesce_baseline_.requests;
+  stats.fused = coalesce_fused_->Value() - coalesce_baseline_.fused;
+  return stats;
 }
 
 Router::Slot& Router::SlotFor(const std::string& name) {
@@ -428,7 +467,10 @@ void Router::RunFused(const std::string& name,
     // are bit-identical per answer slot whatever the batch composition,
     // so each scattered slice equals the request's serial answer. The
     // in-flight gauge brackets exactly the engine call: that is the load
-    // the replica selector wants to spread.
+    // the replica selector wants to spread. The kernel stage lands on
+    // the executing leader's trace (see obs/trace.h).
+    coalesce_depth_->Record(runnable.size());
+    obs::StageTimer kernel_timer(obs::Stage::kKernel);
     AddInflight(exec_pod, +1);
     if (estimator_flavor) {
       std::vector<double> answers;
@@ -457,10 +499,9 @@ void Router::RunFused(const std::string& name,
     pods_[exec_pod]->CountQueries(name, fused.size());
   }
 
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.batches;
-  stats_.requests += batch.size();
-  if (runnable.size() > 1) stats_.fused += runnable.size();
+  coalesce_batches_->Add();
+  coalesce_requests_->Add(batch.size());
+  if (runnable.size() > 1) coalesce_fused_->Add(runnable.size());
 }
 
 }  // namespace ifsketch::serve

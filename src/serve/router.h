@@ -54,6 +54,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/pod.h"
 
 namespace ifsketch::serve {
@@ -67,7 +68,11 @@ enum class RouteStatus {
   kUnsupportedQuery,  ///< wrong answer flavor or unsupported query size
 };
 
-/// Coalescing counters, snapshot via Router::coalesce_stats().
+/// Coalescing counters, snapshot via Router::coalesce_stats(). Since
+/// PR 8 these are read back from the metrics registry
+/// (serve_coalesce_*_total) as deltas against the router's
+/// construction-time baseline -- the struct survives as a convenience
+/// view of THIS router's traffic even when the registry is shared.
 struct CoalesceStats {
   std::uint64_t batches = 0;   ///< Engine batch calls issued
   std::uint64_t requests = 0;  ///< client requests those batches served
@@ -105,6 +110,11 @@ struct RouterOptions {
   /// First down->probe delay; doubles per failed probe up to the max.
   std::chrono::milliseconds probe_backoff{100};
   std::chrono::milliseconds probe_backoff_max{5000};
+  /// Registry the router's metrics land in (coalescing counters, batch
+  /// depth, per-pod inflight/health/probe series). Null uses the
+  /// process-wide obs::MetricsRegistry::Default(); tests pass their own
+  /// so counters start from zero.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 /// Routes named-sketch requests across replicated pods, fusing
@@ -206,6 +216,9 @@ class Router {
   /// Per-pod health/load snapshots, pod-index order (the HEALTH reply).
   std::vector<PodHealthSnapshot> pod_health() const;
 
+  /// The registry this router's metrics land in (the STATS reply source).
+  obs::MetricsRegistry& registry() const { return *registry_; }
+
  private:
   /// One waiting client request inside a coalescing slot.
   struct Pending {
@@ -275,8 +288,24 @@ class Router {
   std::vector<PodState> pod_states_;
   std::uint64_t tie_rotor_ = 0;  // rotates equal-load replica ties
 
-  mutable std::mutex stats_mu_;
-  CoalesceStats stats_;
+  // Registry metrics, resolved once in the constructor (hot paths touch
+  // only these pre-resolved lock-free pointers; see obs/metrics.h).
+  obs::MetricsRegistry* registry_;
+  obs::Counter* coalesce_batches_;
+  obs::Counter* coalesce_requests_;
+  obs::Counter* coalesce_fused_;
+  obs::Histogram* coalesce_depth_;
+  // Counter values at construction: coalesce_stats() reports deltas so
+  // a router sharing the process-wide registry with predecessors still
+  // reports only its own traffic.
+  CoalesceStats coalesce_baseline_;
+  struct PodMetrics {
+    obs::Gauge* inflight;
+    obs::Counter* health_transitions;
+    obs::Counter* probes;
+    obs::Counter* failovers;
+  };
+  std::vector<PodMetrics> pod_metrics_;
 };
 
 }  // namespace ifsketch::serve

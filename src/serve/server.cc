@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace ifsketch::serve {
 namespace {
 
@@ -79,9 +81,25 @@ bool PrepareQueries(Router& router, Transport& transport,
   return true;
 }
 
+/// Decode with the kDecode stage stamped on the current trace.
+template <typename DecodeFn>
+auto TimedDecode(DecodeFn&& decode, std::string_view body) {
+  obs::StageTimer timer(obs::Stage::kDecode);
+  return decode(body);
+}
+
+/// Encode + write with the kEncode stage stamped on the current trace.
+template <typename EncodeFn>
+bool TimedReply(Transport& transport, Opcode opcode, EncodeFn&& encode) {
+  obs::StageTimer timer(obs::Stage::kEncode);
+  std::string reply;
+  encode(&reply);
+  return WriteFrame(transport, opcode, 0, reply);
+}
+
 bool HandleEstimate(Router& router, Transport& transport,
                     std::string_view body) {
-  const auto request = DecodeQueryRequest(body);
+  const auto request = TimedDecode(DecodeQueryRequest, body);
   if (!request.has_value()) {
     return SendError(transport, Status::kBadRequest,
                      "undecodable estimate request");
@@ -94,21 +112,28 @@ bool HandleEstimate(Router& router, Transport& transport,
     return true;
   }
   std::vector<double> answers;
-  const RouteStatus status = router.EstimateMany(
-      request->sketch, std::move(engine), ts, &answers, engine_pod);
+  RouteStatus status;
+  {
+    // The route span covers coalescing: queue wait for a follower, the
+    // fused kernel for the leader (which also stamps kKernel).
+    obs::StageTimer route_timer(obs::Stage::kRoute);
+    status = router.EstimateMany(request->sketch, std::move(engine), ts,
+                                 &answers, engine_pod);
+  }
   if (status != RouteStatus::kOk) {
     return SendError(transport, ToProtocolStatus(status),
                      "estimate failed for sketch \"" + request->sketch +
                          "\" (indicator-flavored sketch?)");
   }
-  std::string reply;
-  EncodeEstimateReply(answers, &reply);
-  return WriteFrame(transport, Opcode::kEstimateReply, 0, reply);
+  return TimedReply(transport, Opcode::kEstimateReply,
+                    [&answers](std::string* reply) {
+                      EncodeEstimateReply(answers, reply);
+                    });
 }
 
 bool HandleAreFrequent(Router& router, Transport& transport,
                        std::string_view body) {
-  const auto request = DecodeQueryRequest(body);
+  const auto request = TimedDecode(DecodeQueryRequest, body);
   if (!request.has_value()) {
     return SendError(transport, Status::kBadRequest,
                      "undecodable are-frequent request");
@@ -121,21 +146,26 @@ bool HandleAreFrequent(Router& router, Transport& transport,
     return true;
   }
   std::vector<bool> answers;
-  const RouteStatus status = router.AreFrequent(
-      request->sketch, std::move(engine), ts, &answers, engine_pod);
+  RouteStatus status;
+  {
+    obs::StageTimer route_timer(obs::Stage::kRoute);
+    status = router.AreFrequent(request->sketch, std::move(engine), ts,
+                                &answers, engine_pod);
+  }
   if (status != RouteStatus::kOk) {
     return SendError(transport, ToProtocolStatus(status),
                      "are-frequent failed for sketch \"" + request->sketch +
                          "\"");
   }
-  std::string reply;
-  EncodeAreFrequentReply(answers, &reply);
-  return WriteFrame(transport, Opcode::kAreFrequentReply, 0, reply);
+  return TimedReply(transport, Opcode::kAreFrequentReply,
+                    [&answers](std::string* reply) {
+                      EncodeAreFrequentReply(answers, reply);
+                    });
 }
 
 bool HandleInfo(Router& router, Transport& transport,
                 std::string_view body) {
-  const auto name = DecodeInfoRequest(body);
+  const auto name = TimedDecode(DecodeInfoRequest, body);
   if (!name.has_value()) {
     return SendError(transport, Status::kBadRequest,
                      "undecodable info request");
@@ -160,14 +190,15 @@ bool HandleInfo(Router& router, Transport& transport,
   info.n = engine->n();
   info.d = engine->d();
   info.summary_bits = engine->summary_bits();
-  std::string reply;
-  EncodeInfoReply(info, &reply);
-  return WriteFrame(transport, Opcode::kInfoReply, 0, reply);
+  return TimedReply(transport, Opcode::kInfoReply,
+                    [&info](std::string* reply) {
+                      EncodeInfoReply(info, reply);
+                    });
 }
 
 bool HandleRefresh(Router& router, Transport& transport,
                    std::string_view body) {
-  const auto name = DecodeRefreshRequest(body);
+  const auto name = TimedDecode(DecodeRefreshRequest, body);
   if (!name.has_value()) {
     return SendError(transport, Status::kBadRequest,
                      "undecodable refresh request");
@@ -177,14 +208,17 @@ bool HandleRefresh(Router& router, Transport& transport,
     return SendError(transport, Status::kUnknownSketch,
                      "unknown sketch \"" + *name + "\"");
   }
-  std::string reply;
-  EncodeSnapshotReply(SnapshotInfo{state->epoch, state->rows_seen}, &reply);
-  return WriteFrame(transport, Opcode::kRefreshReply, 0, reply);
+  return TimedReply(transport, Opcode::kRefreshReply,
+                    [&state](std::string* reply) {
+                      EncodeSnapshotReply(
+                          SnapshotInfo{state->epoch, state->rows_seen},
+                          reply);
+                    });
 }
 
 bool HandleSubscribe(Router& router, Transport& transport,
                      std::string_view body) {
-  const auto request = DecodeSubscribeRequest(body);
+  const auto request = TimedDecode(DecodeSubscribeRequest, body);
   if (!request.has_value()) {
     return SendError(transport, Status::kBadRequest,
                      "undecodable subscribe request");
@@ -200,9 +234,11 @@ bool HandleSubscribe(Router& router, Transport& transport,
   }
   // On timeout the reply still carries the final state; the client tells
   // the cases apart by comparing epoch with its min_epoch.
-  std::string reply;
-  EncodeSnapshotReply(SnapshotInfo{state.epoch, state.rows_seen}, &reply);
-  return WriteFrame(transport, Opcode::kSubscribeReply, 0, reply);
+  return TimedReply(transport, Opcode::kSubscribeReply,
+                    [&state](std::string* reply) {
+                      EncodeSnapshotReply(
+                          SnapshotInfo{state.epoch, state.rows_seen}, reply);
+                    });
 }
 
 bool HandleHealth(Router& router, Transport& transport,
@@ -230,9 +266,71 @@ bool HandleHealth(Router& router, Transport& transport,
   return WriteFrame(transport, Opcode::kHealthReply, 0, reply);
 }
 
+bool HandleStats(Router& router, Transport& transport,
+                 std::string_view body) {
+  if (!body.empty()) {
+    return SendError(transport, Status::kBadRequest,
+                     "stats request takes no body");
+  }
+  const obs::MetricsSnapshot snap = router.registry().Snapshot();
+  StatsReply stats;
+  stats.counters.reserve(snap.counters.size());
+  for (const auto& [name, value] : snap.counters) {
+    stats.counters.push_back(StatsCounter{name, value});
+  }
+  stats.gauges.reserve(snap.gauges.size());
+  for (const auto& [name, value] : snap.gauges) {
+    stats.gauges.push_back(StatsGauge{name, value});
+  }
+  stats.histograms.reserve(snap.histograms.size());
+  for (const auto& [name, h] : snap.histograms) {
+    stats.histograms.push_back(
+        StatsHistogram{name, h.count, h.sum, h.max, h.buckets});
+  }
+  std::string reply;
+  if (!EncodeStatsReply(stats, &reply)) {
+    return SendError(transport, Status::kInternal,
+                     "stats reply exceeds protocol limits");
+  }
+  return WriteFrame(transport, Opcode::kStatsReply, 0, reply);
+}
+
+/// The per-opcode request counter plus the trace's op label, resolved
+/// once per connection (serving threads then only touch lock-free
+/// counters).
+struct OpMetrics {
+  obs::Counter* requests = nullptr;
+  const char* op = "";
+};
+
+OpMetrics ResolveOp(obs::MetricsRegistry& registry, const char* op) {
+  return OpMetrics{
+      registry.GetCounter(obs::LabeledName("serve_requests_total", "op", op)),
+      op};
+}
+
 }  // namespace
 
 void ServeConnection(Router& router, Transport& transport) {
+  obs::MetricsRegistry& registry = router.registry();
+  const OpMetrics op_estimate = ResolveOp(registry, "estimate");
+  const OpMetrics op_are_frequent = ResolveOp(registry, "are_frequent");
+  const OpMetrics op_info = ResolveOp(registry, "info");
+  const OpMetrics op_refresh = ResolveOp(registry, "refresh");
+  const OpMetrics op_subscribe = ResolveOp(registry, "subscribe");
+  const OpMetrics op_health = ResolveOp(registry, "health");
+  const OpMetrics op_stats = ResolveOp(registry, "stats");
+
+  // One request = one trace: count the opcode, then let the handler
+  // stamp decode/route/acquire/kernel/encode onto the installed trace;
+  // the trace destructor records the stages and the total span.
+  const auto dispatch = [&](const OpMetrics& op, auto&& handler,
+                            std::string_view body) {
+    op.requests->Add();
+    obs::RequestTrace trace(&registry, op.op);
+    return handler(router, transport, body);
+  };
+
   for (;;) {
     Frame frame;
     switch (ReadFrame(transport, &frame)) {
@@ -250,22 +348,25 @@ void ServeConnection(Router& router, Transport& transport) {
     bool alive = true;
     switch (frame.header.opcode) {
       case Opcode::kEstimate:
-        alive = HandleEstimate(router, transport, frame.body);
+        alive = dispatch(op_estimate, HandleEstimate, frame.body);
         break;
       case Opcode::kAreFrequent:
-        alive = HandleAreFrequent(router, transport, frame.body);
+        alive = dispatch(op_are_frequent, HandleAreFrequent, frame.body);
         break;
       case Opcode::kInfo:
-        alive = HandleInfo(router, transport, frame.body);
+        alive = dispatch(op_info, HandleInfo, frame.body);
         break;
       case Opcode::kRefresh:
-        alive = HandleRefresh(router, transport, frame.body);
+        alive = dispatch(op_refresh, HandleRefresh, frame.body);
         break;
       case Opcode::kSubscribe:
-        alive = HandleSubscribe(router, transport, frame.body);
+        alive = dispatch(op_subscribe, HandleSubscribe, frame.body);
         break;
       case Opcode::kHealth:
-        alive = HandleHealth(router, transport, frame.body);
+        alive = dispatch(op_health, HandleHealth, frame.body);
+        break;
+      case Opcode::kStats:
+        alive = dispatch(op_stats, HandleStats, frame.body);
         break;
       default:
         // Reply opcodes are valid frames but not valid *requests*; the

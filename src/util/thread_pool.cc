@@ -5,8 +5,17 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/metrics.h"
+
 namespace ifsketch::util {
 namespace {
+
+// Resolved once; every queue mutation then costs one relaxed store.
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge* const gauge =
+      obs::MetricsRegistry::Default().GetGauge("threadpool_queue_depth");
+  return *gauge;
+}
 
 // One ParallelFor invocation. Lives on the heap via shared_ptr so that a
 // worker dequeuing the job after all chunks were claimed (and the caller
@@ -69,6 +78,7 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
+      QueueDepthGauge().Set(static_cast<std::int64_t>(queue_.size()));
     }
     task();
   }
@@ -103,6 +113,7 @@ void ThreadPool::ParallelFor(
     for (std::size_t i = 0; i < helpers; ++i) {
       queue_.emplace_back([job] { DrainLoop(job); });
     }
+    QueueDepthGauge().Set(static_cast<std::int64_t>(queue_.size()));
   }
   cv_.notify_all();
   DrainLoop(job);  // the caller is one of the loop's threads

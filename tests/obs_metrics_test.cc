@@ -1,0 +1,342 @@
+// The metrics layer's contracts: bucket math is an exact inverse pair
+// within the documented 25% bound, counters stay exact under sharded
+// concurrent writers, snapshots taken during recording are internally
+// consistent, merged shard snapshots quantile identically to pooled
+// recording, and traces stamp stages into the right histograms.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ifsketch::obs {
+namespace {
+
+TEST(ObsBucketTest, IndexIsMonotoneAndBoundIsInverse) {
+  // Every value lands in a bucket whose bound is >= the value, and the
+  // previous bucket's bound is < the value (the defining property of an
+  // inclusive upper-bound layout).
+  std::vector<std::uint64_t> probes;
+  for (std::uint64_t v = 0; v < 4096; ++v) probes.push_back(v);
+  for (int e = 12; e < 64; ++e) {
+    const std::uint64_t base = std::uint64_t{1} << e;
+    for (const std::uint64_t off : {std::uint64_t{0}, base / 3, base - 1}) {
+      probes.push_back(base + off);
+    }
+  }
+  probes.push_back(std::numeric_limits<std::uint64_t>::max());
+  std::size_t prev_idx = 0;
+  for (const std::uint64_t v : probes) {
+    const std::size_t idx = BucketIndex(v);
+    ASSERT_LT(idx, kHistogramBuckets) << v;
+    EXPECT_GE(BucketUpperBound(idx), v) << v;
+    if (idx > 0) {
+      EXPECT_LT(BucketUpperBound(idx - 1), v) << v;
+    }
+    EXPECT_GE(idx, prev_idx) << v;  // monotone in the value
+    prev_idx = std::max(prev_idx, idx);
+  }
+  // The top bucket's bound is the full range.
+  EXPECT_EQ(BucketUpperBound(kHistogramBuckets - 1),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ObsBucketTest, RelativeErrorStaysUnderDocumentedBound) {
+  // The bound overstates a value by at most 25% (one sub-bucket of 4
+  // per power of two).
+  std::mt19937_64 rng(7);
+  for (int t = 0; t < 20000; ++t) {
+    const std::uint64_t v = rng() >> (rng() % 60);
+    const std::uint64_t bound = BucketUpperBound(BucketIndex(v));
+    if (v < 8) {
+      EXPECT_EQ(bound, v);
+      continue;
+    }
+    EXPECT_GE(bound, v);
+    EXPECT_LE(static_cast<double>(bound - v), 0.25 * static_cast<double>(v))
+        << v;
+  }
+}
+
+TEST(ObsCounterTest, ConcurrentAddsAreExact) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.Add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(ObsHistogramTest, RecordAggregatesExactly) {
+  Histogram h;
+  const std::vector<std::uint64_t> values = {0, 1, 7, 8, 100, 1000, 1000000};
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : values) {
+    h.Record(v);
+    sum += v;
+  }
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, values.size());
+  EXPECT_EQ(snap.sum, sum);
+  EXPECT_EQ(snap.max, 1000000u);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, values.size());
+}
+
+TEST(ObsHistogramTest, QuantilesWithinLayoutErrorOfPooledSamples) {
+  Histogram h;
+  std::mt19937_64 rng(42);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 50000; ++i) {
+    // Log-uniform-ish latencies from 10ns to ~10ms.
+    const std::uint64_t v = 10 + (rng() % (std::uint64_t{1} << (10 + i % 20)));
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const HistogramSnapshot snap = h.Snapshot();
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const std::uint64_t exact =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    const std::uint64_t approx = snap.Quantile(q);
+    // The histogram answer is an upper bound within 25% of some sample
+    // near the exact rank; allow the layout error on both sides.
+    EXPECT_GE(static_cast<double>(approx), 0.99 * static_cast<double>(exact))
+        << q;
+    EXPECT_LE(static_cast<double>(approx), 1.30 * static_cast<double>(exact))
+        << q;
+  }
+  EXPECT_EQ(snap.Quantile(1.0), snap.max);
+  EXPECT_EQ(HistogramSnapshot{}.Quantile(0.5), 0u);
+}
+
+TEST(ObsHistogramTest, MergeEqualsPooledRecording) {
+  // Record one stream split across three histograms, merge the
+  // snapshots, and compare against recording everything into one: the
+  // layout is fixed, so the merged quantiles must match exactly.
+  Histogram shards[3];
+  Histogram pooled;
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t v = rng() % 1000000;
+    shards[i % 3].Record(v);
+    pooled.Record(v);
+  }
+  HistogramSnapshot merged = shards[0].Snapshot();
+  merged.Merge(shards[1].Snapshot());
+  merged.Merge(shards[2].Snapshot());
+  const HistogramSnapshot direct = pooled.Snapshot();
+  EXPECT_EQ(merged.count, direct.count);
+  EXPECT_EQ(merged.sum, direct.sum);
+  EXPECT_EQ(merged.max, direct.max);
+  EXPECT_EQ(merged.buckets, direct.buckets);
+  for (const double q : {0.25, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(merged.Quantile(q), direct.Quantile(q)) << q;
+  }
+}
+
+TEST(ObsHistogramTest, SnapshotDuringConcurrentRecordingIsConsistent) {
+  // Readers racing writers must always see a structurally valid view:
+  // bucket totals never exceed the declared count by more than the
+  // in-flight window, and nothing crashes or hangs. (Run under TSan to
+  // verify the lock-free claim.)
+  Histogram h;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      std::mt19937_64 rng(t);
+      // At least one record per writer even if the reader finishes
+      // before this thread is first scheduled.
+      do {
+        h.Record(rng() % 100000);
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    const HistogramSnapshot snap = h.Snapshot();
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t b : snap.buckets) bucket_total += b;
+    // count derives from the same buckets, so it is exactly their sum.
+    EXPECT_EQ(snap.count, bucket_total);
+    EXPECT_LE(snap.buckets.size(), kHistogramBuckets);
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+  // Quiesced: everything recorded is now visible and consistent.
+  const HistogramSnapshot final_snap = h.Snapshot();
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : final_snap.buckets) bucket_total += b;
+  EXPECT_EQ(final_snap.count, bucket_total);
+  EXPECT_GT(final_snap.count, 0u);
+}
+
+TEST(ObsRegistryTest, GetReturnsStablePointersAndSnapshotSeesAll) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test_total");
+  EXPECT_EQ(registry.GetCounter("test_total"), c);  // same name, same metric
+  c->Add(3);
+  registry.GetGauge("test_gauge")->Set(-5);
+  registry.GetHistogram("test_ns")->Record(1234);
+  // Registering more metrics must not invalidate earlier pointers.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("filler_" + std::to_string(i));
+  }
+  c->Add(1);
+  const MetricsSnapshot snap = registry.Snapshot();
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "test_total") {
+      saw_counter = true;
+      EXPECT_EQ(value, 4u);
+    }
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "test_gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(value, -5);
+    }
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    if (name == "test_ns") {
+      saw_hist = true;
+      EXPECT_EQ(h.count, 1u);
+      EXPECT_EQ(h.sum, 1234u);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST(ObsRegistryTest, ConcurrentRegistrationAndRecordingIsSafe) {
+  // Threads race registration (cold path, mutexed) against recording on
+  // already-resolved metrics and snapshotting. TSan is the real judge;
+  // the assertion checks the counts survived.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Counter* mine =
+          registry.GetCounter("worker_total{id=\"" + std::to_string(t) + "\"}");
+      Histogram* hist = registry.GetHistogram("shared_ns");
+      for (int i = 0; i < kIters; ++i) {
+        mine->Add();
+        hist->Record(static_cast<std::uint64_t>(i));
+        if (i % 500 == 0) registry.Snapshot();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const MetricsSnapshot snap = registry.Snapshot();
+  std::uint64_t worker_sum = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("worker_total", 0) == 0) worker_sum += value;
+  }
+  EXPECT_EQ(worker_sum, static_cast<std::uint64_t>(kThreads) * kIters);
+  for (const auto& [name, h] : snap.histograms) {
+    if (name == "shared_ns") {
+      EXPECT_EQ(h.count, static_cast<std::uint64_t>(kThreads) * kIters);
+    }
+  }
+}
+
+TEST(ObsRenderTest, TextAndLinesContainEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("reqs_total{op=\"estimate\"}")->Add(7);
+  registry.GetGauge("depth")->Set(2);
+  registry.GetHistogram("lat_ns")->Record(100);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("reqs_total{op=\"estimate\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("depth 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_count 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_sum 100"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  const std::string lines = registry.RenderLines();
+  EXPECT_NE(lines.find("reqs_total{op=\"estimate\"} 7"), std::string::npos);
+  EXPECT_NE(lines.find("depth 2"), std::string::npos);
+  EXPECT_NE(lines.find("lat_ns count=1"), std::string::npos);
+}
+
+TEST(ObsTraceTest, StagesLandInTheRightHistograms) {
+  MetricsRegistry registry;
+  {
+    RequestTrace trace(&registry, "estimate");
+    { StageTimer decode(Stage::kDecode); }
+    { StageTimer kernel(Stage::kKernel); }
+    EXPECT_EQ(RequestTrace::Current(), &trace);
+    EXPECT_GT(trace.stage_ns(Stage::kDecode), 0u);
+    EXPECT_GT(trace.stage_ns(Stage::kKernel), 0u);
+    EXPECT_EQ(trace.stage_ns(Stage::kEncode), 0u);
+  }
+  EXPECT_EQ(RequestTrace::Current(), nullptr);
+  const MetricsSnapshot snap = registry.Snapshot();
+  bool saw_decode = false, saw_kernel = false, saw_total = false;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name == "serve_stage_decode_ns") {
+      saw_decode = true;
+      EXPECT_EQ(h.count, 1u);
+    }
+    if (name == "serve_stage_kernel_ns") {
+      saw_kernel = true;
+      EXPECT_EQ(h.count, 1u);
+    }
+    if (name == "serve_request_ns{op=\"estimate\"}") {
+      saw_total = true;
+      EXPECT_EQ(h.count, 1u);
+    }
+    // A stage never entered must not register a histogram sample.
+    if (name == "serve_stage_encode_ns") {
+      EXPECT_EQ(h.count, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_decode);
+  EXPECT_TRUE(saw_kernel);
+  EXPECT_TRUE(saw_total);
+}
+
+TEST(ObsTraceTest, StampWithoutTraceIsANoOpAndTracesNest) {
+  RequestTrace::Stamp(Stage::kKernel, 123);  // must not crash
+  MetricsRegistry registry;
+  {
+    RequestTrace outer(&registry, "outer");
+    {
+      RequestTrace inner(nullptr, "inner");  // null registry: time-only
+      RequestTrace::Stamp(Stage::kRoute, 50);
+      EXPECT_EQ(RequestTrace::Current(), &inner);
+      EXPECT_EQ(inner.stage_ns(Stage::kRoute), 50u);
+    }
+    EXPECT_EQ(RequestTrace::Current(), &outer);
+    EXPECT_EQ(outer.stage_ns(Stage::kRoute), 0u);  // inner did not leak
+  }
+  EXPECT_EQ(RequestTrace::Current(), nullptr);
+}
+
+TEST(ObsLabelTest, LabeledNamesFollowTheConvention) {
+  EXPECT_EQ(LabeledName("serve_pod_inflight", "pod", "3"),
+            "serve_pod_inflight{pod=\"3\"}");
+  EXPECT_EQ(LabeledName2("serve_sketch_queries_total", "pod", "0", "sketch",
+                         "baskets"),
+            "serve_sketch_queries_total{pod=\"0\",sketch=\"baskets\"}");
+}
+
+}  // namespace
+}  // namespace ifsketch::obs

@@ -58,14 +58,15 @@ TEST(ServeProtocolTest, HeaderRejectsVersionMismatch) {
 
 TEST(ServeProtocolTest, HeaderRejectsUnknownOpcode) {
   std::string frame = EncodedHeader(Opcode::kInfo, 0);
-  for (const unsigned char bad : {0x00, 0x07, 0x7f, 0x87, 0xfe}) {
+  for (const unsigned char bad : {0x00, 0x08, 0x7f, 0x88, 0xfe}) {
     frame[6] = static_cast<char>(bad);
     EXPECT_FALSE(DecodeFrameHeader(frame.data(), kFrameHeaderBytes)
                      .has_value())
         << int{bad};
   }
-  // 0x06/0x86 are the HEALTH pair (PR 7), no longer free.
-  for (const unsigned char taken : {0x06, 0x86}) {
+  // 0x06/0x86 are the HEALTH pair (PR 7) and 0x07/0x87 the STATS pair
+  // (PR 8), no longer free.
+  for (const unsigned char taken : {0x06, 0x86, 0x07, 0x87}) {
     frame[6] = static_cast<char>(taken);
     EXPECT_TRUE(DecodeFrameHeader(frame.data(), kFrameHeaderBytes)
                     .has_value())
@@ -374,6 +375,95 @@ TEST(ServeProtocolTest, HealthReplyRejectsMalformedBodies) {
   const std::uint32_t count = kMaxPodsPerReply + 1;
   huge.append(reinterpret_cast<const char*>(&count), sizeof(count));
   EXPECT_FALSE(DecodeHealthReply(huge).has_value());
+}
+
+StatsReply SampleStatsReply() {
+  StatsReply reply;
+  reply.counters.push_back({"serve_requests_total{op=\"estimate\"}", 42});
+  reply.counters.push_back({"ingest_rows_total", 0});
+  reply.gauges.push_back({"serve_pod_inflight{pod=\"0\"}", -3});
+  StatsHistogram h;
+  h.name = "serve_request_ns{op=\"estimate\"}";
+  h.count = 5;
+  h.sum = 1234;
+  h.max = 900;
+  h.buckets = {0, 2, 0, 3};
+  reply.histograms.push_back(std::move(h));
+  reply.histograms.push_back({"ingest_publish_ns", 0, 0, 0, {}});
+  return reply;
+}
+
+TEST(ServeProtocolTest, StatsReplyRoundTrip) {
+  const StatsReply reply = SampleStatsReply();
+  std::string body;
+  ASSERT_TRUE(EncodeStatsReply(reply, &body));
+  const auto back = DecodeStatsReply(body);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->counters.size(), reply.counters.size());
+  for (std::size_t i = 0; i < reply.counters.size(); ++i) {
+    EXPECT_EQ(back->counters[i].name, reply.counters[i].name) << i;
+    EXPECT_EQ(back->counters[i].value, reply.counters[i].value) << i;
+  }
+  ASSERT_EQ(back->gauges.size(), reply.gauges.size());
+  EXPECT_EQ(back->gauges[0].name, reply.gauges[0].name);
+  EXPECT_EQ(back->gauges[0].value, reply.gauges[0].value);
+  ASSERT_EQ(back->histograms.size(), reply.histograms.size());
+  EXPECT_EQ(back->histograms[0].name, reply.histograms[0].name);
+  EXPECT_EQ(back->histograms[0].count, reply.histograms[0].count);
+  EXPECT_EQ(back->histograms[0].sum, reply.histograms[0].sum);
+  EXPECT_EQ(back->histograms[0].max, reply.histograms[0].max);
+  EXPECT_EQ(back->histograms[0].buckets, reply.histograms[0].buckets);
+  EXPECT_TRUE(back->histograms[1].buckets.empty());
+
+  // The empty reply is valid (a server with nothing recorded yet).
+  std::string empty_body;
+  ASSERT_TRUE(EncodeStatsReply(StatsReply{}, &empty_body));
+  const auto empty = DecodeStatsReply(empty_body);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->counters.empty());
+  EXPECT_TRUE(empty->gauges.empty());
+  EXPECT_TRUE(empty->histograms.empty());
+}
+
+TEST(ServeProtocolTest, StatsReplyRejectsMalformedBodies) {
+  std::string body;
+  ASSERT_TRUE(EncodeStatsReply(SampleStatsReply(), &body));
+  // Truncation at every prefix length, and one trailing byte.
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(DecodeStatsReply(body.substr(0, len)).has_value()) << len;
+  }
+  std::string trailing = body;
+  trailing.push_back('\0');
+  EXPECT_FALSE(DecodeStatsReply(trailing).has_value());
+  // A section count over the cap is rejected before any allocation.
+  std::string huge;
+  const std::uint32_t count = kMaxMetricsPerReply + 1;
+  huge.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  EXPECT_FALSE(DecodeStatsReply(huge).has_value());
+  // A declared count the remaining bytes cannot possibly hold.
+  std::string lying;
+  const std::uint32_t many = 1000;
+  lying.append(reinterpret_cast<const char*>(&many), sizeof(many));
+  lying.append(8, '\0');  // far fewer bytes than 1000 counter rows
+  EXPECT_FALSE(DecodeStatsReply(lying).has_value());
+}
+
+TEST(ServeProtocolTest, StatsReplyRejectsOversizedHistogram) {
+  StatsReply reply;
+  StatsHistogram h;
+  h.name = "too_wide";
+  h.buckets.assign(kMaxHistogramBuckets + 1, 1);
+  reply.histograms.push_back(std::move(h));
+  std::string body;
+  EXPECT_FALSE(EncodeStatsReply(reply, &body));
+  // At the cap it encodes and round-trips.
+  reply.histograms[0].buckets.assign(kMaxHistogramBuckets, 1);
+  reply.histograms[0].count = kMaxHistogramBuckets;
+  body.clear();
+  ASSERT_TRUE(EncodeStatsReply(reply, &body));
+  const auto back = DecodeStatsReply(body);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->histograms[0].buckets.size(), kMaxHistogramBuckets);
 }
 
 TEST(ServeProtocolTest, EncodeFrameRefusesOverlongBody) {

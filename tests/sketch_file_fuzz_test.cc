@@ -225,6 +225,26 @@ std::vector<std::string> ValidFrames() {
   frames.push_back(frame);
 
   frame.clear();
+  EXPECT_TRUE(EncodeFrame(Opcode::kStats, 0, "", &frame));
+  frames.push_back(frame);
+
+  StatsReply stats;
+  stats.counters.push_back({"serve_requests_total{op=\"estimate\"}", 7});
+  stats.gauges.push_back({"serve_pod_inflight{pod=\"0\"}", 1});
+  StatsHistogram stats_hist;
+  stats_hist.name = "serve_request_ns{op=\"estimate\"}";
+  stats_hist.count = 3;
+  stats_hist.sum = 3000;
+  stats_hist.max = 1500;
+  stats_hist.buckets = {0, 1, 2};
+  stats.histograms.push_back(std::move(stats_hist));
+  body.clear();
+  EXPECT_TRUE(EncodeStatsReply(stats, &body));
+  frame.clear();
+  EXPECT_TRUE(EncodeFrame(Opcode::kStatsReply, 0, body, &frame));
+  frames.push_back(frame);
+
+  frame.clear();
   EncodeError(Status::kUnknownSketch, "no such sketch", &frame);
   frames.push_back(frame);
   return frames;
@@ -297,6 +317,19 @@ void DecodeLikeServer(const std::string& bytes) {
       if (pods.has_value()) {
         std::string re_body;
         ASSERT_TRUE(EncodeHealthReply(*pods, &re_body));
+        ASSERT_EQ(re_body, std::string(body));
+      }
+      break;
+    }
+    case Opcode::kStats:
+      // A stats request carries no body; nothing to decode.
+      break;
+    case Opcode::kStatsReply: {
+      const auto stats = DecodeStatsReply(body);
+      if (stats.has_value()) {
+        // Round trip: an accepted reply must re-encode byte-identically.
+        std::string re_body;
+        ASSERT_TRUE(EncodeStatsReply(*stats, &re_body));
         ASSERT_EQ(re_body, std::string(body));
       }
       break;
