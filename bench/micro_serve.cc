@@ -2,7 +2,7 @@
 // trajectory.
 //
 //   micro_serve --json [out.json] [--clients 1,2,4,8] [--batch 1000]
-//               [--rounds 50]
+//               [--rounds 50] [--conns 8,1024,10000]
 //
 // Compares direct Engine::estimate_many calls against the same batches
 // served through the wire protocol over an in-process loopback transport
@@ -24,6 +24,20 @@
 //                    spread over 7 cold names; load-aware selection
 //                    spreads the hot name across its replicas.
 //
+// --conns adds the connection-scale sweep over the epoll reactor
+// (serve/reactor.h) on real loopback TCP: for each count C the bench
+// opens C concurrent connections, verifies one query on EVERY
+// connection bit-identical to the direct Engine answer, then measures
+// ns/query with 8 active pipelined clients while the other C-8
+// connections sit open -- the held-connection cost the reactor exists
+// to make cheap. Counts are clamped to what RLIMIT_NOFILE allows (each
+// loopback connection costs two descriptors in this one process) and
+// the clamp is reported, so the emitted rows always reflect a measured
+// ceiling, never a silent truncation. A `served_conns` row per count
+// lands in the same schema with `threads` = connection count; if a
+// >=1024-connection row exceeds 1.5x the 8-connection baseline the
+// bench warns (stderr) but still emits the row.
+//
 // Emits the repo's stable bench schema
 //   {"kernel": str, "threads": int, "batch": int, "ns_per_query": float,
 //    "p50_ns": float, "p99_ns": float}
@@ -34,6 +48,8 @@
 //   served_loopback  C protocol clients through the loopback server
 // Answers are verified bit-identical to direct Engine calls on EVERY
 // round of every served kernel; only the serving layer differs.
+
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <atomic>
@@ -51,6 +67,7 @@
 #include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/pod.h"
+#include "serve/reactor.h"
 #include "serve/router.h"
 #include "serve/server.h"
 #include "util/random.h"
@@ -231,6 +248,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::vector<std::size_t> client_counts = {1, 2, 4, 8};
   std::vector<std::size_t> batch_sizes = {1000};
+  std::vector<std::size_t> conn_counts;  // empty = no connection sweep
   std::size_t rounds = 50;
   bool json = false;
   for (int i = 1; i < argc; ++i) {
@@ -242,12 +260,15 @@ int main(int argc, char** argv) {
       client_counts = ParseList(argv[++i]);
     } else if (arg == "--batch" && i + 1 < argc) {
       batch_sizes = ParseList(argv[++i]);
+    } else if (arg == "--conns" && i + 1 < argc) {
+      conn_counts = ParseList(argv[++i]);
     } else if (arg == "--rounds" && i + 1 < argc) {
       rounds = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: micro_serve --json [out.json] [--clients "
-                   "1,2,4,8] [--batch 1000] [--rounds 50]\n");
+                   "1,2,4,8] [--batch 1000] [--rounds 50] "
+                   "[--conns 8,1024,10000]\n");
       return 2;
     }
   }
@@ -427,6 +448,140 @@ int main(int argc, char** argv) {
                       outcome.p50_ns, outcome.p99_ns});
     }
   }
+  // -- connection-scale sweep: C held connections into the epoll
+  //    reactor over real loopback TCP, 8 of them actively pipelining.
+  if (!conn_counts.empty()) {
+    const std::size_t kActive = 8;
+    const std::size_t batch = batch_sizes.front();
+
+    // Each loopback connection costs two descriptors in this process
+    // (the client end plus the accepted end); keep headroom for the
+    // listener, the sketch file, stdio and everything else.
+    std::size_t fd_ceiling = 0;
+    struct rlimit rl;
+    if (getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur > 256) {
+      fd_ceiling = (static_cast<std::size_t>(rl.rlim_cur) - 256) / 2;
+    }
+
+    serve::ReactorServer reactor(router);
+    if (!reactor.Listen(0)) {
+      std::fprintf(stderr, "error: reactor cannot listen for the "
+                           "connection sweep\n");
+      return 1;
+    }
+    const std::uint16_t port = reactor.port();
+
+    std::vector<ClientBatch> batches;
+    std::vector<std::vector<double>> expected(kActive);
+    for (std::size_t c = 0; c < kActive; ++c) {
+      batches.push_back(MakeBatch(batch, 100 + c));
+      engine.estimate_many(batches[c].itemsets, &expected[c]);
+    }
+    // The per-connection verification probe: one tiny query every
+    // connection must answer bit-identically before it counts as held.
+    const ClientBatch probe = MakeBatch(1, 4242);
+    std::vector<double> probe_expected;
+    engine.estimate_many(probe.itemsets, &probe_expected);
+
+    double baseline_ns = 0.0;
+    for (std::size_t conns : conn_counts) {
+      std::size_t target = std::max(conns, kActive);
+      if (fd_ceiling > 0 && target > fd_ceiling) {
+        std::fprintf(stderr,
+                     "note: clamping --conns %zu to %zu "
+                     "(RLIMIT_NOFILE=%llu, 2 fds per connection)\n",
+                     conns, fd_ceiling,
+                     static_cast<unsigned long long>(rl.rlim_cur));
+        target = fd_ceiling;
+      }
+
+      std::vector<std::unique_ptr<serve::SketchClient>> pool;
+      pool.reserve(target);
+      while (pool.size() < target) {
+        auto transport = serve::TcpConnect(port);
+        if (transport == nullptr) {
+          std::fprintf(stderr,
+                       "note: connection ceiling measured at %zu of %zu "
+                       "requested\n",
+                       pool.size(), target);
+          break;
+        }
+        pool.push_back(
+            std::make_unique<serve::SketchClient>(std::move(transport)));
+      }
+      if (pool.size() < kActive) {
+        std::fprintf(stderr, "error: cannot open even %zu connections\n",
+                     kActive);
+        return 1;
+      }
+      // Every held connection answers the probe bit-identically, or the
+      // sweep is measuring a lie.
+      for (auto& client : pool) {
+        const auto got = client->EstimateMany(kSketchName, probe.wire);
+        if (!got.has_value() || *got != probe_expected) {
+          std::fprintf(stderr,
+                       "error: connection-sweep answer diverged from "
+                       "direct estimate_many at %zu connections\n",
+                       pool.size());
+          return 1;
+        }
+      }
+
+      // Measure with kActive pipelined clients; the rest just sit open,
+      // which is exactly the load the reactor must keep off the fast
+      // path.
+      std::atomic<bool> failed{false};
+      std::vector<std::vector<double>> latencies(kActive);
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<std::thread> threads;
+      for (std::size_t c = 0; c < kActive; ++c) {
+        latencies[c].reserve(rounds);
+        threads.emplace_back([&, c] {
+          for (std::size_t r = 0; r < rounds; ++r) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto answers = pool[c]->EstimateManyPipelined(
+                kSketchName, batches[c].wire, 8);
+            latencies[c].push_back(ElapsedNs(t0));
+            if (!answers.has_value() || *answers != expected[c]) {
+              failed.store(true);
+              return;
+            }
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      const double total = ElapsedNs(start);
+      if (failed.load()) {
+        std::fprintf(stderr,
+                     "error: pipelined answers diverged from direct "
+                     "estimate_many at %zu connections\n",
+                     pool.size());
+        return 1;
+      }
+      std::vector<double> merged;
+      for (auto& lat : latencies) {
+        merged.insert(merged.end(), lat.begin(), lat.end());
+      }
+      const obs::HistogramSnapshot lat = LatencyHistogram(merged);
+      const double mean =
+          total / static_cast<double>(kActive * batch * rounds);
+      rows.push_back({"served_conns", pool.size(), batch, mean,
+                      PercentileNsPerQuery(lat, 0.50, batch),
+                      PercentileNsPerQuery(lat, 0.99, batch)});
+      if (baseline_ns == 0.0) {
+        baseline_ns = mean;
+      } else if (pool.size() >= 1024 && mean > 1.5 * baseline_ns) {
+        std::fprintf(stderr,
+                     "warning: %zu-connection ns/query %.1f exceeds "
+                     "1.5x the %zu-connection baseline %.1f\n",
+                     pool.size(), mean, conn_counts.front(), baseline_ns);
+      }
+      pool.clear();  // hang up before the next count
+    }
+    reactor.StopAccepting();
+    reactor.WaitDrained();
+  }
+
   std::remove(sketch_path.c_str());
 
   std::FILE* out =

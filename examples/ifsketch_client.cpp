@@ -3,7 +3,7 @@
 //   ifsketch_client --port P[,P2,...] [--retries N] [--timeout-ms MS]
 //                   info  <name>
 //   ifsketch_client --port P ... query <name> <attr> [attr...]
-//   ifsketch_client --port P ... batch <name>    (queries on stdin)
+//   ifsketch_client --port P ... batch <name> [frames]  (queries on stdin)
 //   ifsketch_client --port P ... refresh <name>
 //   ifsketch_client --port P ... subscribe <name> <min_epoch> [timeout_ms]
 //   ifsketch_client --port P ... health
@@ -23,7 +23,12 @@
 // `batch` reads one query per stdin line (ascending attribute indices,
 // space-separated) and prints one estimate per line; the whole batch
 // travels in a single request frame and is answered by one fused Engine
-// call server-side.
+// call server-side. With the optional [frames] argument (> 1), the
+// batch is instead PIPELINED: the queries split into up to that many
+// request frames written back-to-back on one connection, and the
+// replies -- which the server returns strictly in request order -- are
+// concatenated. Output is bit-identical to the single-frame form; the
+// CI reactor smoke diffs the two.
 //
 // `stats` pulls the server's full metrics registry over the STATS
 // opcode and prints it in the Prometheus text exposition format
@@ -62,7 +67,8 @@ int Usage() {
                "commands:\n"
                "  info  <name>\n"
                "  query <name> <attr> [attr...]\n"
-               "  batch <name>   (one query per stdin line)\n"
+               "  batch <name> [frames]   (one query per stdin line; "
+               "frames > 1 pipelines)\n"
                "  refresh <name>\n"
                "  subscribe <name> <min_epoch> [timeout_ms]\n"
                "  health\n"
@@ -196,7 +202,8 @@ int Stats(serve::SketchClient& client) {
   return 0;
 }
 
-int Batch(serve::SketchClient& client, const std::string& name) {
+int Batch(serve::SketchClient& client, const std::string& name,
+          std::size_t frames) {
   std::vector<std::vector<std::uint32_t>> queries;
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -215,7 +222,9 @@ int Batch(serve::SketchClient& client, const std::string& name) {
     std::fprintf(stderr, "error: no queries on stdin\n");
     return 1;
   }
-  const auto answers = client.EstimateMany(name, queries);
+  const auto answers = frames > 1
+                           ? client.EstimateManyPipelined(name, queries, frames)
+                           : client.EstimateMany(name, queries);
   if (!answers.has_value()) return ServerError(client);
   for (double a : *answers) std::printf("%.17g\n", a);
   return 0;
@@ -299,7 +308,18 @@ int main(int argc, char** argv) {
     }
     return Query(client, name, attrs);
   }
-  if (cmd == "batch" && args.size() == 2) return Batch(client, name);
+  if (cmd == "batch" && (args.size() == 2 || args.size() == 3)) {
+    std::size_t frames = 1;
+    if (args.size() == 3) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(args[2].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || v == 0 || v > 4096) {
+        return Usage();
+      }
+      frames = static_cast<std::size_t>(v);
+    }
+    return Batch(client, name, frames);
+  }
   if (cmd == "refresh" && args.size() == 2) return Refresh(client, name);
   if (cmd == "subscribe" && (args.size() == 3 || args.size() == 4)) {
     char* end = nullptr;

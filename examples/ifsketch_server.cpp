@@ -2,7 +2,8 @@
 //
 //   ifsketch_server --sketch NAME=PATH [--sketch NAME=PATH ...]
 //                   [--port P] [--pods N] [--replicas R] [--budget BYTES]
-//                   [--threads T] [--max-conns C] [--stats-every SECS]
+//                   [--threads T] [--loop-threads L] [--max-conns C]
+//                   [--stats-every SECS]
 //                   [--ingest NAME [--ingest-file PATH] [--ingest-algo A]
 //                    [--ingest-every N] [--ingest-save PATH]
 //                    [--ingest-k K] [--ingest-eps E]]
@@ -10,11 +11,15 @@
 // Registers each NAME=PATH on its owning replica set (serve/router.h
 // places every name on R of the N pods by rendezvous hashing), listens
 // on 127.0.0.1:P (0 = ephemeral), and serves the wire protocol
-// (serve/protocol.h) with one thread per accepted connection; concurrent
-// requests for the same sketch coalesce into fused Engine batches in the
-// router, and a replica that fails is failed over transparently. Sketch
-// files load on first use and stay resident under the per-pod byte
-// budget (LRU eviction).
+// (serve/protocol.h) through the epoll reactor (serve/reactor.h):
+// --loop-threads event loops multiplex every connection, clients may
+// pipeline many request frames per connection (replies come back in
+// request order), and heavy work runs on the dispatch pool + query
+// thread pool so a loop never blocks. Concurrent requests for the same
+// sketch coalesce into fused Engine batches in the router, and a
+// replica that fails is failed over transparently. Sketch files load on
+// first use and stay resident under the per-pod byte budget (LRU
+// eviction).
 //
 // SIGINT/SIGTERM shut down gracefully: the listener stops accepting,
 // in-flight connections drain, the --ingest-save snapshot (if any) is
@@ -43,9 +48,11 @@
 //
 // Prints exactly one "listening on <port>" line to stdout once the
 // socket is bound, so scripts (CI smoke) can scrape the ephemeral port.
-// --max-conns exits after serving C connections (also for scripts);
-// the default serves until killed. Answers are bit-identical to querying
-// the same files locally with ifsketch_cli.
+// --max-conns C caps CONCURRENT connections: accepts past the cap are
+// refused at accept time (counted in serve_conns_rejected_total) and
+// the slot frees when a connection closes; the default is uncapped.
+// The process serves until signalled. Answers are bit-identical to
+// querying the same files locally with ifsketch_cli.
 
 #include <pthread.h>
 
@@ -67,6 +74,7 @@
 #include "ingest/ingest.h"
 #include "obs/metrics.h"
 #include "serve/pod.h"
+#include "serve/reactor.h"
 #include "serve/router.h"
 #include "serve/server.h"
 #include "util/thread_pool.h"
@@ -81,7 +89,7 @@ int Usage() {
       "usage: ifsketch_server --sketch NAME=PATH [--sketch NAME=PATH ...]\n"
       "                       [--port P] [--pods N] [--replicas R]\n"
       "                       [--budget BYTES] [--threads T] "
-      "[--max-conns C]\n"
+      "[--loop-threads L] [--max-conns C]\n"
       "\n"
       "  --sketch NAME=PATH  register an IFSK file under NAME "
       "(repeatable)\n"
@@ -94,8 +102,10 @@ int Usage() {
       "unlimited)\n"
       "  --threads T         query thread-pool size (default: "
       "IFSKETCH_THREADS, else all cores)\n"
-      "  --max-conns C       exit after serving C connections (default: "
-      "serve forever)\n"
+      "  --loop-threads L    epoll event-loop threads (default: all "
+      "cores)\n"
+      "  --max-conns C       concurrent connection cap; accepts past it "
+      "are refused (default: uncapped)\n"
       "  --stats-every SECS  dump all metrics to stderr every SECS "
       "seconds (SIGUSR1 dumps on demand)\n"
       "  --ingest NAME       serve a live stream sketch under NAME\n"
@@ -149,8 +159,9 @@ int main(int argc, char** argv) {
   std::size_t pods = 1;
   std::size_t replicas = 1;
   std::size_t budget = serve::SketchPod::kUnlimited;
-  std::size_t max_conns = 0;    // 0 = unlimited
-  std::size_t stats_every = 0;  // seconds; 0 = no periodic dump
+  std::size_t max_conns = 0;     // concurrent cap; 0 = unlimited
+  std::size_t loop_threads = 0;  // 0 = all cores
+  std::size_t stats_every = 0;   // seconds; 0 = no periodic dump
   std::string ingest_name;
   std::string ingest_file;  // empty or "-" = stdin
   std::string ingest_algo = "STREAM-SUBSAMPLE";
@@ -191,6 +202,11 @@ int main(int argc, char** argv) {
         return Usage();
       }
       util::ThreadPool::SetDefaultThreadCount(threads);
+    } else if (arg == "--loop-threads" && has_value) {
+      if (!ParseSize(argv[++i], &loop_threads) || loop_threads == 0 ||
+          loop_threads > 1024) {
+        return Usage();
+      }
     } else if (arg == "--max-conns" && has_value) {
       if (!ParseSize(argv[++i], &max_conns) || max_conns == 0) {
         return Usage();
@@ -277,18 +293,22 @@ int main(int argc, char** argv) {
                  router.ShardOf(ingest_name));
   }
 
-  serve::TcpListener listener;
-  if (!listener.Listen(static_cast<std::uint16_t>(port))) {
+  serve::ReactorOptions reactor_options;
+  reactor_options.loop_threads = loop_threads;
+  reactor_options.max_connections = max_conns;
+  serve::ReactorServer reactor(router, reactor_options);
+  if (!reactor.Listen(static_cast<std::uint16_t>(port))) {
     std::fprintf(stderr, "error: cannot listen on 127.0.0.1:%zu\n", port);
     return 1;
   }
-  std::printf("listening on %u\n", listener.port());
+  std::printf("listening on %u\n", reactor.port());
   std::fflush(stdout);
 
   // Graceful shutdown: the sigwait thread turns the first SIGINT/SIGTERM
-  // into "stop accepting" (listener.Shutdown() wakes the blocked accept,
-  // the loop below falls through to the normal drain/save/stats path)
-  // and a second signal into an immediate _exit(130) for wedged drains.
+  // into "stop accepting" (reactor.StopAccepting() refuses new
+  // connections, the WaitDrained below returns once the open ones
+  // finish) and a second signal into an immediate _exit(130) for wedged
+  // drains.
   std::atomic<bool> exiting{false};
   std::atomic<bool> stopping{false};
   std::thread sig_thread([&] {
@@ -304,7 +324,7 @@ int main(int argc, char** argv) {
                    "caught signal %d: draining (signal again to force "
                    "quit)\n",
                    sig);
-      listener.Shutdown();
+      reactor.StopAccepting();
     }
   });
 
@@ -415,32 +435,11 @@ int main(int argc, char** argv) {
     });
   }
 
-  // Connection threads are detached and tracked by a counter rather
-  // than collected in a vector: the serve-forever mode must not grow a
-  // handle per connection ever accepted. The final wait keeps `router`
-  // (and this frame) alive until the last connection drains.
-  std::mutex conn_mu;
-  std::condition_variable conn_cv;
-  std::size_t active_conns = 0;
-  for (std::size_t served = 0; max_conns == 0 || served < max_conns;
-       ++served) {
-    auto transport = listener.Accept();
-    if (transport == nullptr) break;
-    {
-      std::lock_guard<std::mutex> lock(conn_mu);
-      ++active_conns;
-    }
-    std::thread([&, t = std::move(transport)]() mutable {
-      serve::ServeConnection(router, *t);
-      std::lock_guard<std::mutex> lock(conn_mu);
-      --active_conns;
-      conn_cv.notify_all();
-    }).detach();
-  }
-  {
-    std::unique_lock<std::mutex> lock(conn_mu);
-    conn_cv.wait(lock, [&] { return active_conns == 0; });
-  }
+  // The reactor's loop threads serve every connection from here on;
+  // main just waits for the shutdown sequence (StopAccepting from the
+  // sigwait thread, then the open connections closing). The wait keeps
+  // `router` (and this frame) alive until the last connection drains.
+  reactor.WaitDrained();
   if (feeder.joinable()) feeder.join();
 
   if (stats_thread.joinable()) {

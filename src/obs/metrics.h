@@ -53,6 +53,17 @@
 //                                                           leader's batch
 //   serve_coalesce_depth                          histogram requests fused
 //                                                           per batch
+//   serve_loop_connections{loop=...}              gauge     open connections
+//                                                           on an event loop
+//   serve_loop_outbound_bytes{loop=...}           gauge     queued reply bytes
+//                                                           across a loop's
+//                                                           connections
+//   serve_loop_wakeups_total{loop=...}            counter   epoll_wait returns
+//   serve_conns_rejected_total                    counter   accepts refused at
+//                                                           the connection cap
+//   serve_backpressure_hangups_total              counter   connections closed
+//                                                           at the outbound
+//                                                           byte cap
 //   serve_pod_inflight{pod=...}                   gauge     requests in flight
 //   serve_pod_health_transitions_total{pod=...}   counter   health state edges
 //   serve_pod_probes_total{pod=...}               counter   probe dispatches

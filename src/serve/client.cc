@@ -146,6 +146,121 @@ std::optional<std::vector<double>> SketchClient::EstimateMany(
   return answers;
 }
 
+std::optional<std::vector<double>> SketchClient::EstimateManyPipelined(
+    const std::string& sketch,
+    const std::vector<std::vector<std::uint32_t>>& queries,
+    std::size_t frames) {
+  if (frames <= 1 || queries.size() <= 1) {
+    return EstimateMany(sketch, queries);
+  }
+  frames = std::min(frames, queries.size());
+  last_error_.clear();
+  last_status_ = Status::kOk;
+  last_failure_ = FailureKind::kNone;
+  last_attempts_ = 0;
+
+  // Encode every chunk up front; the wire buffers then go out as one
+  // vectored write per attempt.
+  std::vector<std::string> wire(frames);
+  std::vector<std::size_t> chunk_sizes(frames);
+  const std::size_t per = queries.size() / frames;
+  const std::size_t extra = queries.size() % frames;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < frames; ++i) {
+    const std::size_t count = per + (i < extra ? 1 : 0);
+    QueryRequest request;
+    request.sketch = sketch;
+    request.queries.assign(queries.begin() + begin,
+                           queries.begin() + begin + count);
+    std::string body;
+    if (!EncodeQueryRequest(request, &body) ||
+        !EncodeFrame(Opcode::kEstimate, 0, body, &wire[i])) {
+      last_error_ = "request exceeds protocol limits";
+      last_failure_ = FailureKind::kLocal;
+      return std::nullopt;
+    }
+    chunk_sizes[i] = count;
+    begin += count;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const int max_attempts = factory_ ? std::max(1, policy_.max_attempts) : 1;
+  for (int attempt = 1;; ++attempt) {
+    last_attempts_ = attempt;
+    if (!EnsureConnected()) {
+      last_error_ = factory_ ? "connect failed" : "connection is closed";
+      last_failure_ = FailureKind::kTransport;
+    } else {
+      ApplyReadTimeout(start);
+      std::vector<ConstBuffer> spans(frames);
+      for (std::size_t i = 0; i < frames; ++i) {
+        spans[i] = ConstBuffer{wire[i].data(), wire[i].size()};
+      }
+      if (!transport_->WritevAll(spans.data(), spans.size())) {
+        Poison("send failed (peer closed the connection)");
+      } else {
+        std::vector<double> answers;
+        answers.reserve(queries.size());
+        bool refused = false;
+        bool lost = false;
+        // Replies come back in request order (the protocol's pipelining
+        // contract). On a kError chunk keep draining the rest so the
+        // connection stays usable, exactly like a single-frame refusal.
+        for (std::size_t i = 0; i < frames; ++i) {
+          Frame reply;
+          if (ReadFrame(*transport_, &reply) != ReadResult::kFrame) {
+            Poison(
+                "no reply (peer closed, deadline expired, or malformed "
+                "frame)");
+            lost = true;
+            break;
+          }
+          if (reply.header.opcode == Opcode::kError) {
+            if (!refused) {
+              last_status_ = static_cast<Status>(reply.header.status);
+              const auto message = DecodeErrorMessage(reply.body);
+              last_error_ = message.has_value() ? *message : "server error";
+            }
+            refused = true;
+            continue;
+          }
+          if (reply.header.opcode != Opcode::kEstimateReply) {
+            Poison("unexpected reply opcode");
+            lost = true;
+            break;
+          }
+          auto chunk = DecodeEstimateReply(reply.body);
+          if (!chunk.has_value() || chunk->size() != chunk_sizes[i]) {
+            Poison("undecodable estimate reply");
+            lost = true;
+            break;
+          }
+          answers.insert(answers.end(), chunk->begin(), chunk->end());
+        }
+        if (!lost) {
+          if (refused) {
+            last_failure_ = FailureKind::kRequest;
+            return std::nullopt;
+          }
+          last_failure_ = FailureKind::kNone;
+          return answers;
+        }
+      }
+    }
+    if (attempt >= max_attempts) return std::nullopt;
+    obs::MetricsRegistry::Default()
+        .GetCounter("client_retries_total")
+        ->Add();
+    const auto backoff = NextBackoff(attempt);
+    if (policy_.deadline.count() > 0 &&
+        std::chrono::steady_clock::now() + backoff - start >=
+            policy_.deadline) {
+      return std::nullopt;
+    }
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+  }
+}
+
 std::optional<std::vector<bool>> SketchClient::AreFrequent(
     const std::string& sketch,
     const std::vector<std::vector<std::uint32_t>>& queries) {

@@ -116,6 +116,20 @@ class SketchClient {
       const std::string& sketch,
       const std::vector<std::vector<std::uint32_t>>& queries);
 
+  /// EstimateMany, pipelined: splits `queries` into up to `frames`
+  /// contiguous request frames, writes them all back-to-back in one
+  /// vectored write, then reads the replies in order and concatenates
+  /// the answers -- bit-identical to the single-frame call, but the
+  /// server (reactor path) overlaps the chunks' execution. frames <= 1
+  /// degenerates to EstimateMany. A kError on any chunk is a request
+  /// failure (the remaining replies are still drained, so the
+  /// connection stays usable); transport failures retry whole per the
+  /// policy, like every other call.
+  std::optional<std::vector<double>> EstimateManyPipelined(
+      const std::string& sketch,
+      const std::vector<std::vector<std::uint32_t>>& queries,
+      std::size_t frames);
+
   /// The served sketch's public context (algorithm, params, shape).
   std::optional<SketchInfo> Info(const std::string& sketch);
 

@@ -1,5 +1,6 @@
 #include "serve/protocol.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace ifsketch::serve {
@@ -73,12 +74,23 @@ bool KnownOpcode(std::uint8_t byte) {
 bool EncodeFrame(Opcode opcode, std::uint8_t status, std::string_view body,
                  std::string* out) {
   if (body.size() > kMaxBodyBytes) return false;
-  out->append(kFrameMagic, sizeof(kFrameMagic));
-  PutRaw<std::uint16_t>(out, kProtocolVersion);
-  PutRaw<std::uint8_t>(out, static_cast<std::uint8_t>(opcode));
-  PutRaw<std::uint8_t>(out, status);
-  PutRaw<std::uint32_t>(out, static_cast<std::uint32_t>(body.size()));
+  char header[kFrameHeaderBytes];
+  EncodeFrameHeader(opcode, status, static_cast<std::uint32_t>(body.size()),
+                    header);
+  out->append(header, kFrameHeaderBytes);
   out->append(body.data(), body.size());
+  return true;
+}
+
+bool EncodeFrameHeader(Opcode opcode, std::uint8_t status,
+                       std::uint32_t body_length, char* out) {
+  if (body_length > kMaxBodyBytes) return false;
+  std::memcpy(out, kFrameMagic, sizeof(kFrameMagic));
+  const std::uint16_t version = kProtocolVersion;
+  std::memcpy(out + 4, &version, sizeof(version));
+  out[6] = static_cast<char>(opcode);
+  out[7] = static_cast<char>(status);
+  std::memcpy(out + 8, &body_length, sizeof(body_length));
   return true;
 }
 
@@ -202,11 +214,15 @@ bool EncodeStatsReply(const StatsReply& reply, std::string* body) {
 }
 
 void EncodeError(Status status, std::string_view message, std::string* out) {
+  std::string body;
+  EncodeErrorBody(message, &body);
+  EncodeFrame(Opcode::kError, static_cast<std::uint8_t>(status), body, out);
+}
+
+void EncodeErrorBody(std::string_view message, std::string* body) {
   // Error messages are diagnostic, not data: truncate rather than fail.
   if (message.size() > 0xffff) message = message.substr(0, 0xffff);
-  std::string body;
-  PutString(&body, message);
-  EncodeFrame(Opcode::kError, static_cast<std::uint8_t>(status), body, out);
+  PutString(body, message);
 }
 
 std::optional<FrameHeader> DecodeFrameHeader(const char* data,
@@ -418,6 +434,49 @@ std::optional<std::string> DecodeErrorMessage(std::string_view body) {
   std::string message;
   if (!in.GetString(message) || !in.Done()) return std::nullopt;
   return message;
+}
+
+FrameDecoder::Step FrameDecoder::Consume(const char* data, std::size_t size,
+                                         std::size_t* consumed) {
+  *consumed = 0;
+  while (true) {
+    switch (state_) {
+      case State::kMalformed:
+        return Step::kMalformed;
+      case State::kHeader: {
+        const std::size_t take =
+            std::min(size - *consumed, kFrameHeaderBytes - have_);
+        std::memcpy(header_ + have_, data + *consumed, take);
+        have_ += take;
+        *consumed += take;
+        if (have_ < kFrameHeaderBytes) return Step::kNeedMore;
+        std::optional<FrameHeader> header =
+            DecodeFrameHeader(header_, kFrameHeaderBytes);
+        if (!header) {
+          state_ = State::kMalformed;
+          return Step::kMalformed;
+        }
+        // The length field was validated against kMaxBodyBytes above, so
+        // this resize is bounded.
+        frame_.header = *header;
+        frame_.body.resize(header->body_length);
+        have_ = 0;
+        state_ = State::kBody;
+        break;
+      }
+      case State::kBody: {
+        const std::size_t take =
+            std::min(size - *consumed, frame_.body.size() - have_);
+        std::memcpy(frame_.body.data() + have_, data + *consumed, take);
+        have_ += take;
+        *consumed += take;
+        if (have_ < frame_.body.size()) return Step::kNeedMore;
+        have_ = 0;
+        state_ = State::kHeader;
+        return Step::kFrame;
+      }
+    }
+  }
 }
 
 }  // namespace ifsketch::serve

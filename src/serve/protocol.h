@@ -76,6 +76,24 @@
 // Codec functions are pure buffer transforms with no transport
 // dependency; serve/transport.h adds ReadFrame/WriteFrame over a
 // Transport.
+//
+// Pipelining contract (PR 9, the event-loop server in serve/reactor.h):
+// a client may write any number of request frames back-to-back without
+// waiting for replies. The server answers every request with exactly one
+// reply frame, in request order -- requests may execute concurrently
+// server-side, but reply N is never written before reply N-1, so a
+// client matches replies to requests by counting. Two per-connection
+// bounds apply: the server stops reading a connection once its
+// outstanding (unanswered) frames reach the server's outstanding cap
+// (resuming as replies drain, so a client that also drains never
+// deadlocks), and a connection whose client stops reading replies is
+// hung up once the queued reply bytes exceed the server's outbound cap.
+// The first malformed frame still kills the connection: framing is lost,
+// so the server answers the requests already read, appends one kError
+// frame, and closes -- bytes after the malformed frame are never
+// interpreted. FrameDecoder below is the incremental form of this
+// boundary: it accepts exactly the frames the blocking
+// ReadFrame/DecodeFrameHeader path accepts, byte for byte.
 #ifndef IFSKETCH_SERVE_PROTOCOL_H_
 #define IFSKETCH_SERVE_PROTOCOL_H_
 
@@ -233,6 +251,15 @@ struct SketchInfo {
 bool EncodeFrame(Opcode opcode, std::uint8_t status, std::string_view body,
                  std::string* out);
 
+/// Writes just the 12-byte header for a body of `body_length` bytes into
+/// `out[0..kFrameHeaderBytes)`. The scatter/gather write path (reactor,
+/// pipelined client) encodes headers and bodies into separate buffers
+/// and hands both to writev, so reply payloads are never copied into a
+/// staging buffer. Returns false when body_length exceeds kMaxBodyBytes
+/// (nothing is written).
+bool EncodeFrameHeader(Opcode opcode, std::uint8_t status,
+                       std::uint32_t body_length, char* out);
+
 /// Body encoders. EncodeQueryRequest returns false when the request
 /// exceeds protocol limits (name > 64 KiB, too many queries, a query
 /// with > 65535 attributes).
@@ -258,6 +285,9 @@ bool EncodeHealthReply(const std::vector<PodHealthInfo>& pods,
 /// buckets.
 bool EncodeStatsReply(const StatsReply& reply, std::string* body);
 void EncodeError(Status status, std::string_view message, std::string* out);
+/// Body-only form of EncodeError for callers that frame separately (the
+/// reactor's reply slots). Oversized messages are truncated, not failed.
+void EncodeErrorBody(std::string_view message, std::string* body);
 
 // ------------------------------------------------------------- decoding
 
@@ -281,6 +311,55 @@ std::optional<std::vector<PodHealthInfo>> DecodeHealthReply(
     std::string_view body);
 std::optional<StatsReply> DecodeStatsReply(std::string_view body);
 std::optional<std::string> DecodeErrorMessage(std::string_view body);
+
+// -------------------------------------------------- incremental decode
+
+/// Incremental frame decoder for non-blocking reads: feed whatever bytes
+/// the socket produced, pull out complete frames. Accept/reject parity
+/// with the blocking path is the invariant the fuzz test enforces -- a
+/// byte stream chopped at any boundaries yields exactly the frames (and
+/// exactly the malformed verdict) that ReadFrame would produce reading
+/// the same stream whole. Header validation happens the moment byte 12
+/// arrives, before any body allocation, so a hostile length field is
+/// rejected without reserving memory for it.
+///
+/// Usage: call Consume with unread input; it eats bytes until a frame
+/// completes (kFrame -- take() the result, call again with the rest),
+/// input runs out (kNeedMore), or the header fails validation
+/// (kMalformed -- terminal; framing is lost and the connection must
+/// close; further Consume calls eat nothing and return kMalformed).
+class FrameDecoder {
+ public:
+  enum class Step {
+    kNeedMore,   ///< all input consumed, no complete frame yet
+    kFrame,      ///< one frame completed; take() it, re-Consume the rest
+    kMalformed,  ///< header invalid (bad magic/version/opcode/length)
+  };
+
+  /// Consumes up to `size` bytes from `data`; `*consumed` is always set
+  /// to the number of bytes eaten (on kFrame, bytes beyond the completed
+  /// frame are left for the next call).
+  Step Consume(const char* data, std::size_t size, std::size_t* consumed);
+
+  /// The frame completed by the last kFrame step. Valid until the next
+  /// Consume call.
+  Frame take() { return std::move(frame_); }
+
+  /// True when the stream ends inside a frame -- EOF here is the
+  /// mid-frame hangup ReadFrame reports as kMalformed, while EOF at a
+  /// frame boundary is a clean close.
+  bool mid_frame() const {
+    return state_ == State::kBody || (state_ == State::kHeader && have_ > 0);
+  }
+
+ private:
+  enum class State { kHeader, kBody, kMalformed };
+
+  State state_ = State::kHeader;
+  std::size_t have_ = 0;  // bytes of header_ or frame_.body filled so far
+  char header_[kFrameHeaderBytes];
+  Frame frame_;
+};
 
 }  // namespace ifsketch::serve
 

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -28,6 +29,14 @@ Status ToProtocolStatus(RouteStatus status) {
   return Status::kInternal;
 }
 
+ReplyFrame ErrorReply(Status status, std::string_view message) {
+  ReplyFrame reply;
+  reply.opcode = Opcode::kError;
+  reply.status = static_cast<std::uint8_t>(status);
+  EncodeErrorBody(message, &reply.body);
+  return reply;
+}
+
 bool SendError(Transport& transport, Status status,
                std::string_view message) {
   std::string wire;
@@ -37,22 +46,21 @@ bool SendError(Transport& transport, Status status,
 
 /// Turns a decoded query request into Itemsets over the target sketch's
 /// universe, handing back the acquired engine so routing can reuse it
-/// (one pod acquire per request). False (with an error already sent)
-/// when the name is unknown, the file will not load, or any attribute
-/// is out of range.
-bool PrepareQueries(Router& router, Transport& transport,
-                    const QueryRequest& request,
+/// (one pod acquire per request). False (with `*error` filled) when the
+/// name is unknown, the file will not load, or any attribute is out of
+/// range.
+bool PrepareQueries(Router& router, const QueryRequest& request,
                     std::vector<core::Itemset>* ts,
                     std::shared_ptr<const Engine>* engine_out,
-                    std::size_t* engine_pod) {
+                    std::size_t* engine_pod, ReplyFrame* error) {
   auto engine = router.Acquire(request.sketch, engine_pod);
   if (engine == nullptr) {
     if (router.Knows(request.sketch)) {
-      SendError(transport, Status::kInternal,
-                "sketch \"" + request.sketch + "\" failed to load");
+      *error = ErrorReply(Status::kInternal,
+                          "sketch \"" + request.sketch + "\" failed to load");
     } else {
-      SendError(transport, Status::kUnknownSketch,
-                "unknown sketch \"" + request.sketch + "\"");
+      *error = ErrorReply(Status::kUnknownSketch,
+                          "unknown sketch \"" + request.sketch + "\"");
     }
     return false;
   }
@@ -62,17 +70,17 @@ bool PrepareQueries(Router& router, Transport& transport,
     core::Itemset t(d);
     for (std::uint32_t attr : attrs) {
       if (attr >= d) {
-        SendError(transport, Status::kUnsupportedQuery,
-                  "attribute out of range for sketch \"" + request.sketch +
-                      "\"");
+        *error = ErrorReply(Status::kUnsupportedQuery,
+                            "attribute out of range for sketch \"" +
+                                request.sketch + "\"");
         return false;
       }
       t.Add(attr);
     }
     if (!engine->supports_query_size(t.size())) {
-      SendError(transport, Status::kUnsupportedQuery,
-                "query size unsupported by sketch \"" + request.sketch +
-                    "\"");
+      *error = ErrorReply(Status::kUnsupportedQuery,
+                          "query size unsupported by sketch \"" +
+                              request.sketch + "\"");
       return false;
     }
     ts->push_back(std::move(t));
@@ -88,28 +96,27 @@ auto TimedDecode(DecodeFn&& decode, std::string_view body) {
   return decode(body);
 }
 
-/// Encode + write with the kEncode stage stamped on the current trace.
+/// Encode with the kEncode stage stamped on the current trace.
 template <typename EncodeFn>
-bool TimedReply(Transport& transport, Opcode opcode, EncodeFn&& encode) {
+ReplyFrame TimedReply(Opcode opcode, EncodeFn&& encode) {
   obs::StageTimer timer(obs::Stage::kEncode);
-  std::string reply;
-  encode(&reply);
-  return WriteFrame(transport, opcode, 0, reply);
+  ReplyFrame reply;
+  reply.opcode = opcode;
+  encode(&reply.body);
+  return reply;
 }
 
-bool HandleEstimate(Router& router, Transport& transport,
-                    std::string_view body) {
+ReplyFrame HandleEstimate(Router& router, std::string_view body) {
   const auto request = TimedDecode(DecodeQueryRequest, body);
   if (!request.has_value()) {
-    return SendError(transport, Status::kBadRequest,
-                     "undecodable estimate request");
+    return ErrorReply(Status::kBadRequest, "undecodable estimate request");
   }
   std::vector<core::Itemset> ts;
   std::shared_ptr<const Engine> engine;
   std::size_t engine_pod = Router::kNoPod;
-  if (!PrepareQueries(router, transport, *request, &ts, &engine,
-                      &engine_pod)) {
-    return true;
+  ReplyFrame error;
+  if (!PrepareQueries(router, *request, &ts, &engine, &engine_pod, &error)) {
+    return error;
   }
   std::vector<double> answers;
   RouteStatus status;
@@ -121,29 +128,27 @@ bool HandleEstimate(Router& router, Transport& transport,
                                  &answers, engine_pod);
   }
   if (status != RouteStatus::kOk) {
-    return SendError(transport, ToProtocolStatus(status),
-                     "estimate failed for sketch \"" + request->sketch +
-                         "\" (indicator-flavored sketch?)");
+    return ErrorReply(ToProtocolStatus(status),
+                      "estimate failed for sketch \"" + request->sketch +
+                          "\" (indicator-flavored sketch?)");
   }
-  return TimedReply(transport, Opcode::kEstimateReply,
-                    [&answers](std::string* reply) {
-                      EncodeEstimateReply(answers, reply);
-                    });
+  return TimedReply(Opcode::kEstimateReply, [&answers](std::string* reply) {
+    EncodeEstimateReply(answers, reply);
+  });
 }
 
-bool HandleAreFrequent(Router& router, Transport& transport,
-                       std::string_view body) {
+ReplyFrame HandleAreFrequent(Router& router, std::string_view body) {
   const auto request = TimedDecode(DecodeQueryRequest, body);
   if (!request.has_value()) {
-    return SendError(transport, Status::kBadRequest,
-                     "undecodable are-frequent request");
+    return ErrorReply(Status::kBadRequest,
+                      "undecodable are-frequent request");
   }
   std::vector<core::Itemset> ts;
   std::shared_ptr<const Engine> engine;
   std::size_t engine_pod = Router::kNoPod;
-  if (!PrepareQueries(router, transport, *request, &ts, &engine,
-                      &engine_pod)) {
-    return true;
+  ReplyFrame error;
+  if (!PrepareQueries(router, *request, &ts, &engine, &engine_pod, &error)) {
+    return error;
   }
   std::vector<bool> answers;
   RouteStatus status;
@@ -153,31 +158,29 @@ bool HandleAreFrequent(Router& router, Transport& transport,
                                 &answers, engine_pod);
   }
   if (status != RouteStatus::kOk) {
-    return SendError(transport, ToProtocolStatus(status),
-                     "are-frequent failed for sketch \"" + request->sketch +
-                         "\"");
+    return ErrorReply(ToProtocolStatus(status),
+                      "are-frequent failed for sketch \"" + request->sketch +
+                          "\"");
   }
-  return TimedReply(transport, Opcode::kAreFrequentReply,
+  return TimedReply(Opcode::kAreFrequentReply,
                     [&answers](std::string* reply) {
                       EncodeAreFrequentReply(answers, reply);
                     });
 }
 
-bool HandleInfo(Router& router, Transport& transport,
-                std::string_view body) {
+ReplyFrame HandleInfo(Router& router, std::string_view body) {
   const auto name = TimedDecode(DecodeInfoRequest, body);
   if (!name.has_value()) {
-    return SendError(transport, Status::kBadRequest,
-                     "undecodable info request");
+    return ErrorReply(Status::kBadRequest, "undecodable info request");
   }
   const auto engine = router.Acquire(*name);
   if (engine == nullptr) {
     if (router.Knows(*name)) {
-      return SendError(transport, Status::kInternal,
-                       "sketch \"" + *name + "\" failed to load");
+      return ErrorReply(Status::kInternal,
+                        "sketch \"" + *name + "\" failed to load");
     }
-    return SendError(transport, Status::kUnknownSketch,
-                     "unknown sketch \"" + *name + "\"");
+    return ErrorReply(Status::kUnknownSketch,
+                      "unknown sketch \"" + *name + "\"");
   }
   SketchInfo info;
   info.algorithm = engine->algorithm();
@@ -190,62 +193,52 @@ bool HandleInfo(Router& router, Transport& transport,
   info.n = engine->n();
   info.d = engine->d();
   info.summary_bits = engine->summary_bits();
-  return TimedReply(transport, Opcode::kInfoReply,
-                    [&info](std::string* reply) {
-                      EncodeInfoReply(info, reply);
-                    });
+  return TimedReply(Opcode::kInfoReply, [&info](std::string* reply) {
+    EncodeInfoReply(info, reply);
+  });
 }
 
-bool HandleRefresh(Router& router, Transport& transport,
-                   std::string_view body) {
+ReplyFrame HandleRefresh(Router& router, std::string_view body) {
   const auto name = TimedDecode(DecodeRefreshRequest, body);
   if (!name.has_value()) {
-    return SendError(transport, Status::kBadRequest,
-                     "undecodable refresh request");
+    return ErrorReply(Status::kBadRequest, "undecodable refresh request");
   }
   const auto state = router.SnapshotOf(*name);
   if (!state.has_value()) {
-    return SendError(transport, Status::kUnknownSketch,
-                     "unknown sketch \"" + *name + "\"");
+    return ErrorReply(Status::kUnknownSketch,
+                      "unknown sketch \"" + *name + "\"");
   }
-  return TimedReply(transport, Opcode::kRefreshReply,
-                    [&state](std::string* reply) {
-                      EncodeSnapshotReply(
-                          SnapshotInfo{state->epoch, state->rows_seen},
-                          reply);
-                    });
+  return TimedReply(Opcode::kRefreshReply, [&state](std::string* reply) {
+    EncodeSnapshotReply(SnapshotInfo{state->epoch, state->rows_seen}, reply);
+  });
 }
 
-bool HandleSubscribe(Router& router, Transport& transport,
-                     std::string_view body) {
+ReplyFrame HandleSubscribe(Router& router, std::string_view body) {
   const auto request = TimedDecode(DecodeSubscribeRequest, body);
   if (!request.has_value()) {
-    return SendError(transport, Status::kBadRequest,
-                     "undecodable subscribe request");
+    return ErrorReply(Status::kBadRequest, "undecodable subscribe request");
   }
   SnapshotState state;
-  // The wait blocks only this connection's thread; publishes arrive from
-  // the ingest thread and wake it through the pod's condition variable.
+  // The wait blocks only the thread carrying this request (a connection
+  // thread on the blocking path, a dispatch worker on the reactor path);
+  // publishes arrive from the ingest thread and wake it through the
+  // pod's condition variable.
   if (!router.WaitForEpoch(request->sketch, request->min_epoch,
                            std::chrono::milliseconds(request->timeout_ms),
                            &state)) {
-    return SendError(transport, Status::kUnknownSketch,
-                     "unknown sketch \"" + request->sketch + "\"");
+    return ErrorReply(Status::kUnknownSketch,
+                      "unknown sketch \"" + request->sketch + "\"");
   }
   // On timeout the reply still carries the final state; the client tells
   // the cases apart by comparing epoch with its min_epoch.
-  return TimedReply(transport, Opcode::kSubscribeReply,
-                    [&state](std::string* reply) {
-                      EncodeSnapshotReply(
-                          SnapshotInfo{state.epoch, state.rows_seen}, reply);
-                    });
+  return TimedReply(Opcode::kSubscribeReply, [&state](std::string* reply) {
+    EncodeSnapshotReply(SnapshotInfo{state.epoch, state.rows_seen}, reply);
+  });
 }
 
-bool HandleHealth(Router& router, Transport& transport,
-                  std::string_view body) {
+ReplyFrame HandleHealth(Router& router, std::string_view body) {
   if (!body.empty()) {
-    return SendError(transport, Status::kBadRequest,
-                     "health request takes no body");
+    return ErrorReply(Status::kBadRequest, "health request takes no body");
   }
   const auto snapshots = router.pod_health();
   std::vector<PodHealthInfo> pods;
@@ -258,19 +251,18 @@ bool HandleHealth(Router& router, Transport& transport,
     info.resident_bytes = s.resident_bytes;
     pods.push_back(info);
   }
-  std::string reply;
-  if (!EncodeHealthReply(pods, &reply)) {
-    return SendError(transport, Status::kInternal,
-                     "health reply exceeds protocol limits");
+  ReplyFrame reply;
+  reply.opcode = Opcode::kHealthReply;
+  if (!EncodeHealthReply(pods, &reply.body)) {
+    return ErrorReply(Status::kInternal,
+                      "health reply exceeds protocol limits");
   }
-  return WriteFrame(transport, Opcode::kHealthReply, 0, reply);
+  return reply;
 }
 
-bool HandleStats(Router& router, Transport& transport,
-                 std::string_view body) {
+ReplyFrame HandleStats(Router& router, std::string_view body) {
   if (!body.empty()) {
-    return SendError(transport, Status::kBadRequest,
-                     "stats request takes no body");
+    return ErrorReply(Status::kBadRequest, "stats request takes no body");
   }
   const obs::MetricsSnapshot snap = router.registry().Snapshot();
   StatsReply stats;
@@ -287,50 +279,103 @@ bool HandleStats(Router& router, Transport& transport,
     stats.histograms.push_back(
         StatsHistogram{name, h.count, h.sum, h.max, h.buckets});
   }
-  std::string reply;
-  if (!EncodeStatsReply(stats, &reply)) {
-    return SendError(transport, Status::kInternal,
-                     "stats reply exceeds protocol limits");
+  ReplyFrame reply;
+  reply.opcode = Opcode::kStatsReply;
+  if (!EncodeStatsReply(stats, &reply.body)) {
+    return ErrorReply(Status::kInternal,
+                      "stats reply exceeds protocol limits");
   }
-  return WriteFrame(transport, Opcode::kStatsReply, 0, reply);
+  return reply;
 }
 
-/// The per-opcode request counter plus the trace's op label, resolved
-/// once per connection (serving threads then only touch lock-free
-/// counters).
-struct OpMetrics {
-  obs::Counter* requests = nullptr;
-  const char* op = "";
-};
+constexpr const char* kOpNames[] = {"estimate", "are_frequent", "info",
+                                    "refresh",  "subscribe",    "health",
+                                    "stats"};
+constexpr std::size_t kOpCount = sizeof(kOpNames) / sizeof(kOpNames[0]);
 
-OpMetrics ResolveOp(obs::MetricsRegistry& registry, const char* op) {
-  return OpMetrics{
-      registry.GetCounter(obs::LabeledName("serve_requests_total", "op", op)),
-      op};
+/// Request-opcode index into kOpNames; kOpCount for non-request opcodes.
+std::size_t OpIndex(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kEstimate:
+      return 0;
+    case Opcode::kAreFrequent:
+      return 1;
+    case Opcode::kInfo:
+      return 2;
+    case Opcode::kRefresh:
+      return 3;
+    case Opcode::kSubscribe:
+      return 4;
+    case Opcode::kHealth:
+      return 5;
+    case Opcode::kStats:
+      return 6;
+    default:
+      return kOpCount;
+  }
+}
+
+/// serve_requests_total{op=} counters, cached thread-local per registry
+/// generation (the RequestTrace pattern): dispatch threads resolve the
+/// names once and then only touch lock-free counters, so the per-frame
+/// path never takes the registry mutex.
+obs::Counter* RequestCounter(obs::MetricsRegistry& registry,
+                             std::size_t op) {
+  struct Cache {
+    const obs::MetricsRegistry* registry = nullptr;
+    std::uint64_t generation = 0;
+    obs::Counter* counters[kOpCount] = {};
+  };
+  thread_local Cache cache;
+  if (cache.registry != &registry ||
+      cache.generation != registry.generation()) {
+    for (std::size_t i = 0; i < kOpCount; ++i) {
+      cache.counters[i] = registry.GetCounter(
+          obs::LabeledName("serve_requests_total", "op", kOpNames[i]));
+    }
+    cache.registry = &registry;
+    cache.generation = registry.generation();
+  }
+  return cache.counters[op];
 }
 
 }  // namespace
 
-void ServeConnection(Router& router, Transport& transport) {
-  obs::MetricsRegistry& registry = router.registry();
-  const OpMetrics op_estimate = ResolveOp(registry, "estimate");
-  const OpMetrics op_are_frequent = ResolveOp(registry, "are_frequent");
-  const OpMetrics op_info = ResolveOp(registry, "info");
-  const OpMetrics op_refresh = ResolveOp(registry, "refresh");
-  const OpMetrics op_subscribe = ResolveOp(registry, "subscribe");
-  const OpMetrics op_health = ResolveOp(registry, "health");
-  const OpMetrics op_stats = ResolveOp(registry, "stats");
-
+ReplyFrame DispatchRequest(Router& router, Opcode opcode,
+                           std::string_view body) {
+  const std::size_t op = OpIndex(opcode);
+  if (op == kOpCount) {
+    // Reply opcodes are valid frames but not valid *requests*; the frame
+    // was fully consumed, so the connection survives.
+    return ErrorReply(Status::kBadRequest, "frame opcode is not a request");
+  }
   // One request = one trace: count the opcode, then let the handler
   // stamp decode/route/acquire/kernel/encode onto the installed trace;
   // the trace destructor records the stages and the total span.
-  const auto dispatch = [&](const OpMetrics& op, auto&& handler,
-                            std::string_view body) {
-    op.requests->Add();
-    obs::RequestTrace trace(&registry, op.op);
-    return handler(router, transport, body);
-  };
+  obs::MetricsRegistry& registry = router.registry();
+  RequestCounter(registry, op)->Add();
+  obs::RequestTrace trace(&registry, kOpNames[op]);
+  switch (opcode) {
+    case Opcode::kEstimate:
+      return HandleEstimate(router, body);
+    case Opcode::kAreFrequent:
+      return HandleAreFrequent(router, body);
+    case Opcode::kInfo:
+      return HandleInfo(router, body);
+    case Opcode::kRefresh:
+      return HandleRefresh(router, body);
+    case Opcode::kSubscribe:
+      return HandleSubscribe(router, body);
+    case Opcode::kHealth:
+      return HandleHealth(router, body);
+    case Opcode::kStats:
+      return HandleStats(router, body);
+    default:
+      return ErrorReply(Status::kBadRequest, "frame opcode is not a request");
+  }
+}
 
+void ServeConnection(Router& router, Transport& transport) {
   for (;;) {
     Frame frame;
     switch (ReadFrame(transport, &frame)) {
@@ -345,37 +390,11 @@ void ServeConnection(Router& router, Transport& transport) {
       case ReadResult::kFrame:
         break;
     }
-    bool alive = true;
-    switch (frame.header.opcode) {
-      case Opcode::kEstimate:
-        alive = dispatch(op_estimate, HandleEstimate, frame.body);
-        break;
-      case Opcode::kAreFrequent:
-        alive = dispatch(op_are_frequent, HandleAreFrequent, frame.body);
-        break;
-      case Opcode::kInfo:
-        alive = dispatch(op_info, HandleInfo, frame.body);
-        break;
-      case Opcode::kRefresh:
-        alive = dispatch(op_refresh, HandleRefresh, frame.body);
-        break;
-      case Opcode::kSubscribe:
-        alive = dispatch(op_subscribe, HandleSubscribe, frame.body);
-        break;
-      case Opcode::kHealth:
-        alive = dispatch(op_health, HandleHealth, frame.body);
-        break;
-      case Opcode::kStats:
-        alive = dispatch(op_stats, HandleStats, frame.body);
-        break;
-      default:
-        // Reply opcodes are valid frames but not valid *requests*; the
-        // frame was fully consumed, so the connection survives.
-        alive = SendError(transport, Status::kBadRequest,
-                          "frame opcode is not a request");
-        break;
+    const ReplyFrame reply =
+        DispatchRequest(router, frame.header.opcode, frame.body);
+    if (!WriteFrame(transport, reply.opcode, reply.status, reply.body)) {
+      return;  // peer went away mid-reply
     }
-    if (!alive) return;  // peer went away mid-reply
   }
 }
 
@@ -393,6 +412,46 @@ bool FdTransport::WriteAll(const void* data, std::size_t size) {
       return false;
     }
     sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool FdTransport::WritevAll(const ConstBuffer* buffers, std::size_t count) {
+  // writev caps the vector at IOV_MAX entries; walk the spans with a
+  // rolling (index, offset) cursor so partial writes and long batches
+  // both resume exactly where the kernel stopped.
+  std::size_t index = 0;
+  std::size_t offset = 0;
+  while (index < count) {
+    iovec iov[64];
+    int iov_count = 0;
+    for (std::size_t i = index; i < count && iov_count < 64; ++i) {
+      const std::size_t skip = i == index ? offset : 0;
+      if (buffers[i].size <= skip) continue;
+      iov[iov_count].iov_base = const_cast<char*>(
+          static_cast<const char*>(buffers[i].data) + skip);
+      iov[iov_count].iov_len = buffers[i].size - skip;
+      ++iov_count;
+    }
+    if (iov_count == 0) return true;  // only empty spans left
+    // sendmsg, not writev: MSG_NOSIGNAL turns a dead peer into a plain
+    // EPIPE error instead of a process-killing SIGPIPE, matching the
+    // WriteAll path above.
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iov_count);
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    std::size_t advanced = static_cast<std::size_t>(n);
+    while (index < count && advanced >= buffers[index].size - offset) {
+      advanced -= buffers[index].size - offset;
+      offset = 0;
+      ++index;
+    }
+    offset += advanced;
   }
   return true;
 }

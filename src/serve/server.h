@@ -10,9 +10,11 @@
 // loses frame sync, so resynchronization is impossible by design --
 // length-prefixed framing has no frame boundary markers to hunt for).
 //
-// The TCP pieces are deliberately minimal: a blocking accept loop is all
-// a pod front end needs, concurrency comes from one thread per accepted
-// connection plus the coalescing router behind them.
+// The TCP pieces here are deliberately minimal: a blocking accept loop
+// plus one thread per connection, which the tests and small tools still
+// use. The production front end is the epoll reactor (serve/reactor.h);
+// both paths answer requests through the one DispatchRequest below, so
+// a frame gets the identical reply bytes whichever loop carried it.
 #ifndef IFSKETCH_SERVE_SERVER_H_
 #define IFSKETCH_SERVE_SERVER_H_
 
@@ -25,6 +27,25 @@
 #include "serve/transport.h"
 
 namespace ifsketch::serve {
+
+/// One encoded reply, ready to frame: the unit DispatchRequest returns
+/// and the reactor's in-order reply queue carries.
+struct ReplyFrame {
+  Opcode opcode = Opcode::kError;
+  std::uint8_t status = 0;  ///< Status byte on kError replies, else 0
+  std::string body;
+};
+
+/// Answers one request frame: decode, route through `router`, encode.
+/// Every request opcode (and every failure) yields exactly one reply
+/// frame; a non-request opcode in a valid frame yields a kError reply
+/// without killing anything (the frame was consumed, framing holds).
+/// Counts serve_requests_total{op=} and runs under a RequestTrace
+/// exactly like the blocking loop always did. Thread-safe against one
+/// Router; per-op counters are cached thread-local so the hot path
+/// never takes the registry mutex.
+ReplyFrame DispatchRequest(Router& router, Opcode opcode,
+                           std::string_view body);
 
 /// Serves one connection to completion: reads frames, dispatches through
 /// `router`, writes replies. Returns when the peer closes cleanly or a
@@ -39,6 +60,9 @@ class FdTransport : public Transport {
   ~FdTransport() override;
 
   bool WriteAll(const void* data, std::size_t size) override;
+  /// writev(2): all spans go out in one gathering write path, no staging
+  /// copy -- the pipelined client sends a whole batch of frames this way.
+  bool WritevAll(const ConstBuffer* buffers, std::size_t count) override;
   bool ReadAll(void* data, std::size_t size) override;
   void CloseWrite() override;
 

@@ -23,6 +23,13 @@
 
 namespace ifsketch::serve {
 
+/// One span of a vectored write (mirrors struct iovec without pulling
+/// <sys/uio.h> into transport-independent code).
+struct ConstBuffer {
+  const void* data = nullptr;
+  std::size_t size = 0;
+};
+
 /// A blocking, reliable, ordered byte stream (one direction per method).
 class Transport {
  public:
@@ -30,6 +37,19 @@ class Transport {
 
   /// Writes all `size` bytes; false on a closed/failed peer.
   virtual bool WriteAll(const void* data, std::size_t size) = 0;
+
+  /// Writes every buffer, in order, as one logical write; false on a
+  /// closed/failed peer (the stream position is then unspecified, like a
+  /// partial WriteAll). The default loops WriteAll; fd-backed transports
+  /// override with writev so a pipelined batch of frames (headers and
+  /// bodies as separate spans) goes out without a staging-buffer copy.
+  virtual bool WritevAll(const ConstBuffer* buffers, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (buffers[i].size == 0) continue;
+      if (!WriteAll(buffers[i].data, buffers[i].size)) return false;
+    }
+    return true;
+  }
 
   /// Reads exactly `size` bytes; false on EOF or error before `size`
   /// bytes arrive. A clean EOF at offset 0 also returns false -- callers

@@ -357,5 +357,163 @@ TEST(ProtocolFuzzTest, MutantFramesNeverCrashDecode) {
   }
 }
 
+// ----------------------------------- incremental decoder (FrameDecoder)
+
+/// The one-shot reference for a whole byte stream: what the blocking
+/// ReadFrame loop would produce reading it to EOF -- the frames in
+/// order, then how the stream ends (clean boundary, invalid header, or
+/// EOF inside a frame, which ReadFrame reports as a malformed hangup).
+struct StreamVerdict {
+  enum class End { kClean, kMalformed, kMidFrame };
+  std::vector<serve::Frame> frames;
+  End end = End::kClean;
+};
+
+StreamVerdict ReferenceParse(const std::string& bytes) {
+  using namespace serve;
+  StreamVerdict verdict;
+  std::size_t pos = 0;
+  for (;;) {
+    if (bytes.size() - pos == 0) break;  // clean end at a frame boundary
+    if (bytes.size() - pos < kFrameHeaderBytes) {
+      verdict.end = StreamVerdict::End::kMidFrame;
+      break;
+    }
+    const auto header =
+        DecodeFrameHeader(bytes.data() + pos, kFrameHeaderBytes);
+    if (!header.has_value()) {
+      verdict.end = StreamVerdict::End::kMalformed;
+      break;
+    }
+    if (bytes.size() - pos - kFrameHeaderBytes < header->body_length) {
+      verdict.end = StreamVerdict::End::kMidFrame;
+      break;
+    }
+    Frame frame;
+    frame.header = *header;
+    frame.body = bytes.substr(pos + kFrameHeaderBytes, header->body_length);
+    verdict.frames.push_back(std::move(frame));
+    pos += kFrameHeaderBytes + header->body_length;
+  }
+  return verdict;
+}
+
+/// Feeds `bytes` to a fresh FrameDecoder in chunks cut at `boundaries`
+/// (sorted offsets; implicit final boundary at the end) and checks the
+/// result against the one-shot reference: same frames, same terminal
+/// verdict, no matter where the stream was split.
+void DriveAndCompare(const std::string& bytes,
+                     const std::vector<std::size_t>& boundaries,
+                     const StreamVerdict& want) {
+  using namespace serve;
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  bool malformed = false;
+  std::size_t pos = 0;
+  for (std::size_t b = 0; b <= boundaries.size() && !malformed; ++b) {
+    const std::size_t end =
+        b < boundaries.size() ? boundaries[b] : bytes.size();
+    while (pos < end) {
+      std::size_t consumed = 0;
+      const FrameDecoder::Step step =
+          decoder.Consume(bytes.data() + pos, end - pos, &consumed);
+      pos += consumed;
+      if (step == FrameDecoder::Step::kFrame) {
+        frames.push_back(decoder.take());
+      } else if (step == FrameDecoder::Step::kMalformed) {
+        malformed = true;
+        break;
+      } else {
+        break;  // kNeedMore always consumes the whole chunk
+      }
+    }
+    pos = std::max(pos, std::min(end, bytes.size()));
+  }
+
+  // Exactly the frames the one-shot parse accepts, in order...
+  ASSERT_EQ(frames.size(), want.frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    ASSERT_EQ(frames[i].header.opcode, want.frames[i].header.opcode);
+    ASSERT_EQ(frames[i].header.status, want.frames[i].header.status);
+    ASSERT_EQ(frames[i].body, want.frames[i].body);
+  }
+  // ...and exactly the same terminal verdict.
+  switch (want.end) {
+    case StreamVerdict::End::kClean:
+      ASSERT_FALSE(malformed);
+      ASSERT_FALSE(decoder.mid_frame());
+      break;
+    case StreamVerdict::End::kMalformed:
+      ASSERT_TRUE(malformed);
+      break;
+    case StreamVerdict::End::kMidFrame:
+      ASSERT_FALSE(malformed);
+      ASSERT_TRUE(decoder.mid_frame());
+      break;
+  }
+}
+
+TEST(ProtocolFuzzTest, IncrementalDecoderMatchesOneShotAtEverySplitPoint) {
+  const auto valid = ValidFrames();
+  std::string stream;
+  for (const auto& frame : valid) stream += frame;
+  const StreamVerdict want = ReferenceParse(stream);
+  ASSERT_EQ(want.frames.size(), valid.size());
+  ASSERT_EQ(want.end, StreamVerdict::End::kClean);
+
+  // Every two-chunk split of the full valid stream: in particular every
+  // header-boundary, intra-header, and intra-body cut.
+  for (std::size_t split = 0; split <= stream.size(); ++split) {
+    DriveAndCompare(stream, {split}, want);
+  }
+}
+
+TEST(ProtocolFuzzTest, IncrementalDecoderMatchesOneShotOnMutantStreams) {
+  const auto valid = ValidFrames();
+  util::Rng rng(20260808);
+  constexpr std::size_t kStreams = 2000;
+  std::size_t malformed_streams = 0;
+  std::size_t midframe_streams = 0;
+  for (std::size_t t = 0; t < kStreams; ++t) {
+    // 1..6 frames, each mutated with probability ~1/3, concatenated;
+    // sometimes truncated or with trailing noise -- valid prefixes with
+    // a hostile tail are exactly what a reactor connection sees.
+    std::string stream;
+    const std::size_t count = 1 + rng.UniformInt(6);
+    for (std::size_t f = 0; f < count; ++f) {
+      const std::string& frame = valid[rng.UniformInt(valid.size())];
+      stream += rng.UniformInt(3) == 0 ? Mutate(frame, rng) : frame;
+    }
+    if (rng.UniformInt(4) == 0 && !stream.empty()) {
+      stream.resize(rng.UniformInt(stream.size()));
+    }
+    if (rng.UniformInt(4) == 0) {
+      for (std::size_t i = 0, n = rng.UniformInt(20); i < n; ++i) {
+        stream.push_back(static_cast<char>(rng.UniformInt(256)));
+      }
+    }
+    const StreamVerdict want = ReferenceParse(stream);
+    if (want.end == StreamVerdict::End::kMalformed) ++malformed_streams;
+    if (want.end == StreamVerdict::End::kMidFrame) ++midframe_streams;
+
+    // Whole-buffer, byte-at-a-time, and random chunking must all agree
+    // with the one-shot parse.
+    DriveAndCompare(stream, {}, want);
+    std::vector<std::size_t> every_byte;
+    for (std::size_t i = 1; i < stream.size(); ++i) every_byte.push_back(i);
+    DriveAndCompare(stream, every_byte, want);
+    std::vector<std::size_t> random_cuts;
+    for (std::size_t i = 0; i < stream.size();) {
+      i += 1 + rng.UniformInt(17);
+      if (i < stream.size()) random_cuts.push_back(i);
+    }
+    DriveAndCompare(stream, random_cuts, want);
+  }
+  // The corpus must actually cover all three terminal verdicts.
+  EXPECT_GT(malformed_streams, 0u);
+  EXPECT_GT(midframe_streams, 0u);
+  EXPECT_LT(malformed_streams + midframe_streams, kStreams);
+}
+
 }  // namespace
 }  // namespace ifsketch
