@@ -10,6 +10,12 @@
 //                 ingest thread -> builder Observe), producer + ingest
 //                 thread; `batch` is the stream length, the reciprocal
 //                 is rows/s sustained.
+//   ingest_rows@wal_sync=<policy>
+//                 the same pipeline with the write-ahead log enabled
+//                 under each sync policy (ingest/wal.h). Acceptance
+//                 bar: on_snapshot (the server default) must stay
+//                 within 1.2x of the no-WAL ingest_rows number, or the
+//                 bench exits nonzero.
 //   publish       ns per snapshot publication: builder Summary ->
 //                 Engine::FromFile -> SketchPod::Publish swap.
 //   query_idle    ns per estimate_many query against a published
@@ -27,6 +33,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -177,6 +184,52 @@ int main(int argc, char** argv) {
     rows.push_back({"ingest_rows", 2, stream_rows,
                     ElapsedNs(start) / static_cast<double>(stream_rows)});
   }
+
+  // -- ingest_rows@wal_sync=<policy>: the same pipeline with the
+  // write-ahead log under each sync policy, snapshotting (and therefore
+  // checkpointing) every stream_rows/4 rows. The durability tax of
+  // on_snapshot -- the default the server runs with -- must stay within
+  // 1.2x of the no-WAL ingest_rows number, or the bench exits nonzero.
+  double no_wal_ns = rows.back().ns_per_query;
+  double on_snapshot_ns = 0.0;
+  for (const ingest::WalSyncPolicy policy :
+       {ingest::WalSyncPolicy::kOnSnapshot, ingest::WalSyncPolicy::kEveryN,
+        ingest::WalSyncPolicy::kEveryRecord}) {
+    const std::string wal_dir =
+        "micro_ingest_wal_" + std::string(ingest::WalSyncPolicyName(policy));
+    std::filesystem::remove_all(wal_dir);
+    ingest::IngestOptions options = Options(stream_rows / 4);
+    options.wal_dir = wal_dir;
+    options.wal_sync = policy;
+    auto service = ingest::IngestService::Create(
+        options, [](std::shared_ptr<const Engine>, std::uint64_t) {});
+    if (service == nullptr) {
+      std::fprintf(stderr, "error: cannot open WAL in %s\n", wal_dir.c_str());
+      return 1;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < db.num_rows(); ++i) service->Push(db.Row(i));
+    service->Finish();
+    const double ns = ElapsedNs(start) / static_cast<double>(stream_rows);
+    if (service->wal_failed()) {
+      std::fprintf(stderr, "error: WAL failed during the bench run\n");
+      return 1;
+    }
+    if (policy == ingest::WalSyncPolicy::kOnSnapshot) on_snapshot_ns = ns;
+    rows.push_back({std::string("ingest_rows@wal_sync=") +
+                        ingest::WalSyncPolicyName(policy),
+                    2, stream_rows, ns});
+    std::filesystem::remove_all(wal_dir);
+  }
+  if (on_snapshot_ns > 1.2 * no_wal_ns) {
+    std::fprintf(stderr,
+                 "error: on_snapshot WAL tax %.1f ns/row exceeds 1.2x the "
+                 "no-WAL baseline %.1f ns/row\n",
+                 on_snapshot_ns, no_wal_ns);
+    return 1;
+  }
+  std::fprintf(stderr, "wal tax: on_snapshot %.2fx of no-WAL baseline\n",
+               on_snapshot_ns / no_wal_ns);
 
   // -- publish: Summary -> FromFile -> Publish, on a warmed builder --
   // exactly what the ingest thread does at every snapshot boundary.

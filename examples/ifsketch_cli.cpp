@@ -46,6 +46,11 @@ int Usage() {
                "\nflags:\n"
                "  --algo NAME     sketching algorithm for `sketch` "
                "(default SUBSAMPLE)\n"
+               "  --seed S        Rng seed for `sketch` (default "
+               "987654321); pass the\n"
+               "                  server's ingest seed (1) to rebuild a "
+               "served stream\n"
+               "                  snapshot bit-identically\n"
                "  --threads N     thread-pool size for batched queries "
                "and mining\n"
                "                  (default: IFSKETCH_THREADS env var, "
@@ -95,7 +100,8 @@ int Gen(const std::string& path, std::size_t n, std::size_t d) {
 }
 
 int Sketch(const std::string& db_path, const std::string& out_path,
-           std::size_t k, double eps, const std::string& algo_name) {
+           std::size_t k, double eps, const std::string& algo_name,
+           std::uint64_t seed) {
   const auto db = data::LoadTransactionsFile(db_path);
   if (!db.has_value()) {
     std::fprintf(stderr, "error: cannot read %s\n", db_path.c_str());
@@ -114,11 +120,15 @@ int Sketch(const std::string& db_path, const std::string& out_path,
                  k, eps);
     return 1;
   }
-  util::Rng rng(987654321);
+  util::Rng rng(seed);
   const auto engine = Engine::Build(*db, algo_name, params, rng);
   if (!engine.has_value()) return UnknownAlgorithm(algo_name);
-  if (!engine->Save(out_path)) {
-    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+  // Atomic replace + CRC32C integrity trailer: a sketch built by hand is
+  // a durable artifact, so bit rot in it should be detected at load.
+  std::string save_error;
+  if (!engine->Save(out_path, &save_error, sketch::SketchChecksum::kCrc32c)) {
+    std::fprintf(stderr, "error: cannot write %s: %s\n", out_path.c_str(),
+                 save_error.c_str());
     return 1;
   }
   std::printf("%s sketched %zu x %zu database (%zu bits) into %zu bits "
@@ -266,9 +276,22 @@ int main(int argc, char** argv) {
 
   // Extract the recognized flags wherever they appear.
   std::string algo_name = "SUBSAMPLE";
+  std::uint64_t seed = 987654321;  // the historical `sketch` default
   for (std::size_t i = 1; i + 1 < args.size();) {
     if (args[i] == "--algo") {
       algo_name = args[i + 1];
+    } else if (args[i] == "--seed") {
+      char* end = nullptr;
+      const unsigned long long v =
+          std::strtoull(args[i + 1].c_str(), &end, 10);
+      if (args[i + 1].empty() || end == nullptr || *end != '\0') {
+        std::fprintf(stderr,
+                     "error: --seed needs an unsigned integer (got "
+                     "\"%s\")\n",
+                     args[i + 1].c_str());
+        return 2;
+      }
+      seed = static_cast<std::uint64_t>(v);
     } else if (args[i] == "--threads") {
       char* end = nullptr;
       const long threads = std::strtol(args[i + 1].c_str(), &end, 10);
@@ -330,7 +353,7 @@ int main(int argc, char** argv) {
   if (cmd == "sketch" && args.size() == 5) {
     return Sketch(args[1], args[2],
                   std::strtoull(args[3].c_str(), nullptr, 10),
-                  std::strtod(args[4].c_str(), nullptr), algo_name);
+                  std::strtod(args[4].c_str(), nullptr), algo_name, seed);
   }
   if (cmd == "info" && args.size() == 2) {
     return Info(args[1]);

@@ -6,7 +6,8 @@
 //                   [--stats-every SECS]
 //                   [--ingest NAME [--ingest-file PATH] [--ingest-algo A]
 //                    [--ingest-every N] [--ingest-save PATH]
-//                    [--ingest-k K] [--ingest-eps E]]
+//                    [--ingest-k K] [--ingest-eps E]
+//                    [--wal-dir DIR] [--wal-sync POLICY] [--wal-every N]]
 //
 // Registers each NAME=PATH on its owning replica set (serve/router.h
 // places every name on R of the N pods by rendezvous hashing), listens
@@ -35,8 +36,19 @@
 // (src/ingest/), which publishes a snapshot to the pod every
 // --ingest-every rows plus a final one at EOF; clients follow along
 // with the refresh/subscribe opcodes. --ingest-save writes the last
-// published snapshot to an IFSK file at exit so scripts can diff served
-// answers against ifsketch_cli on the same snapshot.
+// published snapshot to an IFSK file at exit (atomic replace + CRC32C
+// integrity trailer) so scripts can diff served answers against
+// ifsketch_cli on the same snapshot.
+//
+// --wal-dir DIR makes the ingest durable (PR 10): every row is logged
+// write-ahead to DIR and the builder state is checkpointed at each
+// snapshot, so a server killed at any point and restarted on the same
+// DIR recovers a prefix of the stream and serves it bit-identically to
+// a run that never crashed (feed the restart a stream holding just the
+// width header to serve the recovered state without new rows).
+// --wal-sync bounds what a power loss can cost: every_record /
+// every_n (with --wal-every) / on_snapshot (default; a plain kill -9
+// still only loses the in-process append buffer).
 //
 // Observability (PR 8): every request/stage/pod/ingest metric lands in
 // the process-wide obs::MetricsRegistry (see src/obs/metrics.h for the
@@ -116,7 +128,14 @@ int Usage() {
       "10000)\n"
       "  --ingest-save PATH  write the last snapshot as IFSK at exit\n"
       "  --ingest-k K        query cardinality parameter (default: 2)\n"
-      "  --ingest-eps E      precision parameter (default: 0.05)\n");
+      "  --ingest-eps E      precision parameter (default: 0.05)\n"
+      "  --wal-dir DIR       write-ahead log directory for --ingest; a\n"
+      "                      restart on the same DIR recovers the stream\n"
+      "                      prefix and serves it bit-identically\n"
+      "  --wal-sync POLICY   every_record | every_n | on_snapshot "
+      "(default: on_snapshot)\n"
+      "  --wal-every N       appends per fsync under every_n "
+      "(default: 64)\n");
   return 2;
 }
 
@@ -169,6 +188,9 @@ int main(int argc, char** argv) {
   std::size_t ingest_every = 10000;
   std::size_t ingest_k = 2;
   double ingest_eps = 0.05;
+  std::string wal_dir;
+  ingest::WalSyncPolicy wal_sync = ingest::WalSyncPolicy::kOnSnapshot;
+  std::size_t wal_every = 64;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -232,6 +254,15 @@ int main(int argc, char** argv) {
       if (!ParseSize(argv[++i], &ingest_k) || ingest_k == 0) return Usage();
     } else if (arg == "--ingest-eps" && has_value) {
       if (!ParseEps(argv[++i], &ingest_eps)) return Usage();
+    } else if (arg == "--wal-dir" && has_value) {
+      wal_dir = argv[++i];
+      if (wal_dir.empty()) return Usage();
+    } else if (arg == "--wal-sync" && has_value) {
+      if (!ingest::ParseWalSyncPolicy(argv[++i], &wal_sync)) return Usage();
+    } else if (arg == "--wal-every" && has_value) {
+      if (!ParseSize(argv[++i], &wal_every) || wal_every == 0) {
+        return Usage();
+      }
     } else {
       return Usage();
     }
@@ -240,6 +271,10 @@ int main(int argc, char** argv) {
   if (replicas > pods) {
     std::fprintf(stderr, "error: --replicas %zu exceeds --pods %zu\n",
                  replicas, pods);
+    return 2;
+  }
+  if (!wal_dir.empty() && ingest_name.empty()) {
+    std::fprintf(stderr, "error: --wal-dir requires --ingest\n");
     return 2;
   }
 
@@ -264,19 +299,26 @@ int main(int argc, char** argv) {
   serve::RouterOptions router_options;
   router_options.replication = replicas;
   serve::Router router(std::move(pod_vec), router_options);
+  // Validate EVERY registration before binding the port: an operator
+  // restarting a server with a long --sketch roster learns about all the
+  // bad entries (duplicate names, unopenable or corrupt files) in one
+  // pass, instead of one failure per restart.
+  std::size_t bad_registrations = 0;
   for (const auto& [name, path] : sketches) {
     if (!router.AddSketch(name, path)) {
-      std::fprintf(stderr, "error: duplicate sketch name \"%s\"\n",
-                   name.c_str());
-      return 1;
+      std::fprintf(stderr, "error: --sketch %s=%s: duplicate sketch name\n",
+                   name.c_str(), path.c_str());
+      ++bad_registrations;
+      continue;
     }
     // Load eagerly so a bad path fails at startup, not at first query.
     if (router.Acquire(name) == nullptr) {
-      std::fprintf(stderr,
-                   "error: cannot open %s (missing or not a valid IFSK "
-                   "sketch file)\n",
-                   path.c_str());
-      return 1;
+      std::string detail;
+      (void)Engine::Open(path, &detail);  // re-open solely for the reason
+      std::fprintf(stderr, "error: --sketch %s=%s: %s\n", name.c_str(),
+                   path.c_str(), detail.c_str());
+      ++bad_registrations;
+      continue;
     }
     std::fprintf(stderr, "serving \"%s\" from %s on shard %zu (x%zu)\n",
                  name.c_str(), path.c_str(), router.ShardOf(name),
@@ -284,13 +326,19 @@ int main(int argc, char** argv) {
   }
   if (!ingest_name.empty()) {
     if (!router.AddStream(ingest_name)) {
-      std::fprintf(stderr, "error: duplicate sketch name \"%s\"\n",
+      std::fprintf(stderr, "error: --ingest %s: duplicate sketch name\n",
                    ingest_name.c_str());
-      return 1;
+      ++bad_registrations;
+    } else {
+      std::fprintf(stderr, "ingesting \"%s\" (%s) on shard %zu\n",
+                   ingest_name.c_str(), ingest_algo.c_str(),
+                   router.ShardOf(ingest_name));
     }
-    std::fprintf(stderr, "ingesting \"%s\" (%s) on shard %zu\n",
-                 ingest_name.c_str(), ingest_algo.c_str(),
-                 router.ShardOf(ingest_name));
+  }
+  if (bad_registrations > 0) {
+    std::fprintf(stderr, "error: %zu invalid sketch registration%s\n",
+                 bad_registrations, bad_registrations == 1 ? "" : "s");
+    return 1;
   }
 
   serve::ReactorOptions reactor_options;
@@ -387,6 +435,9 @@ int main(int argc, char** argv) {
       options.params.delta = 0.05;
       options.params.scope = core::Scope::kForAll;
       options.params.answer = core::Answer::kEstimator;
+      options.wal_dir = wal_dir;
+      options.wal_sync = wal_sync;
+      options.wal_sync_every = wal_every;
       std::string error;
       auto service = ingest::IngestService::Create(
           options,
@@ -406,6 +457,18 @@ int main(int argc, char** argv) {
       if (service == nullptr) {
         std::fprintf(stderr, "error: %s\n", error.c_str());
         return;
+      }
+      if (!wal_dir.empty()) {
+        const ingest::WalRecovery& rec = service->recovery();
+        std::fprintf(
+            stderr,
+            "recovered \"%s\" from %s: %llu rows (checkpoint %llu, "
+            "replayed %llu, truncated %llu bytes)\n",
+            ingest_name.c_str(), wal_dir.c_str(),
+            static_cast<unsigned long long>(rec.rows),
+            static_cast<unsigned long long>(rec.checkpoint_rows),
+            static_cast<unsigned long long>(rec.replayed_rows),
+            static_cast<unsigned long long>(rec.truncated_bytes));
       }
       while (std::getline(*in, line)) {
         util::BitVector row(d);
@@ -463,8 +526,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: no snapshot was published to save\n");
       return 1;
     }
-    if (!last_snapshot->Save(ingest_save)) {
-      std::fprintf(stderr, "error: cannot write %s\n", ingest_save.c_str());
+    // Durable copy: atomic replace plus the CRC32C integrity trailer, so
+    // a later serve of this file can detect bit rot.
+    std::string save_error;
+    if (!last_snapshot->Save(ingest_save, &save_error,
+                             sketch::SketchChecksum::kCrc32c)) {
+      std::fprintf(stderr, "error: cannot write %s: %s\n",
+                   ingest_save.c_str(), save_error.c_str());
       return 1;
     }
     std::fprintf(stderr, "saved last snapshot to %s\n", ingest_save.c_str());

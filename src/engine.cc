@@ -170,6 +170,17 @@ bool Engine::Save(const std::string& path) const {
   return sketch::SaveSketchFile(path, file_);
 }
 
+bool Engine::Save(const std::string& path, std::string* error,
+                  sketch::SketchChecksum checksum) const {
+  sketch::SketchError detail;
+  if (sketch::SaveSketchFile(path, file_, sketch::arena::kVersionArena,
+                             checksum, &detail)) {
+    return true;
+  }
+  if (error != nullptr) *error = detail.message;
+  return false;
+}
+
 std::vector<std::string> Engine::KnownAlgorithms() {
   return sketch::BuiltinRegistry().Names();
 }

@@ -105,9 +105,14 @@ class Engine {
   /// Adopts an already-loaded file (the in-memory equivalent of Open).
   static std::optional<Engine> FromFile(sketch::SketchFile file);
 
-  /// Writes the sketch as an IFSK file (arena v2). Returns false on I/O
-  /// failure.
+  /// Writes the sketch as an IFSK file (arena v2), atomically replacing
+  /// `path` (write temp, fsync, rename). Returns false on I/O failure;
+  /// the overload reports the errno/strerror detail in *error and can
+  /// append the CRC32C integrity trailer for durable copies.
   bool Save(const std::string& path) const;
+  bool Save(const std::string& path, std::string* error,
+            sketch::SketchChecksum checksum =
+                sketch::SketchChecksum::kNone) const;
 
   /// Names the default registry resolves, for error messages and --help.
   static std::vector<std::string> KnownAlgorithms();

@@ -1,6 +1,7 @@
 #include "ingest/ingest.h"
 
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "sketch/builtin_algorithms.h"
@@ -37,8 +38,32 @@ std::unique_ptr<IngestService> IngestService::Create(
     return fail("ingest: " + options.algorithm +
                 " does not support streaming construction");
   }
-  return std::unique_ptr<IngestService>(new IngestService(
+  if (!options.wal_dir.empty() && options.wal_sync == WalSyncPolicy::kEveryN &&
+      options.wal_sync_every == 0) {
+    return fail("ingest: wal_sync_every must be positive");
+  }
+  auto service = std::unique_ptr<IngestService>(new IngestService(
       options, std::move(publish), std::move(algorithm), streaming));
+  if (!options.wal_dir.empty()) {
+    // Recovery happens here, before the ingest thread exists, so the
+    // replay owns the builder and the Rng without synchronization.
+    WalOptions wal_options;
+    wal_options.dir = options.wal_dir;
+    wal_options.sync = options.wal_sync;
+    wal_options.sync_every = options.wal_sync_every;
+    wal_options.registry = options.registry;
+    wal_options.sink_factory = options.wal_sink_factory;
+    std::string wal_error;
+    service->wal_ = Wal::Open(wal_options, options.algorithm, options.params,
+                              options.d, options.seed,
+                              service->builder_.get(), &service->rng_,
+                              &service->recovery_, &wal_error);
+    if (service->wal_ == nullptr) return fail("ingest: " + wal_error);
+    service->rows_ingested_.store(service->recovery_.rows,
+                                  std::memory_order_release);
+  }
+  service->Start();
+  return service;
 }
 
 IngestService::IngestService(IngestOptions options, PublishFn publish,
@@ -57,7 +82,9 @@ IngestService::IngestService(IngestOptions options, PublishFn publish,
       algorithm_(std::move(algorithm)),
       rng_(options_.seed),
       builder_(streaming->NewBuilder(options_.d, options_.params, rng_)),
-      ring_(options_.ring_capacity) {
+      ring_(options_.ring_capacity) {}
+
+void IngestService::Start() {
   thread_ = std::thread([this] { Run(); });
 }
 
@@ -73,12 +100,20 @@ void IngestService::Finish() {
   if (finished_) return;
   finished_ = true;
   stop_.store(true, std::memory_order_release);
-  thread_.join();
+  // Create may fail after construction but before Start (WAL recovery
+  // refused the directory); the thread never ran then.
+  if (thread_.joinable()) thread_.join();
 }
 
 void IngestService::Run() {
+  // Recovery restored `recovery_.rows` rows into the builder before this
+  // thread started. Publish them immediately -- consumers should see the
+  // recovered state without waiting for new rows -- and keep the
+  // absolute row count, so the snapshot cadence (every
+  // rows_per_snapshot ABSOLUTE rows) matches an unbroken run.
+  std::uint64_t rows = recovery_.rows;
+  if (rows > 0) PublishSnapshot(rows);
   util::BitVector row;
-  std::uint64_t rows = 0;
   for (;;) {
     if (!ring_.TryPop(&row)) {
       // Re-check the ring after seeing stop: the producer sets stop only
@@ -86,6 +121,18 @@ void IngestService::Run() {
       if (stop_.load(std::memory_order_acquire) && ring_.Empty()) break;
       std::this_thread::yield();
       continue;
+    }
+    // Write-ahead: the row reaches the log before the builder -- the
+    // recovered prefix therefore contains every row the builder ever
+    // observed. A log I/O failure latches durability off but ingest
+    // continues (availability over durability); the operator learns via
+    // stderr + wal_failed().
+    if (wal_ != nullptr && !wal_failed() && !wal_->Append(row)) {
+      std::fprintf(stderr,
+                   "ifsketch ingest: WAL failed, continuing without "
+                   "durability: %s\n",
+                   wal_->error().c_str());
+      wal_failed_.store(true, std::memory_order_release);
     }
     builder_->Observe(row);
     ++rows;
@@ -98,6 +145,17 @@ void IngestService::Run() {
 }
 
 void IngestService::PublishSnapshot(std::uint64_t rows) {
+  // Checkpoint BEFORE the snapshot becomes visible: anything a consumer
+  // can query must survive a crash, so recovery restores at least the
+  // rows of the newest published snapshot.
+  if (wal_ != nullptr && !wal_failed() &&
+      !wal_->Checkpoint(*builder_, rng_, rows)) {
+    std::fprintf(stderr,
+                 "ifsketch ingest: WAL checkpoint failed, continuing "
+                 "without durability: %s\n",
+                 wal_->error().c_str());
+    wal_failed_.store(true, std::memory_order_release);
+  }
   const auto publish_start = std::chrono::steady_clock::now();
   sketch::SketchFile file;
   file.algorithm = options_.algorithm;

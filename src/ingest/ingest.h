@@ -40,8 +40,10 @@
 
 #include "engine.h"
 #include "ingest/spsc_ring.h"
+#include "ingest/wal.h"
 #include "obs/metrics.h"
 #include "sketch/streaming.h"
+#include "util/durable.h"
 #include "util/random.h"
 
 namespace ifsketch::ingest {
@@ -64,6 +66,19 @@ struct IngestOptions {
   /// ingest_publish_ns, ingest_ring_occupancy -- see obs/metrics.h).
   /// nullptr = the process-wide default registry.
   obs::MetricsRegistry* registry = nullptr;
+
+  // ---- durability (PR 10). Empty wal_dir = no WAL, the pre-PR-10
+  // in-memory behavior. Non-empty: every row is logged write-ahead to
+  // that directory and the builder + Rng state is checkpointed at every
+  // snapshot publication, so Create on the same directory after a crash
+  // recovers a prefix of the stream and continues bit-identically to an
+  // unbroken run over that prefix (see ingest/wal.h).
+  std::string wal_dir;
+  WalSyncPolicy wal_sync = WalSyncPolicy::kOnSnapshot;
+  /// Appends per fsync under WalSyncPolicy::kEveryN.
+  std::uint64_t wal_sync_every = 64;
+  /// Test seam: forwarded to WalOptions::sink_factory.
+  util::FileSinkFactory wal_sink_factory;
 };
 
 /// Dedicated ingest thread + ring + streaming builder. See the file
@@ -107,12 +122,27 @@ class IngestService {
     return snapshots_published_.load(std::memory_order_acquire);
   }
 
+  /// What Create recovered from options.wal_dir (all-zero when the WAL
+  /// was absent, empty, or disabled). Immutable after Create returns.
+  const WalRecovery& recovery() const { return recovery_; }
+
+  /// True once a WAL append/checkpoint I/O failure latched. The service
+  /// keeps ingesting (availability over durability); the failure detail
+  /// was logged to stderr when it happened.
+  bool wal_failed() const {
+    return wal_failed_.load(std::memory_order_acquire);
+  }
+
   const IngestOptions& options() const { return options_; }
 
  private:
   IngestService(IngestOptions options, PublishFn publish,
                 std::unique_ptr<core::SketchAlgorithm> algorithm,
                 const sketch::StreamingSketch* streaming);
+
+  /// Starts the ingest thread (after Create finished WAL recovery, so
+  /// the thread never races the recovery replay on the builder).
+  void Start();
 
   /// Ingest-thread main loop.
   void Run();
@@ -130,6 +160,9 @@ class IngestService {
   std::unique_ptr<core::SketchAlgorithm> algorithm_;  // keeps name alive
   util::Rng rng_;
   std::unique_ptr<sketch::StreamingBuilder> builder_;
+  std::unique_ptr<Wal> wal_;    // nullptr when options_.wal_dir is empty
+  WalRecovery recovery_;        // set before the ingest thread starts
+  std::atomic<bool> wal_failed_{false};
   SpscRing<util::BitVector> ring_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> rows_ingested_{0};

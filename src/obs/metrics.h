@@ -81,6 +81,15 @@
 //   ingest_publish_ns                             histogram snapshot publish
 //                                                           latency
 //   ingest_snapshots_total                        counter   publishes
+//   wal_records_total                             counter   rows appended to
+//                                                           the write-ahead log
+//   wal_fsync_ns                                  histogram fdatasync latency
+//                                                           at sync points
+//   wal_segment_bytes                             gauge     bytes in the
+//                                                           active segment
+//   recovery_replayed_rows_total                  counter   rows replayed from
+//                                                           segment tails at
+//                                                           startup recovery
 //   threadpool_queue_depth                        gauge     queued tasks
 //   client_retries_total                          counter   client-side
 //                                                           reconnect attempts

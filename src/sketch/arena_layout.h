@@ -241,6 +241,38 @@ inline bool ValidateSectionTable(const SectionEntry* entries,
   return true;
 }
 
+/// Validates the 16 raw bytes of an integrity trailer (arena::
+/// kTrailerBytes read starting at the byte just past the last section)
+/// against `actual_crc`, the CRC32C the parser computed over every byte
+/// before the trailer. `trailer_at` is the trailer's byte offset, used
+/// to locate failures. Shared so both parsers accept exactly the same
+/// checksummed files (the trailer-less acceptance -- stream at EOF,
+/// image size == end_offset -- stays with each parser).
+inline bool ValidateTrailer(const unsigned char* trailer,
+                            std::uint64_t trailer_at,
+                            std::uint32_t actual_crc, std::uint64_t* fail_at,
+                            const char** fail_message) {
+  const auto fail = [&](std::uint64_t at, const char* message) {
+    *fail_at = at;
+    *fail_message = message;
+    return false;
+  };
+  if (std::memcmp(trailer, arena::kTrailerMagic, 4) != 0) {
+    return fail(trailer_at, "bad integrity trailer magic");
+  }
+  std::uint32_t kind = 0;
+  std::memcpy(&kind, trailer + 4, 4);
+  if (kind != arena::kChecksumCrc32c) {
+    return fail(trailer_at + 4, "unsupported checksum kind");
+  }
+  std::uint64_t value = 0;
+  std::memcpy(&value, trailer + 8, 8);
+  if (value != actual_crc) {
+    return fail(trailer_at + 8, "file checksum mismatch");
+  }
+  return true;
+}
+
 }  // namespace ifsketch::sketch::arena_internal
 
 #endif  // IFSKETCH_SKETCH_ARENA_LAYOUT_H_

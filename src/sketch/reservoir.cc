@@ -30,4 +30,16 @@ util::BitVector ReservoirBuilder::Finish() const {
   return w.Finish();
 }
 
+void ReservoirBuilder::SaveState(util::BitWriter* w) const {
+  w->WriteUint(rows_seen_, 64);
+  for (const auto& slot : slots_) w->WriteBits(slot);
+}
+
+bool ReservoirBuilder::RestoreState(util::BitReader* r) {
+  if (r->Remaining() < 64 + slots_.size() * d_) return false;
+  rows_seen_ = static_cast<std::size_t>(r->ReadUint(64));
+  for (auto& slot : slots_) slot = r->ReadBits(d_);
+  return true;
+}
+
 }  // namespace ifsketch::sketch

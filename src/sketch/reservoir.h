@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/sketch.h"
+#include "util/bitio.h"
 
 namespace ifsketch::sketch {
 
@@ -34,6 +35,14 @@ class ReservoirBuilder {
   /// Serializes the current reservoir into a SUBSAMPLE summary
   /// (s rows * d bits). Precondition: at least one row observed.
   util::BitVector Finish() const;
+
+  /// Appends the complete builder state (rows_seen + every slot) to `w`
+  /// for checkpoint/recovery; the paired Rng is checkpointed separately.
+  void SaveState(util::BitWriter* w) const;
+
+  /// Restores a SaveState snapshot from `r`; false when the remaining
+  /// bits are too short for this builder's shape.
+  bool RestoreState(util::BitReader* r);
 
  private:
   std::size_t d_;

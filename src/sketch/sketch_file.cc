@@ -3,11 +3,14 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <vector>
 
 #include "core/column_store.h"
 #include "sketch/arena_layout.h"
 #include "sketch/builtin_algorithms.h"
+#include "util/crc32c.h"
+#include "util/durable.h"
 
 namespace ifsketch::sketch {
 namespace {
@@ -46,6 +49,10 @@ class StreamCursor {
 
   std::uint64_t offset() const { return offset_; }
 
+  /// CRC32C over every byte consumed so far. Snapshotted before the
+  /// trailer itself is read, so it covers exactly the trailer's domain.
+  std::uint32_t crc() const { return crc_; }
+
   /// Records a failure at `at` (a field-start offset) and returns false.
   bool Fail(std::uint64_t at, std::string message) {
     if (error_ != nullptr) {
@@ -63,6 +70,7 @@ class StreamCursor {
     if (static_cast<std::uint64_t>(in_.gcount()) != len) {
       return Fail(at, std::string(what) + ": file truncated");
     }
+    crc_ = util::Crc32cExtend(crc_, dst, static_cast<std::size_t>(len));
     offset_ += len;
     return true;
   }
@@ -99,6 +107,7 @@ class StreamCursor {
   std::istream& in_;
   SketchError* error_;
   std::uint64_t offset_ = 0;
+  std::uint32_t crc_ = 0;
 };
 
 // The v1 payload: bits packed LSB-first into bytes, read in bounded
@@ -211,21 +220,33 @@ bool ReadArenaBody(StreamCursor& cursor, std::uint64_t bits, std::size_t d,
       }
     }
   }
-  // Mirror the image validator's exact-size rule: a v2 byte string ends
-  // where its section table says, so the two parsers accept exactly the
-  // same inputs (the bidirectional fuzz assertion in sketch_view_test
-  // holds them to it). v1 streams keep their legacy trailing-byte
-  // tolerance.
+  // Mirror the image validator's size rule, so the two parsers accept
+  // exactly the same inputs (the bidirectional fuzz assertion in
+  // sketch_view_test holds them to it): a v2 byte string ends exactly
+  // where its section table says, OR exactly arena::kTrailerBytes later
+  // with a valid integrity trailer over everything before it. v1 streams
+  // keep their legacy trailing-byte tolerance.
+  if (cursor.AtEnd()) return true;
+  const std::uint64_t trailer_at = cursor.offset();
+  const std::uint32_t body_crc = cursor.crc();  // before the trailer reads
+  unsigned char trailer[arena::kTrailerBytes];
+  if (!cursor.Read(trailer, arena::kTrailerBytes, "integrity trailer")) {
+    return false;
+  }
+  if (!arena_internal::ValidateTrailer(trailer, trailer_at, body_crc,
+                                       &fail_at, &fail_message)) {
+    return cursor.Fail(fail_at, fail_message);
+  }
   if (!cursor.AtEnd()) {
-    return cursor.Fail(cursor.offset(), "trailing bytes after last section");
+    return cursor.Fail(cursor.offset(),
+                       "trailing bytes after integrity trailer");
   }
   return true;
 }
 
-}  // namespace
-
-bool WriteSketch(std::ostream& out, const SketchFile& file,
-                 std::uint16_t version) {
+// The trailer-less serialization shared by both WriteSketch modes.
+bool WriteSketchBody(std::ostream& out, const SketchFile& file,
+                     std::uint16_t version) {
   // Refuse to emit a file ReadSketch would reject: nothing serializable
   // may be unloadable. The name length must fit its u16 header field.
   if (!core::ValidSketchParams(file.params)) return false;
@@ -316,6 +337,30 @@ bool WriteSketch(std::ostream& out, const SketchFile& file,
   return static_cast<bool>(out);
 }
 
+}  // namespace
+
+bool WriteSketch(std::ostream& out, const SketchFile& file,
+                 std::uint16_t version, SketchChecksum checksum) {
+  // v1 has no trailer slot, so a checksum request on a legacy file is
+  // ignored rather than refused -- the caller's compatibility intent
+  // (produce a v1 file) wins.
+  if (checksum != SketchChecksum::kCrc32c ||
+      version != arena::kVersionArena) {
+    return WriteSketchBody(out, file, version);
+  }
+  // Serialize to memory first: the trailer's CRC covers every body byte,
+  // and buffering keeps this a single pass over the payload.
+  std::ostringstream body(std::ios::binary);
+  if (!WriteSketchBody(body, file, version)) return false;
+  const std::string bytes = body.str();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.write(arena::kTrailerMagic, 4);
+  PutRaw<std::uint32_t>(out, arena::kChecksumCrc32c);
+  PutRaw<std::uint64_t>(out, util::Crc32c(bytes.data(), bytes.size()));
+  out.flush();
+  return static_cast<bool>(out);
+}
+
 std::optional<SketchFile> ReadSketch(std::istream& in, SketchError* error) {
   StreamCursor cursor(in, error);
   std::uint16_t version = 0;
@@ -342,14 +387,26 @@ std::optional<SketchFile> ReadSketch(std::istream& in, SketchError* error) {
 }
 
 bool SaveSketchFile(const std::string& path, const SketchFile& file,
-                    std::uint16_t version) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  if (!WriteSketch(out, file, version)) return false;
-  // close() is the last point the filesystem can report a failed write;
-  // Engine::Save surfaces this result to its caller.
-  out.close();
-  return !out.fail();
+                    std::uint16_t version, SketchChecksum checksum,
+                    SketchError* error) {
+  std::ostringstream out(std::ios::binary);
+  if (!WriteSketch(out, file, version, checksum)) {
+    if (error != nullptr) {
+      error->message = "unserializable sketch (bad params, name, or version)";
+      error->offset = 0;
+    }
+    return false;
+  }
+  const std::string bytes = out.str();
+  std::string detail;
+  if (!util::WriteFileAtomic(path, bytes.data(), bytes.size(), &detail)) {
+    if (error != nullptr) {
+      error->message = std::move(detail);
+      error->offset = 0;
+    }
+    return false;
+  }
+  return true;
 }
 
 std::optional<SketchFile> LoadSketchFile(const std::string& path,

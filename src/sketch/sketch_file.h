@@ -96,7 +96,29 @@ inline constexpr std::size_t ColumnStrideWords(std::size_t rows) {
   return (((rows + 63) / 64) + 7) / 8 * 8;
 }
 
+/// Optional integrity trailer (PR 10), appended after the last section
+/// of a v2 file: magic "IFCT" (4 bytes), checksum kind u32, checksum
+/// value u64 -- 16 bytes covering every byte before the trailer
+/// (header + section table + sections + padding). Both parsers accept a
+/// v2 file that ends exactly at the last section (trailer-less, the
+/// pre-PR-10 framing, readable forever) or exactly kTrailerBytes later
+/// with a valid trailer; anything else is rejected. v1 files never
+/// carry a trailer.
+inline constexpr std::size_t kTrailerBytes = 16;
+inline constexpr char kTrailerMagic[4] = {'I', 'F', 'C', 'T'};
+
+enum ChecksumKind : std::uint32_t {
+  kChecksumCrc32c = 1,  ///< util::Crc32c over [0, trailer start)
+};
+
 }  // namespace arena
+
+/// Whether WriteSketch appends the integrity trailer (v2 only; requests
+/// to write a checksummed v1 file are ignored, v1 has no trailer slot).
+enum class SketchChecksum : std::uint8_t {
+  kNone = 0,
+  kCrc32c = 1,
+};
 
 /// Everything needed to reload and query a summary.
 struct SketchFile {
@@ -121,18 +143,26 @@ struct SketchError {
 
 /// Serializes to a binary stream at the given format version (callers
 /// pass arena::kVersionLegacy to produce v1 files for compatibility
-/// tests). Returns false on I/O failure or an unwritable version.
+/// tests), optionally ending a v2 file with the integrity trailer.
+/// Returns false on I/O failure or an unwritable version.
 bool WriteSketch(std::ostream& out, const SketchFile& file,
-                 std::uint16_t version = arena::kVersionArena);
+                 std::uint16_t version = arena::kVersionArena,
+                 SketchChecksum checksum = SketchChecksum::kNone);
 
 /// Parses a stream written by WriteSketch (either version); nullopt on
 /// malformed input, with the reason and offset in *error when provided.
 std::optional<SketchFile> ReadSketch(std::istream& in,
                                      SketchError* error = nullptr);
 
-/// File-path conveniences.
+/// Atomically replaces `path` with the serialized sketch: write
+/// "<path>.tmp", fsync, rename over the target, fsync the directory --
+/// a crash leaves the old file or the new one, never a hybrid. On
+/// failure *error (when provided) carries the errno/strerror detail of
+/// what went wrong, so callers can say WHY a save failed.
 bool SaveSketchFile(const std::string& path, const SketchFile& file,
-                    std::uint16_t version = arena::kVersionArena);
+                    std::uint16_t version = arena::kVersionArena,
+                    SketchChecksum checksum = SketchChecksum::kNone,
+                    SketchError* error = nullptr);
 std::optional<SketchFile> LoadSketchFile(const std::string& path,
                                          SketchError* error = nullptr);
 

@@ -4,6 +4,7 @@
 
 #include "sketch/arena_layout.h"
 #include "util/check.h"
+#include "util/crc32c.h"
 
 namespace ifsketch::sketch {
 namespace {
@@ -152,11 +153,23 @@ std::optional<SketchView> ViewSketchImage(const unsigned char* data,
     return std::nullopt;
   }
   // In-place extra: the image must end exactly where the last section
-  // does (the stream reader enforces the same rule by requiring EOF
-  // after the last section, so the acceptance sets still agree).
+  // does, or exactly arena::kTrailerBytes later carrying a valid
+  // integrity trailer (the stream reader enforces the same two-ended
+  // rule after the last section, so the acceptance sets still agree).
+  // Validating the trailer here costs one O(file) CRC pass -- the price
+  // a checksummed file opts into even on the zero-copy path.
   if (layout.end_offset != size) {
-    cursor.Fail(count_at, "image size does not match section table");
-    return std::nullopt;
+    if (size != layout.end_offset + arena::kTrailerBytes) {
+      cursor.Fail(count_at, "image size does not match section table");
+      return std::nullopt;
+    }
+    if (!arena_internal::ValidateTrailer(
+            data + layout.end_offset, layout.end_offset,
+            util::Crc32c(data, static_cast<std::size_t>(layout.end_offset)),
+            &fail_at, &fail_message)) {
+      cursor.Fail(fail_at, fail_message);
+      return std::nullopt;
+    }
   }
 
   // ---- summary section: zero padding up to it, exact word count,

@@ -20,6 +20,17 @@ class SubsampleStreamBuilder : public StreamingBuilder {
   std::size_t rows_seen() const override { return inner_.rows_seen(); }
   util::BitVector Summary() const override { return inner_.Finish(); }
 
+  util::BitVector SaveState() const override {
+    util::BitWriter w;
+    inner_.SaveState(&w);
+    return w.Finish();
+  }
+
+  bool RestoreState(const util::BitVector& state) override {
+    util::BitReader r(state);
+    return inner_.RestoreState(&r) && r.Remaining() == 0;
+  }
+
  private:
   ReservoirBuilder inner_;
 };
@@ -70,6 +81,30 @@ class ImportanceStreamBuilder : public StreamingBuilder {
       w.WriteBits(slot.row);
     }
     return w.Finish();
+  }
+
+  util::BitVector SaveState() const override {
+    util::BitWriter w;
+    w.WriteUint(rows_seen_, 64);
+    w.WriteUint(std::bit_cast<std::uint64_t>(total_weight_), 64);
+    for (const auto& slot : slots_) {
+      w.WriteUint(std::bit_cast<std::uint64_t>(slot.weight), 64);
+      w.WriteBits(slot.row);
+    }
+    hot_.SaveState(&w);
+    return w.Finish();
+  }
+
+  bool RestoreState(const util::BitVector& state) override {
+    util::BitReader r(state);
+    if (r.Remaining() < 128 + slots_.size() * (64 + d_)) return false;
+    rows_seen_ = static_cast<std::size_t>(r.ReadUint(64));
+    total_weight_ = std::bit_cast<double>(r.ReadUint(64));
+    for (auto& slot : slots_) {
+      slot.weight = std::bit_cast<double>(r.ReadUint(64));
+      slot.row = r.ReadBits(d_);
+    }
+    return hot_.RestoreState(&r) && r.Remaining() == 0;
   }
 
  private:
@@ -206,6 +241,37 @@ util::BitVector StratifiedSampleBuilder::Summary() const {
     for (const auto& slot : stratum.slots) w.WriteBits(slot);
   }
   return w.Finish();
+}
+
+util::BitVector StratifiedSampleBuilder::SaveState() const {
+  util::BitWriter w;
+  w.WriteUint(rows_seen_, 64);
+  for (const auto& stratum : strata_) {
+    w.WriteUint(stratum.count, 64);
+    for (const auto& slot : stratum.slots) w.WriteBits(slot);
+  }
+  return w.Finish();
+}
+
+bool StratifiedSampleBuilder::RestoreState(const util::BitVector& state) {
+  std::size_t want = 64;
+  for (const auto& stratum : strata_) {
+    want += 64 + stratum.slots.size() * d_;
+  }
+  if (state.size() != want) return false;
+  util::BitReader r(state);
+  const std::uint64_t rows_seen = r.ReadUint(64);
+  std::uint64_t total = 0;
+  std::vector<Stratum> strata = strata_;
+  for (auto& stratum : strata) {
+    stratum.count = r.ReadUint(64);
+    total += stratum.count;
+    for (auto& slot : stratum.slots) slot = r.ReadBits(d_);
+  }
+  if (total != rows_seen) return false;  // counts must tile the stream
+  rows_seen_ = static_cast<std::size_t>(rows_seen);
+  strata_ = std::move(strata);
+  return true;
 }
 
 std::size_t StreamStratifiedSketch::SlotsPerStratum(

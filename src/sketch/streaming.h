@@ -61,6 +61,20 @@ class StreamingBuilder {
   /// Const and Rng-free: snapshotting must not perturb the stream.
   /// Precondition: at least one row observed.
   virtual util::BitVector Summary() const = 0;
+
+  /// Serializes the builder's COMPLETE internal state -- a superset of
+  /// Summary() (reservoir bookkeeping, stratum counts, gating sketches)
+  /// -- so RestoreState on a freshly-constructed builder with the same
+  /// (d, params) continues the stream bit-identically where this one
+  /// stands. The paired Rng is NOT included; checkpoint it alongside
+  /// via util::Rng::SaveState (ingest/wal.h does both).
+  virtual util::BitVector SaveState() const = 0;
+
+  /// Restores a SaveState() snapshot into this builder. Returns false --
+  /// leaving the builder unusable -- when the bits do not decode to a
+  /// valid state for this builder's shape; callers treat that as a
+  /// corrupt checkpoint, never as data.
+  virtual bool RestoreState(const util::BitVector& state) = 0;
 };
 
 /// Mixin interface for algorithms that support incremental construction.
@@ -118,6 +132,8 @@ class StratifiedSampleBuilder : public StreamingBuilder {
   void Observe(const util::BitVector& row) override;
   std::size_t rows_seen() const override { return rows_seen_; }
   util::BitVector Summary() const override;
+  util::BitVector SaveState() const override;
+  bool RestoreState(const util::BitVector& state) override;
 
  private:
   struct Stratum {

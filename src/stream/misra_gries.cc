@@ -38,6 +38,36 @@ std::uint64_t MisraGries::Estimate(std::size_t item) const {
   return it == counts_.end() ? 0 : it->second;
 }
 
+void MisraGries::SaveState(util::BitWriter* w) const {
+  w->WriteUint(items_seen_, 64);
+  w->WriteUint(counts_.size(), 64);
+  for (const auto& [item, count] : counts_) {  // map order: ascending
+    w->WriteUint(item, 64);
+    w->WriteUint(count, 64);
+  }
+}
+
+bool MisraGries::RestoreState(util::BitReader* r) {
+  if (r->Remaining() < 128) return false;
+  const std::uint64_t items_seen = r->ReadUint(64);
+  const std::uint64_t entries = r->ReadUint(64);
+  if (entries > counters_) return false;
+  if (r->Remaining() < entries * 128) return false;
+  std::map<std::size_t, std::uint64_t> counts;
+  std::uint64_t prev_item = 0;
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    const std::uint64_t item = r->ReadUint(64);
+    const std::uint64_t count = r->ReadUint(64);
+    if (i > 0 && item <= prev_item) return false;
+    if (count == 0 || count > items_seen) return false;
+    prev_item = item;
+    counts.emplace_hint(counts.end(), static_cast<std::size_t>(item), count);
+  }
+  items_seen_ = items_seen;
+  counts_ = std::move(counts);
+  return true;
+}
+
 std::vector<std::size_t> MisraGries::HeavyHitters(
     std::uint64_t threshold) const {
   std::vector<std::size_t> out;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "util/bitio.h"
 
 namespace ifsketch::stream {
 
@@ -53,6 +54,14 @@ class MisraGries {
   /// Summary size in bits: per tracked item an id (log2 d ~ 64 here,
   /// counted as the bits actually stored) plus a 64-bit counter.
   std::size_t SizeBits() const { return counters_ * (64 + 64); }
+
+  /// Appends the complete sketch state to `w` for checkpoint/recovery.
+  void SaveState(util::BitWriter* w) const;
+
+  /// Restores a SaveState snapshot from `r`; false when the encoded
+  /// state is malformed (truncated, too many entries, unsorted items, or
+  /// impossible counts) -- the sketch is left unchanged in that case.
+  bool RestoreState(util::BitReader* r);
 
  private:
   std::size_t counters_;

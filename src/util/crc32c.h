@@ -1,0 +1,35 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78).
+//
+// The integrity checksum for everything durable: WAL record frames and
+// segment headers (ingest/wal.h), builder checkpoints, and the optional
+// IFSK v2 trailer (sketch/sketch_file.h). CRC32C detects every burst
+// error up to 32 bits -- in particular every single-byte corruption a
+// torn write or bit rot can introduce -- which is exactly the failure
+// model the recovery path truncates on.
+//
+// Software slice-by-8 (~1 byte/cycle), endian-neutral, no dependencies.
+// The running-state convention composes: Crc32cExtend(Crc32cExtend(0, a),
+// b) equals Crc32c(a concatenated with b), so stream parsers can
+// accumulate while reading.
+
+#ifndef IFSKETCH_UTIL_CRC32C_H_
+#define IFSKETCH_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ifsketch::util {
+
+/// Extends a running CRC32C over `size` more bytes. Pass the previous
+/// return value as `crc` (0 to start).
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
+                           std::size_t size);
+
+/// CRC32C of one contiguous buffer.
+inline std::uint32_t Crc32c(const void* data, std::size_t size) {
+  return Crc32cExtend(0, data, size);
+}
+
+}  // namespace ifsketch::util
+
+#endif  // IFSKETCH_UTIL_CRC32C_H_

@@ -1,0 +1,169 @@
+#include "util/durable.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace ifsketch::util {
+namespace {
+
+std::string ErrnoDetail(const char* op, const std::string& path) {
+  const int saved = errno;
+  return std::string(op) + " " + path + ": " + std::strerror(saved);
+}
+
+}  // namespace
+
+// ------------------------------------------------------- PosixFileSink
+
+PosixFileSink::PosixFileSink(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) FailErrno("open");
+}
+
+PosixFileSink::~PosixFileSink() { Close(); }
+
+void PosixFileSink::FailErrno(const char* op) {
+  if (error_.empty()) error_ = ErrnoDetail(op, path_);
+}
+
+bool PosixFileSink::Write(const void* data, std::size_t size) {
+  if (!ok()) return false;
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd_, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FailErrno("write");
+      return false;
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+    bytes_written_ += static_cast<std::uint64_t>(n);
+  }
+  return true;
+}
+
+bool PosixFileSink::Sync() {
+  if (!ok()) return false;
+  if (::fdatasync(fd_) != 0) {
+    FailErrno("fdatasync");
+    return false;
+  }
+  return true;
+}
+
+bool PosixFileSink::Close() {
+  if (fd_ >= 0) {
+    if (::close(fd_) != 0) FailErrno("close");
+    fd_ = -1;
+  }
+  return ok();
+}
+
+// ------------------------------------------------------ FaultyFileSink
+
+FaultyFileSink::FaultyFileSink(std::unique_ptr<FileSink> inner,
+                               std::shared_ptr<CrashPlan> plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)) {}
+
+bool FaultyFileSink::ok() const {
+  return !plan_->dead.load(std::memory_order_relaxed) && !hit_ &&
+         inner_->ok();
+}
+
+bool FaultyFileSink::Write(const void* data, std::size_t size) {
+  if (plan_->dead.load(std::memory_order_relaxed) || hit_) {
+    hit_ = true;
+    return false;
+  }
+  const std::int64_t want = static_cast<std::int64_t>(size);
+  const std::int64_t before =
+      plan_->remaining.fetch_sub(want, std::memory_order_relaxed);
+  if (before >= want) return inner_->Write(data, size);
+  // The budget runs out inside this write: the prefix that "made it to
+  // the kernel" lands in the real file, then the plan latches dead.
+  const std::int64_t allowed = before > 0 ? before : 0;
+  if (allowed > 0) inner_->Write(data, static_cast<std::size_t>(allowed));
+  plan_->dead.store(true, std::memory_order_relaxed);
+  hit_ = true;
+  return false;
+}
+
+bool FaultyFileSink::Sync() {
+  if (plan_->dead.load(std::memory_order_relaxed) || hit_) {
+    hit_ = true;
+    return false;
+  }
+  return inner_->Sync();
+}
+
+bool FaultyFileSink::Close() {
+  // Close the inner handle even after the crash so tests can inspect
+  // whatever prefix reached the file.
+  const bool inner_ok = inner_->Close();
+  return ok() && inner_ok;
+}
+
+std::uint64_t FaultyFileSink::bytes_written() const {
+  return inner_->bytes_written();
+}
+
+std::string FaultyFileSink::error() const {
+  if (plan_->dead.load(std::memory_order_relaxed) || hit_) {
+    return "injected crash: file sink is dead";
+  }
+  return inner_->error();
+}
+
+FileSinkFactory MakeFaultyFileSinkFactory(std::shared_ptr<CrashPlan> plan,
+                                          FileSinkFactory base) {
+  return [plan = std::move(plan),
+          base = std::move(base)](const std::string& path) {
+    std::unique_ptr<FileSink> inner =
+        base ? base(path) : std::make_unique<PosixFileSink>(path);
+    return std::make_unique<FaultyFileSink>(std::move(inner), plan);
+  };
+}
+
+// ------------------------------------------------------- atomic replace
+
+bool SyncDir(const std::string& dir, std::string* error) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    if (error != nullptr) *error = ErrnoDetail("open", dir);
+    return false;
+  }
+  const bool ok = ::fsync(fd) == 0;
+  if (!ok && error != nullptr) *error = ErrnoDetail("fsync", dir);
+  ::close(fd);
+  return ok;
+}
+
+bool SyncParentDir(const std::string& path, std::string* error) {
+  const std::size_t slash = path.find_last_of('/');
+  return SyncDir(slash == std::string::npos ? "." : path.substr(0, slash),
+                 error);
+}
+
+bool WriteFileAtomic(const std::string& path, const void* data,
+                     std::size_t size, std::string* error,
+                     const FileSinkFactory& factory) {
+  const std::string tmp = path + ".tmp";
+  std::unique_ptr<FileSink> sink =
+      factory ? factory(tmp) : std::make_unique<PosixFileSink>(tmp);
+  if (!sink->Write(data, size) || !sink->Sync() || !sink->Close()) {
+    if (error != nullptr) *error = sink->error();
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = ErrnoDetail("rename", tmp);
+    return false;
+  }
+  return SyncParentDir(path, error);
+}
+
+}  // namespace ifsketch::util

@@ -1,0 +1,129 @@
+// Crash-safe file primitives shared by the WAL, checkpoints, and sketch
+// persistence (PR 10).
+//
+// FileSink is the narrow write-only seam the durability layer funnels
+// every byte through: PosixFileSink is the real thing (fd writes,
+// fdatasync, errno capture), FaultyFileSink is the file-side analogue of
+// serve::FaultyTransport -- a shared byte budget after which every
+// attached sink is dead, simulating a process killed after exactly N
+// file bytes. Threading a FileSinkFactory through the WAL and
+// WriteFileAtomic lets the recovery test matrix crash a run at any byte
+// without forking processes.
+//
+// WriteFileAtomic is the one blessed way to replace a durable file:
+// write "<path>.tmp" -> fdatasync -> rename over the target -> fsync the
+// directory. A crash at any point leaves the old file or the new file,
+// never a hybrid (a stale "<path>.tmp" may survive a crash; the next
+// attempt overwrites it).
+
+#ifndef IFSKETCH_UTIL_DURABLE_H_
+#define IFSKETCH_UTIL_DURABLE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace ifsketch::util {
+
+/// Write-only file handle with sticky failure: once any operation
+/// (including the open) fails, ok() is false, error() explains why with
+/// errno detail, and further operations fail fast.
+class FileSink {
+ public:
+  virtual ~FileSink() = default;
+  virtual bool ok() const = 0;
+  virtual bool Write(const void* data, std::size_t size) = 0;
+  /// Flushes written bytes to stable storage (fdatasync).
+  virtual bool Sync() = 0;
+  /// Closes the handle (idempotent); returns overall ok().
+  virtual bool Close() = 0;
+  virtual std::uint64_t bytes_written() const = 0;
+  virtual std::string error() const = 0;
+};
+
+/// Creates/truncates `path` for writing via open(2). Construction never
+/// throws; a failed open yields a sink with ok() == false.
+class PosixFileSink : public FileSink {
+ public:
+  explicit PosixFileSink(const std::string& path);
+  ~PosixFileSink() override;
+
+  bool ok() const override { return error_.empty(); }
+  bool Write(const void* data, std::size_t size) override;
+  bool Sync() override;
+  bool Close() override;
+  std::uint64_t bytes_written() const override { return bytes_written_; }
+  std::string error() const override { return error_; }
+
+ private:
+  void FailErrno(const char* op);
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t bytes_written_ = 0;
+  std::string error_;
+};
+
+/// Opens a FileSink for a path. The default factory (an empty
+/// std::function wherever one is accepted) is PosixFileSink.
+using FileSinkFactory =
+    std::function<std::unique_ptr<FileSink>(const std::string& path)>;
+
+/// One simulated crash shared by every FaultyFileSink attached to it: a
+/// single budget of bytes allowed through to the inner sinks, process
+/// wide. The write that would cross the budget is cut at the boundary
+/// (the prefix reaches the real file, like bytes that made the kernel
+/// before the kill) and the plan latches dead -- all attached sinks fail
+/// every subsequent Write/Sync, exactly as serve::FaultyTransport
+/// latches a killed connection.
+struct CrashPlan {
+  explicit CrashPlan(std::uint64_t budget) : remaining(budget) {}
+  std::atomic<std::int64_t> remaining;
+  std::atomic<bool> dead{false};
+};
+
+class FaultyFileSink : public FileSink {
+ public:
+  FaultyFileSink(std::unique_ptr<FileSink> inner,
+                 std::shared_ptr<CrashPlan> plan);
+
+  bool ok() const override;
+  bool Write(const void* data, std::size_t size) override;
+  bool Sync() override;
+  bool Close() override;
+  std::uint64_t bytes_written() const override;
+  std::string error() const override;
+
+ private:
+  std::unique_ptr<FileSink> inner_;
+  std::shared_ptr<CrashPlan> plan_;
+  bool hit_ = false;  // this sink observed the crash
+};
+
+/// Factory whose sinks all draw bytes from `plan` (wrapping `base`, or
+/// PosixFileSink when `base` is empty).
+FileSinkFactory MakeFaultyFileSinkFactory(std::shared_ptr<CrashPlan> plan,
+                                          FileSinkFactory base = {});
+
+/// Atomically replaces `path` with `size` bytes of `data`: write
+/// "<path>.tmp" -> Sync -> rename(2) -> fsync the parent directory. On
+/// failure returns false with an errno-detailed reason in *error (when
+/// non-null) and the target path untouched.
+bool WriteFileAtomic(const std::string& path, const void* data,
+                     std::size_t size, std::string* error = nullptr,
+                     const FileSinkFactory& factory = {});
+
+/// fsyncs directory `dir` so entry creation/rename/unlink inside it is
+/// durable.
+bool SyncDir(const std::string& dir, std::string* error = nullptr);
+
+/// SyncDir on the directory containing `path` ("." when `path` has no
+/// separator).
+bool SyncParentDir(const std::string& path, std::string* error = nullptr);
+
+}  // namespace ifsketch::util
+
+#endif  // IFSKETCH_UTIL_DURABLE_H_

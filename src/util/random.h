@@ -55,6 +55,27 @@ class Rng {
   /// A fresh, independently-seeded child generator (for per-trial streams).
   Rng Fork();
 
+  /// Complete generator state, for checkpoint/recovery (ingest WAL): a
+  /// restored Rng continues the exact sequence the saved one would have
+  /// produced, including a pending cached Gaussian.
+  struct State {
+    std::uint64_t s[4];
+    bool have_cached_gaussian;
+    double cached_gaussian;
+  };
+
+  State SaveState() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]},
+                 have_cached_gaussian_,
+                 cached_gaussian_};
+  }
+
+  void RestoreState(const State& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+    have_cached_gaussian_ = state.have_cached_gaussian;
+    cached_gaussian_ = state.cached_gaussian;
+  }
+
  private:
   std::uint64_t s_[4];
   bool have_cached_gaussian_ = false;

@@ -26,6 +26,7 @@
 
 #include "engine.h"
 #include "golden_spec.h"
+#include "sketch/sketch_file.h"
 #include "util/random.h"
 
 namespace ifsketch {
@@ -145,6 +146,44 @@ TEST(GoldenFilesTest, ArenaGoldenBitIdenticalOnBothLoadPaths) {
           << golden_lines[i].key;
     }
     ASSERT_EQ(golden_lines[0].estimate, engine->estimate(queries[0]));
+  }
+}
+
+// The checksummed arena golden -- release_db_v2.ifsk plus the CRC32C
+// integrity trailer (PR 10) -- must be exactly the trailer-extended v2
+// bytes and answer identically to the recorded answers through both
+// load paths, pinning trailer validation to checked-in bytes.
+TEST(GoldenFilesTest, ChecksummedArenaGoldenMatchesRecordedAnswers) {
+  const std::string dir = IFSKETCH_TEST_DATA_DIR;
+  const auto read = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string plain = read(dir + "/release_db_v2.ifsk");
+  const std::string checked = read(dir + "/release_db_v2_crc.ifsk");
+  ASSERT_FALSE(plain.empty());
+  ASSERT_EQ(checked.size(), plain.size() + sketch::arena::kTrailerBytes);
+  EXPECT_EQ(checked.compare(0, plain.size(), plain), 0)
+      << "trailer golden diverged from the trailer-less v2 golden";
+
+  const auto queries = golden::PinnedQueries();
+  const auto golden_lines = LoadAnswers(dir + "/release_db.answers.txt");
+  ASSERT_EQ(golden_lines.size(), queries.size());
+  for (const Engine::LoadMode mode :
+       {Engine::LoadMode::kMapped, Engine::LoadMode::kCopied}) {
+    std::string error;
+    auto engine =
+        Engine::Open(dir + "/release_db_v2_crc.ifsk", mode, &error);
+    ASSERT_TRUE(engine.has_value()) << error;
+    std::vector<double> estimates;
+    engine->estimate_many(queries, &estimates);
+    std::vector<bool> bits;
+    engine->are_frequent(queries, &bits);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(golden_lines[i].estimate, estimates[i]);
+      ASSERT_EQ(golden_lines[i].frequent, bits[i]);
+    }
   }
 }
 

@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: cannot write %s\n", sk_path.c_str());
       return 1;
     }
-    if (index == 1) {  // first algorithm: also the arena-v2 golden
+    if (index == 1) {  // first algorithm: also the arena-v2 goldens
       const std::string v2_path = out_dir + "/" + slug + "_v2.ifsk";
       if (!sketch::SaveSketchFile(v2_path, engine->file())) {
         std::fprintf(stderr, "error: cannot write %s\n", v2_path.c_str());
@@ -64,6 +64,16 @@ int main(int argc, char** argv) {
       }
       std::printf("wrote %s (arena v2, same summary bits)\n",
                   v2_path.c_str());
+      // The same v2 bytes plus the CRC32C integrity trailer: golden for
+      // the checksum-validating variants of both load paths.
+      const std::string crc_path = out_dir + "/" + slug + "_v2_crc.ifsk";
+      if (!sketch::SaveSketchFile(crc_path, engine->file(),
+                                  sketch::arena::kVersionArena,
+                                  sketch::SketchChecksum::kCrc32c)) {
+        std::fprintf(stderr, "error: cannot write %s\n", crc_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s (arena v2 + crc32c trailer)\n", crc_path.c_str());
     }
 
     std::vector<double> estimates;
